@@ -1,0 +1,52 @@
+"""Ablation: trie-based longest-phrase tokenisation vs naive token lookup.
+
+The paper's preprocessing (§3.1) builds a lookup trie over the embedding
+vocabulary so that multi-word phrases are matched as a whole.  This ablation
+measures the vocabulary coverage of the initial matrix ``W0`` with and
+without the trie.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.common import make_tmdb
+from repro.experiments.runner import ResultTable
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.initialization import initialise_vectors
+from repro.text.tokenizer import Tokenizer
+
+
+def _run(bench_sizes) -> ResultTable:
+    dataset = make_tmdb(bench_sizes)
+    extraction = extract_text_values(dataset.database)
+    table = ResultTable(
+        name="Ablation: trie tokenizer vs naive single-token lookup",
+        columns=["tokenizer", "coverage", "oov_values", "phrase_matches"],
+    )
+    for use_trie, label in ((True, "trie (longest match)"), (False, "single tokens")):
+        tokenizer = Tokenizer(dataset.embedding, use_trie=use_trie)
+        base = initialise_vectors(extraction, dataset.embedding, tokenizer)
+        phrase_matches = 0
+        for text in extraction.texts[:500]:
+            result = tokenizer.tokenize(text)
+            phrase_matches += sum(
+                1 for phrase in result.matched_phrases if "_" in phrase
+            )
+        table.add_row(
+            tokenizer=label,
+            coverage=base.coverage,
+            oov_values=base.oov_count,
+            phrase_matches=phrase_matches,
+        )
+    table.add_note(
+        "expected: the trie finds multi-word phrases (e.g. 'science fiction', "
+        "'united kingdom', multi-word keywords) that naive lookup misses"
+    )
+    return table
+
+
+def test_ablation_tokenizer(benchmark, bench_sizes, record_table):
+    table = run_once(benchmark, lambda: _run(bench_sizes))
+    record_table(table, "ablation_tokenizer")
+    trie_row = table.row_for("tokenizer", "trie (longest match)")
+    naive_row = table.row_for("tokenizer", "single tokens")
+    assert trie_row["coverage"] >= naive_row["coverage"]
+    assert trie_row["phrase_matches"] > naive_row["phrase_matches"]

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figures 10/11 (grid search, language imputation)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import gridsearch
+
+REDUCED_GRID = {
+    "alpha": (1.0,),
+    "beta": (0.0,),
+    "gamma": (0.0001, 3.0),
+    "delta": (0.0, 1.0),
+}
+
+
+@pytest.mark.parametrize("solver,result_name", [
+    ("RO", "figure10_gridsearch_language_ro"),
+    ("RN", "figure11_gridsearch_language_rn"),
+])
+def test_gridsearch_language_imputation(
+    benchmark, bench_sizes, record_table, solver, result_name
+):
+    spec = gridsearch.GridSearchSpec(task="language", solver=solver)
+    table = run_once(
+        benchmark, lambda: gridsearch.run(spec, bench_sizes, grid=REDUCED_GRID)
+    )
+    record_table(table, result_name)
+    assert len(table.rows) == 4
+    best = gridsearch.best_configuration(table)
+    assert 0.0 <= best["accuracy"] <= 1.0
+    best_gamma3 = max(
+        row["accuracy_mean"] for row in table.rows if row["gamma"] == 3.0
+    )
+    assert best_gamma3 >= best["accuracy"] - 0.1

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 12a (imputation of the original language)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure12_imputation
+
+
+def test_figure12a_language_imputation(benchmark, bench_sizes, record_table):
+    table = run_once(
+        benchmark, lambda: figure12_imputation.run_language_imputation(bench_sizes)
+    )
+    record_table(table, "figure12a_language_imputation")
+
+    accuracy = {row["method"]: row["accuracy_mean"] for row in table.rows}
+    best_retro = max(accuracy["RO"], accuracy["RN"])
+    # the paper's headline: relational retrofitting beats mode imputation and
+    # the DataWig-style single-table imputer
+    assert best_retro > accuracy["MODE"]
+    assert best_retro > accuracy["DTWG"]
+    assert best_retro >= accuracy["PV"]

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 12b (imputation of app categories)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure12_imputation
+
+
+def test_figure12b_app_category_imputation(benchmark, bench_sizes, record_table):
+    table = run_once(
+        benchmark,
+        lambda: figure12_imputation.run_app_category_imputation(bench_sizes),
+    )
+    record_table(table, "figure12b_app_imputation")
+
+    accuracy = {row["method"]: row["accuracy_mean"] for row in table.rows}
+    best_retro = max(accuracy["RO"], accuracy["RN"])
+    # mode imputation and DeepWalk are near-useless for 33 categories;
+    # retrofitting (which can exploit the reviews) clearly beats both and the
+    # single-table DataWig-style imputer
+    assert accuracy["MODE"] < 0.2
+    assert accuracy["DW"] < 0.2
+    assert best_retro > accuracy["MODE"]
+    assert best_retro > accuracy["DTWG"]

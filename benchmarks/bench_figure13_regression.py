@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 13 (regression of the movie budget)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure13_regression
+
+
+def test_figure13_budget_regression(benchmark, bench_sizes, record_table):
+    table = run_once(benchmark, lambda: figure13_regression.run(bench_sizes))
+    record_table(table, "figure13_regression")
+
+    mae = {row["embedding"]: row["mae_mean"] for row in table.rows}
+    assert all(value > 0.0 for value in mae.values())
+    # the paper's headline: structural information matters for the budget —
+    # DeepWalk and the retrofitted embeddings (which absorb the relational
+    # signal) beat plain word vectors; combinations are at least as good
+    assert min(mae["DW"], mae["RN"], mae["RO"]) < mae["PV"]
+    assert min(mae["RN+DW"], mae["RO+DW"]) <= mae["PV"]

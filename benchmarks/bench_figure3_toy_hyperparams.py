@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 3 (2-d toy hyperparameter sweeps)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure3_toy_hyperparams
+
+
+def test_figure3_toy_hyperparameter_sweeps(benchmark, bench_sizes, record_table):
+    table = run_once(benchmark, lambda: figure3_toy_hyperparams.run())
+    record_table(table, "figure3_toy_hyperparams")
+
+    def rows(panel, value):
+        return [r for r in table.rows if r["panel"] == panel and r["value"] == value]
+
+    # higher alpha keeps the learned vectors closer to their originals
+    drift_low = np.mean([r["distance_to_original"] for r in rows("alpha", 1.0)])
+    drift_high = np.mean([r["distance_to_original"] for r in rows("alpha", 3.0)])
+    assert drift_high < drift_low
+
+    # higher gamma pulls movies closer to their production country
+    def country_gap(value):
+        return np.nanmean([
+            r["distance_to_related_country"] for r in rows("gamma", value)
+        ])
+
+    assert country_gap(3.0) < country_gap(1.0)

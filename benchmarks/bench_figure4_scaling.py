@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 4 (retrofitting runtime vs database size)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure4_scaling
+
+
+def test_figure4_runtime_scaling(benchmark, bench_sizes, record_table):
+    table = run_once(
+        benchmark,
+        lambda: figure4_scaling.run(bench_sizes, movie_counts=(50, 100, 200, 400)),
+    )
+    record_table(table, "figure4_scaling")
+
+    text_values = table.column("text_values")
+    ro_seconds = table.column("ro_seconds")
+    rn_seconds = table.column("rn_seconds")
+    # monotone growth with database size
+    assert text_values == sorted(text_values)
+    assert ro_seconds[-1] > ro_seconds[0]
+    assert rn_seconds[-1] > rn_seconds[0]
+    # the series solver is not slower than the optimisation solver at the
+    # largest size (the paper reports roughly a 10x gap on the full dataset)
+    assert rn_seconds[-1] <= ro_seconds[-1] * 1.5

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figures 6/7 (grid search, binary classification).
+
+The full grid of the paper is large; this benchmark sweeps a reduced grid for
+both solvers, which is enough to show the qualitative findings (relational
+weight γ matters, overly large δ with small α degrades accuracy).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import gridsearch
+
+REDUCED_GRID = {
+    "alpha": (1.0,),
+    "beta": (0.0, 1.0),
+    "gamma": (0.0001, 3.0),
+    "delta": (0.0, 1.0),
+}
+
+
+@pytest.mark.parametrize("solver,result_name", [
+    ("RO", "figure6_gridsearch_binary_ro"),
+    ("RN", "figure7_gridsearch_binary_rn"),
+])
+def test_gridsearch_binary_classification(
+    benchmark, bench_sizes, record_table, solver, result_name
+):
+    spec = gridsearch.GridSearchSpec(task="binary", solver=solver)
+    table = run_once(
+        benchmark, lambda: gridsearch.run(spec, bench_sizes, grid=REDUCED_GRID)
+    )
+    record_table(table, result_name)
+    assert len(table.rows) == 8
+    best = gridsearch.best_configuration(table)
+    assert 0.0 <= best["accuracy"] <= 1.0
+    # with a single trial per grid point the ranking is noisy; the relational
+    # configurations (gamma=3) must at least be competitive with the best
+    best_gamma3 = max(
+        row["accuracy_mean"] for row in table.rows if row["gamma"] == 3.0
+    )
+    assert best_gamma3 >= best["accuracy"] - 0.1

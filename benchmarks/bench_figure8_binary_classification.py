@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 8 (US-director classification per embedding)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure8_binary_classification
+
+
+def test_figure8_director_classification(benchmark, bench_sizes, record_table):
+    table = run_once(
+        benchmark, lambda: figure8_binary_classification.run(bench_sizes)
+    )
+    record_table(table, "figure8_binary_classification")
+
+    accuracy = {row["embedding"]: row["accuracy_mean"] for row in table.rows}
+    # all embedding types must beat random guessing on the balanced task
+    assert all(value > 0.55 for value in accuracy.values())
+    # the paper's headline: relational retrofitting beats DeepWalk, and the
+    # best retrofitted variant is at least on par with plain word vectors
+    assert max(accuracy["RO"], accuracy["RN"]) >= accuracy["DW"]
+    assert max(accuracy["RO"], accuracy["RN"]) >= accuracy["PV"] - 0.02

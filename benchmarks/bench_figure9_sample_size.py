@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 9 (accuracy vs training-sample size)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figure9_sample_size
+
+
+def test_figure9_training_sample_size(benchmark, bench_sizes, record_table):
+    sample_sizes = (40, 80, 160)
+    table = run_once(
+        benchmark,
+        lambda: figure9_sample_size.run(bench_sizes, sample_sizes=sample_sizes),
+    )
+    record_table(table, "figure9_sample_size")
+
+    def series(embedding):
+        return [
+            row["accuracy_mean"]
+            for row in table.rows
+            if row["embedding"] == embedding
+        ]
+
+    for embedding in ("PV", "RN", "DW"):
+        values = series(embedding)
+        assert len(values) == len(sample_sizes)
+        assert all(0.0 <= v <= 1.0 for v in values)
+        # more training data never hurts dramatically (allow small noise)
+        assert values[-1] >= values[0] - 0.1

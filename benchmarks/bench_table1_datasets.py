@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 1 (dataset properties)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_datasets
+
+
+def test_table1_dataset_properties(benchmark, bench_sizes, record_table):
+    table = run_once(benchmark, lambda: table1_datasets.run(bench_sizes))
+    record_table(table, "table1_datasets")
+    assert len(table.rows) == 2
+    tmdb_row, play_row = table.rows
+    # the TMDB-shaped database keeps the paper's schema shape and holds the
+    # larger number of rows of the two databases
+    assert tmdb_row["rows"] > play_row["rows"]
+    assert tmdb_row["unique_text_values"] > 0 and play_row["unique_text_values"] > 0
+    assert tmdb_row["tables"] == 8 and play_row["tables"] == 6

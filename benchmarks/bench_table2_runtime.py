@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table 2 (runtime of the embedding methods)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_runtime
+
+
+def test_table2_embedding_method_runtimes(benchmark, bench_sizes, record_table):
+    table = run_once(
+        benchmark, lambda: table2_runtime.run(bench_sizes, repetitions=2)
+    )
+    record_table(table, "table2_runtime")
+
+    def runtime(dataset, method):
+        for row in table.rows:
+            if row["dataset"] == dataset and row["method"] == method:
+                return row["runtime_mean"]
+        raise AssertionError(f"missing row {dataset}/{method}")
+
+    for dataset in ("TMDB", "GooglePlay"):
+        # the paper's ordering: MF fastest, DeepWalk slowest, RN faster than RO
+        assert runtime(dataset, "MF") <= runtime(dataset, "RO")
+        assert runtime(dataset, "RN") <= runtime(dataset, "RO") * 1.5
+        assert runtime(dataset, "DW") >= runtime(dataset, "RN")

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper.  The resulting
+rows are printed and additionally written to ``benchmarks/results/`` so that
+EXPERIMENTS.md can be refreshed from a benchmark run.
+
+The benchmarks use :meth:`repro.experiments.runner.ExperimentSizes.quick`;
+set the environment variable ``RETRO_BENCH_SCALE=paper`` to run the larger
+configuration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentSizes, ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_sizes() -> ExperimentSizes:
+    """Experiment sizing used by all benchmarks."""
+    if os.environ.get("RETRO_BENCH_SCALE", "quick") == "paper":
+        return ExperimentSizes.paper_scale()
+    return ExperimentSizes.quick()
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """A callable that prints a result table and stores it on disk."""
+
+    def _record(table: ResultTable, name: str) -> ResultTable:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        text = table.to_text()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return table
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

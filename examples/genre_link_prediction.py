@@ -1,0 +1,61 @@
+"""Example: predict missing movie→genre links (paper §5.7, Figure 14).
+
+The embeddings are trained while hiding every relationship that touches the
+genre column; a two-tower edge classifier then decides for (movie, genre)
+pairs whether the link exists.  Retrofitted embeddings outperform both plain
+word vectors and DeepWalk, which fails because the hidden relation leaves
+genre nodes structurally indistinguishable.
+
+Run with::
+
+    python examples/genre_link_prediction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import generate_tmdb
+from repro.experiments.embedding_factory import build_embedding_suite
+from repro.experiments.task_data import genre_link_pairs, genre_relation_names
+from repro.tasks import LinkPredictionTask
+
+
+def main() -> None:
+    dataset = generate_tmdb(num_movies=200, seed=13, embedding_dimension=48)
+    hidden = genre_relation_names(dataset.database)
+    print(f"hiding {len(hidden)} genre relationships during embedding training")
+
+    suite = build_embedding_suite(
+        dataset.database,
+        dataset.embedding,
+        methods=("PV", "RN", "DW"),
+        exclude_relations=hidden,
+    )
+
+    rng = np.random.default_rng(0)
+    pairs = genre_link_pairs(suite.extraction, dataset, n_pairs=250, rng=rng)
+    order = rng.permutation(len(pairs))
+    split = len(order) // 2
+    train_idx, test_idx = order[:split], order[split:]
+    print(f"{len(pairs)} labelled (movie, genre) pairs "
+          f"({int(pairs.labels.sum())} positive)")
+
+    for name in ("PV", "RN", "DW", "RN+DW"):
+        if name not in suite.sets:
+            continue
+        embeddings = suite.get(name)
+        task = LinkPredictionTask(hidden_units=96, epochs=40)
+        outcome = task.train_and_evaluate(
+            embeddings.matrix[pairs.source_indices[train_idx]],
+            embeddings.matrix[pairs.target_indices[train_idx]],
+            pairs.labels[train_idx],
+            embeddings.matrix[pairs.source_indices[test_idx]],
+            embeddings.matrix[pairs.target_indices[test_idx]],
+            pairs.labels[test_idx],
+        )
+        print(f"{name:6s} link-prediction accuracy: {outcome.accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package required by PEP 660 builds
+(``pip install -e . --no-use-pep517`` falls back to this file).
+"""
+
+from setuptools import setup
+
+setup()

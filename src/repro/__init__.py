@@ -1,0 +1,89 @@
+"""RETRO: relational retrofitting for in-database ML on textual data.
+
+A from-scratch reproduction of Günther, Thiele and Lehner,
+"RETRO: Relation Retrofitting For In-Database Machine Learning on Textual
+Data" (EDBT 2020).
+
+The most convenient entry point is :class:`repro.RetroPipeline`, which takes
+a :class:`repro.Database` plus a :class:`repro.WordEmbedding` and produces a
+retrofitted vector for every unique text value in the database::
+
+    from repro import Database, RetroPipeline, RetroHyperparameters
+    from repro.datasets import generate_tmdb
+
+    dataset = generate_tmdb(num_movies=200)
+    pipeline = RetroPipeline(dataset.database, dataset.embedding,
+                             hyperparams=RetroHyperparameters(gamma=3.0))
+    result = pipeline.run()
+    vector = result.vector_for("movies.title", next(iter(dataset.movie_language)))
+"""
+
+from repro.errors import (
+    ConvexityError,
+    DatasetError,
+    EmbeddingError,
+    ExperimentError,
+    ExtractionError,
+    IntegrityError,
+    QueryError,
+    ReproError,
+    RetrofitError,
+    SchemaError,
+    TokenizationError,
+    TrainingError,
+)
+from repro.db import Column, ColumnType, Database, ForeignKey, Table, TableSchema
+from repro.text import SyntheticEmbeddingSpace, Tokenizer, WordEmbedding
+from repro.retrofit import (
+    IncrementalRetrofitter,
+    RetroHyperparameters,
+    RetroPipeline,
+    RetroResult,
+    RetroSolver,
+    TextValueEmbeddingSet,
+    extract_text_values,
+    faruqui_retrofit,
+)
+from repro.deepwalk import DeepWalk, DeepWalkConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "IntegrityError",
+    "QueryError",
+    "TokenizationError",
+    "EmbeddingError",
+    "ExtractionError",
+    "RetrofitError",
+    "ConvexityError",
+    "TrainingError",
+    "DatasetError",
+    "ExperimentError",
+    # relational engine
+    "Database",
+    "Table",
+    "TableSchema",
+    "Column",
+    "ForeignKey",
+    "ColumnType",
+    # text substrate
+    "WordEmbedding",
+    "Tokenizer",
+    "SyntheticEmbeddingSpace",
+    # RETRO core
+    "RetroPipeline",
+    "RetroResult",
+    "RetroSolver",
+    "RetroHyperparameters",
+    "TextValueEmbeddingSet",
+    "IncrementalRetrofitter",
+    "extract_text_values",
+    "faruqui_retrofit",
+    # node embeddings
+    "DeepWalk",
+    "DeepWalkConfig",
+]

@@ -1,0 +1,11 @@
+"""Baselines the paper compares against: mode imputation and a DataWig stand-in."""
+
+from repro.baselines.mode_imputation import ModeImputer
+from repro.baselines.datawig import NGramFeaturizer, NGramImputer, denormalise_spreadsheet
+
+__all__ = [
+    "ModeImputer",
+    "NGramFeaturizer",
+    "NGramImputer",
+    "denormalise_spreadsheet",
+]

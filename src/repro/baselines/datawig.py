@@ -1,0 +1,215 @@
+"""A DataWig-style categorical imputer (paper §5.4 "DTWG").
+
+DataWig (Biessmann et al. 2018) imputes categorical values in a single
+spreadsheet by featurising the text of the input columns with character
+n-gram hashing and training a neural classifier on those features.  This
+module provides a faithful, dependency-free stand-in: the same two
+ingredients (hashed character n-grams feeding a feed-forward classifier) and
+the same restriction to a single denormalised table — it cannot see values
+reachable only through foreign keys, which is exactly the limitation the
+paper exploits when comparing against RETRO.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.errors import ExperimentError
+from repro.ml.layers import Dense, Dropout
+from repro.ml.network import NeuralNetwork
+from repro.ml.optimizers import Nadam
+from repro.tasks.imputation import one_hot
+
+
+class NGramFeaturizer:
+    """Character n-gram hashing featurizer (the DataWig text encoder)."""
+
+    def __init__(self, n_features: int = 512, ngram_range: tuple[int, int] = (2, 4)):
+        if n_features <= 0:
+            raise ExperimentError("n_features must be positive")
+        low, high = ngram_range
+        if low < 1 or high < low:
+            raise ExperimentError("invalid ngram_range")
+        self.n_features = int(n_features)
+        self.ngram_range = (int(low), int(high))
+
+    def _ngrams(self, text: str) -> list[str]:
+        text = f"#{str(text).lower()}#"
+        grams: list[str] = []
+        low, high = self.ngram_range
+        for size in range(low, high + 1):
+            grams.extend(text[i:i + size] for i in range(max(0, len(text) - size + 1)))
+        return grams
+
+    def _bucket(self, gram: str) -> int:
+        digest = hashlib.md5(gram.encode("utf-8")).hexdigest()
+        return int(digest, 16) % self.n_features
+
+    def transform_text(self, text: str) -> np.ndarray:
+        """Hashed n-gram count vector of one text, L2-normalised."""
+        vector = np.zeros(self.n_features)
+        for gram in self._ngrams(text):
+            vector[self._bucket(gram)] += 1.0
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def transform_rows(
+        self, rows: Sequence[dict[str, Any]], input_columns: Sequence[str]
+    ) -> np.ndarray:
+        """Concatenate the n-gram vectors of all input columns of every row."""
+        features = np.zeros((len(rows), self.n_features * len(input_columns)))
+        for row_index, row in enumerate(rows):
+            parts = [
+                self.transform_text("" if row.get(column) is None else str(row[column]))
+                for column in input_columns
+            ]
+            features[row_index] = np.concatenate(parts)
+        return features
+
+
+@dataclass
+class _LabelCodec:
+    labels: list[Any]
+
+    def __post_init__(self) -> None:
+        self._index = {label: i for i, label in enumerate(self.labels)}
+
+    def encode(self, values: Sequence[Any]) -> np.ndarray:
+        return np.array([self._index.get(v, 0) for v in values], dtype=int)
+
+    def decode(self, indices: Sequence[int]) -> list[Any]:
+        return [self.labels[int(i)] for i in indices]
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.labels)
+
+
+class NGramImputer:
+    """The DataWig-style imputer: fit on labelled rows, predict missing labels."""
+
+    def __init__(
+        self,
+        input_columns: Sequence[str],
+        output_column: str,
+        n_features: int = 512,
+        hidden_units: tuple[int, ...] = (256,),
+        epochs: int = 60,
+        learning_rate: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if not input_columns:
+            raise ExperimentError("DataWig imputation needs at least one input column")
+        self.input_columns = list(input_columns)
+        self.output_column = output_column
+        self.featurizer = NGramFeaturizer(n_features=n_features)
+        self.hidden_units = hidden_units
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self._network: NeuralNetwork | None = None
+        self._codec: _LabelCodec | None = None
+
+    def fit(self, rows: Sequence[dict[str, Any]]) -> "NGramImputer":
+        """Train on rows that carry a non-null value in the output column."""
+        labelled = [row for row in rows if row.get(self.output_column) is not None]
+        if len(labelled) < 2:
+            raise ExperimentError("need at least two labelled rows to fit")
+        labels = sorted({row[self.output_column] for row in labelled}, key=str)
+        if len(labels) < 2:
+            raise ExperimentError("need at least two distinct output labels")
+        self._codec = _LabelCodec(labels)
+        features = self.featurizer.transform_rows(labelled, self.input_columns)
+        encoded = self._codec.encode([row[self.output_column] for row in labelled])
+        layers = []
+        for units in self.hidden_units:
+            layers.append(Dense(units, activation="relu"))
+            layers.append(Dropout(0.2, seed=self.seed))
+        layers.append(Dense(self._codec.n_classes, activation="softmax"))
+        self._network = NeuralNetwork(
+            layers,
+            loss="categorical_crossentropy",
+            optimizer=Nadam(learning_rate=self.learning_rate),
+            seed=self.seed,
+        )
+        self._network.fit(
+            features,
+            one_hot(encoded, self._codec.n_classes),
+            epochs=self.epochs,
+            batch_size=32,
+            validation_split=0.1,
+            patience=20,
+        )
+        return self
+
+    def predict(self, rows: Sequence[dict[str, Any]]) -> list[Any]:
+        """Predict the output-column label for every row."""
+        if self._network is None or self._codec is None:
+            raise ExperimentError("NGramImputer.predict called before fit")
+        features = self.featurizer.transform_rows(rows, self.input_columns)
+        probabilities = self._network.predict(features)
+        return self._codec.decode(probabilities.argmax(axis=1))
+
+    def accuracy(self, rows: Sequence[dict[str, Any]]) -> float:
+        """Accuracy of the predictions against the rows' true output values."""
+        rows = list(rows)
+        if not rows:
+            raise ExperimentError("cannot score an empty row sequence")
+        predictions = self.predict(rows)
+        hits = sum(
+            1
+            for row, predicted in zip(rows, predictions)
+            if row.get(self.output_column) == predicted
+        )
+        return hits / len(rows)
+
+
+def denormalise_spreadsheet(
+    database: Database,
+    table_name: str,
+    text_columns: Sequence[str] | None = None,
+) -> list[dict[str, Any]]:
+    """Flatten one table into the single spreadsheet DataWig operates on.
+
+    Foreign-key columns are resolved to the first text column of the
+    referenced table (the value a user would see in a spreadsheet export);
+    columns of other tables that are only reachable through link tables are
+    *not* included — DataWig cannot use them, which is the point of the
+    comparison in the paper.
+    """
+    table = database.table(table_name)
+    schema = table.schema
+    rows: list[dict[str, Any]] = []
+    fk_targets: dict[str, tuple[str, str]] = {}
+    for fk in schema.foreign_keys:
+        ref_table = database.table(fk.ref_table)
+        ref_text = ref_table.schema.text_columns()
+        if ref_text:
+            fk_targets[fk.column] = (fk.ref_table, ref_text[0])
+    wanted = set(text_columns) if text_columns is not None else None
+    for row in table:
+        flat: dict[str, Any] = {}
+        for column in schema.column_names:
+            if column in fk_targets:
+                ref_table_name, ref_column = fk_targets[column]
+                ref_row = (
+                    database.table(ref_table_name).get_by_key(row[column])
+                    if row[column] is not None
+                    else None
+                )
+                flat[f"{column}__resolved"] = (
+                    None if ref_row is None else ref_row[ref_column]
+                )
+            else:
+                flat[column] = row[column]
+        if wanted is not None:
+            flat = {k: v for k, v in flat.items() if k in wanted or k.endswith("__resolved")}
+        rows.append(flat)
+    return rows

@@ -1,0 +1,44 @@
+"""Mode imputation: always predict the most frequent category (paper §5.4)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence
+
+from repro.errors import ExperimentError
+
+
+class ModeImputer:
+    """Predicts the most frequent training label for every test instance."""
+
+    def __init__(self) -> None:
+        self._mode: Hashable | None = None
+        self._counts: Counter = Counter()
+
+    def fit(self, labels: Sequence[Hashable]) -> "ModeImputer":
+        """Memorise the most frequent label of the training data."""
+        labels = list(labels)
+        if not labels:
+            raise ExperimentError("cannot fit mode imputation on empty labels")
+        self._counts = Counter(labels)
+        self._mode = self._counts.most_common(1)[0][0]
+        return self
+
+    @property
+    def mode(self) -> Hashable:
+        """The memorised most frequent label."""
+        if self._mode is None:
+            raise ExperimentError("ModeImputer.predict called before fit")
+        return self._mode
+
+    def predict(self, n: int) -> list[Hashable]:
+        """The mode label repeated ``n`` times."""
+        return [self.mode] * n
+
+    def accuracy(self, labels: Sequence[Hashable]) -> float:
+        """Fraction of ``labels`` equal to the memorised mode."""
+        labels = list(labels)
+        if not labels:
+            raise ExperimentError("cannot score an empty label sequence")
+        mode = self.mode
+        return sum(1 for label in labels if label == mode) / len(labels)

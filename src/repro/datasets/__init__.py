@@ -1,0 +1,26 @@
+"""Synthetic dataset generators standing in for the paper's Kaggle datasets.
+
+* :func:`repro.datasets.tmdb.generate_tmdb` — a movie database shaped like
+  The Movie Database (TMDB) export used in the paper, with ground truth for
+  director citizenship, original language, budget and genres.
+* :func:`repro.datasets.google_play.generate_google_play` — a Google Play
+  Store shaped database with ground truth app categories.
+* :func:`repro.datasets.toy.build_toy_movie_database` — the three-movie /
+  two-country example of Figure 3.
+
+Each generator also builds the matching synthetic word-embedding space, so a
+single call yields everything a pipeline run needs.
+"""
+
+from repro.datasets.tmdb import TmdbDataset, generate_tmdb
+from repro.datasets.google_play import GooglePlayDataset, generate_google_play
+from repro.datasets.toy import ToyDataset, build_toy_movie_database
+
+__all__ = [
+    "TmdbDataset",
+    "generate_tmdb",
+    "GooglePlayDataset",
+    "generate_google_play",
+    "ToyDataset",
+    "build_toy_movie_database",
+]

@@ -1,0 +1,251 @@
+"""Synthetic Google Play Store shaped database (apps, reviews, categories).
+
+Mirrors the Kaggle "Google Play Store Apps" dataset used in the paper: an
+``apps`` table with foreign keys to ``categories``, ``pricing_types`` and
+``age_groups``, a ``genres`` table related n:m through a link table and a
+``reviews`` table holding short review texts per app.  Ground truth app
+categories are returned for the imputation experiment (Figure 12b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import vocabulary as vocab
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey
+from repro.db.types import ColumnType
+from repro.errors import DatasetError
+from repro.text.embedding import WordEmbedding
+from repro.text.synthetic import SyntheticEmbeddingSpace
+
+
+@dataclass
+class GooglePlayDataset:
+    """The synthetic Play Store database plus ground truth and embedding space."""
+
+    database: Database
+    embedding: WordEmbedding
+    app_category: dict[str, str]
+    category_names: list[str] = field(default_factory=list)
+    num_apps: int = 0
+    seed: int = 0
+
+    def summary(self) -> dict[str, float]:
+        """Dataset statistics (Table 1)."""
+        return self.database.summary()
+
+    def spreadsheet_rows(self) -> list[dict]:
+        """The single-table view a DataWig-style imputer can operate on.
+
+        Contains the app name, pricing type, age group and the true category
+        — reviews live in another table and are therefore not available to
+        the spreadsheet imputer, exactly as in the paper's comparison.
+        """
+        apps = self.database.table("apps")
+        pricing = self.database.table("pricing_types")
+        ages = self.database.table("age_groups")
+        rows = []
+        for row in apps:
+            pricing_row = pricing.get_by_key(row["pricing_id"])
+            age_row = ages.get_by_key(row["age_id"])
+            rows.append({
+                "name": row["name"],
+                "pricing": None if pricing_row is None else pricing_row["name"],
+                "age_group": None if age_row is None else age_row["name"],
+                "category": self.app_category[row["name"]],
+            })
+        return rows
+
+
+def build_app_embedding_space(dimension: int = 64, seed: int = 0) -> SyntheticEmbeddingSpace:
+    """The synthetic word-embedding space for the Play Store database."""
+    space = SyntheticEmbeddingSpace(dimension=dimension, seed=seed)
+    for category, words in vocab.APP_CATEGORIES.items():
+        space.add_concept(f"app/{category}", [category, *words], spread=0.3)
+    space.add_concept("sentiment/positive", list(vocab.POSITIVE_WORDS), spread=0.3)
+    space.add_concept("sentiment/negative", list(vocab.NEGATIVE_WORDS), spread=0.3)
+    space.add_concept("pricing", list(vocab.PRICING_TYPES), spread=0.2)
+    space.add_concept("age", list(vocab.AGE_GROUPS), spread=0.2)
+    space.add_background_words(list(vocab.APP_BRAND_WORDS))
+    space.add_background_words(list(vocab.GENERIC_REVIEW_WORDS))
+    space.add_background_words(list(vocab.TITLE_FILLER_WORDS))
+    return space
+
+
+def _app_schema(database: Database) -> None:
+    database.create_table(build_table_schema(
+        "categories",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "pricing_types",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "age_groups",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "genres",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "apps",
+        [
+            ("id", ColumnType.INTEGER),
+            ("name", ColumnType.TEXT),
+            ("rating", ColumnType.FLOAT),
+            ("installs", ColumnType.INTEGER),
+            ("category_id", ColumnType.INTEGER),
+            ("pricing_id", ColumnType.INTEGER),
+            ("age_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[
+            ForeignKey("category_id", "categories", "id"),
+            ForeignKey("pricing_id", "pricing_types", "id"),
+            ForeignKey("age_id", "age_groups", "id"),
+        ],
+    ))
+    database.create_table(build_table_schema(
+        "reviews",
+        [
+            ("id", ColumnType.INTEGER),
+            ("app_id", ColumnType.INTEGER),
+            ("text", ColumnType.TEXT),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("app_id", "apps", "id")],
+    ))
+    database.create_table(build_table_schema(
+        "app_genres",
+        [
+            ("id", ColumnType.INTEGER),
+            ("app_id", ColumnType.INTEGER),
+            ("genre_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[
+            ForeignKey("app_id", "apps", "id"),
+            ForeignKey("genre_id", "genres", "id"),
+        ],
+    ))
+
+
+def generate_google_play(
+    num_apps: int = 200,
+    seed: int = 0,
+    embedding_dimension: int = 64,
+    embedding: WordEmbedding | None = None,
+) -> GooglePlayDataset:
+    """Generate a synthetic Google Play Store shaped dataset."""
+    if num_apps < 5:
+        raise DatasetError("num_apps must be at least 5")
+    rng = np.random.default_rng(seed)
+    if embedding is None:
+        embedding = build_app_embedding_space(
+            dimension=embedding_dimension, seed=seed
+        ).build()
+
+    database = Database(f"google_play_{num_apps}")
+    _app_schema(database)
+
+    category_names = list(vocab.APP_CATEGORIES)
+    category_ids = {}
+    for index, category in enumerate(category_names, start=1):
+        database.insert("categories", {"id": index, "name": category})
+        category_ids[category] = index
+    pricing_ids = {}
+    for index, pricing in enumerate(vocab.PRICING_TYPES, start=1):
+        database.insert("pricing_types", {"id": index, "name": pricing})
+        pricing_ids[pricing] = index
+    age_ids = {}
+    for index, age in enumerate(vocab.AGE_GROUPS, start=1):
+        database.insert("age_groups", {"id": index, "name": age})
+        age_ids[age] = index
+    # the Play Store "genre" is nearly synonymous with the category; the
+    # paper omits the genre relation when training for category imputation.
+    genre_ids = {}
+    for index, category in enumerate(category_names, start=1):
+        genre = f"{category} genre"
+        database.insert("genres", {"id": index, "name": genre})
+        genre_ids[category] = index
+
+    app_category: dict[str, str] = {}
+    used_names: set[str] = set()
+    review_id = 0
+    link_id = 0
+    for app_id in range(1, num_apps + 1):
+        category = category_names[int(rng.integers(0, len(category_names)))]
+        words = vocab.APP_CATEGORIES[category]
+        brand = vocab.APP_BRAND_WORDS[int(rng.integers(0, len(vocab.APP_BRAND_WORDS)))]
+        keyword = words[int(rng.integers(0, len(words)))]
+        base = f"{brand} {keyword}"
+        if rng.random() < 0.4:
+            base = f"{base} {vocab.APP_BRAND_WORDS[int(rng.integers(0, len(vocab.APP_BRAND_WORDS)))]}"
+        name = base
+        suffix_pool = list(vocab.APP_BRAND_WORDS)
+        attempt = 0
+        while name in used_names:
+            attempt += 1
+            name = f"{base} {suffix_pool[attempt % len(suffix_pool)]}"
+            if attempt > len(suffix_pool):
+                name = f"{base} {attempt}"
+        used_names.add(name)
+
+        pricing = "free" if rng.random() < 0.8 else "paid"
+        age = vocab.AGE_GROUPS[int(rng.choice(len(vocab.AGE_GROUPS), p=[0.6, 0.25, 0.1, 0.05]))]
+        database.insert("apps", {
+            "id": app_id,
+            "name": name,
+            "rating": float(np.clip(rng.normal(4.1, 0.5), 1.0, 5.0)),
+            "installs": int(rng.lognormal(10, 2)),
+            "category_id": category_ids[category],
+            "pricing_id": pricing_ids[pricing],
+            "age_id": age_ids[age],
+        })
+        app_category[name] = category
+
+        link_id += 1
+        database.insert("app_genres", {
+            "id": link_id, "app_id": app_id, "genre_id": genre_ids[category],
+        })
+
+        for _ in range(int(rng.integers(2, 5))):
+            review_id += 1
+            positive = rng.random() < 0.7
+            sentiment = vocab.POSITIVE_WORDS if positive else vocab.NEGATIVE_WORDS
+            review_words = []
+            for _ in range(int(rng.integers(8, 14))):
+                pool = rng.random()
+                if pool < 0.5:
+                    review_words.append(words[int(rng.integers(0, len(words)))])
+                elif pool < 0.75:
+                    review_words.append(sentiment[int(rng.integers(0, len(sentiment)))])
+                else:
+                    review_words.append(
+                        vocab.GENERIC_REVIEW_WORDS[
+                            int(rng.integers(0, len(vocab.GENERIC_REVIEW_WORDS)))
+                        ]
+                    )
+            database.insert("reviews", {
+                "id": review_id,
+                "app_id": app_id,
+                "text": " ".join(review_words),
+            })
+
+    return GooglePlayDataset(
+        database=database,
+        embedding=embedding,
+        app_category=app_category,
+        category_names=category_names,
+        num_apps=num_apps,
+        seed=seed,
+    )

@@ -1,0 +1,474 @@
+"""Synthetic TMDB-shaped movie database with matching word-embedding space.
+
+The generator mirrors the structure of the Kaggle "The Movies Dataset" used
+in the paper: a ``movies`` table with textual and numeric attributes,
+``persons`` (directors and actors), ``genres``, ``companies``, ``countries``,
+``keywords``, ``collections`` and ``reviews`` plus n:m link tables.  Ground
+truth needed by the evaluation (director citizenship, original language,
+budget, movie→genre pairs) is returned alongside the database.
+
+The accompanying word-embedding space places words of one latent concept
+(a language, a country, a genre, a sentiment) close together and leaves a
+configurable share of person names out of the vocabulary, reproducing the
+OOV situation the paper's tokenizer has to cope with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import vocabulary as vocab
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey
+from repro.db.types import ColumnType
+from repro.errors import DatasetError
+from repro.text.embedding import WordEmbedding
+from repro.text.synthetic import SyntheticEmbeddingSpace
+
+
+@dataclass
+class TmdbDataset:
+    """The synthetic TMDB database plus ground truth and embedding space."""
+
+    database: Database
+    embedding: WordEmbedding
+    director_citizenship: dict[str, str]
+    movie_language: dict[str, str]
+    movie_budget: dict[str, float]
+    movie_genres: dict[str, list[str]] = field(default_factory=dict)
+    genre_names: list[str] = field(default_factory=list)
+    language_names: list[str] = field(default_factory=list)
+    num_movies: int = 0
+    seed: int = 0
+
+    def director_is_us(self) -> dict[str, bool]:
+        """Binary citizenship labels (True = US-American) per director name."""
+        return {
+            name: country == "usa"
+            for name, country in self.director_citizenship.items()
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Dataset statistics (Table 1)."""
+        return self.database.summary()
+
+
+def build_movie_embedding_space(
+    dimension: int = 64,
+    seed: int = 0,
+    name_vocab_fraction: float = 0.45,
+) -> SyntheticEmbeddingSpace:
+    """The synthetic word-embedding space shared by all movie databases."""
+    if not 0.0 <= name_vocab_fraction <= 1.0:
+        raise DatasetError("name_vocab_fraction must be within [0, 1]")
+    space = SyntheticEmbeddingSpace(dimension=dimension, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    for language in vocab.LANGUAGES:
+        space.add_concept(f"language/{language}", [language], spread=0.15)
+    for country in vocab.COUNTRIES:
+        concept = f"country/{country.name}"
+        space.add_concept(
+            concept,
+            [country.name, country.demonym],
+            parent=f"language/{country.language}",
+            spread=0.2,
+        )
+        first = [
+            name
+            for name in country.first_names
+            if rng.random() < name_vocab_fraction
+        ]
+        last = [
+            name
+            for name in country.last_names
+            if rng.random() < name_vocab_fraction
+        ]
+        space.add_concept(
+            f"names/{country.name}", first + last, parent=concept, spread=0.7
+        )
+    for genre, words in vocab.MOVIE_GENRES.items():
+        space.add_concept(f"genre/{genre}", [genre, *words], spread=0.3)
+    space.add_concept("sentiment/positive", list(vocab.POSITIVE_WORDS), spread=0.3)
+    space.add_concept("sentiment/negative", list(vocab.NEGATIVE_WORDS), spread=0.3)
+    for tier, words in vocab.COMPANY_TIERS.items():
+        space.add_concept(f"company/{tier}", list(words), spread=0.25)
+    space.add_concept("keywords", list(vocab.KEYWORD_POOL), spread=0.5)
+    space.add_concept("collections", list(vocab.MOVIE_COLLECTIONS), spread=0.5)
+    space.add_background_words(list(vocab.TITLE_FILLER_WORDS))
+    space.add_background_words(list(vocab.COMPANY_SUFFIXES))
+    space.add_background_words(list(vocab.GENERIC_REVIEW_WORDS))
+    return space
+
+
+def _movie_schema(database: Database) -> None:
+    database.create_table(build_table_schema(
+        "countries",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "genres",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "companies",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "collections",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "keywords",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "persons",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "movies",
+        [
+            ("id", ColumnType.INTEGER),
+            ("title", ColumnType.TEXT),
+            ("original_language", ColumnType.TEXT),
+            ("overview", ColumnType.TEXT),
+            ("budget", ColumnType.FLOAT),
+            ("revenue", ColumnType.FLOAT),
+            ("popularity", ColumnType.FLOAT),
+            ("release_year", ColumnType.INTEGER),
+            ("collection_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("collection_id", "collections", "id")],
+    ))
+    database.create_table(build_table_schema(
+        "reviews",
+        [
+            ("id", ColumnType.INTEGER),
+            ("movie_id", ColumnType.INTEGER),
+            ("text", ColumnType.TEXT),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("movie_id", "movies", "id")],
+    ))
+    for link, target, fk_column in (
+        ("movie_directors", "persons", "person_id"),
+        ("movie_actors", "persons", "person_id"),
+        ("movie_genres", "genres", "genre_id"),
+        ("movie_companies", "companies", "company_id"),
+        ("movie_countries", "countries", "country_id"),
+        ("movie_keywords", "keywords", "keyword_id"),
+    ):
+        database.create_table(build_table_schema(
+            link,
+            [
+                ("id", ColumnType.INTEGER),
+                ("movie_id", ColumnType.INTEGER),
+                (fk_column, ColumnType.INTEGER),
+            ],
+            primary_key="id",
+            foreign_keys=[
+                ForeignKey("movie_id", "movies", "id"),
+                ForeignKey(fk_column, target, "id"),
+            ],
+        ))
+
+
+def _unique_name(base: str, used: set[str], rng: np.random.Generator,
+                 extras: tuple[str, ...]) -> str:
+    if base not in used:
+        used.add(base)
+        return base
+    for _ in range(50):
+        candidate = f"{base} {extras[int(rng.integers(0, len(extras)))]}"
+        if candidate not in used:
+            used.add(candidate)
+            return candidate
+    candidate = f"{base} {len(used)}"
+    used.add(candidate)
+    return candidate
+
+
+def generate_tmdb(
+    num_movies: int = 300,
+    seed: int = 0,
+    embedding_dimension: int = 64,
+    name_vocab_fraction: float = 0.45,
+    embedding: WordEmbedding | None = None,
+) -> TmdbDataset:
+    """Generate a synthetic TMDB-shaped dataset.
+
+    Parameters
+    ----------
+    num_movies:
+        Number of movies; all other table sizes scale with it.
+    seed:
+        Seed controlling both the data and the embedding space.
+    embedding_dimension:
+        Dimensionality of the synthetic word vectors.
+    name_vocab_fraction:
+        Fraction of person-name tokens present in the embedding vocabulary;
+        the rest are out-of-vocabulary, as in the real datasets.
+    embedding:
+        Optionally a pre-built word embedding (used when generating several
+        database sizes that should share one vocabulary, e.g. Figure 4).
+    """
+    if num_movies < 5:
+        raise DatasetError("num_movies must be at least 5")
+    rng = np.random.default_rng(seed)
+    if embedding is None:
+        embedding = build_movie_embedding_space(
+            dimension=embedding_dimension,
+            seed=seed,
+            name_vocab_fraction=name_vocab_fraction,
+        ).build()
+
+    database = Database(f"tmdb_{num_movies}")
+    _movie_schema(database)
+
+    country_ids = {}
+    for index, country in enumerate(vocab.COUNTRIES, start=1):
+        database.insert("countries", {"id": index, "name": country.name})
+        country_ids[country.name] = index
+    genre_names = list(vocab.MOVIE_GENRES)
+    genre_ids = {}
+    for index, genre in enumerate(genre_names, start=1):
+        database.insert("genres", {"id": index, "name": genre})
+        genre_ids[genre] = index
+    collection_ids = {}
+    for index, collection in enumerate(vocab.MOVIE_COLLECTIONS, start=1):
+        database.insert("collections", {"id": index, "name": collection})
+        collection_ids[collection] = index
+    keyword_ids = {}
+    for index, keyword in enumerate(vocab.KEYWORD_POOL, start=1):
+        database.insert("keywords", {"id": index, "name": keyword})
+        keyword_ids[keyword] = index
+
+    # --- companies ---------------------------------------------------- #
+    tiers = list(vocab.COMPANY_TIERS)
+    tier_weights = np.array([0.25, 0.45, 0.30])
+    n_companies = max(6, num_movies // 10)
+    company_rows: list[dict] = []
+    used_company_names: set[str] = set()
+    for index in range(1, n_companies + 1):
+        tier = tiers[int(rng.choice(len(tiers), p=tier_weights))]
+        words = vocab.COMPANY_TIERS[tier]
+        base = (
+            f"{words[int(rng.integers(0, len(words)))]} "
+            f"{vocab.COMPANY_SUFFIXES[int(rng.integers(0, len(vocab.COMPANY_SUFFIXES)))]}"
+        )
+        name = _unique_name(base, used_company_names, rng, vocab.TITLE_FILLER_WORDS)
+        company_rows.append({"id": index, "name": name, "tier": tier})
+        database.insert("companies", {"id": index, "name": name})
+
+    # --- persons ------------------------------------------------------ #
+    country_names = [country.name for country in vocab.COUNTRIES]
+    country_weights = np.array(vocab.COUNTRY_WEIGHTS)
+    country_weights = country_weights / country_weights.sum()
+    by_name = {country.name: country for country in vocab.COUNTRIES}
+
+    def sample_country() -> str:
+        return country_names[int(rng.choice(len(country_names), p=country_weights))]
+
+    n_directors = max(10, int(num_movies * 0.5))
+    n_actors = max(12, int(num_movies * 0.9))
+    used_person_names: set[str] = set()
+    person_rows: list[dict] = []
+    director_citizenship: dict[str, str] = {}
+
+    def make_person(person_id: int, role: str) -> dict:
+        country = sample_country()
+        spec = by_name[country]
+        # a share of first names is borrowed from another country's pool —
+        # person names are only a weak citizenship signal, as in reality.
+        first_spec = spec
+        if rng.random() < 0.25:
+            first_spec = by_name[country_names[int(rng.integers(0, len(country_names)))]]
+        first = first_spec.first_names[int(rng.integers(0, len(first_spec.first_names)))]
+        last = spec.last_names[int(rng.integers(0, len(spec.last_names)))]
+        name = _unique_name(f"{first} {last}", used_person_names, rng, spec.last_names)
+        row = {"id": person_id, "name": name, "country": country, "role": role}
+        person_rows.append(row)
+        database.insert("persons", {"id": person_id, "name": name})
+        return row
+
+    directors = [make_person(i + 1, "director") for i in range(n_directors)]
+    actors = [
+        make_person(n_directors + i + 1, "actor") for i in range(n_actors)
+    ]
+    for person in directors:
+        director_citizenship[person["name"]] = person["country"]
+
+    directors_by_country: dict[str, list[dict]] = {}
+    for person in directors:
+        directors_by_country.setdefault(person["country"], []).append(person)
+
+    # --- movies, reviews and link rows ---------------------------------- #
+    movie_language: dict[str, str] = {}
+    movie_budget: dict[str, float] = {}
+    movie_genres: dict[str, list[str]] = {}
+    used_titles: set[str] = set()
+    review_id = 0
+    link_counters = {name: 0 for name in (
+        "movie_directors", "movie_actors", "movie_genres",
+        "movie_companies", "movie_countries", "movie_keywords",
+    )}
+
+    def add_link(table: str, movie_id: int, other_column: str, other_id: int) -> None:
+        link_counters[table] += 1
+        database.insert(table, {
+            "id": link_counters[table],
+            "movie_id": movie_id,
+            other_column: other_id,
+        })
+
+    genre_word_lists = {genre: list(words) for genre, words in vocab.MOVIE_GENRES.items()}
+    languages = sorted({c.language for c in vocab.COUNTRIES})
+
+    for movie_id in range(1, num_movies + 1):
+        country = sample_country()
+        spec = by_name[country]
+        language = spec.language if rng.random() < 0.85 else (
+            languages[int(rng.integers(0, len(languages)))]
+        )
+        n_genres = int(rng.integers(1, 4))
+        genres = list(rng.choice(genre_names, size=n_genres, replace=False))
+        main_genre = genres[0]
+        genre_words = genre_word_lists[main_genre]
+
+        title_words = [genre_words[int(rng.integers(0, len(genre_words)))]]
+        title_words.append(
+            vocab.TITLE_FILLER_WORDS[int(rng.integers(0, len(vocab.TITLE_FILLER_WORDS)))]
+        )
+        if rng.random() < 0.4:
+            title_words.append(
+                genre_words[int(rng.integers(0, len(genre_words)))]
+            )
+        if rng.random() < 0.2:
+            title_words.append(spec.demonym)
+        rng.shuffle(title_words)
+        title = _unique_name(" ".join(title_words), used_titles, rng,
+                             vocab.TITLE_FILLER_WORDS)
+
+        overview_words: list[str] = []
+        for _ in range(int(rng.integers(8, 13))):
+            pool = rng.random()
+            if pool < 0.55:
+                source = genre_word_lists[genres[int(rng.integers(0, len(genres)))]]
+            elif pool < 0.75:
+                source = list(vocab.TITLE_FILLER_WORDS)
+            else:
+                source = list(vocab.POSITIVE_WORDS + vocab.NEGATIVE_WORDS)
+            overview_words.append(source[int(rng.integers(0, len(source)))])
+        if rng.random() < 0.7:
+            overview_words.append(spec.demonym)
+        if rng.random() < 0.4:
+            overview_words.append(language)
+        overview = " ".join(overview_words)
+
+        collection = None
+        if rng.random() < 0.2:
+            collection = vocab.MOVIE_COLLECTIONS[
+                int(rng.integers(0, len(vocab.MOVIE_COLLECTIONS)))
+            ]
+
+        n_companies_for_movie = 1 + int(rng.random() < 0.3)
+        company_choices = [
+            company_rows[int(rng.integers(0, len(company_rows)))]
+            for _ in range(n_companies_for_movie)
+        ]
+        top_tier = max(
+            (vocab.COMPANY_TIER_BUDGET[c["tier"]] for c in company_choices)
+        )
+        n_movie_actors = int(rng.integers(2, 5))
+        budget = top_tier * float(rng.uniform(0.6, 1.5))
+        if collection is not None:
+            budget *= 1.4
+        budget *= 1.0 + 0.05 * n_movie_actors
+        budget += float(rng.normal(0.0, 0.05 * top_tier))
+        budget = max(250_000.0, budget)
+        revenue = budget * float(rng.lognormal(0.3, 0.5))
+        popularity = float(rng.lognormal(1.5, 0.8))
+
+        database.insert("movies", {
+            "id": movie_id,
+            "title": title,
+            "original_language": language,
+            "overview": overview,
+            "budget": budget,
+            "revenue": revenue,
+            "popularity": popularity,
+            "release_year": int(rng.integers(1960, 2025)),
+            "collection_id": None if collection is None else collection_ids[collection],
+        })
+        movie_language[title] = language
+        movie_budget[title] = budget
+        movie_genres[title] = genres
+
+        same_country_directors = directors_by_country.get(country, [])
+        if same_country_directors and rng.random() < 0.8:
+            director = same_country_directors[
+                int(rng.integers(0, len(same_country_directors)))
+            ]
+        else:
+            director = directors[int(rng.integers(0, len(directors)))]
+        add_link("movie_directors", movie_id, "person_id", director["id"])
+
+        movie_actor_rows = [
+            actors[int(rng.integers(0, len(actors)))] for _ in range(n_movie_actors)
+        ]
+        for actor in {a["id"]: a for a in movie_actor_rows}.values():
+            add_link("movie_actors", movie_id, "person_id", actor["id"])
+        for genre in genres:
+            add_link("movie_genres", movie_id, "genre_id", genre_ids[genre])
+        for company in {c["id"]: c for c in company_choices}.values():
+            add_link("movie_companies", movie_id, "company_id", company["id"])
+        add_link("movie_countries", movie_id, "country_id", country_ids[country])
+        for keyword in rng.choice(vocab.KEYWORD_POOL, size=int(rng.integers(1, 4)),
+                                  replace=False):
+            add_link("movie_keywords", movie_id, "keyword_id", keyword_ids[str(keyword)])
+
+        for _ in range(int(rng.integers(1, 3))):
+            review_id += 1
+            positive = rng.random() < 0.65
+            sentiment = vocab.POSITIVE_WORDS if positive else vocab.NEGATIVE_WORDS
+            review_words = []
+            for _ in range(int(rng.integers(10, 16))):
+                pool = rng.random()
+                if pool < 0.45:
+                    source = genre_word_lists[genres[int(rng.integers(0, len(genres)))]]
+                elif pool < 0.7:
+                    source = list(sentiment)
+                else:
+                    source = list(vocab.GENERIC_REVIEW_WORDS + vocab.TITLE_FILLER_WORDS)
+                review_words.append(source[int(rng.integers(0, len(source)))])
+            if rng.random() < 0.45:
+                review_words.append(spec.demonym)
+            if rng.random() < 0.25:
+                review_words.append(language)
+            database.insert("reviews", {
+                "id": review_id,
+                "movie_id": movie_id,
+                "text": " ".join(review_words),
+            })
+
+    return TmdbDataset(
+        database=database,
+        embedding=embedding,
+        director_citizenship=director_citizenship,
+        movie_language=movie_language,
+        movie_budget=movie_budget,
+        movie_genres=movie_genres,
+        genre_names=genre_names,
+        language_names=languages,
+        num_movies=num_movies,
+        seed=seed,
+    )

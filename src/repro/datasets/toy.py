@@ -1,0 +1,80 @@
+"""The three-movie / two-country toy example of Figure 3.
+
+The paper visualises the influence of the four hyperparameters by training
+two-dimensional embeddings for a tiny database: the movies "Amélie",
+"Inception" and "Godfather" and the countries "France" and "USA" where they
+were produced.  This module builds exactly that database together with a
+fixed two-dimensional word embedding so the hyperparameter sweep of the
+figure can be re-run deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey
+from repro.db.types import ColumnType
+from repro.text.embedding import WordEmbedding
+
+
+@dataclass
+class ToyDataset:
+    """The Figure-3 database and its two-dimensional word embedding."""
+
+    database: Database
+    embedding: WordEmbedding
+    movie_country: dict[str, str]
+
+
+def build_toy_movie_database(dimension: int = 2) -> ToyDataset:
+    """Build the Figure-3 example (3 movies, 2 countries, 1 relation group)."""
+    database = Database("toy_movies")
+    database.create_table(build_table_schema(
+        "countries",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id", unique=["name"],
+    ))
+    database.create_table(build_table_schema(
+        "movies",
+        [
+            ("id", ColumnType.INTEGER),
+            ("title", ColumnType.TEXT),
+            ("country_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("country_id", "countries", "id")],
+    ))
+    database.insert("countries", {"id": 1, "name": "france"})
+    database.insert("countries", {"id": 2, "name": "usa"})
+    movies = [
+        (1, "amelie", 1),
+        (2, "inception", 2),
+        (3, "godfather", 2),
+    ]
+    for movie_id, title, country_id in movies:
+        database.insert("movies", {
+            "id": movie_id, "title": title, "country_id": country_id,
+        })
+
+    if dimension == 2:
+        vectors = {
+            "france": np.array([0.9, 0.35]),
+            "usa": np.array([0.85, -0.4]),
+            "amelie": np.array([-0.3, 0.8]),
+            "inception": np.array([-0.55, -0.6]),
+            "godfather": np.array([-0.75, -0.25]),
+        }
+    else:
+        rng = np.random.default_rng(7)
+        vectors = {
+            word: rng.normal(0.0, 1.0, dimension)
+            for word in ("france", "usa", "amelie", "inception", "godfather")
+        }
+    embedding = WordEmbedding.from_dict(vectors)
+    movie_country = {"amelie": "france", "inception": "usa", "godfather": "usa"}
+    return ToyDataset(
+        database=database, embedding=embedding, movie_country=movie_country
+    )

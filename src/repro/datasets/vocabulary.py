@@ -1,0 +1,238 @@
+"""Word pools used by the synthetic dataset generators.
+
+The pools define the latent concepts of the synthetic embedding space:
+countries with their languages and demonyms, movie genres with typical title
+and review vocabulary, production-company tiers, sentiment words and the 33
+Google Play app categories with their typical review vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CountrySpec:
+    """One country with its main language, demonym and name pools."""
+
+    name: str
+    language: str
+    demonym: str
+    first_names: tuple[str, ...]
+    last_names: tuple[str, ...]
+
+
+COUNTRIES: tuple[CountrySpec, ...] = (
+    CountrySpec(
+        "usa", "english", "american",
+        ("james", "mary", "robert", "patricia", "michael", "jennifer", "william",
+         "linda", "david", "elizabeth", "richard", "susan"),
+        ("smith", "johnson", "williams", "brown", "jones", "miller", "davis",
+         "wilson", "anderson", "taylor", "moore", "jackson"),
+    ),
+    CountrySpec(
+        "france", "french", "french",
+        ("jean", "marie", "pierre", "sophie", "luc", "camille", "antoine",
+         "claire", "julien", "amelie", "nicolas", "margot"),
+        ("martin", "bernard", "dubois", "thomas", "robert", "richard", "petit",
+         "durand", "leroy", "moreau", "fournier", "girard"),
+    ),
+    CountrySpec(
+        "germany", "german", "german",
+        ("hans", "anna", "karl", "ingrid", "stefan", "ursula", "werner",
+         "monika", "juergen", "helga", "wolfgang", "sabine"),
+        ("mueller", "schmidt", "schneider", "fischer", "weber", "meyer",
+         "wagner", "becker", "schulz", "hoffmann", "koch", "bauer"),
+    ),
+    CountrySpec(
+        "india", "hindi", "indian",
+        ("raj", "priya", "amit", "sunita", "vikram", "anjali", "arjun",
+         "kavita", "sanjay", "deepa", "rahul", "meera"),
+        ("sharma", "patel", "singh", "kumar", "gupta", "mehta", "verma",
+         "reddy", "nair", "iyer", "chopra", "malhotra"),
+    ),
+    CountrySpec(
+        "japan", "japanese", "japanese",
+        ("hiroshi", "yuki", "takashi", "sakura", "kenji", "aiko", "satoshi",
+         "haruka", "kazuo", "naomi", "akira", "emi"),
+        ("sato", "suzuki", "takahashi", "tanaka", "watanabe", "ito",
+         "yamamoto", "nakamura", "kobayashi", "kato", "yoshida", "yamada"),
+    ),
+    CountrySpec(
+        "united kingdom", "english", "british",
+        ("oliver", "emily", "harry", "charlotte", "george", "amelia",
+         "jack", "isla", "arthur", "poppy", "edward", "florence"),
+        ("clarke", "hughes", "edwards", "green", "wood", "harris", "lewis",
+         "walker", "robinson", "thompson", "white", "hall"),
+    ),
+    CountrySpec(
+        "italy", "italian", "italian",
+        ("giovanni", "giulia", "marco", "francesca", "luca", "chiara",
+         "alessandro", "valentina", "matteo", "elena", "davide", "sara"),
+        ("rossi", "russo", "ferrari", "esposito", "bianchi", "romano",
+         "colombo", "ricci", "marino", "greco", "bruno", "gallo"),
+    ),
+    CountrySpec(
+        "spain", "spanish", "spanish",
+        ("carlos", "lucia", "javier", "carmen", "miguel", "isabel", "antonio",
+         "paula", "manuel", "marta", "sergio", "laura"),
+        ("garcia", "fernandez", "gonzalez", "rodriguez", "lopez", "martinez",
+         "sanchez", "perez", "gomez", "martin", "jimenez", "ruiz"),
+    ),
+    CountrySpec(
+        "canada", "english", "canadian",
+        ("liam", "olivia", "noah", "emma", "ethan", "sophia", "lucas", "ava",
+         "benjamin", "mia", "logan", "chloe"),
+        ("tremblay", "gagnon", "roy", "cote", "bouchard", "gauthier",
+         "morin", "lavoie", "fortin", "gagne", "ouellet", "pelletier"),
+    ),
+    CountrySpec(
+        "brazil", "portuguese", "brazilian",
+        ("joao", "ana", "pedro", "beatriz", "gabriel", "mariana", "rafael",
+         "juliana", "felipe", "camila", "gustavo", "larissa"),
+        ("silva", "santos", "oliveira", "souza", "lima", "pereira", "costa",
+         "ferreira", "almeida", "nascimento", "carvalho", "araujo"),
+    ),
+    CountrySpec(
+        "china", "mandarin", "chinese",
+        ("wei", "fang", "lei", "xiu", "jun", "li", "ming", "hui", "qiang",
+         "yan", "tao", "jing"),
+        ("wang", "zhang", "chen", "yang", "huang", "zhao", "wu", "zhou",
+         "xu", "sun", "ma", "zhu"),
+    ),
+    CountrySpec(
+        "mexico", "spanish", "mexican",
+        ("alejandro", "maria", "jose", "guadalupe", "juan", "fernanda",
+         "luis", "valeria", "diego", "ximena", "ricardo", "regina"),
+        ("hernandez", "torres", "flores", "ramirez", "cruz", "morales",
+         "reyes", "gutierrez", "ortiz", "chavez", "mendoza", "vargas"),
+    ),
+)
+
+COUNTRY_WEIGHTS: tuple[float, ...] = (
+    0.42, 0.08, 0.06, 0.07, 0.06, 0.08, 0.05, 0.04, 0.05, 0.03, 0.04, 0.02
+)
+
+LANGUAGES: tuple[str, ...] = tuple(
+    sorted({country.language for country in COUNTRIES})
+)
+
+
+MOVIE_GENRES: dict[str, tuple[str, ...]] = {
+    "action": ("explosion", "chase", "mission", "agent", "strike", "combat", "fury"),
+    "adventure": ("quest", "journey", "treasure", "expedition", "island", "voyage"),
+    "animation": ("cartoon", "pixel", "sketch", "puppet", "colorful", "whimsical"),
+    "comedy": ("funny", "hilarious", "awkward", "prank", "laughter", "goofy"),
+    "crime": ("heist", "detective", "gangster", "undercover", "syndicate", "alibi"),
+    "documentary": ("archive", "interview", "footage", "factual", "chronicle"),
+    "drama": ("family", "grief", "betrayal", "redemption", "struggle", "intimate"),
+    "family": ("children", "holiday", "playful", "wholesome", "gentle", "together"),
+    "fantasy": ("dragon", "wizard", "kingdom", "spell", "prophecy", "enchanted"),
+    "history": ("empire", "revolution", "dynasty", "battlefield", "heritage"),
+    "horror": ("haunted", "scream", "nightmare", "possession", "creepy", "dread"),
+    "music": ("concert", "melody", "band", "rhythm", "stage", "anthem"),
+    "mystery": ("clue", "riddle", "vanished", "secret", "puzzle", "suspect"),
+    "romance": ("love", "wedding", "heartbreak", "kiss", "longing", "devotion"),
+    "science fiction": ("spaceship", "android", "galaxy", "cyborg", "quantum", "alien"),
+    "thriller": ("hostage", "conspiracy", "pursuit", "deadline", "tension", "sniper"),
+    "tv movie": ("network", "pilot", "broadcast", "episode", "primetime"),
+    "war": ("soldier", "trench", "regiment", "siege", "homefront", "armistice"),
+    "western": ("frontier", "outlaw", "saloon", "ranch", "sheriff", "dusty"),
+    "foreign": ("subtitle", "arthouse", "festival", "province", "dialect"),
+}
+
+TITLE_FILLER_WORDS: tuple[str, ...] = (
+    "the", "of", "last", "first", "dark", "bright", "lost", "hidden", "eternal",
+    "broken", "silent", "golden", "midnight", "crimson", "forgotten", "rising",
+    "falling", "beyond", "return", "legacy", "shadow", "storm", "river", "city",
+)
+
+POSITIVE_WORDS: tuple[str, ...] = (
+    "amazing", "wonderful", "brilliant", "excellent", "great", "beautiful",
+    "masterpiece", "perfect", "stunning", "superb", "enjoyable", "favorite",
+)
+
+NEGATIVE_WORDS: tuple[str, ...] = (
+    "boring", "terrible", "awful", "disappointing", "weak", "mediocre",
+    "predictable", "messy", "forgettable", "annoying", "slow", "waste",
+)
+
+COMPANY_TIERS: dict[str, tuple[str, ...]] = {
+    "major": ("global", "universal", "paramount", "colossal", "titan", "summit"),
+    "mid": ("silver", "harbor", "crescent", "beacon", "atlas", "meridian"),
+    "indie": ("garage", "basement", "sprout", "lantern", "pebble", "acorn"),
+}
+
+COMPANY_SUFFIXES: tuple[str, ...] = (
+    "pictures", "studios", "films", "entertainment", "productions", "media",
+)
+
+COMPANY_TIER_BUDGET: dict[str, float] = {
+    "major": 120_000_000.0,
+    "mid": 35_000_000.0,
+    "indie": 6_000_000.0,
+}
+
+MOVIE_COLLECTIONS: tuple[str, ...] = (
+    "galaxy saga", "midnight chronicles", "lost kingdom series", "iron agent saga",
+    "haunted manor series", "love in paris collection", "frontier legends",
+    "quantum paradox series", "dragon realm saga", "heist crew collection",
+)
+
+KEYWORD_POOL: tuple[str, ...] = (
+    "based on novel", "sequel", "dystopia", "time travel", "superhero",
+    "small town", "road trip", "coming of age", "revenge", "heist",
+    "artificial intelligence", "haunted house", "martial arts", "space opera",
+    "courtroom", "serial killer", "underdog", "musical", "biography", "zombie",
+)
+
+
+APP_CATEGORIES: dict[str, tuple[str, ...]] = {
+    "art and design": ("drawing", "sketch", "palette", "canvas", "wallpaper"),
+    "auto and vehicles": ("car", "engine", "garage", "mileage", "dealer"),
+    "beauty": ("makeup", "skincare", "salon", "hairstyle", "cosmetic"),
+    "books and reference": ("ebook", "dictionary", "novel", "library", "chapter"),
+    "business": ("invoice", "meeting", "crm", "payroll", "startup"),
+    "comics": ("manga", "superhero", "panel", "webcomic", "issue"),
+    "communication": ("chat", "messenger", "call", "inbox", "contacts"),
+    "dating": ("match", "swipe", "profile", "romance", "flirt"),
+    "education": ("homework", "lesson", "quiz", "classroom", "flashcard"),
+    "entertainment": ("streaming", "celebrity", "trailer", "meme", "show"),
+    "events": ("ticket", "festival", "concert", "rsvp", "venue"),
+    "finance": ("banking", "budget", "invest", "loan", "wallet"),
+    "food and drink": ("recipe", "restaurant", "delivery", "menu", "cooking"),
+    "health and fitness": ("workout", "calorie", "yoga", "steps", "heartrate"),
+    "house and home": ("furniture", "decor", "mortgage", "renovation", "garden"),
+    "libraries and demo": ("sdk", "sample", "framework", "widget", "demo"),
+    "lifestyle": ("horoscope", "fashion", "habit", "journal", "mindful"),
+    "maps and navigation": ("gps", "route", "traffic", "transit", "compass"),
+    "medical": ("symptom", "prescription", "clinic", "dosage", "patient"),
+    "music and audio": ("playlist", "podcast", "equalizer", "radio", "lyrics"),
+    "news and magazines": ("headline", "breaking", "journalist", "digest", "press"),
+    "parenting": ("baby", "toddler", "bedtime", "milestone", "nursery"),
+    "personalization": ("theme", "launcher", "icon", "ringtone", "widget"),
+    "photography": ("camera", "filter", "selfie", "editing", "gallery"),
+    "productivity": ("calendar", "notes", "todo", "scanner", "reminder"),
+    "shopping": ("cart", "discount", "coupon", "checkout", "marketplace"),
+    "social": ("friends", "follower", "feed", "share", "community"),
+    "sports": ("score", "league", "fantasy", "stadium", "highlights"),
+    "tools": ("flashlight", "cleaner", "battery", "vpn", "calculator"),
+    "travel and local": ("hotel", "flight", "itinerary", "sightseeing", "booking"),
+    "video players": ("codec", "subtitle", "playback", "stream", "player"),
+    "weather": ("forecast", "radar", "humidity", "temperature", "storm"),
+    "games": ("puzzle", "arcade", "multiplayer", "level", "leaderboard"),
+}
+
+APP_BRAND_WORDS: tuple[str, ...] = (
+    "super", "smart", "easy", "quick", "pro", "lite", "daily", "pocket",
+    "magic", "ultra", "simple", "instant", "go", "hub", "deck", "nest",
+)
+
+PRICING_TYPES: tuple[str, ...] = ("free", "paid")
+
+AGE_GROUPS: tuple[str, ...] = ("everyone", "teen", "mature", "adults only")
+
+GENERIC_REVIEW_WORDS: tuple[str, ...] = (
+    "app", "update", "version", "crash", "interface", "feature", "design",
+    "support", "download", "account", "screen", "button", "option", "setting",
+)

@@ -1,0 +1,34 @@
+"""In-memory relational database engine.
+
+This package is the substrate that stands in for PostgreSQL in the original
+RETRO system.  It provides typed tables with primary/foreign keys, CSV
+import/export and a small query layer.  The RETRO extraction step
+(:mod:`repro.retrofit.extraction`) only relies on the public interfaces
+exposed here, so swapping in a different storage engine later only requires
+implementing the same surface.
+"""
+
+from repro.db.types import ColumnType, coerce_value, infer_column_type
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.db.database import Database
+from repro.db.csv_io import read_csv_table, write_csv_table
+from repro.db.query import Predicate, select, inner_join, group_by, aggregate
+
+__all__ = [
+    "ColumnType",
+    "coerce_value",
+    "infer_column_type",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "Table",
+    "Database",
+    "read_csv_table",
+    "write_csv_table",
+    "Predicate",
+    "select",
+    "inner_join",
+    "group_by",
+    "aggregate",
+]

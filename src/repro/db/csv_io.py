@@ -1,0 +1,124 @@
+"""CSV import/export for the in-memory relational engine.
+
+The original RETRO evaluation imports the Kaggle TMDB and Google Play CSV
+files into PostgreSQL.  This module provides the equivalent ingestion path
+for the substrate engine: type inference, header handling and null handling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.db.types import ColumnType, coerce_value, infer_column_type
+from repro.errors import SchemaError
+
+_NULL_LITERALS = {"", "null", "none", "na", "n/a"}
+
+
+def _normalise_cell(cell: str) -> Any:
+    if cell is None or cell.strip().lower() in _NULL_LITERALS:
+        return None
+    return cell
+
+
+def read_csv_table(
+    path: str | Path,
+    name: str | None = None,
+    primary_key: str | None = None,
+    foreign_keys: list[ForeignKey] | None = None,
+    column_types: dict[str, ColumnType] | None = None,
+) -> Table:
+    """Read a CSV file into a standalone :class:`Table`.
+
+    Column types are inferred from the data unless given in ``column_types``.
+    """
+    path = Path(path)
+    table_name = name or path.stem
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        raw_rows = [
+            [_normalise_cell(cell) for cell in row]
+            for row in reader
+            if any(cell.strip() for cell in row)
+        ]
+    if not header:
+        raise SchemaError(f"CSV file {path} has an empty header")
+    overrides = column_types or {}
+    types: list[ColumnType] = []
+    for index, column in enumerate(header):
+        if column in overrides:
+            types.append(overrides[column])
+        else:
+            values = [row[index] if index < len(row) else None for row in raw_rows]
+            types.append(infer_column_type(values))
+    schema = build_table_schema(
+        table_name,
+        list(zip(header, types)),
+        primary_key=primary_key,
+        foreign_keys=foreign_keys,
+    )
+    table = Table(schema)
+    for row in raw_rows:
+        record = {
+            column: coerce_value(row[index] if index < len(row) else None, types[index])
+            for index, column in enumerate(header)
+        }
+        table.insert(record)
+    return table
+
+
+def write_csv_table(table: Table, path: str | Path) -> Path:
+    """Write ``table`` to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = table.schema.column_names
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in table:
+            writer.writerow(["" if row[c] is None else row[c] for c in columns])
+    return path
+
+
+def load_csv_directory(
+    directory: str | Path,
+    database_name: str = "csv_database",
+    schemas: dict[str, TableSchema] | None = None,
+) -> Database:
+    """Load every ``*.csv`` file in ``directory`` into a new database.
+
+    When ``schemas`` provides a :class:`TableSchema` for a file stem, that
+    schema is used (allowing keys and foreign keys); otherwise the schema is
+    inferred.  Files are loaded in alphabetical order, so schemas with
+    foreign keys must reference tables whose files sort earlier.
+    """
+    directory = Path(directory)
+    database = Database(database_name)
+    schemas = schemas or {}
+    for path in sorted(directory.glob("*.csv")):
+        stem = path.stem
+        if stem in schemas:
+            schema = schemas[stem]
+            database.create_table(schema)
+            raw = read_csv_table(path, name=stem)
+            for row in raw:
+                database.insert(stem, {
+                    column: row.get(column)
+                    for column in schema.column_names
+                    if column in row
+                })
+        else:
+            table = read_csv_table(path, name=stem)
+            database.create_table(table.schema)
+            for row in table:
+                database.insert(stem, row)
+    return database

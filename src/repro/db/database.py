@@ -1,0 +1,328 @@
+"""The :class:`Database` container: tables, constraints and schema reflection.
+
+The RETRO preprocessing step (Section 3.2 of the paper) needs three kinds of
+schema knowledge, all provided here:
+
+* which text columns exist (the *categories*),
+* which pairs of text columns co-occur row-wise in the same table,
+* which text columns are connected through primary-key/foreign-key chains,
+  including many-to-many relationships expressed by link tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.table import Table
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A fully qualified reference to a column: ``table.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class RelationshipSpec:
+    """A relationship between two text columns discovered from the schema.
+
+    ``kind`` is one of ``"row"`` (two text columns in the same table),
+    ``"fk"`` (a PK→FK chain between two tables) and ``"m2m"`` (two tables
+    connected through a link table).  ``via`` names the link table for
+    many-to-many relationships and is ``None`` otherwise.  ``fk_column``
+    carries the referencing column for PK→FK relationships;
+    ``via_source_fk``/``via_target_fk`` carry the two foreign-key columns of
+    the link table for many-to-many relationships.
+    """
+
+    source: ColumnRef
+    target: ColumnRef
+    kind: str
+    via: str | None = None
+    fk_column: str | None = None
+    via_source_fk: str | None = None
+    via_target_fk: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Canonical relation-group label, e.g. ``movies.title->persons.name``."""
+        suffix = f"[{self.kind}]"
+        return f"{self.source}->{self.target}{suffix}"
+
+
+class Database:
+    """A collection of :class:`Table` objects plus integrity checking."""
+
+    def __init__(self, name: str = "database") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------ #
+    # table management
+    # ------------------------------------------------------------------ #
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table from ``schema`` and register it."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.ref_table != schema.name and fk.ref_table not in self._tables:
+                raise SchemaError(
+                    f"table {schema.name!r}: foreign key references unknown "
+                    f"table {fk.ref_table!r}"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table; fails if other tables reference it."""
+        if name not in self._tables:
+            raise SchemaError(f"no such table: {name!r}")
+        for other in self._tables.values():
+            if other.name == name:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table == name:
+                    raise IntegrityError(
+                        f"cannot drop {name!r}: referenced by "
+                        f"{other.name!r}.{fk.column!r}"
+                    )
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Return the table called ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table called ``name`` exists."""
+        return name in self._tables
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """Mapping of table name to table (insertion order preserved)."""
+        return dict(self._tables)
+
+    @property
+    def table_names(self) -> list[str]:
+        """Names of all tables in creation order."""
+        return list(self._tables)
+
+    # ------------------------------------------------------------------ #
+    # data manipulation
+    # ------------------------------------------------------------------ #
+    def insert(self, table_name: str, row: dict[str, Any]) -> dict[str, Any]:
+        """Insert one row after checking its foreign keys."""
+        table = self.table(table_name)
+        self._check_foreign_keys(table, row)
+        return table.insert(row)
+
+    def insert_many(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
+        """Insert many rows, validating foreign keys for each."""
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def _check_foreign_keys(self, table: Table, row: dict[str, Any]) -> None:
+        for fk in table.schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                continue
+            ref_table = self.table(fk.ref_table)
+            if ref_table.schema.primary_key == fk.ref_column:
+                if ref_table.get_by_key(value) is None:
+                    raise IntegrityError(
+                        f"table {table.name!r}: foreign key {fk.column!r}={value!r} "
+                        f"has no match in {fk.ref_table}.{fk.ref_column}"
+                    )
+            else:
+                if value not in set(ref_table.column_values(fk.ref_column)):
+                    raise IntegrityError(
+                        f"table {table.name!r}: foreign key {fk.column!r}={value!r} "
+                        f"has no match in {fk.ref_table}.{fk.ref_column}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # schema reflection used by RETRO
+    # ------------------------------------------------------------------ #
+    def text_columns(self) -> list[ColumnRef]:
+        """All embedable text columns across all tables."""
+        refs: list[ColumnRef] = []
+        for table in self._tables.values():
+            for column in table.schema.text_columns():
+                refs.append(ColumnRef(table.name, column))
+        return refs
+
+    def numeric_columns(self) -> list[ColumnRef]:
+        """All numeric columns (candidate regression targets)."""
+        refs: list[ColumnRef] = []
+        for table in self._tables.values():
+            for column in table.schema.numeric_columns():
+                refs.append(ColumnRef(table.name, column))
+        return refs
+
+    def is_link_table(self, name: str) -> bool:
+        """Whether ``name`` is a pure n:m link table.
+
+        A link table consists only of foreign-key columns (plus an optional
+        surrogate primary key) and has at least two foreign keys — it exists
+        solely to express a many-to-many relationship.
+        """
+        table = self.table(name)
+        schema = table.schema
+        if len(schema.foreign_keys) < 2:
+            return False
+        fk_columns = {fk.column for fk in schema.foreign_keys}
+        for column in schema.column_names:
+            if column in fk_columns:
+                continue
+            if column == schema.primary_key:
+                continue
+            return False
+        return True
+
+    def relationships(self) -> list[RelationshipSpec]:
+        """Discover all text-to-text relationships defined by the schema.
+
+        Implements Section 3.2 of the paper:
+
+        a) *row-wise*: two text columns within the same (non-link) table,
+        b) *PK→FK*: a text column in a referencing table connected to text
+           columns of the referenced table,
+        c) *many-to-many*: text columns of two tables joined by a link table.
+        """
+        specs: list[RelationshipSpec] = []
+        # a) row-wise relationships
+        for table in self._tables.values():
+            if self.is_link_table(table.name):
+                continue
+            text_cols = table.schema.text_columns()
+            for i, left in enumerate(text_cols):
+                for right in text_cols[i + 1:]:
+                    specs.append(
+                        RelationshipSpec(
+                            source=ColumnRef(table.name, left),
+                            target=ColumnRef(table.name, right),
+                            kind="row",
+                        )
+                    )
+        # b) PK->FK relationships
+        for table in self._tables.values():
+            if self.is_link_table(table.name):
+                continue
+            for fk in table.schema.foreign_keys:
+                ref_table = self.table(fk.ref_table)
+                for src_col in table.schema.text_columns():
+                    for dst_col in ref_table.schema.text_columns():
+                        specs.append(
+                            RelationshipSpec(
+                                source=ColumnRef(table.name, src_col),
+                                target=ColumnRef(ref_table.name, dst_col),
+                                kind="fk",
+                                fk_column=fk.column,
+                            )
+                        )
+        # c) many-to-many relationships through link tables
+        for table in self._tables.values():
+            if not self.is_link_table(table.name):
+                continue
+            fks = table.schema.foreign_keys
+            for i, left_fk in enumerate(fks):
+                for right_fk in fks[i + 1:]:
+                    left_table = self.table(left_fk.ref_table)
+                    right_table = self.table(right_fk.ref_table)
+                    for src_col in left_table.schema.text_columns():
+                        for dst_col in right_table.schema.text_columns():
+                            specs.append(
+                                RelationshipSpec(
+                                    source=ColumnRef(left_table.name, src_col),
+                                    target=ColumnRef(right_table.name, dst_col),
+                                    kind="m2m",
+                                    via=table.name,
+                                    via_source_fk=left_fk.column,
+                                    via_target_fk=right_fk.column,
+                                )
+                            )
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # statistics (Table 1 of the paper)
+    # ------------------------------------------------------------------ #
+    def count_tables(self, include_link_tables: bool = True) -> int:
+        """Number of tables, optionally excluding pure link tables."""
+        if include_link_tables:
+            return len(self._tables)
+        return sum(
+            1 for name in self._tables if not self.is_link_table(name)
+        )
+
+    def count_link_tables(self) -> int:
+        """Number of pure n:m link tables."""
+        return sum(1 for name in self._tables if self.is_link_table(name))
+
+    def count_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(len(table) for table in self._tables.values())
+
+    def unique_text_values(self) -> int:
+        """Number of distinct (column, value) text pairs across the database.
+
+        This matches the uniqueness rule of Section 3.3: the same string in
+        two different columns counts twice, repeated occurrences within one
+        column count once.
+        """
+        total = 0
+        for ref in self.text_columns():
+            total += len(self.table(ref.table).distinct_values(ref.column))
+        return total
+
+    def summary(self) -> dict[str, Any]:
+        """A dictionary of dataset statistics (used for Table 1)."""
+        return {
+            "name": self.name,
+            "tables": self.count_tables(include_link_tables=False),
+            "link_tables": self.count_link_tables(),
+            "rows": self.count_rows(),
+            "text_columns": len(self.text_columns()),
+            "unique_text_values": self.unique_text_values(),
+            "relationships": len(self.relationships()),
+        }
+
+
+def build_table_schema(
+    name: str,
+    columns: list[tuple[str, ColumnType]],
+    primary_key: str | None = None,
+    foreign_keys: list[ForeignKey] | None = None,
+    unique: Iterable[str] = (),
+) -> TableSchema:
+    """Convenience constructor for :class:`TableSchema` from simple tuples."""
+    unique_set = set(unique)
+    cols = [
+        Column(
+            name=col_name,
+            column_type=col_type,
+            nullable=col_name != primary_key,
+            unique=col_name in unique_set,
+        )
+        for col_name, col_type in columns
+    ]
+    return TableSchema(
+        name=name,
+        columns=cols,
+        primary_key=primary_key,
+        foreign_keys=list(foreign_keys or []),
+    )

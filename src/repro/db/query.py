@@ -1,0 +1,174 @@
+"""A small functional query layer over :class:`repro.db.Table`.
+
+Only the operations required by the RETRO preprocessing and the experiment
+harnesses are implemented: predicate selection, projection, inner joins,
+grouping and simple aggregates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.db.table import Table
+from repro.errors import QueryError
+
+Row = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A simple column comparison predicate.
+
+    Supported operators: ``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``,
+    ``in``, ``not in``, ``is null`` and ``is not null``.
+    """
+
+    column: str
+    operator: str
+    value: Any = None
+
+    def __call__(self, row: Row) -> bool:
+        if self.column not in row:
+            raise QueryError(f"row has no column {self.column!r}")
+        actual = row[self.column]
+        op = self.operator
+        if op == "is null":
+            return actual is None
+        if op == "is not null":
+            return actual is not None
+        if actual is None:
+            return False
+        if op == "==":
+            return actual == self.value
+        if op == "!=":
+            return actual != self.value
+        if op == "<":
+            return actual < self.value
+        if op == "<=":
+            return actual <= self.value
+        if op == ">":
+            return actual > self.value
+        if op == ">=":
+            return actual >= self.value
+        if op == "in":
+            return actual in self.value
+        if op == "not in":
+            return actual not in self.value
+        raise QueryError(f"unknown operator {op!r}")
+
+
+def select(
+    table: Table | Iterable[Row],
+    columns: list[str] | None = None,
+    where: Callable[[Row], bool] | None = None,
+    limit: int | None = None,
+) -> list[Row]:
+    """Project ``columns`` from rows of ``table`` matching ``where``."""
+    rows = table.rows if isinstance(table, Table) else list(table)
+    result: list[Row] = []
+    for row in rows:
+        if where is not None and not where(row):
+            continue
+        if columns is None:
+            result.append(dict(row))
+        else:
+            missing = [c for c in columns if c not in row]
+            if missing:
+                raise QueryError(f"unknown columns in projection: {missing}")
+            result.append({c: row[c] for c in columns})
+        if limit is not None and len(result) >= limit:
+            break
+    return result
+
+
+def inner_join(
+    left: Table | Iterable[Row],
+    right: Table | Iterable[Row],
+    left_on: str,
+    right_on: str,
+    prefixes: tuple[str, str] = ("left_", "right_"),
+) -> list[Row]:
+    """Hash inner join of two row collections on equality of two columns.
+
+    Output columns are prefixed with ``prefixes`` to avoid collisions, e.g.
+    ``left_title`` and ``right_name``.
+    """
+    left_rows = left.rows if isinstance(left, Table) else list(left)
+    right_rows = right.rows if isinstance(right, Table) else list(right)
+    index: dict[Any, list[Row]] = defaultdict(list)
+    for row in right_rows:
+        if right_on not in row:
+            raise QueryError(f"right rows have no column {right_on!r}")
+        key = row[right_on]
+        if key is not None:
+            index[key].append(row)
+    joined: list[Row] = []
+    left_prefix, right_prefix = prefixes
+    for row in left_rows:
+        if left_on not in row:
+            raise QueryError(f"left rows have no column {left_on!r}")
+        key = row[left_on]
+        if key is None:
+            continue
+        for match in index.get(key, ()):
+            combined = {f"{left_prefix}{k}": v for k, v in row.items()}
+            combined.update({f"{right_prefix}{k}": v for k, v in match.items()})
+            joined.append(combined)
+    return joined
+
+
+def group_by(rows: Iterable[Row], column: str) -> dict[Any, list[Row]]:
+    """Group rows by the value of ``column``."""
+    groups: dict[Any, list[Row]] = defaultdict(list)
+    for row in rows:
+        if column not in row:
+            raise QueryError(f"row has no column {column!r}")
+        groups[row[column]].append(row)
+    return dict(groups)
+
+
+def aggregate(
+    rows: Iterable[Row],
+    column: str,
+    func: str = "count",
+) -> float:
+    """Aggregate ``column`` over ``rows`` with ``count``/``sum``/``avg``/``min``/``max``/``mode``."""
+    values = [row[column] for row in rows if row.get(column) is not None]
+    if func == "count":
+        return float(len(values))
+    if not values:
+        raise QueryError(f"cannot compute {func!r} over empty/NULL column {column!r}")
+    if func == "sum":
+        return float(sum(values))
+    if func == "avg":
+        return float(sum(values)) / len(values)
+    if func == "min":
+        return float(min(values))
+    if func == "max":
+        return float(max(values))
+    if func == "mode":
+        counts: dict[Any, int] = defaultdict(int)
+        for value in values:
+            counts[value] += 1
+        return max(counts.items(), key=lambda item: item[1])[0]
+    raise QueryError(f"unknown aggregate {func!r}")
+
+
+def mode_value(rows: Iterable[Row], column: str) -> Any:
+    """The most frequent non-null value of ``column`` (ties broken by first seen)."""
+    counts: dict[Any, int] = {}
+    for row in rows:
+        value = row.get(column)
+        if value is None:
+            continue
+        counts[value] = counts.get(value, 0) + 1
+    if not counts:
+        return None
+    best = None
+    best_count = -1
+    for value, count in counts.items():
+        if count > best_count:
+            best, best_count = value, count
+    return best

@@ -1,0 +1,136 @@
+"""Schema objects: columns, foreign keys and table schemas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column definition.
+
+    Attributes
+    ----------
+    name:
+        Column name, unique within its table.
+    column_type:
+        One of :class:`repro.db.types.ColumnType`.
+    nullable:
+        Whether ``None`` values are accepted.
+    unique:
+        Whether duplicate values are rejected (primary keys are implicitly
+        unique and non-nullable).
+    """
+
+    name: str
+    column_type: ColumnType = ColumnType.TEXT
+    nullable: bool = True
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError("column name must be a non-empty string")
+        if not isinstance(self.column_type, ColumnType):
+            raise SchemaError(
+                f"column {self.name!r}: column_type must be a ColumnType, "
+                f"got {self.column_type!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from ``column`` to ``ref_table.ref_column``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def __post_init__(self) -> None:
+        for attr in ("column", "ref_table", "ref_column"):
+            if not getattr(self, attr):
+                raise SchemaError(f"foreign key field {attr!r} must be set")
+
+
+@dataclass
+class TableSchema:
+    """The schema of one table: columns, primary key and foreign keys."""
+
+    name: str
+    columns: list[Column]
+    primary_key: str | None = None
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be a non-empty string")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must have at least one column")
+        names = [column.name for column in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(
+                f"table {self.name!r} has duplicate columns: {sorted(duplicates)}"
+            )
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} "
+                "is not a column"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise SchemaError(
+                    f"table {self.name!r}: foreign key column {fk.column!r} "
+                    "is not a column"
+                )
+
+    @property
+    def column_names(self) -> list[str]:
+        """Names of all columns in declaration order."""
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` definition named ``name``."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named ``name`` exists."""
+        return any(column.name == name for column in self.columns)
+
+    def text_columns(self, exclude_keys: bool = True) -> list[str]:
+        """Names of TEXT columns, optionally excluding key columns.
+
+        Key columns (the primary key and foreign-key columns) are excluded by
+        default because surrogate keys carry no textual semantics and should
+        not receive embeddings.
+        """
+        key_columns: set[str] = set()
+        if exclude_keys:
+            if self.primary_key is not None:
+                key_columns.add(self.primary_key)
+            key_columns.update(fk.column for fk in self.foreign_keys)
+        return [
+            column.name
+            for column in self.columns
+            if column.column_type.is_textual and column.name not in key_columns
+        ]
+
+    def numeric_columns(self) -> list[str]:
+        """Names of INTEGER/FLOAT columns (candidate regression targets)."""
+        return [
+            column.name
+            for column in self.columns
+            if column.column_type.is_numeric
+        ]
+
+    def foreign_key_for(self, column: str) -> ForeignKey | None:
+        """Return the foreign key defined on ``column`` if any."""
+        for fk in self.foreign_keys:
+            if fk.column == column:
+                return fk
+        return None

@@ -1,0 +1,164 @@
+"""Row storage with schema validation for the in-memory engine."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.db.schema import TableSchema
+from repro.db.types import coerce_value
+from repro.errors import IntegrityError, SchemaError
+
+
+class Table:
+    """A table: a :class:`TableSchema` plus validated rows.
+
+    Rows are stored as dictionaries keyed by column name.  Insertions are
+    validated against the schema (types, nullability, uniqueness, primary
+    key).  Foreign keys are validated at the :class:`repro.db.Database`
+    level, because they reference other tables.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: list[dict[str, Any]] = []
+        self._pk_index: dict[Any, int] = {}
+        self._unique_indexes: dict[str, set[Any]] = {
+            column.name: set()
+            for column in schema.columns
+            if column.unique or column.name == schema.primary_key
+        }
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table({self.schema.name!r}, rows={len(self)})"
+
+    @property
+    def name(self) -> str:
+        """The table name from the schema."""
+        return self.schema.name
+
+    @property
+    def rows(self) -> list[dict[str, Any]]:
+        """All rows (the internal list; treat as read-only)."""
+        return self._rows
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: dict[str, Any]) -> dict[str, Any]:
+        """Validate and insert one row, returning the stored representation.
+
+        Unknown keys raise :class:`SchemaError`; missing columns are filled
+        with ``None`` (subject to nullability checks).
+        """
+        unknown = set(row) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown columns in row: {sorted(unknown)}"
+            )
+        stored: dict[str, Any] = {}
+        for column in self.schema.columns:
+            value = coerce_value(row.get(column.name), column.column_type)
+            is_pk = column.name == self.schema.primary_key
+            if value is None and (not column.nullable or is_pk):
+                raise IntegrityError(
+                    f"table {self.name!r}: column {column.name!r} may not be null"
+                )
+            stored[column.name] = value
+        for column_name, seen in self._unique_indexes.items():
+            value = stored[column_name]
+            if value is not None and value in seen:
+                raise IntegrityError(
+                    f"table {self.name!r}: duplicate value {value!r} "
+                    f"for unique column {column_name!r}"
+                )
+        for column_name, seen in self._unique_indexes.items():
+            if stored[column_name] is not None:
+                seen.add(stored[column_name])
+        if self.schema.primary_key is not None:
+            self._pk_index[stored[self.schema.primary_key]] = len(self._rows)
+        self._rows.append(stored)
+        return stored
+
+    def insert_many(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Insert all ``rows``; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def update_where(
+        self, predicate, updates: dict[str, Any]
+    ) -> int:
+        """Update columns of all rows matching ``predicate``.
+
+        ``predicate`` is a callable taking a row dict and returning a bool.
+        Primary-key and unique columns cannot be updated through this method
+        (keeping the indexes consistent is out of scope for the substrate).
+        Returns the number of updated rows.
+        """
+        protected = set(self._unique_indexes)
+        illegal = protected & set(updates)
+        if illegal:
+            raise IntegrityError(
+                f"table {self.name!r}: cannot update unique/key columns "
+                f"{sorted(illegal)}"
+            )
+        unknown = set(updates) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name!r}: unknown columns in update: {sorted(unknown)}"
+            )
+        coerced = {
+            name: coerce_value(value, self.schema.column(name).column_type)
+            for name, value in updates.items()
+        }
+        changed = 0
+        for row in self._rows:
+            if predicate(row):
+                row.update(coerced)
+                changed += 1
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def get_by_key(self, key: Any) -> dict[str, Any] | None:
+        """Return the row with primary key ``key`` or ``None``."""
+        if self.schema.primary_key is None:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        index = self._pk_index.get(key)
+        return None if index is None else self._rows[index]
+
+    def column_values(self, column: str, include_nulls: bool = False) -> list[Any]:
+        """All values of ``column`` in row order."""
+        if not self.schema.has_column(column):
+            raise SchemaError(f"table {self.name!r} has no column {column!r}")
+        values = [row[column] for row in self._rows]
+        if include_nulls:
+            return values
+        return [value for value in values if value is not None]
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct non-null values of ``column`` in first-seen order."""
+        seen: dict[Any, None] = {}
+        for value in self.column_values(column):
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def select_rows(self, predicate=None) -> list[dict[str, Any]]:
+        """Rows matching ``predicate`` (all rows when ``predicate`` is None)."""
+        if predicate is None:
+            return list(self._rows)
+        return [row for row in self._rows if predicate(row)]

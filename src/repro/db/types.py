@@ -1,0 +1,110 @@
+"""Column types and value coercion for the in-memory relational engine."""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Any
+
+from repro.errors import IntegrityError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types.
+
+    The engine intentionally keeps the type system small: the RETRO
+    preprocessing step only distinguishes *text* columns (which receive
+    embeddings) from everything else (which may be used as numeric targets
+    for regression or as keys).
+    """
+
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    JSON = "json"
+
+    @property
+    def is_textual(self) -> bool:
+        """Whether values of this type take part in the retrofitting."""
+        return self is ColumnType.TEXT
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can be used as regression targets."""
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+_TRUE_STRINGS = {"true", "t", "yes", "y", "1"}
+_FALSE_STRINGS = {"false", "f", "no", "n", "0"}
+
+
+def coerce_value(value: Any, column_type: ColumnType) -> Any:
+    """Coerce ``value`` to the Python representation of ``column_type``.
+
+    ``None`` is passed through untouched; nullability is enforced at the
+    schema level, not here.  Raises :class:`IntegrityError` when the value
+    cannot be represented in the requested type.
+    """
+    if value is None:
+        return None
+    try:
+        if column_type is ColumnType.TEXT:
+            return str(value)
+        if column_type is ColumnType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            if isinstance(value, float) and not value.is_integer():
+                raise ValueError(f"non-integral float {value!r}")
+            return int(value)
+        if column_type is ColumnType.FLOAT:
+            return float(value)
+        if column_type is ColumnType.BOOLEAN:
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, (int, float)):
+                return bool(value)
+            text = str(value).strip().lower()
+            if text in _TRUE_STRINGS:
+                return True
+            if text in _FALSE_STRINGS:
+                return False
+            raise ValueError(f"not a boolean literal: {value!r}")
+        if column_type is ColumnType.JSON:
+            if isinstance(value, (dict, list)):
+                return value
+            return json.loads(str(value))
+    except (ValueError, TypeError, json.JSONDecodeError) as exc:
+        raise IntegrityError(
+            f"cannot coerce {value!r} to {column_type.value}: {exc}"
+        ) from exc
+    raise IntegrityError(f"unknown column type: {column_type!r}")
+
+
+def infer_column_type(values: list[Any]) -> ColumnType:
+    """Infer the most specific :class:`ColumnType` that fits all ``values``.
+
+    Empty strings and ``None`` are treated as nulls and ignored.  When no
+    non-null values are present the column defaults to TEXT.
+    """
+    non_null = [v for v in values if v is not None and v != ""]
+    if not non_null:
+        return ColumnType.TEXT
+    for candidate in (
+        ColumnType.BOOLEAN,
+        ColumnType.INTEGER,
+        ColumnType.FLOAT,
+        ColumnType.JSON,
+    ):
+        if _all_coercible(non_null, candidate):
+            return candidate
+    return ColumnType.TEXT
+
+
+def _all_coercible(values: list[Any], column_type: ColumnType) -> bool:
+    for value in values:
+        try:
+            coerce_value(value, column_type)
+        except IntegrityError:
+            return False
+    return True

@@ -1,0 +1,18 @@
+"""DeepWalk node embeddings (Perozzi et al. 2014) built from scratch.
+
+DeepWalk serves two roles in the paper: a strong baseline (``DW``) and a
+concatenation partner for the retrofitted embeddings (``RO+DW``/``RN+DW``).
+It runs Skip-Gram with negative sampling over random walks on the database
+graph produced by :func:`repro.graph.build_graph`.
+"""
+
+from repro.deepwalk.skipgram import SkipGramModel, SkipGramConfig
+from repro.deepwalk.deepwalk import DeepWalk, DeepWalkConfig, NodeEmbeddingResult
+
+__all__ = [
+    "SkipGramModel",
+    "SkipGramConfig",
+    "DeepWalk",
+    "DeepWalkConfig",
+    "NodeEmbeddingResult",
+]

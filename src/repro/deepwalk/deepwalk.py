@@ -1,0 +1,100 @@
+"""DeepWalk: random walks + Skip-Gram over a database property graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.deepwalk.skipgram import SkipGramConfig, SkipGramModel
+from repro.errors import TrainingError
+from repro.graph.builder import build_graph, text_value_node_id
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.random_walk import RandomWalkGenerator
+from repro.retrofit.extraction import ExtractionResult
+
+
+@dataclass(frozen=True)
+class DeepWalkConfig:
+    """Configuration of the DeepWalk pipeline (walks + Skip-Gram)."""
+
+    dimension: int = 64
+    walk_length: int = 20
+    walks_per_node: int = 10
+    window: int = 5
+    negative_samples: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.025
+    seed: int = 0
+
+
+@dataclass
+class NodeEmbeddingResult:
+    """DeepWalk output aligned with the extraction's text-value indices."""
+
+    matrix: np.ndarray
+    node_ids: list[str]
+    missing: list[int] = field(default_factory=list)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the node vectors."""
+        return self.matrix.shape[1]
+
+
+class DeepWalk:
+    """Trains DeepWalk node embeddings on a property graph."""
+
+    def __init__(self, config: DeepWalkConfig | None = None) -> None:
+        self.config = config or DeepWalkConfig()
+
+    def train_on_graph(self, graph: PropertyGraph) -> SkipGramModel:
+        """Generate walks on ``graph`` and train the Skip-Gram model."""
+        if len(graph) == 0:
+            raise TrainingError("cannot run DeepWalk on an empty graph")
+        generator = RandomWalkGenerator(
+            graph,
+            walk_length=self.config.walk_length,
+            walks_per_node=self.config.walks_per_node,
+            seed=self.config.seed,
+        )
+        corpus = generator.corpus()
+        skipgram = SkipGramModel(
+            corpus,
+            SkipGramConfig(
+                dimension=self.config.dimension,
+                window=self.config.window,
+                negative_samples=self.config.negative_samples,
+                epochs=self.config.epochs,
+                learning_rate=self.config.learning_rate,
+                seed=self.config.seed,
+            ),
+        )
+        return skipgram.train()
+
+    def train_for_extraction(
+        self,
+        extraction: ExtractionResult,
+        graph: PropertyGraph | None = None,
+    ) -> NodeEmbeddingResult:
+        """Train node embeddings and align them with the extraction indices.
+
+        Nodes that never appear in any walk (isolated nodes can only appear
+        as walk starts, so in practice every node is covered) fall back to a
+        zero vector and are reported in ``missing``.
+        """
+        graph = graph or build_graph(extraction)
+        model = self.train_on_graph(graph)
+        matrix = np.zeros((len(extraction), self.config.dimension))
+        missing: list[int] = []
+        for record in extraction.records:
+            node_id = text_value_node_id(record.index)
+            if node_id in model:
+                matrix[record.index] = model.vector(node_id)
+            else:
+                missing.append(record.index)
+        return NodeEmbeddingResult(
+            matrix=matrix,
+            node_ids=[text_value_node_id(r.index) for r in extraction.records],
+            missing=missing,
+        )

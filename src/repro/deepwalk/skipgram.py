@@ -1,0 +1,152 @@
+"""Skip-Gram with negative sampling (SGNS), implemented with numpy.
+
+This is the word2vec variant DeepWalk trains on random-walk "sentences".
+The implementation is deliberately simple but vectorised per training pair
+batch so that the graph sizes used in the experiments train in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyperparameters for SGNS training."""
+
+    dimension: int = 64
+    window: int = 5
+    negative_samples: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.025
+    min_learning_rate: float = 0.0001
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise TrainingError("dimension must be positive")
+        if self.window <= 0:
+            raise TrainingError("window must be positive")
+        if self.negative_samples <= 0:
+            raise TrainingError("negative_samples must be positive")
+        if self.epochs <= 0:
+            raise TrainingError("epochs must be positive")
+
+
+class SkipGramModel:
+    """Skip-Gram with negative sampling over sentences of tokens."""
+
+    def __init__(self, sentences: list[list[str]], config: SkipGramConfig | None = None):
+        if not sentences:
+            raise TrainingError("cannot train skip-gram on an empty corpus")
+        self.config = config or SkipGramConfig()
+        self._vocab: dict[str, int] = {}
+        counts: dict[str, int] = {}
+        for sentence in sentences:
+            for token in sentence:
+                counts[token] = counts.get(token, 0) + 1
+        for token in counts:
+            self._vocab[token] = len(self._vocab)
+        if not self._vocab:
+            raise TrainingError("corpus contains no tokens")
+        self._counts = np.array(
+            [counts[token] for token in self._vocab], dtype=np.float64
+        )
+        self._sentences = [
+            np.array([self._vocab[token] for token in sentence], dtype=np.int64)
+            for sentence in sentences
+            if sentence
+        ]
+        rng = np.random.default_rng(self.config.seed)
+        scale = 0.5 / self.config.dimension
+        vocab_size = len(self._vocab)
+        self._input_vectors = rng.uniform(
+            -scale, scale, (vocab_size, self.config.dimension)
+        )
+        self._output_vectors = np.zeros((vocab_size, self.config.dimension))
+        noise = self._counts**0.75
+        self._noise_distribution = noise / noise.sum()
+        self._rng = rng
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def vocabulary(self) -> list[str]:
+        """Tokens in internal index order."""
+        return list(self._vocab)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._vocab
+
+    def vector(self, token: str) -> np.ndarray:
+        """The learned input vector for ``token``."""
+        if token not in self._vocab:
+            raise TrainingError(f"token {token!r} is not in the vocabulary")
+        return self._input_vectors[self._vocab[token]].copy()
+
+    def matrix(self) -> np.ndarray:
+        """All learned input vectors stacked by vocabulary order."""
+        return self._input_vectors.copy()
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+    def train(self) -> "SkipGramModel":
+        """Run SGNS training over the corpus and return ``self``."""
+        config = self.config
+        total_steps = max(1, sum(len(s) for s in self._sentences) * config.epochs)
+        step = 0
+        for _ in range(config.epochs):
+            for sentence in self._sentences:
+                length = len(sentence)
+                for position in range(length):
+                    progress = step / total_steps
+                    learning_rate = max(
+                        config.min_learning_rate,
+                        config.learning_rate * (1.0 - progress),
+                    )
+                    step += 1
+                    center = int(sentence[position])
+                    window = int(self._rng.integers(1, config.window + 1))
+                    start = max(0, position - window)
+                    stop = min(length, position + window + 1)
+                    context = np.concatenate(
+                        (sentence[start:position], sentence[position + 1:stop])
+                    )
+                    if context.size == 0:
+                        continue
+                    self._train_pairs(center, context, learning_rate)
+        return self
+
+    def _train_pairs(
+        self, center: int, context: np.ndarray, learning_rate: float
+    ) -> None:
+        negatives = self._rng.choice(
+            len(self._vocab),
+            size=(context.size, self.config.negative_samples),
+            p=self._noise_distribution,
+        )
+        center_vector = self._input_vectors[center]
+        # positive targets and negative targets share the same update form;
+        # labels are 1 for the true context, 0 for the sampled noise tokens.
+        targets = np.concatenate(
+            (context[:, None], negatives), axis=1
+        )  # (n_context, 1 + negatives)
+        labels = np.zeros(targets.shape, dtype=np.float64)
+        labels[:, 0] = 1.0
+        flat_targets = targets.ravel()
+        output = self._output_vectors[flat_targets]
+        scores = self._sigmoid(output @ center_vector)
+        gradient = (scores - labels.ravel()) * learning_rate
+        center_update = gradient[:, None] * output
+        self._output_vectors[flat_targets] -= gradient[:, None] * center_vector
+        self._input_vectors[center] = center_vector - center_update.sum(axis=0)

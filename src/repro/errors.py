@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by all ``repro`` subsystems.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+more specific subclasses still communicate which subsystem failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed (duplicate columns, unknown types, ...)."""
+
+
+class IntegrityError(ReproError):
+    """A data manipulation violates a schema constraint (PK, FK, type)."""
+
+
+class QueryError(ReproError):
+    """A query referenced unknown tables/columns or used invalid operators."""
+
+
+class TokenizationError(ReproError):
+    """The tokenizer was configured inconsistently (e.g. empty vocabulary)."""
+
+
+class EmbeddingError(ReproError):
+    """A word-embedding store was used inconsistently (dim mismatch, ...)."""
+
+
+class ExtractionError(ReproError):
+    """Relationship extraction failed (dangling references, bad columns)."""
+
+
+class RetrofitError(ReproError):
+    """The retrofitting solvers received an invalid problem or configuration."""
+
+
+class ConvexityError(RetrofitError):
+    """The requested hyperparameters violate the convexity condition (Eq. 7)."""
+
+
+class TrainingError(ReproError):
+    """A neural-network training run received inconsistent inputs."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,18 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a
+:class:`repro.experiments.runner.ResultTable` whose rows mirror the numbers
+shown in the corresponding table/figure, plus a ``main()`` that prints it.
+The experiment index lives in DESIGN.md; measured-vs-paper numbers are
+recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import ResultTable, ExperimentSizes
+from repro.experiments.embedding_factory import EmbeddingSuite, build_embedding_suite
+
+__all__ = [
+    "ResultTable",
+    "ExperimentSizes",
+    "EmbeddingSuite",
+    "build_embedding_suite",
+]

@@ -1,0 +1,167 @@
+"""Shared plumbing for the figure experiments (dataset + suite construction,
+repeated classification/imputation trials).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.google_play import GooglePlayDataset, generate_google_play
+from repro.datasets.tmdb import TmdbDataset, generate_tmdb
+from repro.deepwalk.deepwalk import DeepWalkConfig
+from repro.errors import ExperimentError
+from repro.experiments.embedding_factory import (
+    ALL_METHODS,
+    EmbeddingSuite,
+    build_embedding_suite,
+)
+from repro.experiments.runner import ExperimentSizes
+from repro.experiments.task_data import LabelledIndices
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.tasks.classification import BinaryClassificationTask
+from repro.tasks.imputation import CategoryImputationTask
+from repro.tasks.sampling import TrialStatistics, balanced_binary_sample
+
+EMBEDDING_ORDER = ("PV", "MF", "DW", "RO", "RN", "PV+DW", "MF+DW", "RO+DW", "RN+DW")
+
+
+def default_deepwalk_config(sizes: ExperimentSizes) -> DeepWalkConfig:
+    """DeepWalk configuration scaled to the experiment sizes."""
+    return DeepWalkConfig(
+        dimension=sizes.deepwalk_dimension,
+        walk_length=16,
+        walks_per_node=8,
+        window=4,
+        negative_samples=4,
+        epochs=2,
+        seed=sizes.seed,
+    )
+
+
+def make_tmdb(sizes: ExperimentSizes, num_movies: int | None = None) -> TmdbDataset:
+    """Generate the TMDB-shaped dataset for the given sizes."""
+    return generate_tmdb(
+        num_movies=num_movies or sizes.num_movies,
+        seed=sizes.seed,
+        embedding_dimension=sizes.embedding_dimension,
+    )
+
+
+def make_google_play(sizes: ExperimentSizes) -> GooglePlayDataset:
+    """Generate the Play-Store-shaped dataset for the given sizes."""
+    return generate_google_play(
+        num_apps=sizes.num_apps,
+        seed=sizes.seed,
+        embedding_dimension=sizes.embedding_dimension,
+    )
+
+
+def build_suite(
+    dataset: TmdbDataset | GooglePlayDataset,
+    sizes: ExperimentSizes,
+    methods: tuple[str, ...] = ALL_METHODS,
+    exclude_columns: tuple[str, ...] = (),
+    exclude_relations: tuple[str, ...] = (),
+    ro_params: RetroHyperparameters | None = None,
+    rn_params: RetroHyperparameters | None = None,
+) -> EmbeddingSuite:
+    """Train an embedding suite for ``dataset`` with experiment-sized settings."""
+    return build_embedding_suite(
+        dataset.database,
+        dataset.embedding,
+        methods=methods,
+        exclude_columns=exclude_columns,
+        exclude_relations=exclude_relations,
+        ro_params=ro_params,
+        rn_params=rn_params,
+        deepwalk_config=default_deepwalk_config(sizes),
+    )
+
+
+def binary_classification_trials(
+    suite: EmbeddingSuite,
+    embedding_name: str,
+    data: LabelledIndices,
+    sizes: ExperimentSizes,
+    n_train: int | None = None,
+    n_test: int | None = None,
+    trials: int | None = None,
+) -> TrialStatistics:
+    """Repeatedly sample balanced train/test sets and train the Fig.-5a net."""
+    embedding_set = suite.get(embedding_name)
+    stats = TrialStatistics(embedding_name)
+    trials = trials or sizes.trials
+    n_train = n_train or sizes.train_samples
+    n_test = n_test or sizes.test_samples
+    positives = data.indices[data.labels == 1]
+    negatives = data.indices[data.labels == 0]
+    if positives.size == 0 or negatives.size == 0:
+        raise ExperimentError("binary classification needs both classes present")
+    for trial in range(trials):
+        rng = np.random.default_rng(sizes.seed + 101 * trial)
+        # hold out half of the *distinct* text values for testing before any
+        # resampling, so train and test never share a director.
+        pos_order = rng.permutation(positives)
+        neg_order = rng.permutation(negatives)
+        pos_split = max(1, len(pos_order) // 2)
+        neg_split = max(1, len(neg_order) // 2)
+        train_idx, train_labels = balanced_binary_sample(
+            pos_order[:pos_split], neg_order[:neg_split], n_train // 2, rng
+        )
+        test_idx, test_labels = balanced_binary_sample(
+            pos_order[pos_split:], neg_order[neg_split:], n_test // 2, rng
+        )
+        task = BinaryClassificationTask(
+            hidden_units=sizes.hidden_units,
+            epochs=sizes.epochs,
+            seed=sizes.seed + trial,
+        )
+        outcome = task.train_and_evaluate(
+            embedding_set.matrix[train_idx], train_labels,
+            embedding_set.matrix[test_idx], test_labels,
+        )
+        stats.add(outcome.accuracy)
+    return stats
+
+
+def imputation_trials(
+    suite: EmbeddingSuite,
+    embedding_name: str,
+    data: LabelledIndices,
+    sizes: ExperimentSizes,
+    trials: int | None = None,
+    train_fraction: float = 0.5,
+) -> TrialStatistics:
+    """Repeatedly split the labelled values and train the softmax imputer."""
+    embedding_set = suite.get(embedding_name)
+    stats = TrialStatistics(embedding_name)
+    trials = trials or sizes.trials
+    for trial in range(trials):
+        rng = np.random.default_rng(sizes.seed + 211 * trial)
+        order = rng.permutation(len(data))
+        split = max(2, int(len(order) * train_fraction))
+        train_idx, test_idx = order[:split], order[split:]
+        if test_idx.size == 0:
+            raise ExperimentError("not enough labelled values for an imputation split")
+        task = CategoryImputationTask(
+            hidden_units=sizes.imputation_hidden_units,
+            epochs=max(100, sizes.epochs),
+            patience=40,
+            seed=sizes.seed + trial,
+        )
+        outcome = task.train_and_evaluate(
+            embedding_set.matrix[data.indices[train_idx]],
+            data.labels[train_idx],
+            embedding_set.matrix[data.indices[test_idx]],
+            data.labels[test_idx],
+            n_classes=data.n_classes,
+        )
+        stats.add(outcome.accuracy)
+    return stats
+
+
+def available_embeddings(suite: EmbeddingSuite) -> list[str]:
+    """Embedding type names of the suite, in the paper's presentation order."""
+    ordered = [name for name in EMBEDDING_ORDER if name in suite.sets]
+    extras = [name for name in suite.sets if name not in ordered]
+    return ordered + extras

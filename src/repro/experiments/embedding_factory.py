@@ -1,0 +1,138 @@
+"""Train all embedding variants compared in the paper for one database.
+
+The factory produces the embedding types used throughout the evaluation:
+
+* ``PV`` — plain word vectors (tokenised centroids, no retrofitting),
+* ``MF`` — Faruqui et al. retrofitting (the baseline of §4.1),
+* ``RO`` — relational retrofitting, optimisation-based solver (Eq. 10),
+* ``RN`` — relational retrofitting, series-based solver (Eq. 11),
+* ``DW`` — DeepWalk node embeddings on the database graph,
+* ``X+DW`` — concatenations of a text-based embedding with DeepWalk.
+
+Wall-clock training times per method are recorded, which is exactly what
+Table 2 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.db.database import Database
+from repro.deepwalk.deepwalk import DeepWalk, DeepWalkConfig
+from repro.errors import ExperimentError
+from repro.graph.builder import build_graph
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.retrofit.extraction import ExtractionResult, extract_text_values
+from repro.retrofit.faruqui import edges_from_extraction, faruqui_retrofit
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.initialization import InitialisedMatrix, initialise_vectors
+from repro.retrofit.retro import RetroSolver
+from repro.text.embedding import WordEmbedding
+from repro.text.tokenizer import Tokenizer
+
+TEXT_METHODS = ("PV", "MF", "RO", "RN")
+ALL_METHODS = TEXT_METHODS + ("DW",)
+
+
+@dataclass
+class EmbeddingSuite:
+    """All trained embedding variants for one database."""
+
+    extraction: ExtractionResult
+    base: InitialisedMatrix
+    sets: dict[str, TextValueEmbeddingSet] = field(default_factory=dict)
+    runtimes: dict[str, float] = field(default_factory=dict)
+    preprocessing_seconds: float = 0.0
+
+    def get(self, name: str) -> TextValueEmbeddingSet:
+        """The embedding set named ``name`` (e.g. ``"RN+DW"``)."""
+        if name not in self.sets:
+            raise ExperimentError(
+                f"embedding type {name!r} not trained; available: {sorted(self.sets)}"
+            )
+        return self.sets[name]
+
+    @property
+    def names(self) -> list[str]:
+        """All trained embedding type names."""
+        return list(self.sets)
+
+
+def build_embedding_suite(
+    database: Database,
+    embedding: WordEmbedding,
+    methods: tuple[str, ...] = ALL_METHODS,
+    include_combinations: bool = True,
+    ro_params: RetroHyperparameters | None = None,
+    rn_params: RetroHyperparameters | None = None,
+    ro_iterations: int = 20,
+    rn_iterations: int = 10,
+    mf_iterations: int = 20,
+    exclude_columns: tuple[str, ...] = (),
+    exclude_relations: tuple[str, ...] = (),
+    deepwalk_config: DeepWalkConfig | None = None,
+    tokenizer: Tokenizer | None = None,
+) -> EmbeddingSuite:
+    """Train the requested embedding variants and collect their runtimes."""
+    unknown = set(methods) - set(ALL_METHODS)
+    if unknown:
+        raise ExperimentError(f"unknown embedding methods: {sorted(unknown)}")
+    started = time.perf_counter()
+    extraction = extract_text_values(
+        database,
+        exclude_columns=exclude_columns,
+        exclude_relations=exclude_relations,
+    )
+    tokenizer = tokenizer or Tokenizer(embedding)
+    base = initialise_vectors(extraction, embedding, tokenizer)
+    preprocessing = time.perf_counter() - started
+    suite = EmbeddingSuite(
+        extraction=extraction, base=base, preprocessing_seconds=preprocessing
+    )
+
+    if "PV" in methods:
+        suite.sets["PV"] = TextValueEmbeddingSet(extraction, base.matrix.copy(), "PV")
+        suite.runtimes["PV"] = 0.0
+
+    if "MF" in methods:
+        start = time.perf_counter()
+        edges = edges_from_extraction(extraction)
+        matrix, _ = faruqui_retrofit(base.matrix, edges, iterations=mf_iterations)
+        suite.runtimes["MF"] = time.perf_counter() - start
+        suite.sets["MF"] = TextValueEmbeddingSet(extraction, matrix, "MF")
+
+    if "RO" in methods:
+        start = time.perf_counter()
+        solver = RetroSolver(
+            extraction, base.matrix, ro_params or RetroHyperparameters.paper_ro_default()
+        )
+        matrix, _ = solver.solve_optimization(iterations=ro_iterations)
+        suite.runtimes["RO"] = time.perf_counter() - start
+        suite.sets["RO"] = TextValueEmbeddingSet(extraction, matrix, "RO")
+
+    if "RN" in methods:
+        start = time.perf_counter()
+        solver = RetroSolver(
+            extraction, base.matrix, rn_params or RetroHyperparameters.paper_rn_default()
+        )
+        matrix, _ = solver.solve_series(iterations=rn_iterations)
+        suite.runtimes["RN"] = time.perf_counter() - start
+        suite.sets["RN"] = TextValueEmbeddingSet(extraction, matrix, "RN")
+
+    if "DW" in methods:
+        start = time.perf_counter()
+        config = deepwalk_config or DeepWalkConfig(dimension=embedding.dimension)
+        deepwalk = DeepWalk(config)
+        node_result = deepwalk.train_for_extraction(extraction, build_graph(extraction))
+        suite.runtimes["DW"] = time.perf_counter() - start
+        suite.sets["DW"] = TextValueEmbeddingSet(extraction, node_result.matrix, "DW")
+
+    if include_combinations and "DW" in suite.sets:
+        node_set = suite.sets["DW"]
+        for name in TEXT_METHODS:
+            if name in suite.sets:
+                suite.sets[f"{name}+DW"] = suite.sets[name].concatenated_with(
+                    node_set, name=f"{name}+DW"
+                )
+    return suite

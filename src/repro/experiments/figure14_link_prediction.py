@@ -1,0 +1,76 @@
+"""Figure 14: link prediction for the movie→genre relation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import available_embeddings, build_suite, make_tmdb
+from repro.experiments.runner import ExperimentSizes, ResultTable
+from repro.experiments.task_data import genre_link_pairs, genre_relation_names
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.sampling import TrialStatistics
+
+
+def run(sizes: ExperimentSizes | None = None, n_pairs: int | None = None) -> ResultTable:
+    """Train the edge classifier (Fig. 5c network) on every embedding type.
+
+    The embeddings are trained *without* the movie→genre relation, then a
+    two-tower network predicts whether a (movie, genre) edge exists, using an
+    equal number of held-out positive pairs and sampled negatives.
+    """
+    sizes = sizes or ExperimentSizes.quick()
+    dataset = make_tmdb(sizes)
+    excluded = genre_relation_names(dataset.database)
+    suite = build_suite(dataset, sizes, exclude_relations=excluded)
+    n_pairs = n_pairs or max(300, 2 * sizes.train_samples)
+
+    table = ResultTable(
+        name="Figure 14: link prediction for movie genres",
+        columns=["embedding", "accuracy_mean", "accuracy_std", "trials"],
+    )
+    for name in available_embeddings(suite):
+        embedding_set = suite.get(name)
+        stats = TrialStatistics(name)
+        for trial in range(sizes.trials):
+            rng = np.random.default_rng(sizes.seed + 501 * trial)
+            pairs = genre_link_pairs(suite.extraction, dataset, n_pairs, rng)
+            order = rng.permutation(len(pairs))
+            split = max(2, len(order) // 2)
+            train_idx, test_idx = order[:split], order[split:]
+            if test_idx.size == 0:
+                continue
+            task = LinkPredictionTask(
+                hidden_units=sizes.hidden_units[0],
+                epochs=max(100, sizes.epochs),
+                seed=sizes.seed + trial,
+            )
+            outcome = task.train_and_evaluate(
+                embedding_set.matrix[pairs.source_indices[train_idx]],
+                embedding_set.matrix[pairs.target_indices[train_idx]],
+                pairs.labels[train_idx],
+                embedding_set.matrix[pairs.source_indices[test_idx]],
+                embedding_set.matrix[pairs.target_indices[test_idx]],
+                pairs.labels[test_idx],
+            )
+            stats.add(outcome.accuracy)
+        table.add_row(
+            embedding=name,
+            accuracy_mean=stats.mean,
+            accuracy_std=stats.std,
+            trials=stats.count,
+        )
+    table.add_note(
+        "expected (paper): DeepWalk fails (genre nodes are structurally "
+        "indistinguishable once the relation is hidden); retrofitted vectors "
+        "beat plain word vectors; combinations with DW help the text-based "
+        "approaches"
+    )
+    return table
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    print(run().to_text())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

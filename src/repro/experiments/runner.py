@@ -1,0 +1,130 @@
+"""Shared utilities for the experiment harnesses: result tables and sizing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented result container with text rendering.
+
+    Rows are dictionaries; the column order is fixed by ``columns`` so that
+    the printed output always has the same layout as the paper's table or
+    figure legend.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown keys raise, missing keys become blanks."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ExperimentError(f"unknown result columns: {sorted(unknown)}")
+        self.rows.append({column: values.get(column, "") for column in self.columns})
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note shown below the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def row_for(self, key_column: str, key_value: Any) -> dict[str, Any]:
+        """The first row whose ``key_column`` equals ``key_value``."""
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise ExperimentError(f"no row with {key_column}={key_value!r}")
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            if abs(value) >= 1000:
+                return f"{value:,.1f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        """Render an aligned ASCII table (used by examples and benchmarks)."""
+        header = [str(c) for c in self.columns]
+        body = [[self._format(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.name} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class ExperimentSizes:
+    """Workload sizing shared by the experiment harnesses.
+
+    ``quick()`` keeps the full pipeline end-to-end but shrinks the data and
+    the number of repetitions so that the whole benchmark suite runs in
+    minutes; ``paper_scale()`` approaches the original sample counts (still
+    on synthetic data) for users who want to let it run longer.
+    """
+
+    num_movies: int = 200
+    num_apps: int = 250
+    trials: int = 3
+    train_samples: int = 200
+    test_samples: int = 200
+    epochs: int = 60
+    hidden_units: tuple[int, ...] = (64,)
+    imputation_hidden_units: tuple[int, ...] = (96, 48)
+    embedding_dimension: int = 48
+    deepwalk_dimension: int = 48
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentSizes":
+        """Small sizes used by the test-suite and CI-style benchmark runs."""
+        return cls(
+            num_movies=200,
+            num_apps=250,
+            trials=3,
+            train_samples=150,
+            test_samples=150,
+            epochs=50,
+            hidden_units=(48,),
+            imputation_hidden_units=(64, 32),
+            embedding_dimension=32,
+            deepwalk_dimension=32,
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentSizes":
+        """Larger sizes closer to the paper's sample counts."""
+        return cls(
+            num_movies=2000,
+            num_apps=800,
+            trials=10,
+            train_samples=3000,
+            test_samples=3000,
+            epochs=150,
+            hidden_units=(600,),
+            imputation_hidden_units=(600, 300),
+            embedding_dimension=96,
+            deepwalk_dimension=96,
+        )

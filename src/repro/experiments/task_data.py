@@ -1,0 +1,196 @@
+"""Mapping from dataset ground truth to task inputs (indices, labels, targets).
+
+These helpers translate between the synthetic datasets' ground-truth
+dictionaries (keyed by text value) and the extraction indices of a trained
+:class:`repro.experiments.embedding_factory.EmbeddingSuite`, so that the
+figure experiments only deal with numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.google_play import GooglePlayDataset
+from repro.datasets.tmdb import TmdbDataset
+from repro.errors import ExperimentError
+from repro.retrofit.extraction import ExtractionResult
+
+DIRECTOR_CATEGORY = "persons.name"
+MOVIE_TITLE_CATEGORY = "movies.title"
+GENRE_CATEGORY = "genres.name"
+APP_NAME_CATEGORY = "apps.name"
+
+
+@dataclass
+class LabelledIndices:
+    """Extraction indices together with integer labels (and label names)."""
+
+    indices: np.ndarray
+    labels: np.ndarray
+    label_names: list[str]
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes."""
+        return len(self.label_names)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def director_classification_data(
+    extraction: ExtractionResult, dataset: TmdbDataset
+) -> LabelledIndices:
+    """Indices and binary labels (1 = US-American) for all known directors."""
+    indices: list[int] = []
+    labels: list[int] = []
+    for name, is_us in dataset.director_is_us().items():
+        if extraction.has_value(DIRECTOR_CATEGORY, name):
+            indices.append(extraction.index_of(DIRECTOR_CATEGORY, name))
+            labels.append(1 if is_us else 0)
+    if not indices:
+        raise ExperimentError("no directors found in the extraction")
+    return LabelledIndices(
+        indices=np.array(indices, dtype=np.int64),
+        labels=np.array(labels, dtype=np.int64),
+        label_names=["non-US", "US"],
+    )
+
+
+def language_imputation_data(
+    extraction: ExtractionResult, dataset: TmdbDataset
+) -> LabelledIndices:
+    """Indices of movie titles with the original language as integer class."""
+    languages = sorted({lang for lang in dataset.movie_language.values()})
+    lang_index = {language: i for i, language in enumerate(languages)}
+    indices: list[int] = []
+    labels: list[int] = []
+    for title, language in dataset.movie_language.items():
+        if extraction.has_value(MOVIE_TITLE_CATEGORY, title):
+            indices.append(extraction.index_of(MOVIE_TITLE_CATEGORY, title))
+            labels.append(lang_index[language])
+    if not indices:
+        raise ExperimentError("no movie titles found in the extraction")
+    return LabelledIndices(
+        indices=np.array(indices, dtype=np.int64),
+        labels=np.array(labels, dtype=np.int64),
+        label_names=languages,
+    )
+
+
+def budget_regression_data(
+    extraction: ExtractionResult, dataset: TmdbDataset
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices of movie titles and their budgets (regression targets)."""
+    indices: list[int] = []
+    targets: list[float] = []
+    for title, budget in dataset.movie_budget.items():
+        if extraction.has_value(MOVIE_TITLE_CATEGORY, title):
+            indices.append(extraction.index_of(MOVIE_TITLE_CATEGORY, title))
+            targets.append(float(budget))
+    if not indices:
+        raise ExperimentError("no movie titles found in the extraction")
+    return np.array(indices, dtype=np.int64), np.array(targets, dtype=np.float64)
+
+
+def app_category_data(
+    extraction: ExtractionResult, dataset: GooglePlayDataset
+) -> LabelledIndices:
+    """Indices of app names with their Play-Store category as integer class."""
+    categories = list(dataset.category_names)
+    category_index = {category: i for i, category in enumerate(categories)}
+    indices: list[int] = []
+    labels: list[int] = []
+    for name, category in dataset.app_category.items():
+        if extraction.has_value(APP_NAME_CATEGORY, name):
+            indices.append(extraction.index_of(APP_NAME_CATEGORY, name))
+            labels.append(category_index[category])
+    if not indices:
+        raise ExperimentError("no app names found in the extraction")
+    return LabelledIndices(
+        indices=np.array(indices, dtype=np.int64),
+        labels=np.array(labels, dtype=np.int64),
+        label_names=categories,
+    )
+
+
+@dataclass
+class LinkPredictionPairs:
+    """Source/target extraction indices and edge labels for link prediction."""
+
+    source_indices: np.ndarray
+    target_indices: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def genre_link_pairs(
+    extraction: ExtractionResult,
+    dataset: TmdbDataset,
+    n_pairs: int,
+    rng: np.random.Generator,
+) -> LinkPredictionPairs:
+    """Positive movie→genre pairs plus an equal number of negative samples."""
+    genre_lookup: dict[str, int] = {}
+    for genre in dataset.genre_names:
+        if extraction.has_value(GENRE_CATEGORY, genre):
+            genre_lookup[genre] = extraction.index_of(GENRE_CATEGORY, genre)
+    if not genre_lookup:
+        raise ExperimentError("no genres found in the extraction")
+
+    positives: list[tuple[int, int]] = []
+    positive_set: set[tuple[str, str]] = set()
+    titles: list[str] = []
+    for title, genres in dataset.movie_genres.items():
+        if not extraction.has_value(MOVIE_TITLE_CATEGORY, title):
+            continue
+        titles.append(title)
+        title_index = extraction.index_of(MOVIE_TITLE_CATEGORY, title)
+        for genre in genres:
+            if genre in genre_lookup:
+                positives.append((title_index, genre_lookup[genre]))
+                positive_set.add((title, genre))
+    if not positives:
+        raise ExperimentError("no movie-genre pairs found")
+    if len(positives) > n_pairs:
+        chosen = rng.choice(len(positives), size=n_pairs, replace=False)
+        positives = [positives[int(i)] for i in chosen]
+
+    genre_names = list(genre_lookup)
+    negatives: list[tuple[int, int]] = []
+    attempts = 0
+    while len(negatives) < len(positives) and attempts < 50 * len(positives):
+        attempts += 1
+        title = titles[int(rng.integers(0, len(titles)))]
+        genre = genre_names[int(rng.integers(0, len(genre_names)))]
+        if (title, genre) in positive_set:
+            continue
+        negatives.append((
+            extraction.index_of(MOVIE_TITLE_CATEGORY, title),
+            genre_lookup[genre],
+        ))
+    pairs = positives + negatives
+    labels = np.concatenate((np.ones(len(positives)), np.zeros(len(negatives))))
+    order = rng.permutation(len(pairs))
+    source = np.array([pairs[i][0] for i in order], dtype=np.int64)
+    target = np.array([pairs[i][1] for i in order], dtype=np.int64)
+    return LinkPredictionPairs(
+        source_indices=source, target_indices=target, labels=labels[order]
+    )
+
+
+def genre_relation_names(database) -> tuple[str, ...]:
+    """Names of all schema relationships touching the ``genres.name`` column.
+
+    These are excluded when training embeddings for the link-prediction
+    experiment (the paper hides the movie→genre relation during training).
+    """
+    names = []
+    for spec in database.relationships():
+        if str(spec.source) == GENRE_CATEGORY or str(spec.target) == GENRE_CATEGORY:
+            names.append(spec.name)
+    return tuple(names)

@@ -1,0 +1,19 @@
+"""Graph substrate: property graph, database-to-graph conversion, random walks.
+
+The graph representation (paper §3.4) has a node for every unique text value
+plus one blank node per text column (category), category edges connecting
+values to their column node, and one edge set per relation group.  DeepWalk
+(:mod:`repro.deepwalk`) consumes random walks generated on this graph.
+"""
+
+from repro.graph.property_graph import PropertyGraph, Node, Edge
+from repro.graph.builder import build_graph
+from repro.graph.random_walk import RandomWalkGenerator
+
+__all__ = [
+    "PropertyGraph",
+    "Node",
+    "Edge",
+    "build_graph",
+    "RandomWalkGenerator",
+]

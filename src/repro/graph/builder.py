@@ -1,0 +1,54 @@
+"""Build the property graph representation of a database (paper §3.4).
+
+The graph contains one node per unique text value (label ``text_value``),
+one blank node per text column (label ``category``), edges of type
+``category`` connecting values to their column node and one edge type per
+relation group connecting related values.
+"""
+
+from __future__ import annotations
+
+from repro.graph.property_graph import PropertyGraph
+from repro.retrofit.extraction import ExtractionResult
+
+TEXT_VALUE_LABEL = "text_value"
+CATEGORY_LABEL = "category"
+CATEGORY_EDGE = "category"
+
+
+def text_value_node_id(index: int) -> str:
+    """The node id used for the text value with extraction index ``index``."""
+    return f"t{index}"
+
+
+def category_node_id(category: str) -> str:
+    """The node id used for the blank node of ``category`` (``table.column``)."""
+    return f"c::{category}"
+
+
+def build_graph(
+    extraction: ExtractionResult,
+    include_category_nodes: bool = True,
+) -> PropertyGraph:
+    """Convert an :class:`ExtractionResult` into a :class:`PropertyGraph`."""
+    graph = PropertyGraph()
+    for record in extraction.records:
+        graph.add_node(
+            text_value_node_id(record.index),
+            TEXT_VALUE_LABEL,
+            text=record.text,
+            category=record.category,
+            index=record.index,
+        )
+    if include_category_nodes:
+        for category, indices in extraction.categories.items():
+            node_id = category_node_id(category)
+            graph.add_node(node_id, CATEGORY_LABEL, category=category)
+            for index in indices:
+                graph.add_edge(text_value_node_id(index), node_id, CATEGORY_EDGE)
+    for group in extraction.relation_groups:
+        for i, j in group.pairs:
+            graph.add_edge(
+                text_value_node_id(i), text_value_node_id(j), group.name
+            )
+    return graph

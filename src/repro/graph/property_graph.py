@@ -1,0 +1,153 @@
+"""A minimal labelled property graph with typed edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ReproError
+
+
+class GraphError(ReproError):
+    """Raised for inconsistent graph operations."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node with a label ("text_value" or "category") and properties."""
+
+    node_id: str
+    label: str
+    properties: tuple[tuple[str, Any], ...] = ()
+
+    def property(self, key: str, default: Any = None) -> Any:
+        """Return a node property by key."""
+        for name, value in self.properties:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A typed, undirected-in-spirit edge between two nodes."""
+
+    source: str
+    target: str
+    edge_type: str
+
+
+class PropertyGraph:
+    """Adjacency-list property graph with typed edges.
+
+    Edges are stored once but traversal treats them as undirected, matching
+    the retrofitting/DeepWalk usage where relation direction only matters
+    for bookkeeping, not for walking.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Node] = {}
+        self._edges: list[Edge] = []
+        self._adjacency: dict[str, list[tuple[str, str]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: str, label: str, **properties: Any) -> Node:
+        """Add a node (idempotent for identical ids)."""
+        if node_id in self._nodes:
+            return self._nodes[node_id]
+        node = Node(node_id=node_id, label=label, properties=tuple(properties.items()))
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = []
+        return node
+
+    def add_edge(self, source: str, target: str, edge_type: str) -> Edge:
+        """Add an edge between two existing nodes."""
+        if source not in self._nodes:
+            raise GraphError(f"unknown source node {source!r}")
+        if target not in self._nodes:
+            raise GraphError(f"unknown target node {target!r}")
+        edge = Edge(source=source, target=target, edge_type=edge_type)
+        self._edges.append(edge)
+        self._adjacency[source].append((target, edge_type))
+        self._adjacency[target].append((source, edge_type))
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> dict[str, Node]:
+        """Mapping of node id to node."""
+        return dict(self._nodes)
+
+    @property
+    def edges(self) -> list[Edge]:
+        """All edges in insertion order."""
+        return list(self._edges)
+
+    def node_ids(self, label: str | None = None) -> list[str]:
+        """Node ids, optionally filtered by label."""
+        if label is None:
+            return list(self._nodes)
+        return [nid for nid, node in self._nodes.items() if node.label == label]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def number_of_edges(self) -> int:
+        """Total number of stored edges."""
+        return len(self._edges)
+
+    def neighbors(self, node_id: str) -> list[str]:
+        """Neighbor node ids (with multiplicity) of ``node_id``."""
+        if node_id not in self._adjacency:
+            raise GraphError(f"unknown node {node_id!r}")
+        return [target for target, _ in self._adjacency[node_id]]
+
+    def degree(self, node_id: str) -> int:
+        """Number of incident edges of ``node_id``."""
+        if node_id not in self._adjacency:
+            raise GraphError(f"unknown node {node_id!r}")
+        return len(self._adjacency[node_id])
+
+    def edge_types(self) -> set[str]:
+        """The distinct edge types present in the graph."""
+        return {edge.edge_type for edge in self._edges}
+
+    def iter_adjacency(self) -> Iterator[tuple[str, list[str]]]:
+        """Iterate ``(node_id, neighbor_ids)`` pairs."""
+        for node_id, adjacent in self._adjacency.items():
+            yield node_id, [target for target, _ in adjacent]
+
+    # ------------------------------------------------------------------ #
+    # interoperability
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph` (for analysis/debugging)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node in self._nodes.values():
+            graph.add_node(node.node_id, label=node.label, **dict(node.properties))
+        for edge in self._edges:
+            graph.add_edge(edge.source, edge.target, edge_type=edge.edge_type)
+        return graph
+
+    def subgraph(self, node_ids: Iterable[str]) -> "PropertyGraph":
+        """The induced subgraph over ``node_ids``."""
+        keep = set(node_ids)
+        sub = PropertyGraph()
+        for node_id in keep:
+            if node_id not in self._nodes:
+                raise GraphError(f"unknown node {node_id!r}")
+            node = self._nodes[node_id]
+            sub.add_node(node.node_id, node.label, **dict(node.properties))
+        for edge in self._edges:
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge.source, edge.target, edge.edge_type)
+        return sub

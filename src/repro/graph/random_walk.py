@@ -1,0 +1,74 @@
+"""Uniform random-walk corpus generation for DeepWalk."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.property_graph import PropertyGraph
+
+
+class RandomWalkGenerator:
+    """Generates truncated uniform random walks over a property graph.
+
+    DeepWalk treats every walk as a "sentence" of node ids; the Skip-Gram
+    model is then trained on these sentences exactly as it would be on text.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        walk_length: int = 20,
+        walks_per_node: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if walk_length < 1:
+            raise ReproError("walk_length must be at least 1")
+        if walks_per_node < 1:
+            raise ReproError("walks_per_node must be at least 1")
+        self.graph = graph
+        self.walk_length = walk_length
+        self.walks_per_node = walks_per_node
+        self.seed = seed
+        self._node_ids = list(graph.nodes)
+        self._node_index = {node_id: i for i, node_id in enumerate(self._node_ids)}
+        self._neighbors: list[np.ndarray] = []
+        for node_id in self._node_ids:
+            neighbor_ids = graph.neighbors(node_id)
+            self._neighbors.append(
+                np.array([self._node_index[n] for n in neighbor_ids], dtype=np.int64)
+            )
+
+    @property
+    def node_ids(self) -> list[str]:
+        """Node ids in the internal integer order used by the walks."""
+        return list(self._node_ids)
+
+    def walk_from(self, start: str, rng: np.random.Generator) -> list[str]:
+        """One random walk starting at node ``start``."""
+        if start not in self._node_index:
+            raise ReproError(f"unknown start node {start!r}")
+        current = self._node_index[start]
+        walk = [current]
+        for _ in range(self.walk_length - 1):
+            neighbors = self._neighbors[current]
+            if neighbors.size == 0:
+                break
+            current = int(neighbors[rng.integers(0, neighbors.size)])
+            walk.append(current)
+        return [self._node_ids[i] for i in walk]
+
+    def generate(self) -> Iterator[list[str]]:
+        """Yield ``walks_per_node`` walks per node, in shuffled node order."""
+        rng = np.random.default_rng(self.seed)
+        order = np.arange(len(self._node_ids))
+        for _ in range(self.walks_per_node):
+            rng.shuffle(order)
+            for position in order:
+                yield self.walk_from(self._node_ids[int(position)], rng)
+
+    def corpus(self) -> list[list[str]]:
+        """All walks materialised into a list."""
+        return list(self.generate())

@@ -1,0 +1,58 @@
+"""A from-scratch numpy neural-network stack.
+
+The paper evaluates its embeddings with small feed-forward networks
+(Figure 5a–c) built in Keras.  This package re-implements exactly the
+required building blocks: dense layers with L2 regularisation, dropout,
+sigmoid/ReLU/softmax/linear activations, binary/categorical cross-entropy
+and mean-absolute-error losses, the Nadam optimiser and a training loop with
+validation split and early stopping.
+"""
+
+from repro.ml.activations import Activation, get_activation
+from repro.ml.initializers import glorot_uniform, he_uniform
+from repro.ml.layers import Dense, Dropout, Layer
+from repro.ml.losses import (
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    get_loss,
+)
+from repro.ml.optimizers import SGD, Adam, Nadam, Optimizer, get_optimizer
+from repro.ml.network import NeuralNetwork, TrainingHistory
+from repro.ml.metrics import (
+    accuracy,
+    binary_accuracy,
+    confusion_matrix,
+    mean_absolute_error,
+    precision_recall_f1,
+)
+
+__all__ = [
+    "Activation",
+    "get_activation",
+    "glorot_uniform",
+    "he_uniform",
+    "Layer",
+    "Dense",
+    "Dropout",
+    "Loss",
+    "BinaryCrossEntropy",
+    "CategoricalCrossEntropy",
+    "MeanAbsoluteError",
+    "MeanSquaredError",
+    "get_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Nadam",
+    "get_optimizer",
+    "NeuralNetwork",
+    "TrainingHistory",
+    "accuracy",
+    "binary_accuracy",
+    "confusion_matrix",
+    "mean_absolute_error",
+    "precision_recall_f1",
+]

@@ -1,0 +1,112 @@
+"""Activation functions and their derivatives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Activation:
+    """Base class: an element-wise activation with forward and gradient."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Apply the activation."""
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        """Derivative with respect to the pre-activation ``x``.
+
+        ``output`` is the already-computed forward value, which most
+        activations can reuse to avoid recomputation.
+        """
+        raise NotImplementedError
+
+
+class Linear(Activation):
+    """Identity activation (used for regression outputs)."""
+
+    name = "linear"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return output * (1.0 - output)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return 1.0 - output**2
+
+
+class ReLU(Activation):
+    """Rectified linear unit."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(x.dtype)
+
+
+class Softmax(Activation):
+    """Row-wise softmax (for mutually exclusive classes).
+
+    The derivative returned here is the identity because the softmax is only
+    used together with the categorical cross-entropy loss, whose combined
+    gradient (``probabilities - targets``) is produced by the loss class.
+    """
+
+    name = "softmax"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        shifted = x - np.max(x, axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def backward(self, x: np.ndarray, output: np.ndarray) -> np.ndarray:
+        return np.ones_like(x)
+
+
+_ACTIVATIONS: dict[str, type[Activation]] = {
+    "linear": Linear,
+    "identity": Linear,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "relu": ReLU,
+    "softmax": Softmax,
+}
+
+
+def get_activation(name: str | Activation) -> Activation:
+    """Resolve an activation by name (or pass an instance through)."""
+    if isinstance(name, Activation):
+        return name
+    key = str(name).lower()
+    if key not in _ACTIVATIONS:
+        raise TrainingError(f"unknown activation {name!r}")
+    return _ACTIVATIONS[key]()

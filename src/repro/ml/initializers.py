@@ -1,0 +1,19 @@
+"""Weight initialisation schemes for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation (good default for sigmoid/tanh)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, (fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation (good default for ReLU layers)."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, (fan_in, fan_out))

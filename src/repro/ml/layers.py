@@ -1,0 +1,126 @@
+"""Network layers: dense (fully connected) and dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.activations import Activation, get_activation
+from repro.ml.initializers import glorot_uniform, he_uniform
+
+
+class Layer:
+    """Base class for layers with optional trainable parameters."""
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        """Initialise parameters given the input width; return the output width."""
+        raise NotImplementedError
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Forward pass."""
+        raise NotImplementedError
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        """Backward pass: return the gradient with respect to the inputs."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (empty for parameter-free layers)."""
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradients matching :meth:`parameters` from the last backward pass."""
+        return []
+
+
+class Dense(Layer):
+    """A fully connected layer with activation and optional L2 regularisation."""
+
+    def __init__(
+        self,
+        units: int,
+        activation: str | Activation = "linear",
+        l2: float = 0.0,
+    ) -> None:
+        if units <= 0:
+            raise TrainingError("Dense layer needs a positive number of units")
+        if l2 < 0:
+            raise TrainingError("L2 penalty must be non-negative")
+        self.units = int(units)
+        self.activation = get_activation(activation)
+        self.l2 = float(l2)
+        self.weights: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self._inputs: np.ndarray | None = None
+        self._pre_activation: np.ndarray | None = None
+        self._output: np.ndarray | None = None
+        self._grad_weights: np.ndarray | None = None
+        self._grad_bias: np.ndarray | None = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        if self.activation.name == "relu":
+            self.weights = he_uniform(input_dim, self.units, rng)
+        else:
+            self.weights = glorot_uniform(input_dim, self.units, rng)
+        self.bias = np.zeros(self.units)
+        return self.units
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if self.weights is None or self.bias is None:
+            raise TrainingError("Dense layer used before build()")
+        self._inputs = inputs
+        self._pre_activation = inputs @ self.weights + self.bias
+        self._output = self.activation.forward(self._pre_activation)
+        return self._output
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        if self._inputs is None or self._pre_activation is None:
+            raise TrainingError("backward() called before forward()")
+        local = gradient * self.activation.backward(
+            self._pre_activation, self._output
+        )
+        batch = max(1, self._inputs.shape[0])
+        self._grad_weights = self._inputs.T @ local / batch
+        if self.l2 > 0.0:
+            self._grad_weights = self._grad_weights + self.l2 * self.weights
+        self._grad_bias = local.mean(axis=0)
+        return local @ self.weights.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self._grad_weights, self._grad_bias]
+
+    def regularisation_loss(self) -> float:
+        """The L2 penalty contribution of this layer's weights."""
+        if self.l2 == 0.0 or self.weights is None:
+            return 0.0
+        return 0.5 * self.l2 * float(np.sum(self.weights**2))
+
+
+class Dropout(Layer):
+    """Inverted dropout: active during training, identity at inference."""
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise TrainingError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def build(self, input_dim: int, rng: np.random.Generator) -> int:
+        return input_dim
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, gradient: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return gradient
+        return gradient * self._mask

@@ -1,0 +1,100 @@
+"""Loss functions with gradients for the numpy network stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+_EPSILON = 1e-12
+
+
+class Loss:
+    """Base class for losses used by :class:`repro.ml.NeuralNetwork`."""
+
+    name = "loss"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """The scalar loss."""
+        raise NotImplementedError
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Gradient of the loss with respect to the network output."""
+        raise NotImplementedError
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy over sigmoid outputs."""
+
+    name = "binary_crossentropy"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p = np.clip(predictions, _EPSILON, 1.0 - _EPSILON)
+        losses = -(targets * np.log(p) + (1.0 - targets) * np.log(1.0 - p))
+        return float(np.mean(losses))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        p = np.clip(predictions, _EPSILON, 1.0 - _EPSILON)
+        return (p - targets) / (p * (1.0 - p)) / max(1, targets.shape[-1])
+
+
+class CategoricalCrossEntropy(Loss):
+    """Categorical cross-entropy over softmax outputs.
+
+    The gradient returned is the *combined* softmax + cross-entropy gradient
+    (``probabilities - one_hot_targets``); the softmax activation therefore
+    reports an identity derivative (see :class:`repro.ml.activations.Softmax`).
+    """
+
+    name = "categorical_crossentropy"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p = np.clip(predictions, _EPSILON, 1.0)
+        return float(-np.mean(np.sum(targets * np.log(p), axis=-1)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return predictions - targets
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error (the regression loss used by the paper)."""
+
+    name = "mean_absolute_error"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return float(np.mean(np.abs(predictions - targets)))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return np.sign(predictions - targets) / max(1, targets.shape[-1])
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error (kept for completeness and testing)."""
+
+    name = "mean_squared_error"
+
+    def value(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return float(np.mean((predictions - targets) ** 2))
+
+    def gradient(self, predictions: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return 2.0 * (predictions - targets) / max(1, targets.shape[-1])
+
+
+_LOSSES: dict[str, type[Loss]] = {
+    "binary_crossentropy": BinaryCrossEntropy,
+    "categorical_crossentropy": CategoricalCrossEntropy,
+    "mean_absolute_error": MeanAbsoluteError,
+    "mae": MeanAbsoluteError,
+    "mean_squared_error": MeanSquaredError,
+    "mse": MeanSquaredError,
+}
+
+
+def get_loss(name: str | Loss) -> Loss:
+    """Resolve a loss by name (or pass an instance through)."""
+    if isinstance(name, Loss):
+        return name
+    key = str(name).lower()
+    if key not in _LOSSES:
+        raise TrainingError(f"unknown loss {name!r}")
+    return _LOSSES[key]()

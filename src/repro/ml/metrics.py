@@ -1,0 +1,87 @@
+"""Evaluation metrics for the extrinsic tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def binary_accuracy(
+    predictions: np.ndarray, targets: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Accuracy for a single sigmoid output against 0/1 targets."""
+    predictions = np.asarray(predictions).ravel()
+    targets = np.asarray(targets).ravel()
+    if predictions.shape != targets.shape:
+        raise TrainingError("predictions and targets must have the same length")
+    if predictions.size == 0:
+        raise TrainingError("cannot compute accuracy of empty arrays")
+    predicted_labels = (predictions >= threshold).astype(int)
+    return float(np.mean(predicted_labels == targets.astype(int)))
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Accuracy for one-hot (or probability) matrices of mutually exclusive classes."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if predictions.ndim == 1 or predictions.shape[1] == 1:
+        return binary_accuracy(predictions, targets)
+    if predictions.shape != targets.shape:
+        raise TrainingError("predictions and targets must have the same shape")
+    predicted_labels = predictions.argmax(axis=1)
+    target_labels = targets.argmax(axis=1)
+    return float(np.mean(predicted_labels == target_labels))
+
+
+def mean_absolute_error(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error between predictions and targets."""
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    targets = np.asarray(targets, dtype=np.float64).ravel()
+    if predictions.shape != targets.shape:
+        raise TrainingError("predictions and targets must have the same length")
+    if predictions.size == 0:
+        raise TrainingError("cannot compute MAE of empty arrays")
+    return float(np.mean(np.abs(predictions - targets)))
+
+
+def confusion_matrix(
+    predicted_labels: np.ndarray, target_labels: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    predicted_labels = np.asarray(predicted_labels, dtype=int).ravel()
+    target_labels = np.asarray(target_labels, dtype=int).ravel()
+    if predicted_labels.shape != target_labels.shape:
+        raise TrainingError("label arrays must have the same length")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for true, predicted in zip(target_labels, predicted_labels):
+        matrix[true, predicted] += 1
+    return matrix
+
+
+def precision_recall_f1(
+    predictions: np.ndarray, targets: np.ndarray, threshold: float = 0.5
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 for a binary classifier."""
+    predictions = np.asarray(predictions).ravel()
+    targets = np.asarray(targets).ravel().astype(int)
+    predicted = (predictions >= threshold).astype(int)
+    true_positive = int(np.sum((predicted == 1) & (targets == 1)))
+    false_positive = int(np.sum((predicted == 1) & (targets == 0)))
+    false_negative = int(np.sum((predicted == 0) & (targets == 1)))
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if true_positive + false_positive
+        else 0.0
+    )
+    recall = (
+        true_positive / (true_positive + false_negative)
+        if true_positive + false_negative
+        else 0.0
+    )
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall
+        else 0.0
+    )
+    return float(precision), float(recall), float(f1)

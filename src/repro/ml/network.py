@@ -1,0 +1,194 @@
+"""Sequential feed-forward network with mini-batch training and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.layers import Dense, Layer
+from repro.ml.losses import Loss, get_loss
+from repro.ml.optimizers import Optimizer, get_optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves of one training run."""
+
+    train_loss: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+    best_epoch: int = 0
+    stopped_early: bool = False
+
+    @property
+    def epochs(self) -> int:
+        """Number of epochs actually trained."""
+        return len(self.train_loss)
+
+
+class NeuralNetwork:
+    """A sequential stack of layers trained by backpropagation.
+
+    The behaviour mirrors what the paper describes for its Keras models:
+    inputs are expected to be pre-normalised embedding vectors, 10 % of the
+    training data is carved out as a validation split, and training stops
+    when the validation loss has not improved for ``patience`` epochs, after
+    which the parameters of the best epoch are restored.
+    """
+
+    def __init__(
+        self,
+        layers: list[Layer],
+        loss: str | Loss = "binary_crossentropy",
+        optimizer: str | Optimizer = "nadam",
+        seed: int = 0,
+    ) -> None:
+        if not layers:
+            raise TrainingError("a network needs at least one layer")
+        self.layers = layers
+        self.loss = get_loss(loss)
+        self.optimizer = get_optimizer(optimizer)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._built = False
+        self._input_dim: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # model plumbing
+    # ------------------------------------------------------------------ #
+    def build(self, input_dim: int) -> None:
+        """Initialise all layer parameters for inputs of width ``input_dim``."""
+        width = input_dim
+        for layer in self.layers:
+            width = layer.build(width, self._rng)
+        self._built = True
+        self._input_dim = input_dim
+
+    def _ensure_built(self, input_dim: int) -> None:
+        if not self._built:
+            self.build(input_dim)
+        elif self._input_dim != input_dim:
+            raise TrainingError(
+                f"network was built for inputs of width {self._input_dim}, "
+                f"got {input_dim}"
+            )
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the forward pass."""
+        output = inputs
+        for layer in self.layers:
+            output = layer.forward(output, training=training)
+        return output
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predictions in inference mode (dropout disabled)."""
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._ensure_built(inputs.shape[1])
+        return self.forward(inputs, training=False)
+
+    def _backward(self, predictions: np.ndarray, targets: np.ndarray) -> None:
+        gradient = self.loss.gradient(predictions, targets)
+        for layer in reversed(self.layers):
+            gradient = layer.backward(gradient)
+        parameters: list[np.ndarray] = []
+        gradients: list[np.ndarray] = []
+        for layer in self.layers:
+            parameters.extend(layer.parameters())
+            gradients.extend(layer.gradients())
+        self.optimizer.step(parameters, gradients)
+
+    def _snapshot(self) -> list[np.ndarray]:
+        return [param.copy() for layer in self.layers for param in layer.parameters()]
+
+    def _restore(self, snapshot: list[np.ndarray]) -> None:
+        position = 0
+        for layer in self.layers:
+            for param in layer.parameters():
+                param[...] = snapshot[position]
+                position += 1
+
+    def _evaluate_loss(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        predictions = self.forward(inputs, training=False)
+        value = self.loss.value(predictions, targets)
+        for layer in self.layers:
+            if isinstance(layer, Dense):
+                value += layer.regularisation_loss()
+        return value
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        epochs: int = 200,
+        batch_size: int = 32,
+        validation_split: float = 0.1,
+        patience: int = 50,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train the network and return the loss history.
+
+        ``patience`` follows the paper: training stops once the validation
+        loss has not improved for that many epochs and the best parameters
+        are restored.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if inputs.shape[0] != targets.shape[0]:
+            raise TrainingError("inputs and targets must have the same length")
+        if inputs.shape[0] < 2:
+            raise TrainingError("need at least two training samples")
+        self._ensure_built(inputs.shape[1])
+
+        n = inputs.shape[0]
+        indices = np.arange(n)
+        if shuffle:
+            self._rng.shuffle(indices)
+        n_validation = int(round(n * validation_split)) if validation_split > 0 else 0
+        n_validation = min(n_validation, n - 1)
+        validation_idx = indices[:n_validation]
+        train_idx = indices[n_validation:]
+        x_train, y_train = inputs[train_idx], targets[train_idx]
+        x_val, y_val = inputs[validation_idx], targets[validation_idx]
+        monitor_validation = n_validation > 0
+
+        history = TrainingHistory()
+        best_loss = np.inf
+        best_snapshot = self._snapshot()
+        epochs_without_improvement = 0
+        for epoch in range(epochs):
+            order = np.arange(len(x_train))
+            if shuffle:
+                self._rng.shuffle(order)
+            epoch_losses: list[float] = []
+            for start in range(0, len(order), batch_size):
+                batch = order[start:start + batch_size]
+                predictions = self.forward(x_train[batch], training=True)
+                epoch_losses.append(self.loss.value(predictions, y_train[batch]))
+                self._backward(predictions, y_train[batch])
+            train_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+            history.train_loss.append(train_loss)
+            monitored = train_loss
+            if monitor_validation:
+                monitored = self._evaluate_loss(x_val, y_val)
+                history.validation_loss.append(monitored)
+            if verbose:  # pragma: no cover - console output only
+                print(f"epoch {epoch + 1}: train={train_loss:.4f} monitored={monitored:.4f}")
+            if monitored < best_loss - 1e-9:
+                best_loss = monitored
+                best_snapshot = self._snapshot()
+                history.best_epoch = epoch
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= patience:
+                    history.stopped_early = True
+                    break
+        self._restore(best_snapshot)
+        return history

@@ -1,0 +1,131 @@
+"""Gradient-descent optimisers: SGD, Adam and Nadam.
+
+The paper trains its networks with Nadam (Adam with Nesterov momentum,
+Dozat 2016), which is the default used by :mod:`repro.tasks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Optimizer:
+    """Base class: updates a flat list of parameter arrays in place."""
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        """Apply one update step."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all accumulated state (used when re-using an instance)."""
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            if grad is None:
+                continue
+            if self.momentum > 0.0:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param)
+                velocity = self.momentum * velocity - self.learning_rate * grad
+                self._velocity[index] = velocity
+                param += velocity
+            else:
+                param -= self.learning_rate * grad
+
+    def reset(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        self._t += 1
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            if grad is None:
+                continue
+            m = self._m.get(index, np.zeros_like(param))
+            v = self._v.get(index, np.zeros_like(param))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._m[index], self._v[index] = m, v
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0
+
+
+class Nadam(Adam):
+    """Nesterov-accelerated Adam (Dozat 2016), the optimiser used in the paper."""
+
+    def step(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        self._t += 1
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            if grad is None:
+                continue
+            m = self._m.get(index, np.zeros_like(param))
+            v = self._v.get(index, np.zeros_like(param))
+            m = self.beta1 * m + (1.0 - self.beta1) * grad
+            v = self.beta2 * v + (1.0 - self.beta2) * grad**2
+            self._m[index], self._v[index] = m, v
+            m_hat = m / (1.0 - self.beta1 ** (self._t + 1))
+            v_hat = v / (1.0 - self.beta2**self._t)
+            nesterov = (
+                self.beta1 * m_hat
+                + (1.0 - self.beta1) * grad / (1.0 - self.beta1**self._t)
+            )
+            param -= self.learning_rate * nesterov / (np.sqrt(v_hat) + self.epsilon)
+
+
+_OPTIMIZERS: dict[str, type[Optimizer]] = {
+    "sgd": SGD,
+    "adam": Adam,
+    "nadam": Nadam,
+}
+
+
+def get_optimizer(name: str | Optimizer, **kwargs) -> Optimizer:
+    """Resolve an optimiser by name (or pass an instance through)."""
+    if isinstance(name, Optimizer):
+        return name
+    key = str(name).lower()
+    if key not in _OPTIMIZERS:
+        raise TrainingError(f"unknown optimizer {name!r}")
+    return _OPTIMIZERS[key](**kwargs)

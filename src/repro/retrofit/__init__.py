@@ -1,0 +1,49 @@
+"""RETRO core: relationship extraction, retrofitting solvers and pipeline.
+
+The public entry point for most users is :class:`repro.retrofit.RetroPipeline`
+which automates the whole chain described in the paper: tokenise every text
+value, extract categorial and relational connections from the database
+schema, initialise the embedding matrix ``W0`` and run one of the relational
+retrofitting solvers (the convex optimisation variant *RO* or the fast
+series variant *RN*).
+"""
+
+from repro.retrofit.extraction import (
+    ExtractionResult,
+    RelationGroup,
+    TextValueRecord,
+    extract_text_values,
+)
+from repro.retrofit.initialization import initialise_vectors
+from repro.retrofit.hyperparams import RetroHyperparameters, DerivedWeights
+from repro.retrofit.loss import relational_loss, faruqui_loss
+from repro.retrofit.faruqui import faruqui_retrofit
+from repro.retrofit.retro import RetroSolver, SolverReport
+from repro.retrofit.combine import (
+    TextValueEmbeddingSet,
+    concatenate_embeddings,
+    normalise_rows,
+)
+from repro.retrofit.incremental import IncrementalRetrofitter
+from repro.retrofit.pipeline import RetroPipeline, RetroResult
+
+__all__ = [
+    "ExtractionResult",
+    "RelationGroup",
+    "TextValueRecord",
+    "extract_text_values",
+    "initialise_vectors",
+    "RetroHyperparameters",
+    "DerivedWeights",
+    "relational_loss",
+    "faruqui_loss",
+    "faruqui_retrofit",
+    "RetroSolver",
+    "SolverReport",
+    "TextValueEmbeddingSet",
+    "concatenate_embeddings",
+    "normalise_rows",
+    "IncrementalRetrofitter",
+    "RetroPipeline",
+    "RetroResult",
+]

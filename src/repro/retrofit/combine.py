@@ -1,0 +1,134 @@
+"""Post-processing of learned matrices: normalisation, concatenation, lookup.
+
+The paper (§4.6) combines retrofitted embeddings with DeepWalk node
+embeddings by concatenation, after normalising both parts; the resulting
+vectors improve most downstream tasks.  :class:`TextValueEmbeddingSet` wraps
+a matrix together with the extraction metadata so that callers can look up
+the vector of a concrete text value in a concrete column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RetrofitError
+from repro.retrofit.extraction import ExtractionResult
+
+_EPSILON = 1e-12
+
+
+def normalise_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalise every row; all-zero rows stay zero."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    norms = np.linalg.norm(matrix, axis=1)
+    safe = np.where(norms < _EPSILON, 1.0, norms)
+    return matrix / safe[:, None]
+
+
+def concatenate_embeddings(
+    left: np.ndarray, right: np.ndarray, normalise: bool = True
+) -> np.ndarray:
+    """Concatenate two embedding matrices row-wise (same number of rows).
+
+    Both parts are row-normalised first by default so that neither dominates
+    the concatenation purely by scale.
+    """
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    if left.shape[0] != right.shape[0]:
+        raise RetrofitError(
+            f"cannot concatenate embeddings with {left.shape[0]} and "
+            f"{right.shape[0]} rows"
+        )
+    if normalise:
+        left, right = normalise_rows(left), normalise_rows(right)
+    return np.hstack((left, right))
+
+
+@dataclass
+class TextValueEmbeddingSet:
+    """A learned matrix bound to the extraction that defines its row order."""
+
+    extraction: ExtractionResult
+    matrix: np.ndarray
+    name: str = "retrofitted"
+
+    def __post_init__(self) -> None:
+        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        if self.matrix.shape[0] != len(self.extraction):
+            raise RetrofitError(
+                f"matrix has {self.matrix.shape[0]} rows, extraction has "
+                f"{len(self.extraction)} text values"
+            )
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the vectors."""
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def vector_for(self, category: str, text: str) -> np.ndarray:
+        """The vector of ``text`` within ``category`` (``table.column``)."""
+        index = self.extraction.index_of(category, str(text))
+        return self.matrix[index]
+
+    def vectors_for(self, category: str, texts: list[str]) -> np.ndarray:
+        """Vectors for many text values of one category, stacked in order."""
+        indices = [self.extraction.index_of(category, str(t)) for t in texts]
+        return self.matrix[indices]
+
+    def has_value(self, category: str, text: str) -> bool:
+        """Whether a vector exists for ``text`` within ``category``."""
+        return self.extraction.has_value(category, str(text))
+
+    def category_matrix(self, category: str) -> tuple[list[str], np.ndarray]:
+        """All texts and vectors of one category."""
+        records = self.extraction.records_of_category(category)
+        texts = [record.text for record in records]
+        return texts, self.matrix[[record.index for record in records]]
+
+    def nearest(
+        self, vector: np.ndarray, k: int = 10, category: str | None = None
+    ) -> list[tuple[str, str, float]]:
+        """The ``k`` most cosine-similar text values to ``vector``.
+
+        Returns ``(category, text, similarity)`` triples, optionally
+        restricted to one category.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if category is None:
+            candidates = list(range(len(self)))
+        else:
+            candidates = [
+                record.index
+                for record in self.extraction.records_of_category(category)
+            ]
+        if not candidates:
+            return []
+        rows = self.matrix[candidates]
+        denom = np.linalg.norm(rows, axis=1) * (np.linalg.norm(vector) + _EPSILON)
+        denom[denom < _EPSILON] = _EPSILON
+        scores = rows @ vector / denom
+        order = np.argsort(-scores)[:k]
+        results = []
+        for position in order:
+            record = self.extraction.records[candidates[int(position)]]
+            results.append((record.category, record.text, float(scores[position])))
+        return results
+
+    def concatenated_with(
+        self, other: "TextValueEmbeddingSet | np.ndarray", name: str | None = None
+    ) -> "TextValueEmbeddingSet":
+        """A new embedding set with the other matrix concatenated column-wise."""
+        other_matrix = other.matrix if isinstance(other, TextValueEmbeddingSet) else other
+        combined = concatenate_embeddings(self.matrix, other_matrix)
+        other_name = other.name if isinstance(other, TextValueEmbeddingSet) else "other"
+        return TextValueEmbeddingSet(
+            extraction=self.extraction,
+            matrix=combined,
+            name=name or f"{self.name}+{other_name}",
+        )

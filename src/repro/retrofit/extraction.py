@@ -1,0 +1,286 @@
+"""Extraction of text values, categories and relation groups (paper §3.2/3.3).
+
+The extraction walks the database schema and produces:
+
+* one :class:`TextValueRecord` per *unique* text value per column — the same
+  string appearing in two different columns yields two records, repeated
+  occurrences within one column yield a single record (§3.3),
+* *categorial connections*: for every text column the set of record indices
+  belonging to it,
+* *relational connections*: one :class:`RelationGroup` per discovered
+  relationship (row-wise, PK→FK or many-to-many), holding the index pairs
+  ``(i, j)`` that are related.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.db.database import ColumnRef, Database, RelationshipSpec
+from repro.errors import ExtractionError
+
+
+@dataclass(frozen=True)
+class TextValueRecord:
+    """One unique text value within one column.
+
+    ``index`` is the row of this value in the embedding matrices ``W0``/``W``.
+    """
+
+    index: int
+    text: str
+    table: str
+    column: str
+
+    @property
+    def category(self) -> str:
+        """The category (qualified column name) of this record."""
+        return f"{self.table}.{self.column}"
+
+
+@dataclass
+class RelationGroup:
+    """A named set of related record-index pairs (one relation group ``Er``)."""
+
+    name: str
+    kind: str
+    source_category: str
+    target_category: str
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def inverted(self) -> "RelationGroup":
+        """The inverted relation group ``Er̄`` (paper §3.2)."""
+        return RelationGroup(
+            name=f"{self.name}::inverted",
+            kind=self.kind,
+            source_category=self.target_category,
+            target_category=self.source_category,
+            pairs=[(j, i) for (i, j) in self.pairs],
+        )
+
+    def source_indices(self) -> set[int]:
+        """Distinct indices appearing on the source side."""
+        return {i for i, _ in self.pairs}
+
+    def target_indices(self) -> set[int]:
+        """Distinct indices appearing on the target side."""
+        return {j for _, j in self.pairs}
+
+
+@dataclass
+class ExtractionResult:
+    """Everything RETRO needs to know about the text content of a database."""
+
+    records: list[TextValueRecord]
+    categories: dict[str, list[int]]
+    relation_groups: list[RelationGroup]
+
+    def __post_init__(self) -> None:
+        self._index: dict[tuple[str, str], int] = {
+            (record.category, record.text): record.index for record in self.records
+        }
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def texts(self) -> list[str]:
+        """The raw text of every record, in index order."""
+        return [record.text for record in self.records]
+
+    def index_of(self, category: str, text: str) -> int:
+        """Record index of ``text`` within ``category`` (``table.column``)."""
+        key = (category, text)
+        if key not in self._index:
+            raise ExtractionError(f"no record for {text!r} in category {category!r}")
+        return self._index[key]
+
+    def has_value(self, category: str, text: str) -> bool:
+        """Whether a record exists for ``text`` within ``category``."""
+        return (category, text) in self._index
+
+    def records_of_category(self, category: str) -> list[TextValueRecord]:
+        """All records of one category, in index order."""
+        if category not in self.categories:
+            raise ExtractionError(f"unknown category {category!r}")
+        return [self.records[i] for i in self.categories[category]]
+
+    def relation_group(self, name: str) -> RelationGroup:
+        """Look up a relation group by its full name."""
+        for group in self.relation_groups:
+            if group.name == name:
+                return group
+        raise ExtractionError(f"unknown relation group {name!r}")
+
+    def relation_count(self) -> int:
+        """Total number of relation pairs across all groups."""
+        return sum(len(group) for group in self.relation_groups)
+
+    def relation_groups_of(self, index: int) -> list[RelationGroup]:
+        """Relation groups in which record ``index`` participates (either side)."""
+        groups = []
+        for group in self.relation_groups:
+            for i, j in group.pairs:
+                if i == index or j == index:
+                    groups.append(group)
+                    break
+        return groups
+
+
+def extract_text_values(
+    database: Database,
+    exclude_columns: Iterable[str] = (),
+    exclude_relations: Iterable[str] = (),
+    min_relation_pairs: int = 1,
+) -> ExtractionResult:
+    """Extract records, categories and relation groups from ``database``.
+
+    Parameters
+    ----------
+    database:
+        The relational database to process.
+    exclude_columns:
+        Qualified column names (``table.column``) whose values must *not*
+        receive embeddings (used e.g. when the column is the prediction
+        target of an imputation experiment).
+    exclude_relations:
+        Relation-group names (see :attr:`RelationshipSpec.name`) to skip,
+        used e.g. for the link-prediction experiment which hides the
+        movie→genre relation during training.
+    min_relation_pairs:
+        Relation groups with fewer pairs than this are dropped.
+    """
+    excluded_columns = set(exclude_columns)
+    excluded_relations = set(exclude_relations)
+
+    records: list[TextValueRecord] = []
+    categories: dict[str, list[int]] = {}
+    index_lookup: dict[tuple[str, str], int] = {}
+
+    for ref in database.text_columns():
+        category = str(ref)
+        if category in excluded_columns:
+            continue
+        table = database.table(ref.table)
+        indices: list[int] = []
+        for value in table.distinct_values(ref.column):
+            text = str(value)
+            key = (category, text)
+            if key in index_lookup:
+                continue
+            index = len(records)
+            records.append(
+                TextValueRecord(index=index, text=text, table=ref.table, column=ref.column)
+            )
+            index_lookup[key] = index
+            indices.append(index)
+        categories[category] = indices
+
+    relation_groups: list[RelationGroup] = []
+    for spec in database.relationships():
+        if spec.name in excluded_relations:
+            continue
+        source_cat, target_cat = str(spec.source), str(spec.target)
+        if source_cat in excluded_columns or target_cat in excluded_columns:
+            continue
+        pairs = _materialise_pairs(database, spec, index_lookup)
+        if len(pairs) < min_relation_pairs:
+            continue
+        relation_groups.append(
+            RelationGroup(
+                name=spec.name,
+                kind=spec.kind,
+                source_category=source_cat,
+                target_category=target_cat,
+                pairs=sorted(pairs),
+            )
+        )
+
+    return ExtractionResult(
+        records=records,
+        categories=categories,
+        relation_groups=relation_groups,
+    )
+
+
+def _materialise_pairs(
+    database: Database,
+    spec: RelationshipSpec,
+    index_lookup: dict[tuple[str, str], int],
+) -> set[tuple[int, int]]:
+    """Turn a schema-level relationship into concrete record-index pairs."""
+    source_cat, target_cat = str(spec.source), str(spec.target)
+    pairs: set[tuple[int, int]] = set()
+
+    def lookup(category: str, value) -> int | None:
+        if value is None:
+            return None
+        return index_lookup.get((category, str(value)))
+
+    if spec.kind == "row":
+        table = database.table(spec.source.table)
+        for row in table:
+            i = lookup(source_cat, row.get(spec.source.column))
+            j = lookup(target_cat, row.get(spec.target.column))
+            if i is not None and j is not None:
+                pairs.add((i, j))
+        return pairs
+
+    if spec.kind == "fk":
+        if spec.fk_column is None:
+            raise ExtractionError(f"fk relationship {spec.name} lacks fk_column")
+        source_table = database.table(spec.source.table)
+        target_table = database.table(spec.target.table)
+        fk = source_table.schema.foreign_key_for(spec.fk_column)
+        if fk is None:
+            raise ExtractionError(
+                f"no foreign key on {spec.source.table}.{spec.fk_column}"
+            )
+        use_pk = target_table.schema.primary_key == fk.ref_column
+        ref_index: dict[object, dict] = {}
+        if not use_pk:
+            for ref_row in target_table:
+                key = ref_row.get(fk.ref_column)
+                if key is not None and key not in ref_index:
+                    ref_index[key] = ref_row
+        for row in source_table:
+            key = row.get(spec.fk_column)
+            if key is None:
+                continue
+            ref_row = (
+                target_table.get_by_key(key) if use_pk else ref_index.get(key)
+            )
+            if ref_row is None:
+                continue
+            i = lookup(source_cat, row.get(spec.source.column))
+            j = lookup(target_cat, ref_row.get(spec.target.column))
+            if i is not None and j is not None:
+                pairs.add((i, j))
+        return pairs
+
+    if spec.kind == "m2m":
+        if spec.via is None or spec.via_source_fk is None or spec.via_target_fk is None:
+            raise ExtractionError(f"m2m relationship {spec.name} lacks link metadata")
+        link = database.table(spec.via)
+        source_table = database.table(spec.source.table)
+        target_table = database.table(spec.target.table)
+        for row in link:
+            src_key = row.get(spec.via_source_fk)
+            dst_key = row.get(spec.via_target_fk)
+            if src_key is None or dst_key is None:
+                continue
+            src_row = source_table.get_by_key(src_key)
+            dst_row = target_table.get_by_key(dst_key)
+            if src_row is None or dst_row is None:
+                continue
+            i = lookup(source_cat, src_row.get(spec.source.column))
+            j = lookup(target_cat, dst_row.get(spec.target.column))
+            if i is not None and j is not None:
+                pairs.add((i, j))
+        return pairs
+
+    raise ExtractionError(f"unknown relationship kind {spec.kind!r}")

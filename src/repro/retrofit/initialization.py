@@ -1,0 +1,65 @@
+"""Initialisation of the base embedding matrix ``W0`` (paper §3.1).
+
+Every extracted text value is tokenised against the word embedding; its
+initial vector is the centroid of the matched phrase vectors.  Out-of-
+vocabulary values receive a null vector — the retrofitting pulls them to a
+meaningful position through their categorial and relational connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.retrofit.extraction import ExtractionResult
+from repro.text.embedding import WordEmbedding
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass
+class InitialisedMatrix:
+    """The base matrix ``W0`` plus bookkeeping about vocabulary coverage."""
+
+    matrix: np.ndarray
+    oov_mask: np.ndarray
+    coverage: float
+
+    @property
+    def dimension(self) -> int:
+        """Embedding dimensionality."""
+        return self.matrix.shape[1]
+
+    @property
+    def n_values(self) -> int:
+        """Number of text values (rows of ``W0``)."""
+        return self.matrix.shape[0]
+
+    @property
+    def oov_count(self) -> int:
+        """Number of text values initialised with a null vector."""
+        return int(self.oov_mask.sum())
+
+
+def initialise_vectors(
+    extraction: ExtractionResult,
+    embedding: WordEmbedding,
+    tokenizer: Tokenizer | None = None,
+) -> InitialisedMatrix:
+    """Build ``W0`` for all extracted text values.
+
+    Parameters
+    ----------
+    extraction:
+        The extraction result whose record order defines the row order.
+    embedding:
+        The word embedding providing token vectors.
+    tokenizer:
+        Optionally a pre-built tokenizer (it is expensive to construct for
+        large vocabularies because of the trie); built on demand otherwise.
+    """
+    tokenizer = tokenizer or Tokenizer(embedding)
+    texts = extraction.texts
+    matrix, oov = tokenizer.vectorize_all(texts)
+    coverage = 1.0 - (float(oov.sum()) / len(texts) if texts else 0.0)
+    return InitialisedMatrix(matrix=matrix, oov_mask=oov, coverage=coverage)

@@ -1,0 +1,183 @@
+"""End-to-end RETRO pipeline: database + word embedding → text value vectors.
+
+The paper describes RETRO as a system sitting on top of PostgreSQL: "given an
+initial configuration including the connection information for a database and
+the hyperparameter configuration, RETRO fully automatically learns the
+retrofitted embeddings and adds them to the given database" (§5).  This
+module is that automation layer for the in-memory substrate engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db.database import Database, build_table_schema
+from repro.db.types import ColumnType
+from repro.deepwalk.deepwalk import DeepWalk, DeepWalkConfig, NodeEmbeddingResult
+from repro.errors import RetrofitError
+from repro.graph.builder import build_graph
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.retrofit.extraction import ExtractionResult, extract_text_values
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.incremental import IncrementalRetrofitter
+from repro.retrofit.initialization import InitialisedMatrix, initialise_vectors
+from repro.retrofit.retro import RetroSolver, SolverReport
+from repro.text.embedding import WordEmbedding
+from repro.text.tokenizer import Tokenizer
+
+EMBEDDING_TABLE_NAME = "text_value_embeddings"
+
+
+@dataclass
+class RetroResult:
+    """Everything produced by one pipeline run."""
+
+    extraction: ExtractionResult
+    base: InitialisedMatrix
+    embeddings: TextValueEmbeddingSet
+    report: SolverReport
+    plain: TextValueEmbeddingSet
+    node_embeddings: NodeEmbeddingResult | None = None
+    combined: TextValueEmbeddingSet | None = None
+    hyperparams: RetroHyperparameters = field(default_factory=RetroHyperparameters)
+
+    def vector_for(self, category: str, text: str) -> np.ndarray:
+        """The retrofitted vector of ``text`` within ``category``."""
+        return self.embeddings.vector_for(category, text)
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the retrofitted vectors."""
+        return self.embeddings.dimension
+
+
+class RetroPipeline:
+    """Automates extraction, initialisation and retrofitting for a database."""
+
+    def __init__(
+        self,
+        database: Database,
+        embedding: WordEmbedding,
+        hyperparams: RetroHyperparameters | None = None,
+        method: str = "series",
+        exclude_columns: tuple[str, ...] = (),
+        exclude_relations: tuple[str, ...] = (),
+        tokenizer: Tokenizer | None = None,
+        deepwalk_config: DeepWalkConfig | None = None,
+    ) -> None:
+        self.database = database
+        self.embedding = embedding
+        self.hyperparams = hyperparams or RetroHyperparameters()
+        self.method = method
+        self.exclude_columns = tuple(exclude_columns)
+        self.exclude_relations = tuple(exclude_relations)
+        self.tokenizer = tokenizer or Tokenizer(embedding)
+        self.deepwalk_config = deepwalk_config or DeepWalkConfig(
+            dimension=embedding.dimension
+        )
+
+    # ------------------------------------------------------------------ #
+    # pipeline steps
+    # ------------------------------------------------------------------ #
+    def extract(self) -> ExtractionResult:
+        """Step 2a/2b of the paper: extract categories and relationships."""
+        return extract_text_values(
+            self.database,
+            exclude_columns=self.exclude_columns,
+            exclude_relations=self.exclude_relations,
+        )
+
+    def run(
+        self,
+        iterations: int | None = None,
+        include_node_embeddings: bool = False,
+        track_loss: bool = False,
+    ) -> RetroResult:
+        """Run the full pipeline and return a :class:`RetroResult`."""
+        extraction = self.extract()
+        if len(extraction) == 0:
+            raise RetrofitError("the database contains no text values to retrofit")
+        base = initialise_vectors(extraction, self.embedding, self.tokenizer)
+        solver = RetroSolver(extraction, base.matrix, self.hyperparams)
+        matrix, report = solver.solve(
+            method=self.method, iterations=iterations, track_loss=track_loss
+        )
+        embeddings = TextValueEmbeddingSet(
+            extraction=extraction, matrix=matrix, name=report.method
+        )
+        plain = TextValueEmbeddingSet(
+            extraction=extraction, matrix=base.matrix.copy(), name="PV"
+        )
+        node_embeddings: NodeEmbeddingResult | None = None
+        combined: TextValueEmbeddingSet | None = None
+        if include_node_embeddings:
+            deepwalk = DeepWalk(self.deepwalk_config)
+            node_embeddings = deepwalk.train_for_extraction(
+                extraction, build_graph(extraction)
+            )
+            combined = embeddings.concatenated_with(
+                node_embeddings.matrix, name=f"{report.method}+DW"
+            )
+        return RetroResult(
+            extraction=extraction,
+            base=base,
+            embeddings=embeddings,
+            report=report,
+            plain=plain,
+            node_embeddings=node_embeddings,
+            combined=combined,
+            hyperparams=self.hyperparams,
+        )
+
+    def incremental_retrofitter(self, result: RetroResult) -> IncrementalRetrofitter:
+        """An :class:`IncrementalRetrofitter` continuing from ``result``."""
+        return IncrementalRetrofitter(
+            embeddings=result.embeddings,
+            tokenizer=self.tokenizer,
+            hyperparams=self.hyperparams,
+            method=self.method,
+            exclude_columns=self.exclude_columns,
+            exclude_relations=self.exclude_relations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # in-database deployment
+    # ------------------------------------------------------------------ #
+    def augment_database(
+        self, result: RetroResult, table_name: str = EMBEDDING_TABLE_NAME
+    ) -> None:
+        """Store the learned vectors back into the database.
+
+        Mirrors the paper's in-database deployment: a relation holding one
+        row per (table, column, text value) with the vector serialised as a
+        JSON array, ready to be joined against the original tables.
+        """
+        if self.database.has_table(table_name):
+            self.database.drop_table(table_name)
+        schema = build_table_schema(
+            table_name,
+            [
+                ("id", ColumnType.INTEGER),
+                ("source_table", ColumnType.TEXT),
+                ("source_column", ColumnType.TEXT),
+                ("value", ColumnType.TEXT),
+                ("vector", ColumnType.JSON),
+            ],
+            primary_key="id",
+        )
+        self.database.create_table(schema)
+        for record in result.extraction.records:
+            vector = result.embeddings.matrix[record.index]
+            self.database.insert(
+                table_name,
+                {
+                    "id": record.index,
+                    "source_table": record.table,
+                    "source_column": record.column,
+                    "value": record.text,
+                    "vector": json.loads(json.dumps([float(x) for x in vector])),
+                },
+            )

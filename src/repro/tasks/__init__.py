@@ -1,0 +1,29 @@
+"""Extrinsic evaluation tasks (paper §5): classification, imputation,
+regression and link prediction, each with the ANN architecture of Figure 5.
+"""
+
+from repro.tasks.sampling import (
+    TrialStatistics,
+    balanced_binary_sample,
+    train_test_split,
+    stratified_sample,
+)
+from repro.tasks.classification import BinaryClassificationTask, ClassificationOutcome
+from repro.tasks.imputation import CategoryImputationTask, ImputationOutcome
+from repro.tasks.regression import RegressionTask, RegressionOutcome
+from repro.tasks.link_prediction import LinkPredictionTask, LinkPredictionOutcome
+
+__all__ = [
+    "TrialStatistics",
+    "balanced_binary_sample",
+    "train_test_split",
+    "stratified_sample",
+    "BinaryClassificationTask",
+    "ClassificationOutcome",
+    "CategoryImputationTask",
+    "ImputationOutcome",
+    "RegressionTask",
+    "RegressionOutcome",
+    "LinkPredictionTask",
+    "LinkPredictionOutcome",
+]

@@ -1,0 +1,107 @@
+"""Regression task (paper §5.6, architecture of Figure 5b).
+
+A deeper feed-forward network with ReLU hidden layers, dropout and a linear
+output predicts a numeric target (e.g. the production budget of a movie)
+from a text-value embedding; the loss and the reported metric are the mean
+absolute error (MAE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.ml.layers import Dense, Dropout
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.network import NeuralNetwork, TrainingHistory
+from repro.ml.optimizers import Nadam
+from repro.tasks.sampling import normalise_features
+
+
+@dataclass
+class RegressionOutcome:
+    """Result of one regression trial (MAE reported in original target units)."""
+
+    mae: float
+    normalised_mae: float
+    history: TrainingHistory
+
+
+class RegressionTask:
+    """Builds and trains the Figure-5b network for scalar targets."""
+
+    def __init__(
+        self,
+        hidden_units: tuple[int, ...] = (300, 300, 300, 300),
+        dropout: float = 0.2,
+        epochs: int = 150,
+        batch_size: int = 32,
+        patience: int = 50,
+        learning_rate: float = 0.005,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_units:
+            raise ExperimentError("at least one hidden layer is required")
+        self.hidden_units = tuple(int(u) for u in hidden_units)
+        self.dropout = dropout
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.patience = patience
+        self.learning_rate = learning_rate
+        self.seed = seed
+
+    def build_network(self) -> NeuralNetwork:
+        """Instantiate a fresh regression network."""
+        layers = []
+        for units in self.hidden_units:
+            layers.append(Dense(units, activation="relu"))
+            if self.dropout > 0:
+                layers.append(Dropout(self.dropout, seed=self.seed))
+        layers.append(Dense(1, activation="linear"))
+        return NeuralNetwork(
+            layers,
+            loss="mean_absolute_error",
+            optimizer=Nadam(learning_rate=self.learning_rate),
+            seed=self.seed,
+        )
+
+    def train_and_evaluate(
+        self,
+        train_features: np.ndarray,
+        train_targets: np.ndarray,
+        test_features: np.ndarray,
+        test_targets: np.ndarray,
+    ) -> RegressionOutcome:
+        """Train on scalar targets and report the test MAE.
+
+        Targets are standardised internally (zero mean, unit variance over
+        the training split); the returned ``mae`` is rescaled to the original
+        units, ``normalised_mae`` stays in standardised units.
+        """
+        train_features = normalise_features(train_features)
+        test_features = normalise_features(test_features)
+        train_targets = np.asarray(train_targets, dtype=np.float64).ravel()
+        test_targets = np.asarray(test_targets, dtype=np.float64).ravel()
+        if train_targets.size < 2:
+            raise ExperimentError("need at least two training targets")
+        mean = float(train_targets.mean())
+        scale = float(train_targets.std())
+        if scale < 1e-12:
+            scale = 1.0
+        network = self.build_network()
+        history = network.fit(
+            train_features,
+            (train_targets - mean) / scale,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            validation_split=0.1,
+            patience=self.patience,
+        )
+        predictions = network.predict(test_features).ravel()
+        normalised = mean_absolute_error(predictions, (test_targets - mean) / scale)
+        rescaled = mean_absolute_error(predictions * scale + mean, test_targets)
+        return RegressionOutcome(
+            mae=rescaled, normalised_mae=normalised, history=history
+        )

@@ -1,0 +1,144 @@
+"""Sampling helpers shared by the extrinsic evaluation tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+@dataclass
+class TrialStatistics:
+    """Aggregate of repeated trial results (accuracy, MAE, ...)."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one trial result."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded trials."""
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded trial results."""
+        if not self.values:
+            raise ExperimentError(f"no trials recorded for {self.name!r}")
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the recorded trial results."""
+        if not self.values:
+            raise ExperimentError(f"no trials recorded for {self.name!r}")
+        return float(np.std(self.values))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest recorded value."""
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        """Largest recorded value."""
+        return float(np.max(self.values))
+
+    def summary(self) -> dict[str, float]:
+        """Mean/std/min/max as a plain dict (for report tables)."""
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "n": float(self.count),
+        }
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    test_fraction: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(features, targets)`` into train and test parts."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ExperimentError("test_fraction must be in (0, 1)")
+    features = np.asarray(features)
+    targets = np.asarray(targets)
+    if features.shape[0] != targets.shape[0]:
+        raise ExperimentError("features and targets must have the same length")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(features.shape[0])
+    n_test = max(1, int(round(features.shape[0] * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if train_idx.size == 0:
+        raise ExperimentError("split left no training samples")
+    return features[train_idx], targets[train_idx], features[test_idx], targets[test_idx]
+
+
+def balanced_binary_sample(
+    positive_indices: np.ndarray,
+    negative_indices: np.ndarray,
+    n_per_class: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_per_class`` indices per class (with replacement if needed).
+
+    Returns ``(indices, labels)`` shuffled together, labels being 0/1.
+    """
+    if n_per_class <= 0:
+        raise ExperimentError("n_per_class must be positive")
+    rng = rng or np.random.default_rng(0)
+    positive_indices = np.asarray(positive_indices)
+    negative_indices = np.asarray(negative_indices)
+    if positive_indices.size == 0 or negative_indices.size == 0:
+        raise ExperimentError("both classes need at least one candidate index")
+    positives = rng.choice(
+        positive_indices, n_per_class, replace=positive_indices.size < n_per_class
+    )
+    negatives = rng.choice(
+        negative_indices, n_per_class, replace=negative_indices.size < n_per_class
+    )
+    indices = np.concatenate((positives, negatives))
+    labels = np.concatenate((np.ones(n_per_class), np.zeros(n_per_class)))
+    order = rng.permutation(indices.size)
+    return indices[order], labels[order]
+
+
+def stratified_sample(
+    labels: np.ndarray,
+    n_samples: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n_samples`` indices approximately preserving label proportions."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        raise ExperimentError("cannot sample from an empty label array")
+    if n_samples <= 0:
+        raise ExperimentError("n_samples must be positive")
+    rng = rng or np.random.default_rng(0)
+    n_samples = min(n_samples, labels.size)
+    unique = np.unique(labels)
+    chosen: list[np.ndarray] = []
+    for value in unique:
+        candidates = np.flatnonzero(labels == value)
+        share = max(1, int(round(n_samples * candidates.size / labels.size)))
+        share = min(share, candidates.size)
+        chosen.append(rng.choice(candidates, share, replace=False))
+    indices = np.concatenate(chosen)
+    rng.shuffle(indices)
+    return indices[:n_samples]
+
+
+def normalise_features(features: np.ndarray) -> np.ndarray:
+    """L2-normalise feature rows (the paper normalises embeddings before training)."""
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.linalg.norm(features, axis=1)
+    safe = np.where(norms < 1e-12, 1.0, norms)
+    return features / safe[:, None]

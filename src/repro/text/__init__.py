@@ -1,0 +1,23 @@
+"""Text substrate: word-embedding store, tokenization and synthetic vocabularies.
+
+This package replaces the pre-trained Google News word2vec vectors used in
+the paper with (a) a generic :class:`WordEmbedding` container that could load
+any real embedding file and (b) a deterministic synthetic embedding space
+whose vectors cluster by latent concepts, so that the downstream ML tasks
+have realistic signal without requiring the multi-gigabyte original data.
+"""
+
+from repro.text.embedding import WordEmbedding
+from repro.text.trie import TokenTrie
+from repro.text.tokenizer import Tokenizer, TokenizationResult, normalise_text
+from repro.text.synthetic import ConceptSpec, SyntheticEmbeddingSpace
+
+__all__ = [
+    "WordEmbedding",
+    "TokenTrie",
+    "Tokenizer",
+    "TokenizationResult",
+    "normalise_text",
+    "ConceptSpec",
+    "SyntheticEmbeddingSpace",
+]

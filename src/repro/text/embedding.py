@@ -1,0 +1,189 @@
+"""A word-embedding store: vocabulary plus a dense matrix of vectors."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+
+
+class WordEmbedding:
+    """An immutable-by-convention mapping from word/phrase to a dense vector.
+
+    Words are stored lower-cased with spaces normalised to underscores, the
+    convention used by the Google News vectors for multi-word phrases
+    (e.g. ``bank_account``).
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise EmbeddingError("embedding dimension must be positive")
+        self.dimension = int(dimension)
+        self._index: dict[str, int] = {}
+        self._vectors: list[np.ndarray] = []
+        self._matrix_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def canonical(word: str) -> str:
+        """The canonical key of ``word``: lower-case, spaces → underscores."""
+        return word.strip().lower().replace(" ", "_")
+
+    def add(self, word: str, vector: np.ndarray) -> None:
+        """Add a word vector; replaces an existing entry for the same word."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise EmbeddingError(
+                f"vector for {word!r} has shape {vector.shape}, "
+                f"expected ({self.dimension},)"
+            )
+        key = self.canonical(word)
+        if not key:
+            raise EmbeddingError("cannot add an empty word")
+        self._matrix_cache = None
+        if key in self._index:
+            self._vectors[self._index[key]] = vector
+        else:
+            self._index[key] = len(self._vectors)
+            self._vectors.append(vector)
+
+    def add_many(self, items: Iterable[tuple[str, np.ndarray]]) -> None:
+        """Add many ``(word, vector)`` pairs."""
+        for word, vector in items:
+            self.add(word, vector)
+
+    @classmethod
+    def from_dict(cls, vectors: dict[str, np.ndarray]) -> "WordEmbedding":
+        """Build an embedding from a ``word -> vector`` mapping."""
+        if not vectors:
+            raise EmbeddingError("cannot build an embedding from an empty dict")
+        dimension = len(next(iter(vectors.values())))
+        embedding = cls(dimension)
+        embedding.add_many(vectors.items())
+        return embedding
+
+    # ------------------------------------------------------------------ #
+    # lookup
+    # ------------------------------------------------------------------ #
+    def __contains__(self, word: str) -> bool:
+        return self.canonical(word) in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._index)
+
+    def get(self, word: str) -> np.ndarray | None:
+        """The vector for ``word`` or ``None`` when out of vocabulary."""
+        index = self._index.get(self.canonical(word))
+        if index is None:
+            return None
+        return self._vectors[index]
+
+    def __getitem__(self, word: str) -> np.ndarray:
+        vector = self.get(word)
+        if vector is None:
+            raise KeyError(word)
+        return vector
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """All words in insertion order."""
+        return list(self._index)
+
+    def matrix(self) -> np.ndarray:
+        """All vectors stacked into an ``(n_words, dimension)`` matrix."""
+        if self._matrix_cache is None:
+            if not self._vectors:
+                self._matrix_cache = np.zeros((0, self.dimension))
+            else:
+                self._matrix_cache = np.vstack(self._vectors)
+        return self._matrix_cache
+
+    # ------------------------------------------------------------------ #
+    # similarity
+    # ------------------------------------------------------------------ #
+    def cosine_similarity(self, left: str, right: str) -> float:
+        """Cosine similarity of two in-vocabulary words."""
+        a, b = self.get(left), self.get(right)
+        if a is None or b is None:
+            missing = left if a is None else right
+            raise EmbeddingError(f"word {missing!r} is out of vocabulary")
+        return float(cosine(a, b))
+
+    def nearest(self, vector: np.ndarray, k: int = 10) -> list[tuple[str, float]]:
+        """The ``k`` vocabulary entries closest to ``vector`` by cosine."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise EmbeddingError(
+                f"query vector has shape {vector.shape}, expected ({self.dimension},)"
+            )
+        matrix = self.matrix()
+        if matrix.shape[0] == 0:
+            return []
+        norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(vector) + 1e-12)
+        norms[norms == 0] = 1e-12
+        scores = matrix @ vector / norms
+        order = np.argsort(-scores)[:k]
+        words = self.vocabulary
+        return [(words[i], float(scores[i])) for i in order]
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Save the embedding as a compressed ``.npz`` archive."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            words=np.array(self.vocabulary, dtype=object),
+            matrix=self.matrix(),
+        )
+        return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WordEmbedding":
+        """Load an embedding previously stored with :meth:`save`."""
+        data = np.load(Path(path), allow_pickle=True)
+        matrix = data["matrix"]
+        words = list(data["words"])
+        if matrix.ndim != 2 or len(words) != matrix.shape[0]:
+            raise EmbeddingError(f"corrupt embedding archive: {path}")
+        embedding = cls(matrix.shape[1])
+        for word, vector in zip(words, matrix):
+            embedding.add(str(word), vector)
+        return embedding
+
+    @classmethod
+    def load_text_format(cls, path: str | Path) -> "WordEmbedding":
+        """Load a GloVe/word2vec-style text file (``word v1 v2 ...`` per line)."""
+        path = Path(path)
+        embedding: WordEmbedding | None = None
+        with path.open(encoding="utf-8") as handle:
+            for line in handle:
+                parts = line.rstrip().split(" ")
+                if len(parts) < 3:
+                    continue
+                word, values = parts[0], parts[1:]
+                vector = np.array([float(v) for v in values])
+                if embedding is None:
+                    embedding = cls(len(vector))
+                embedding.add(word, vector)
+        if embedding is None:
+            raise EmbeddingError(f"no vectors found in {path}")
+        return embedding
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is all-zero)."""
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(a, b) / denom)

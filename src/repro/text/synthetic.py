@@ -1,0 +1,157 @@
+"""Synthetic, concept-structured word-embedding spaces.
+
+The original evaluation uses the 300-dimensional Google News word2vec
+vectors.  Those are not redistributable inside this repository, so this
+module builds a *synthetic* embedding space with the properties the RETRO
+algorithms rely on:
+
+* words belonging to the same latent concept (a nationality, a genre, an app
+  category, a sentiment...) receive nearby vectors,
+* concepts can be nested (e.g. ``person`` → ``person/french``) so that
+  hierarchical similarity exists,
+* a configurable share of "background" vocabulary gets unstructured vectors,
+* multi-word phrases are present so the trie tokenizer is exercised.
+
+The generator is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.text.embedding import WordEmbedding
+
+
+@dataclass
+class ConceptSpec:
+    """Declarative description of one concept cluster.
+
+    Attributes
+    ----------
+    name:
+        Unique concept identifier, e.g. ``"genre/action"``.
+    words:
+        Vocabulary entries assigned to this concept.
+    parent:
+        Optional parent concept; the cluster centroid is drawn near the
+        parent centroid, producing hierarchical structure.
+    spread:
+        Standard deviation of the word noise around the concept centroid,
+        relative to the centroid scale.
+    """
+
+    name: str
+    words: list[str] = field(default_factory=list)
+    parent: str | None = None
+    spread: float = 0.25
+
+
+class SyntheticEmbeddingSpace:
+    """Builds a :class:`WordEmbedding` from concept cluster specifications."""
+
+    def __init__(self, dimension: int = 64, seed: int = 0) -> None:
+        if dimension <= 0:
+            raise EmbeddingError("dimension must be positive")
+        self.dimension = int(dimension)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+        self._concepts: dict[str, ConceptSpec] = {}
+        self._centroids: dict[str, np.ndarray] = {}
+        self._word_vectors: dict[str, np.ndarray] = {}
+        self._word_concepts: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_concept(
+        self,
+        name: str,
+        words: list[str] | None = None,
+        parent: str | None = None,
+        spread: float = 0.25,
+    ) -> ConceptSpec:
+        """Register a concept and (optionally) assign words to it."""
+        if name in self._concepts:
+            raise EmbeddingError(f"concept {name!r} already exists")
+        if parent is not None and parent not in self._concepts:
+            raise EmbeddingError(f"unknown parent concept {parent!r}")
+        spec = ConceptSpec(name=name, words=[], parent=parent, spread=spread)
+        self._concepts[name] = spec
+        self._centroids[name] = self._draw_centroid(parent)
+        if words:
+            self.add_words(name, words)
+        return spec
+
+    def _draw_centroid(self, parent: str | None) -> np.ndarray:
+        base = self._rng.normal(0.0, 1.0, self.dimension)
+        base /= np.linalg.norm(base) + 1e-12
+        if parent is None:
+            return base
+        parent_centroid = self._centroids[parent]
+        centroid = parent_centroid + 0.5 * base
+        return centroid / (np.linalg.norm(centroid) + 1e-12)
+
+    def add_words(self, concept: str, words: list[str]) -> None:
+        """Assign vocabulary ``words`` to an existing ``concept``."""
+        if concept not in self._concepts:
+            raise EmbeddingError(f"unknown concept {concept!r}")
+        spec = self._concepts[concept]
+        centroid = self._centroids[concept]
+        # the spread is interpreted as the expected *norm* of the word noise
+        # relative to the (unit-norm) concept centroid, so cluster tightness
+        # does not depend on the embedding dimensionality.
+        noise_scale = spec.spread / np.sqrt(self.dimension)
+        for word in words:
+            key = WordEmbedding.canonical(word)
+            if not key:
+                continue
+            noise = self._rng.normal(0.0, noise_scale, self.dimension)
+            self._word_vectors[key] = centroid + noise
+            self._word_concepts[key] = concept
+            spec.words.append(key)
+
+    def add_background_words(self, words: list[str], scale: float = 1.0) -> None:
+        """Add unstructured vocabulary (uniformly random unit-scale vectors)."""
+        for word in words:
+            key = WordEmbedding.canonical(word)
+            if not key:
+                continue
+            vector = self._rng.normal(0.0, scale / np.sqrt(self.dimension), self.dimension)
+            self._word_vectors[key] = vector
+            self._word_concepts[key] = "__background__"
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def concepts(self) -> dict[str, ConceptSpec]:
+        """All registered concepts."""
+        return dict(self._concepts)
+
+    def concept_centroid(self, name: str) -> np.ndarray:
+        """Centroid of a registered concept."""
+        if name not in self._centroids:
+            raise EmbeddingError(f"unknown concept {name!r}")
+        return self._centroids[name].copy()
+
+    def concept_of(self, word: str) -> str | None:
+        """The concept a word was assigned to (``None`` if unknown)."""
+        return self._word_concepts.get(WordEmbedding.canonical(word))
+
+    def __len__(self) -> int:
+        return len(self._word_vectors)
+
+    # ------------------------------------------------------------------ #
+    # materialisation
+    # ------------------------------------------------------------------ #
+    def build(self) -> WordEmbedding:
+        """Materialise the vocabulary into a :class:`WordEmbedding`."""
+        if not self._word_vectors:
+            raise EmbeddingError("no words added to the synthetic space")
+        embedding = WordEmbedding(self.dimension)
+        for word, vector in self._word_vectors.items():
+            embedding.add(word, vector)
+        return embedding

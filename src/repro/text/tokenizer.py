@@ -1,0 +1,147 @@
+"""Longest-match tokenization and initial vector assignment (paper §3.1).
+
+Every text value in the database is tokenised against the embedding
+vocabulary using a prefix trie so that multi-word phrases are preferred over
+their constituent words.  The initial vector of a text value is the centroid
+of its matched token vectors; values without any match receive a null vector
+which the retrofitting later replaces with a meaningful representation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TokenizationError
+from repro.text.embedding import WordEmbedding
+from repro.text.trie import TokenTrie
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:'[a-z]+)?")
+
+
+def normalise_text(text: str) -> list[str]:
+    """Split ``text`` into lower-case alphanumeric tokens.
+
+    Underscores and hyphens act as token separators so that both
+    ``"Luc_Besson"`` and ``"Luc Besson"`` normalise to ``["luc", "besson"]``.
+    """
+    lowered = text.lower().replace("_", " ").replace("-", " ")
+    return _TOKEN_PATTERN.findall(lowered)
+
+
+@dataclass
+class TokenizationResult:
+    """The outcome of tokenising one text value.
+
+    Attributes
+    ----------
+    text:
+        The original text value.
+    matched_phrases:
+        Vocabulary phrases found by the longest-match scan, in order.
+    unmatched_tokens:
+        Tokens with no vocabulary entry (contributing nothing to the vector).
+    vector:
+        Centroid of the matched phrase vectors, or ``None`` if nothing matched.
+    """
+
+    text: str
+    matched_phrases: list[str] = field(default_factory=list)
+    unmatched_tokens: list[str] = field(default_factory=list)
+    vector: np.ndarray | None = None
+
+    @property
+    def is_out_of_vocabulary(self) -> bool:
+        """Whether no token of the text value had an embedding."""
+        return self.vector is None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of tokens covered by matched phrases (0.0 for empty text)."""
+        matched_tokens = sum(len(p.split("_")) for p in self.matched_phrases)
+        total = matched_tokens + len(self.unmatched_tokens)
+        if total == 0:
+            return 0.0
+        return matched_tokens / total
+
+
+class Tokenizer:
+    """Tokenises text values against an embedding vocabulary.
+
+    Parameters
+    ----------
+    embedding:
+        The word embedding whose vocabulary defines valid phrases.
+    use_trie:
+        When ``True`` (default), a prefix trie enables longest-phrase
+        matching; when ``False`` only single tokens are looked up.  The
+        latter is kept for the tokenizer ablation benchmark.
+    """
+
+    def __init__(self, embedding: WordEmbedding, use_trie: bool = True) -> None:
+        if len(embedding) == 0:
+            raise TokenizationError("cannot tokenise against an empty vocabulary")
+        self.embedding = embedding
+        self.use_trie = use_trie
+        self._trie = TokenTrie()
+        if use_trie:
+            for phrase in embedding.vocabulary:
+                tokens = phrase.split("_")
+                self._trie.insert(tokens, phrase)
+
+    def tokenize(self, text: str) -> TokenizationResult:
+        """Tokenise ``text`` and compute its initial (centroid) vector."""
+        tokens = normalise_text(text)
+        matched: list[str] = []
+        unmatched: list[str] = []
+        position = 0
+        while position < len(tokens):
+            phrase = None
+            length = 0
+            if self.use_trie:
+                length, phrase = self._trie.longest_match(tokens, position)
+            if not self.use_trie or length == 0:
+                candidate = tokens[position]
+                if candidate in self.embedding:
+                    phrase, length = candidate, 1
+            if phrase is not None and length > 0:
+                matched.append(phrase)
+                position += length
+            else:
+                unmatched.append(tokens[position])
+                position += 1
+        vector: np.ndarray | None = None
+        if matched:
+            vectors = [self.embedding[phrase] for phrase in matched]
+            vector = np.mean(np.vstack(vectors), axis=0)
+        return TokenizationResult(
+            text=text,
+            matched_phrases=matched,
+            unmatched_tokens=unmatched,
+            vector=vector,
+        )
+
+    def initial_vector(self, text: str) -> np.ndarray:
+        """The centroid vector for ``text`` or a null vector when OOV."""
+        result = self.tokenize(text)
+        if result.vector is None:
+            return np.zeros(self.embedding.dimension)
+        return result.vector
+
+    def vectorize_all(self, texts: list[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorise many text values at once.
+
+        Returns ``(matrix, oov_mask)`` where ``matrix`` has one row per text
+        value and ``oov_mask`` marks rows that received a null vector.
+        """
+        matrix = np.zeros((len(texts), self.embedding.dimension))
+        oov = np.zeros(len(texts), dtype=bool)
+        for index, text in enumerate(texts):
+            result = self.tokenize(text)
+            if result.vector is None:
+                oov[index] = True
+            else:
+                matrix[index] = result.vector
+        return matrix, oov

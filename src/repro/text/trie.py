@@ -1,0 +1,82 @@
+"""A token-level prefix tree used for longest-phrase-match tokenization.
+
+The paper (Section 3.1) builds a lookup trie over the embedding vocabulary so
+that multi-word phrases such as ``bank account`` are matched as a single
+vocabulary entry instead of being split into ``bank`` + ``account``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class _TrieNode:
+    __slots__ = ("children", "phrase")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.phrase: str | None = None
+
+
+class TokenTrie:
+    """A prefix tree over token sequences.
+
+    Each inserted phrase is a sequence of tokens; terminal nodes remember the
+    canonical phrase string so that lookups can return the exact vocabulary
+    key to use for the embedding lookup.
+    """
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, tokens: list[str], phrase: str | None = None) -> None:
+        """Insert a phrase given as its token sequence.
+
+        ``phrase`` defaults to the underscore-joined token sequence, matching
+        the convention of :class:`repro.text.WordEmbedding`.
+        """
+        if not tokens:
+            return
+        node = self._root
+        for token in tokens:
+            node = node.children.setdefault(token, _TrieNode())
+        if node.phrase is None:
+            self._size += 1
+        node.phrase = phrase if phrase is not None else "_".join(tokens)
+
+    def insert_many(self, phrases: Iterable[list[str]]) -> None:
+        """Insert many token sequences."""
+        for tokens in phrases:
+            self.insert(tokens)
+
+    def contains(self, tokens: list[str]) -> bool:
+        """Whether the exact token sequence was inserted."""
+        node = self._root
+        for token in tokens:
+            node = node.children.get(token)
+            if node is None:
+                return False
+        return node.phrase is not None
+
+    def longest_match(self, tokens: list[str], start: int = 0) -> tuple[int, str | None]:
+        """Length and phrase of the longest inserted prefix of ``tokens[start:]``.
+
+        Returns ``(0, None)`` when not even the first token matches.
+        """
+        node = self._root
+        best_length = 0
+        best_phrase: str | None = None
+        length = 0
+        for position in range(start, len(tokens)):
+            node = node.children.get(tokens[position])
+            if node is None:
+                break
+            length += 1
+            if node.phrase is not None:
+                best_length = length
+                best_phrase = node.phrase
+        return best_length, best_phrase

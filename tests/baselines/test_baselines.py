@@ -1,0 +1,127 @@
+"""Tests for the mode-imputation and DataWig-style baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.datawig import (
+    NGramFeaturizer,
+    NGramImputer,
+    denormalise_spreadsheet,
+)
+from repro.baselines.mode_imputation import ModeImputer
+from repro.errors import ExperimentError
+
+
+class TestModeImputer:
+    def test_mode_and_accuracy(self):
+        imputer = ModeImputer().fit(["en", "en", "fr", "en", "de"])
+        assert imputer.mode == "en"
+        assert imputer.predict(3) == ["en", "en", "en"]
+        assert imputer.accuracy(["en", "fr", "en", "en"]) == pytest.approx(0.75)
+
+    def test_fit_before_predict(self):
+        with pytest.raises(ExperimentError):
+            ModeImputer().predict(1)
+
+    def test_empty_inputs(self):
+        with pytest.raises(ExperimentError):
+            ModeImputer().fit([])
+        imputer = ModeImputer().fit(["a"])
+        with pytest.raises(ExperimentError):
+            imputer.accuracy([])
+
+
+class TestNGramFeaturizer:
+    def test_vector_properties(self):
+        featurizer = NGramFeaturizer(n_features=64)
+        vector = featurizer.transform_text("banking app")
+        assert vector.shape == (64,)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        featurizer = NGramFeaturizer(n_features=64)
+        assert np.allclose(
+            featurizer.transform_text("hello"), featurizer.transform_text("hello")
+        )
+
+    def test_similar_strings_share_buckets(self):
+        featurizer = NGramFeaturizer(n_features=256)
+        a = featurizer.transform_text("banking application")
+        b = featurizer.transform_text("banking applications")
+        c = featurizer.transform_text("zzz qqq xxx")
+        assert a @ b > a @ c
+
+    def test_row_transform_concatenates_columns(self):
+        featurizer = NGramFeaturizer(n_features=32)
+        rows = [{"a": "x", "b": "y"}, {"a": None, "b": "z"}]
+        features = featurizer.transform_rows(rows, ["a", "b"])
+        assert features.shape == (2, 64)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            NGramFeaturizer(n_features=0)
+        with pytest.raises(ExperimentError):
+            NGramFeaturizer(ngram_range=(3, 2))
+
+
+class TestNGramImputer:
+    @staticmethod
+    def make_rows(n_per_class=40, seed=0):
+        rng = np.random.default_rng(seed)
+        finance_words = ["banking", "budget", "loan", "invest", "wallet"]
+        fitness_words = ["workout", "yoga", "steps", "calorie", "running"]
+        rows = []
+        for _ in range(n_per_class):
+            rows.append({
+                "name": " ".join(rng.choice(finance_words, 2)),
+                "category": "finance",
+            })
+            rows.append({
+                "name": " ".join(rng.choice(fitness_words, 2)),
+                "category": "fitness",
+            })
+        rng.shuffle(rows)
+        return rows
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            NGramImputer(input_columns=[], output_column="y")
+        imputer = NGramImputer(["name"], "category")
+        with pytest.raises(ExperimentError):
+            imputer.predict([{"name": "x"}])
+        with pytest.raises(ExperimentError):
+            imputer.fit([{"name": "x", "category": "a"}])
+
+    def test_learns_simple_imputation(self):
+        rows = self.make_rows()
+        imputer = NGramImputer(["name"], "category", n_features=128,
+                               hidden_units=(32,), epochs=40)
+        imputer.fit(rows[:60])
+        assert imputer.accuracy(rows[60:]) > 0.8
+
+    def test_predict_returns_known_labels(self):
+        rows = self.make_rows(10)
+        imputer = NGramImputer(["name"], "category", n_features=64,
+                               hidden_units=(16,), epochs=10)
+        imputer.fit(rows)
+        predictions = imputer.predict(rows)
+        assert set(predictions) <= {"finance", "fitness"}
+
+
+class TestDenormaliseSpreadsheet:
+    def test_foreign_keys_resolved_to_text(self, toy_dataset):
+        rows = denormalise_spreadsheet(toy_dataset.database, "movies")
+        assert len(rows) == 3
+        amelie = next(row for row in rows if row["title"] == "amelie")
+        assert amelie["country_id__resolved"] == "france"
+
+    def test_plain_columns_preserved(self, toy_dataset):
+        rows = denormalise_spreadsheet(toy_dataset.database, "countries")
+        assert {row["name"] for row in rows} == {"france", "usa"}
+
+    def test_tmdb_spreadsheet_has_no_link_table_content(self, small_tmdb):
+        rows = denormalise_spreadsheet(small_tmdb.database, "movies")
+        columns = set(rows[0])
+        # persons/genres are only reachable through link tables and must be absent
+        assert not any("person" in column for column in columns)
+        assert not any("genre" in column for column in columns)

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test-suite.
+
+Expensive artefacts (the synthetic datasets, their extraction results and
+base matrices) are built once per session and reused by many test modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_toy_movie_database, generate_google_play, generate_tmdb
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.initialization import initialise_vectors
+from repro.text.tokenizer import Tokenizer
+
+
+@pytest.fixture(scope="session")
+def small_tmdb():
+    """A small synthetic TMDB dataset shared across the suite."""
+    return generate_tmdb(num_movies=60, seed=1, embedding_dimension=24)
+
+
+@pytest.fixture(scope="session")
+def small_google_play():
+    """A small synthetic Google Play dataset shared across the suite."""
+    return generate_google_play(num_apps=40, seed=1, embedding_dimension=24)
+
+
+@pytest.fixture(scope="session")
+def toy_dataset():
+    """The Figure-3 toy dataset (3 movies, 2 countries, 2-d embedding)."""
+    return build_toy_movie_database()
+
+
+@pytest.fixture(scope="session")
+def tmdb_extraction(small_tmdb):
+    """Extraction result of the small TMDB database."""
+    return extract_text_values(small_tmdb.database)
+
+
+@pytest.fixture(scope="session")
+def tmdb_tokenizer(small_tmdb):
+    """Tokenizer built over the TMDB embedding vocabulary."""
+    return Tokenizer(small_tmdb.embedding)
+
+
+@pytest.fixture(scope="session")
+def tmdb_base(small_tmdb, tmdb_extraction, tmdb_tokenizer):
+    """Initialised base matrix W0 for the small TMDB extraction."""
+    return initialise_vectors(tmdb_extraction, small_tmdb.embedding, tmdb_tokenizer)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(0)

@@ -1,0 +1,83 @@
+"""Tests for the Google Play generator and the Figure-3 toy dataset."""
+
+import pytest
+
+from repro.datasets import build_toy_movie_database, generate_google_play
+from repro.datasets import vocabulary as vocab
+from repro.errors import DatasetError
+from repro.retrofit.extraction import extract_text_values
+
+
+class TestGooglePlay:
+    def test_table_counts_match_paper_shape(self, small_google_play):
+        summary = small_google_play.summary()
+        assert summary["tables"] == 6
+        assert summary["link_tables"] == 1
+
+    def test_every_app_has_a_category(self, small_google_play):
+        apps = small_google_play.database.table("apps").distinct_values("name")
+        assert set(small_google_play.app_category) == set(apps)
+        assert set(small_google_play.app_category.values()) <= set(
+            vocab.APP_CATEGORIES
+        )
+
+    def test_thirty_three_categories_available(self, small_google_play):
+        assert len(small_google_play.category_names) == 33
+        assert len(small_google_play.database.table("categories")) == 33
+
+    def test_reviews_reference_apps(self, small_google_play):
+        db = small_google_play.database
+        apps = db.table("apps")
+        for review in db.table("reviews"):
+            assert apps.get_by_key(review["app_id"]) is not None
+
+    def test_every_app_has_reviews(self, small_google_play):
+        db = small_google_play.database
+        reviewed = {row["app_id"] for row in db.table("reviews")}
+        assert reviewed == {row["id"] for row in db.table("apps")}
+
+    def test_spreadsheet_rows(self, small_google_play):
+        rows = small_google_play.spreadsheet_rows()
+        assert len(rows) == small_google_play.num_apps
+        assert {"name", "pricing", "age_group", "category"} <= set(rows[0])
+        assert all(row["pricing"] in vocab.PRICING_TYPES for row in rows)
+
+    def test_determinism(self):
+        first = generate_google_play(num_apps=15, seed=4, embedding_dimension=16)
+        second = generate_google_play(num_apps=15, seed=4, embedding_dimension=16)
+        assert first.app_category == second.app_category
+
+    def test_minimum_size(self):
+        with pytest.raises(DatasetError):
+            generate_google_play(num_apps=1)
+
+    def test_review_words_match_category_cluster(self, small_google_play):
+        embedding = small_google_play.embedding
+        within = embedding.cosine_similarity("banking", "budget")
+        between = embedding.cosine_similarity("banking", "yoga")
+        assert within > between
+
+
+class TestToyDataset:
+    def test_structure(self, toy_dataset):
+        summary = toy_dataset.database.summary()
+        assert summary["tables"] == 2
+        assert summary["unique_text_values"] == 5
+
+    def test_embedding_is_two_dimensional(self, toy_dataset):
+        assert toy_dataset.embedding.dimension == 2
+        assert len(toy_dataset.embedding) == 5
+
+    def test_movie_country_ground_truth(self, toy_dataset):
+        assert toy_dataset.movie_country == {
+            "amelie": "france", "inception": "usa", "godfather": "usa",
+        }
+
+    def test_extraction_matches_figure(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        assert len(extraction.relation_groups) == 1
+        assert len(extraction.relation_groups[0]) == 3
+
+    def test_higher_dimensional_variant(self):
+        toy = build_toy_movie_database(dimension=8)
+        assert toy.embedding.dimension == 8

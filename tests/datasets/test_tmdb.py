@@ -1,0 +1,122 @@
+"""Tests for the synthetic TMDB dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.datasets import vocabulary as vocab
+from repro.datasets.tmdb import build_movie_embedding_space
+from repro.errors import DatasetError
+
+
+class TestSchemaShape:
+    def test_table_counts_match_paper_shape(self, small_tmdb):
+        summary = small_tmdb.summary()
+        assert summary["tables"] == 8
+        assert summary["link_tables"] == 6
+
+    def test_text_columns(self, small_tmdb):
+        categories = {str(ref) for ref in small_tmdb.database.text_columns()}
+        assert {"movies.title", "movies.original_language", "movies.overview",
+                "persons.name", "genres.name", "countries.name",
+                "reviews.text"} <= categories
+
+    def test_numeric_columns_for_regression(self, small_tmdb):
+        numeric = {str(ref) for ref in small_tmdb.database.numeric_columns()}
+        assert "movies.budget" in numeric
+        assert "movies.revenue" in numeric
+
+    def test_link_tables_are_detected(self, small_tmdb):
+        db = small_tmdb.database
+        for name in ("movie_directors", "movie_genres", "movie_countries"):
+            assert db.is_link_table(name)
+
+
+class TestGroundTruth:
+    def test_every_movie_has_labels(self, small_tmdb):
+        titles = set(small_tmdb.database.table("movies").distinct_values("title"))
+        assert set(small_tmdb.movie_language) == titles
+        assert set(small_tmdb.movie_budget) == titles
+        assert set(small_tmdb.movie_genres) == titles
+
+    def test_languages_come_from_vocabulary(self, small_tmdb):
+        assert set(small_tmdb.movie_language.values()) <= set(vocab.LANGUAGES)
+
+    def test_director_citizenship_covers_directed_movies(self, small_tmdb):
+        directors_in_db = set()
+        db = small_tmdb.database
+        persons = db.table("persons")
+        for row in db.table("movie_directors"):
+            directors_in_db.add(persons.get_by_key(row["person_id"])["name"])
+        assert directors_in_db <= set(small_tmdb.director_citizenship)
+
+    def test_both_citizenship_classes_present(self, small_tmdb):
+        labels = set(small_tmdb.director_is_us().values())
+        assert labels == {True, False}
+
+    def test_budgets_positive_and_tiered(self, small_tmdb):
+        budgets = np.array(list(small_tmdb.movie_budget.values()))
+        assert np.all(budgets > 0)
+        assert budgets.max() / budgets.min() > 5.0
+
+    def test_genres_are_valid(self, small_tmdb):
+        for genres in small_tmdb.movie_genres.values():
+            assert 1 <= len(genres) <= 3
+            assert set(genres) <= set(small_tmdb.genre_names)
+
+
+class TestGeneration:
+    def test_determinism(self):
+        first = generate_tmdb(num_movies=20, seed=5, embedding_dimension=16)
+        second = generate_tmdb(num_movies=20, seed=5, embedding_dimension=16)
+        assert first.summary() == second.summary()
+        assert first.movie_language == second.movie_language
+
+    def test_different_seeds_differ(self):
+        first = generate_tmdb(num_movies=20, seed=1, embedding_dimension=16)
+        second = generate_tmdb(num_movies=20, seed=2, embedding_dimension=16)
+        assert first.movie_language != second.movie_language
+
+    def test_size_scales(self):
+        small = generate_tmdb(num_movies=20, seed=0, embedding_dimension=16)
+        large = generate_tmdb(num_movies=60, seed=0, embedding_dimension=16)
+        assert large.summary()["unique_text_values"] > small.summary()["unique_text_values"]
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(DatasetError):
+            generate_tmdb(num_movies=2)
+
+    def test_shared_embedding_reuse(self):
+        embedding = build_movie_embedding_space(dimension=16, seed=0).build()
+        dataset = generate_tmdb(num_movies=15, seed=0, embedding=embedding)
+        assert dataset.embedding is embedding
+
+    def test_referential_integrity_enforced_on_build(self, small_tmdb):
+        # generation succeeded, so every foreign key resolved; spot-check one
+        db = small_tmdb.database
+        movies = db.table("movies")
+        for row in db.table("movie_countries"):
+            assert movies.get_by_key(row["movie_id"]) is not None
+
+
+class TestEmbeddingSpace:
+    def test_language_and_demonym_are_in_vocabulary(self, small_tmdb):
+        for country in vocab.COUNTRIES:
+            assert country.language in small_tmdb.embedding
+            assert country.demonym in small_tmdb.embedding
+
+    def test_some_person_names_are_out_of_vocabulary(self, small_tmdb):
+        names = small_tmdb.database.table("persons").distinct_values("name")
+        tokens = {token for name in names for token in name.split()}
+        missing = [token for token in tokens if token not in small_tmdb.embedding]
+        assert missing, "expected a share of person-name tokens to be OOV"
+
+    def test_invalid_vocab_fraction(self):
+        with pytest.raises(DatasetError):
+            build_movie_embedding_space(name_vocab_fraction=1.5)
+
+    def test_genre_words_cluster_by_genre(self, small_tmdb):
+        embedding = small_tmdb.embedding
+        within = embedding.cosine_similarity("haunted", "nightmare")
+        between = embedding.cosine_similarity("haunted", "wedding")
+        assert within > between

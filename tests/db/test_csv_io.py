@@ -1,0 +1,93 @@
+"""Tests for CSV import/export."""
+
+import pytest
+
+from repro.db.csv_io import load_csv_directory, read_csv_table, write_csv_table
+from repro.db.database import build_table_schema
+from repro.db.table import Table
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    path = tmp_path / "movies.csv"
+    path.write_text(
+        "id,title,budget,released\n"
+        "1,amelie,1000000,true\n"
+        "2,inception,200000000,false\n"
+        "3,godfather,,true\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_types_are_inferred(self, csv_file):
+        table = read_csv_table(csv_file)
+        assert table.schema.column("id").column_type is ColumnType.INTEGER
+        assert table.schema.column("title").column_type is ColumnType.TEXT
+        assert table.schema.column("budget").column_type is ColumnType.INTEGER
+        assert table.schema.column("released").column_type is ColumnType.BOOLEAN
+
+    def test_rows_and_nulls(self, csv_file):
+        table = read_csv_table(csv_file)
+        assert len(table) == 3
+        assert table.rows[2]["budget"] is None
+
+    def test_table_name_defaults_to_stem(self, csv_file):
+        assert read_csv_table(csv_file).name == "movies"
+
+    def test_type_override(self, csv_file):
+        table = read_csv_table(
+            csv_file, column_types={"budget": ColumnType.FLOAT}
+        )
+        assert table.rows[0]["budget"] == pytest.approx(1_000_000.0)
+
+    def test_primary_key(self, csv_file):
+        table = read_csv_table(csv_file, primary_key="id")
+        assert table.get_by_key(2)["title"] == "inception"
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("", encoding="utf-8")
+        with pytest.raises(SchemaError):
+            read_csv_table(empty)
+
+    def test_null_literals(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\nNULL,x\nn/a,y\n", encoding="utf-8")
+        table = read_csv_table(path)
+        assert table.rows[0]["a"] is None
+        assert table.rows[1]["a"] is None
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, csv_file, tmp_path):
+        table = read_csv_table(csv_file)
+        out = tmp_path / "out" / "movies.csv"
+        write_csv_table(table, out)
+        again = read_csv_table(out)
+        assert [r["title"] for r in again] == [r["title"] for r in table]
+        assert again.rows[2]["budget"] is None
+
+
+class TestLoadDirectory:
+    def test_loads_all_csv_files(self, tmp_path):
+        (tmp_path / "a.csv").write_text("id,name\n1,x\n", encoding="utf-8")
+        (tmp_path / "b.csv").write_text("id,label\n1,y\n2,z\n", encoding="utf-8")
+        db = load_csv_directory(tmp_path, "demo")
+        assert set(db.table_names) == {"a", "b"}
+        assert len(db.table("b")) == 2
+
+    def test_respects_provided_schema(self, tmp_path):
+        (tmp_path / "cities.csv").write_text(
+            "id,name\n1,paris\n2,rome\n", encoding="utf-8"
+        )
+        schema = build_table_schema(
+            "cities",
+            [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+            primary_key="id",
+        )
+        db = load_csv_directory(tmp_path, schemas={"cities": schema})
+        assert db.table("cities").get_by_key(1)["name"] == "paris"

@@ -1,0 +1,171 @@
+"""Tests for the Database container: constraints, reflection, statistics."""
+
+import pytest
+
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError
+
+
+@pytest.fixture()
+def movie_db():
+    db = Database("movies_db")
+    db.create_table(build_table_schema(
+        "countries",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id",
+    ))
+    db.create_table(build_table_schema(
+        "persons",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+        primary_key="id",
+    ))
+    db.create_table(build_table_schema(
+        "movies",
+        [
+            ("id", ColumnType.INTEGER),
+            ("title", ColumnType.TEXT),
+            ("language", ColumnType.TEXT),
+            ("budget", ColumnType.FLOAT),
+            ("country_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("country_id", "countries", "id")],
+    ))
+    db.create_table(build_table_schema(
+        "movie_persons",
+        [
+            ("id", ColumnType.INTEGER),
+            ("movie_id", ColumnType.INTEGER),
+            ("person_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[
+            ForeignKey("movie_id", "movies", "id"),
+            ForeignKey("person_id", "persons", "id"),
+        ],
+    ))
+    db.insert("countries", {"id": 1, "name": "france"})
+    db.insert("countries", {"id": 2, "name": "usa"})
+    db.insert("persons", {"id": 1, "name": "luc besson"})
+    db.insert("movies", {"id": 1, "title": "amelie", "language": "french",
+                         "budget": 1e6, "country_id": 1})
+    db.insert("movies", {"id": 2, "title": "inception", "language": "english",
+                         "budget": 2e8, "country_id": 2})
+    db.insert("movie_persons", {"id": 1, "movie_id": 1, "person_id": 1})
+    return db
+
+
+class TestTableManagement:
+    def test_duplicate_table_rejected(self, movie_db):
+        with pytest.raises(SchemaError):
+            movie_db.create_table(build_table_schema(
+                "movies", [("id", ColumnType.INTEGER)], primary_key="id"
+            ))
+
+    def test_foreign_key_to_unknown_table_rejected(self):
+        db = Database()
+        with pytest.raises(SchemaError):
+            db.create_table(build_table_schema(
+                "reviews",
+                [("id", ColumnType.INTEGER), ("movie_id", ColumnType.INTEGER)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("movie_id", "movies", "id")],
+            ))
+
+    def test_drop_table(self, movie_db):
+        movie_db.drop_table("movie_persons")
+        assert not movie_db.has_table("movie_persons")
+
+    def test_drop_referenced_table_rejected(self, movie_db):
+        with pytest.raises(IntegrityError):
+            movie_db.drop_table("countries")
+
+    def test_unknown_table_lookup(self, movie_db):
+        with pytest.raises(SchemaError):
+            movie_db.table("nope")
+        with pytest.raises(SchemaError):
+            movie_db.drop_table("nope")
+
+    def test_table_names_order(self, movie_db):
+        assert movie_db.table_names == [
+            "countries", "persons", "movies", "movie_persons"
+        ]
+
+
+class TestForeignKeys:
+    def test_insert_with_valid_fk(self, movie_db):
+        movie_db.insert("movies", {"id": 3, "title": "godfather",
+                                   "language": "english", "budget": 6e6,
+                                   "country_id": 2})
+        assert len(movie_db.table("movies")) == 3
+
+    def test_insert_with_dangling_fk_rejected(self, movie_db):
+        with pytest.raises(IntegrityError):
+            movie_db.insert("movies", {"id": 3, "title": "ghost",
+                                       "language": "english", "budget": 0.0,
+                                       "country_id": 99})
+
+    def test_null_fk_is_allowed(self, movie_db):
+        movie_db.insert("movies", {"id": 4, "title": "orphan",
+                                   "language": "english", "budget": 0.0,
+                                   "country_id": None})
+        assert movie_db.table("movies").get_by_key(4)["country_id"] is None
+
+
+class TestReflection:
+    def test_text_columns(self, movie_db):
+        refs = {str(ref) for ref in movie_db.text_columns()}
+        assert refs == {"countries.name", "persons.name", "movies.title",
+                        "movies.language"}
+
+    def test_numeric_columns_include_budget(self, movie_db):
+        refs = {str(ref) for ref in movie_db.numeric_columns()}
+        assert "movies.budget" in refs
+
+    def test_link_table_detection(self, movie_db):
+        assert movie_db.is_link_table("movie_persons")
+        assert not movie_db.is_link_table("movies")
+        assert not movie_db.is_link_table("countries")
+
+    def test_relationship_kinds(self, movie_db):
+        specs = movie_db.relationships()
+        kinds = {spec.kind for spec in specs}
+        assert kinds == {"row", "fk", "m2m"}
+
+    def test_row_relationship_between_title_and_language(self, movie_db):
+        names = [spec.name for spec in movie_db.relationships()]
+        assert "movies.title->movies.language[row]" in names
+
+    def test_fk_relationship_carries_fk_column(self, movie_db):
+        fk_specs = [s for s in movie_db.relationships() if s.kind == "fk"]
+        assert all(spec.fk_column == "country_id" for spec in fk_specs)
+
+    def test_m2m_relationship_via_link_table(self, movie_db):
+        m2m = [s for s in movie_db.relationships() if s.kind == "m2m"]
+        assert m2m and all(spec.via == "movie_persons" for spec in m2m)
+        assert all(spec.via_source_fk == "movie_id" for spec in m2m)
+
+
+class TestStatistics:
+    def test_counts(self, movie_db):
+        assert movie_db.count_tables() == 4
+        assert movie_db.count_tables(include_link_tables=False) == 3
+        assert movie_db.count_link_tables() == 1
+        assert movie_db.count_rows() == 6
+
+    def test_unique_text_values_per_column(self, movie_db):
+        # same string in two different columns counts twice (paper §3.3)
+        movie_db.insert("persons", {"id": 2, "name": "amelie"})
+        assert movie_db.unique_text_values() == 2 + 2 + 2 + 2
+
+    def test_repeated_value_in_one_column_counts_once(self, movie_db):
+        movie_db.insert("countries", {"id": 3, "name": "usa"})
+        summary = movie_db.summary()
+        assert summary["unique_text_values"] == 2 + 1 + 2 + 2
+
+    def test_summary_keys(self, movie_db):
+        summary = movie_db.summary()
+        assert {"name", "tables", "link_tables", "rows", "text_columns",
+                "unique_text_values", "relationships"} <= set(summary)

@@ -1,0 +1,138 @@
+"""Tests for the functional query layer."""
+
+import pytest
+
+from repro.db.database import build_table_schema
+from repro.db.query import (
+    Predicate,
+    aggregate,
+    group_by,
+    inner_join,
+    mode_value,
+    select,
+)
+from repro.db.table import Table
+from repro.db.types import ColumnType
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def movies():
+    table = Table(build_table_schema(
+        "movies",
+        [("id", ColumnType.INTEGER), ("title", ColumnType.TEXT),
+         ("genre", ColumnType.TEXT), ("budget", ColumnType.FLOAT)],
+        primary_key="id",
+    ))
+    table.insert_many([
+        {"id": 1, "title": "amelie", "genre": "romance", "budget": 1.0},
+        {"id": 2, "title": "inception", "genre": "thriller", "budget": 8.0},
+        {"id": 3, "title": "heat", "genre": "thriller", "budget": 6.0},
+        {"id": 4, "title": "nosferatu", "genre": "horror", "budget": None},
+    ])
+    return table
+
+
+@pytest.fixture()
+def reviews():
+    table = Table(build_table_schema(
+        "reviews",
+        [("id", ColumnType.INTEGER), ("movie_id", ColumnType.INTEGER),
+         ("stars", ColumnType.INTEGER)],
+        primary_key="id",
+    ))
+    table.insert_many([
+        {"id": 1, "movie_id": 1, "stars": 5},
+        {"id": 2, "movie_id": 2, "stars": 4},
+        {"id": 3, "movie_id": 2, "stars": 3},
+    ])
+    return table
+
+
+class TestPredicate:
+    def test_equality(self, movies):
+        rows = select(movies, where=Predicate("genre", "==", "thriller"))
+        assert len(rows) == 2
+
+    @pytest.mark.parametrize("operator,value,expected", [
+        ("!=", "thriller", 2),
+        ("<", 6.0, 1),
+        ("<=", 6.0, 2),
+        (">", 1.0, 2),
+        (">=", 6.0, 2),
+        ("in", ["romance", "horror"], 2),
+        ("not in", ["romance", "horror"], 2),
+    ])
+    def test_operators(self, movies, operator, value, expected):
+        column = "budget" if isinstance(value, float) else "genre"
+        rows = select(movies, where=Predicate(column, operator, value))
+        assert len(rows) == expected
+
+    def test_null_checks(self, movies):
+        assert len(select(movies, where=Predicate("budget", "is null"))) == 1
+        assert len(select(movies, where=Predicate("budget", "is not null"))) == 3
+
+    def test_null_values_never_match_comparisons(self, movies):
+        rows = select(movies, where=Predicate("budget", ">", 0.0))
+        assert all(row["budget"] is not None for row in rows)
+
+    def test_unknown_operator(self, movies):
+        with pytest.raises(QueryError):
+            select(movies, where=Predicate("budget", "~", 1))
+
+    def test_unknown_column(self, movies):
+        with pytest.raises(QueryError):
+            select(movies, where=Predicate("missing", "==", 1))
+
+
+class TestSelect:
+    def test_projection(self, movies):
+        rows = select(movies, columns=["title"])
+        assert rows[0] == {"title": "amelie"}
+
+    def test_projection_unknown_column(self, movies):
+        with pytest.raises(QueryError):
+            select(movies, columns=["missing"])
+
+    def test_limit(self, movies):
+        assert len(select(movies, limit=2)) == 2
+
+    def test_select_returns_copies(self, movies):
+        rows = select(movies)
+        rows[0]["title"] = "changed"
+        assert movies.rows[0]["title"] == "amelie"
+
+
+class TestJoinGroupAggregate:
+    def test_inner_join(self, movies, reviews):
+        joined = inner_join(movies, reviews, "id", "movie_id")
+        assert len(joined) == 3
+        assert {row["left_title"] for row in joined} == {"amelie", "inception"}
+
+    def test_join_missing_column(self, movies, reviews):
+        with pytest.raises(QueryError):
+            inner_join(movies, reviews, "nope", "movie_id")
+
+    def test_group_by(self, movies):
+        groups = group_by(movies.rows, "genre")
+        assert len(groups["thriller"]) == 2
+
+    def test_aggregates(self, movies):
+        assert aggregate(movies.rows, "budget", "count") == 3
+        assert aggregate(movies.rows, "budget", "sum") == pytest.approx(15.0)
+        assert aggregate(movies.rows, "budget", "avg") == pytest.approx(5.0)
+        assert aggregate(movies.rows, "budget", "min") == pytest.approx(1.0)
+        assert aggregate(movies.rows, "budget", "max") == pytest.approx(8.0)
+
+    def test_aggregate_mode_and_unknown(self, movies):
+        assert aggregate(movies.rows, "genre", "mode") == "thriller"
+        with pytest.raises(QueryError):
+            aggregate(movies.rows, "budget", "median")
+
+    def test_aggregate_on_empty(self):
+        with pytest.raises(QueryError):
+            aggregate([], "x", "avg")
+
+    def test_mode_value(self, movies):
+        assert mode_value(movies.rows, "genre") == "thriller"
+        assert mode_value([], "genre") is None

@@ -1,0 +1,96 @@
+"""Tests for Column, ForeignKey and TableSchema."""
+
+import pytest
+
+from repro.db.schema import Column, ForeignKey, TableSchema
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+def make_schema():
+    return TableSchema(
+        name="movies",
+        columns=[
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("title", ColumnType.TEXT),
+            Column("overview", ColumnType.TEXT),
+            Column("budget", ColumnType.FLOAT),
+            Column("collection_id", ColumnType.INTEGER),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("collection_id", "collections", "id")],
+    )
+
+
+class TestColumn:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_requires_column_type_instance(self):
+        with pytest.raises(SchemaError):
+            Column("x", "text")  # type: ignore[arg-type]
+
+
+class TestForeignKey:
+    def test_requires_all_fields(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("", "other", "id")
+
+
+class TestTableSchema:
+    def test_column_names_in_order(self):
+        schema = make_schema()
+        assert schema.column_names == [
+            "id", "title", "overview", "budget", "collection_id"
+        ]
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a"), Column("a")])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a")], primary_key="b")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", [Column("a")],
+                foreign_keys=[ForeignKey("missing", "other", "id")],
+            )
+
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_column_lookup(self):
+        schema = make_schema()
+        assert schema.column("title").column_type is ColumnType.TEXT
+        assert schema.has_column("budget")
+        assert not schema.has_column("missing")
+        with pytest.raises(SchemaError):
+            schema.column("missing")
+
+    def test_text_columns_exclude_keys(self):
+        schema = make_schema()
+        assert schema.text_columns() == ["title", "overview"]
+
+    def test_text_columns_can_include_keys(self):
+        schema = TableSchema(
+            "t",
+            [Column("code", ColumnType.TEXT), Column("label", ColumnType.TEXT)],
+            primary_key="code",
+        )
+        assert schema.text_columns() == ["label"]
+        assert schema.text_columns(exclude_keys=False) == ["code", "label"]
+
+    def test_numeric_columns(self):
+        schema = make_schema()
+        assert schema.numeric_columns() == ["id", "budget", "collection_id"]
+
+    def test_foreign_key_for(self):
+        schema = make_schema()
+        fk = schema.foreign_key_for("collection_id")
+        assert fk is not None and fk.ref_table == "collections"
+        assert schema.foreign_key_for("title") is None

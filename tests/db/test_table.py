@@ -1,0 +1,113 @@
+"""Tests for the Table row store."""
+
+import pytest
+
+from repro.db.database import build_table_schema
+from repro.db.table import Table
+from repro.db.types import ColumnType
+from repro.errors import IntegrityError, SchemaError
+
+
+@pytest.fixture()
+def people_table():
+    schema = build_table_schema(
+        "people",
+        [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT),
+         ("age", ColumnType.INTEGER)],
+        primary_key="id",
+        unique=["name"],
+    )
+    return Table(schema)
+
+
+class TestInsert:
+    def test_insert_and_len(self, people_table):
+        people_table.insert({"id": 1, "name": "ada", "age": 36})
+        people_table.insert({"id": 2, "name": "grace", "age": 45})
+        assert len(people_table) == 2
+
+    def test_missing_columns_become_null(self, people_table):
+        row = people_table.insert({"id": 1, "name": "ada"})
+        assert row["age"] is None
+
+    def test_unknown_column_rejected(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.insert({"id": 1, "name": "ada", "height": 170})
+
+    def test_primary_key_not_nullable(self, people_table):
+        with pytest.raises(IntegrityError):
+            people_table.insert({"name": "ada"})
+
+    def test_duplicate_primary_key_rejected(self, people_table):
+        people_table.insert({"id": 1, "name": "ada"})
+        with pytest.raises(IntegrityError):
+            people_table.insert({"id": 1, "name": "grace"})
+
+    def test_duplicate_unique_column_rejected(self, people_table):
+        people_table.insert({"id": 1, "name": "ada"})
+        with pytest.raises(IntegrityError):
+            people_table.insert({"id": 2, "name": "ada"})
+
+    def test_type_coercion_on_insert(self, people_table):
+        row = people_table.insert({"id": "3", "name": 42, "age": "7"})
+        assert row["id"] == 3 and row["name"] == "42" and row["age"] == 7
+
+    def test_insert_many(self, people_table):
+        count = people_table.insert_many(
+            {"id": i, "name": f"p{i}"} for i in range(5)
+        )
+        assert count == 5 and len(people_table) == 5
+
+
+class TestLookup:
+    def test_get_by_key(self, people_table):
+        people_table.insert({"id": 7, "name": "ada"})
+        assert people_table.get_by_key(7)["name"] == "ada"
+        assert people_table.get_by_key(99) is None
+
+    def test_get_by_key_requires_primary_key(self):
+        table = Table(build_table_schema("t", [("x", ColumnType.TEXT)]))
+        with pytest.raises(SchemaError):
+            table.get_by_key(1)
+
+    def test_column_values_and_nulls(self, people_table):
+        people_table.insert({"id": 1, "name": "ada", "age": 30})
+        people_table.insert({"id": 2, "name": "bob"})
+        assert people_table.column_values("age") == [30]
+        assert people_table.column_values("age", include_nulls=True) == [30, None]
+
+    def test_column_values_unknown_column(self, people_table):
+        with pytest.raises(SchemaError):
+            people_table.column_values("missing")
+
+    def test_distinct_values_order(self, people_table):
+        schema = build_table_schema("t", [("word", ColumnType.TEXT)])
+        table = Table(schema)
+        for word in ["b", "a", "b", "c", "a"]:
+            table.insert({"word": word})
+        assert table.distinct_values("word") == ["b", "a", "c"]
+
+    def test_select_rows_with_predicate(self, people_table):
+        people_table.insert({"id": 1, "name": "ada", "age": 30})
+        people_table.insert({"id": 2, "name": "bob", "age": 60})
+        old = people_table.select_rows(lambda row: row["age"] > 40)
+        assert [row["name"] for row in old] == ["bob"]
+
+
+class TestUpdate:
+    def test_update_where(self, people_table):
+        people_table.insert({"id": 1, "name": "ada", "age": 30})
+        people_table.insert({"id": 2, "name": "bob", "age": 60})
+        changed = people_table.update_where(lambda r: r["age"] > 40, {"age": 61})
+        assert changed == 1
+        assert people_table.get_by_key(2)["age"] == 61
+
+    def test_update_cannot_touch_keys(self, people_table):
+        people_table.insert({"id": 1, "name": "ada"})
+        with pytest.raises(IntegrityError):
+            people_table.update_where(lambda r: True, {"id": 5})
+
+    def test_update_unknown_column(self, people_table):
+        people_table.insert({"id": 1, "name": "ada"})
+        with pytest.raises(SchemaError):
+            people_table.update_where(lambda r: True, {"height": 1})

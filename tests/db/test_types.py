@@ -1,0 +1,89 @@
+"""Tests for column types, coercion and type inference."""
+
+import pytest
+
+from repro.db.types import ColumnType, coerce_value, infer_column_type
+from repro.errors import IntegrityError
+
+
+class TestColumnType:
+    def test_text_is_textual(self):
+        assert ColumnType.TEXT.is_textual
+        assert not ColumnType.INTEGER.is_textual
+
+    def test_numeric_types(self):
+        assert ColumnType.INTEGER.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOLEAN.is_numeric
+
+
+class TestCoerceValue:
+    def test_none_passes_through(self):
+        assert coerce_value(None, ColumnType.TEXT) is None
+        assert coerce_value(None, ColumnType.INTEGER) is None
+
+    def test_text_coercion(self):
+        assert coerce_value(42, ColumnType.TEXT) == "42"
+        assert coerce_value("hello", ColumnType.TEXT) == "hello"
+
+    def test_integer_coercion(self):
+        assert coerce_value("7", ColumnType.INTEGER) == 7
+        assert coerce_value(7.0, ColumnType.INTEGER) == 7
+        assert coerce_value(True, ColumnType.INTEGER) == 1
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(IntegrityError):
+            coerce_value(7.5, ColumnType.INTEGER)
+
+    def test_integer_rejects_text(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("seven", ColumnType.INTEGER)
+
+    def test_float_coercion(self):
+        assert coerce_value("3.25", ColumnType.FLOAT) == pytest.approx(3.25)
+        assert coerce_value(2, ColumnType.FLOAT) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("literal,expected", [
+        ("true", True), ("Yes", True), ("1", True), ("t", True),
+        ("false", False), ("no", False), ("0", False), ("N", False),
+    ])
+    def test_boolean_literals(self, literal, expected):
+        assert coerce_value(literal, ColumnType.BOOLEAN) is expected
+
+    def test_boolean_from_numbers(self):
+        assert coerce_value(1, ColumnType.BOOLEAN) is True
+        assert coerce_value(0.0, ColumnType.BOOLEAN) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("maybe", ColumnType.BOOLEAN)
+
+    def test_json_coercion(self):
+        assert coerce_value('{"a": 1}', ColumnType.JSON) == {"a": 1}
+        assert coerce_value([1, 2], ColumnType.JSON) == [1, 2]
+
+    def test_json_rejects_invalid(self):
+        with pytest.raises(IntegrityError):
+            coerce_value("{not json", ColumnType.JSON)
+
+
+class TestInferColumnType:
+    def test_empty_defaults_to_text(self):
+        assert infer_column_type([]) is ColumnType.TEXT
+        assert infer_column_type([None, ""]) is ColumnType.TEXT
+
+    def test_integer_column(self):
+        assert infer_column_type(["1", "2", None, "30"]) is ColumnType.INTEGER
+
+    def test_float_column(self):
+        assert infer_column_type(["1.5", "2", "3.25"]) is ColumnType.FLOAT
+
+    def test_boolean_column(self):
+        assert infer_column_type(["true", "false", "yes"]) is ColumnType.BOOLEAN
+
+    def test_text_column(self):
+        assert infer_column_type(["alpha", "beta"]) is ColumnType.TEXT
+
+    def test_mixed_falls_back_to_text(self):
+        assert infer_column_type(["1", "two"]) is ColumnType.TEXT

@@ -1,0 +1,83 @@
+"""Tests for the embedding factory producing all compared embedding types."""
+
+import numpy as np
+import pytest
+
+from repro.deepwalk.deepwalk import DeepWalkConfig
+from repro.errors import ExperimentError
+from repro.experiments.embedding_factory import build_embedding_suite
+from repro.retrofit.hyperparams import RetroHyperparameters
+
+
+@pytest.fixture(scope="module")
+def toy_suite(toy_dataset):
+    return build_embedding_suite(
+        toy_dataset.database,
+        toy_dataset.embedding,
+        deepwalk_config=DeepWalkConfig(dimension=4, walks_per_node=2,
+                                       walk_length=4, epochs=1),
+    )
+
+
+class TestBuildEmbeddingSuite:
+    def test_all_methods_present(self, toy_suite):
+        assert set(toy_suite.names) == {
+            "PV", "MF", "RO", "RN", "DW",
+            "PV+DW", "MF+DW", "RO+DW", "RN+DW",
+        }
+
+    def test_runtimes_recorded(self, toy_suite):
+        for method in ("MF", "RO", "RN", "DW"):
+            assert toy_suite.runtimes[method] >= 0.0
+        assert toy_suite.preprocessing_seconds > 0.0
+
+    def test_matrix_shapes(self, toy_suite):
+        n = len(toy_suite.extraction)
+        base_dim = toy_suite.base.dimension
+        assert toy_suite.get("PV").matrix.shape == (n, base_dim)
+        assert toy_suite.get("DW").matrix.shape == (n, 4)
+        assert toy_suite.get("RN+DW").matrix.shape == (n, base_dim + 4)
+
+    def test_pv_equals_base(self, toy_suite):
+        assert np.allclose(toy_suite.get("PV").matrix, toy_suite.base.matrix)
+
+    def test_unknown_method_rejected(self, toy_dataset):
+        with pytest.raises(ExperimentError):
+            build_embedding_suite(
+                toy_dataset.database, toy_dataset.embedding, methods=("XX",)
+            )
+
+    def test_get_unknown_embedding(self, toy_suite):
+        with pytest.raises(ExperimentError):
+            toy_suite.get("nope")
+
+    def test_subset_of_methods(self, toy_dataset):
+        suite = build_embedding_suite(
+            toy_dataset.database, toy_dataset.embedding, methods=("PV", "RN")
+        )
+        assert set(suite.names) == {"PV", "RN"}
+
+    def test_no_combinations_without_deepwalk(self, toy_dataset):
+        suite = build_embedding_suite(
+            toy_dataset.database, toy_dataset.embedding, methods=("PV", "RO")
+        )
+        assert all("+" not in name for name in suite.names)
+
+    def test_exclude_columns_propagates(self, small_tmdb):
+        suite = build_embedding_suite(
+            small_tmdb.database,
+            small_tmdb.embedding,
+            methods=("PV",),
+            exclude_columns=("movies.original_language",),
+        )
+        assert "movies.original_language" not in suite.extraction.categories
+
+    def test_custom_hyperparameters_change_result(self, toy_dataset):
+        default = build_embedding_suite(
+            toy_dataset.database, toy_dataset.embedding, methods=("RN",)
+        )
+        strong = build_embedding_suite(
+            toy_dataset.database, toy_dataset.embedding, methods=("RN",),
+            rn_params=RetroHyperparameters(alpha=1.0, beta=0.0, gamma=9.0, delta=0.0),
+        )
+        assert not np.allclose(default.get("RN").matrix, strong.get("RN").matrix)

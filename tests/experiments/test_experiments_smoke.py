@@ -1,0 +1,104 @@
+"""End-to-end smoke tests for the experiment harnesses.
+
+The figure experiments are expensive, so these tests run them at miniature
+sizes: the point is to verify that every harness runs end-to-end and produces
+a well-formed result table, not to reproduce the paper's numbers (that is the
+job of the benchmark suite).
+"""
+
+import pytest
+
+from repro.experiments import gridsearch, table1_datasets, table2_runtime
+from repro.experiments import (
+    figure3_toy_hyperparams,
+    figure4_scaling,
+    figure8_binary_classification,
+    figure9_sample_size,
+    figure12_imputation,
+    figure13_regression,
+    figure14_link_prediction,
+)
+from repro.experiments.runner import ExperimentSizes
+
+TINY = ExperimentSizes(
+    num_movies=40,
+    num_apps=40,
+    trials=1,
+    train_samples=30,
+    test_samples=30,
+    epochs=10,
+    hidden_units=(16,),
+    imputation_hidden_units=(16,),
+    embedding_dimension=16,
+    deepwalk_dimension=8,
+    seed=0,
+)
+
+
+class TestTables:
+    def test_table1(self):
+        table = table1_datasets.run(TINY)
+        assert len(table.rows) == 2
+        assert all(row["unique_text_values"] > 0 for row in table.rows)
+
+    def test_table2(self):
+        table = table2_runtime.run(TINY, repetitions=1)
+        methods = {row["method"] for row in table.rows}
+        assert methods == {"MF", "DW", "RO", "RN"}
+        assert all(row["runtime_mean"] >= 0.0 for row in table.rows)
+
+
+class TestFigures:
+    def test_figure3(self):
+        table = figure3_toy_hyperparams.run()
+        panels = {row["panel"] for row in table.rows}
+        assert panels == {"alpha", "beta", "gamma", "delta"}
+        # 4 panels x 3 values x 5 text values
+        assert len(table.rows) == 4 * 3 * 5
+
+    def test_figure4(self):
+        table = figure4_scaling.run(TINY, movie_counts=(20, 40))
+        assert [row["num_movies"] for row in table.rows] == [20, 40]
+        assert table.rows[1]["text_values"] > table.rows[0]["text_values"]
+
+    def test_figure8(self):
+        table = figure8_binary_classification.run(TINY)
+        assert {"PV", "RN", "DW"} <= set(table.column("embedding"))
+        assert all(0.0 <= row["accuracy_mean"] <= 1.0 for row in table.rows)
+
+    def test_figure9(self):
+        table = figure9_sample_size.run(
+            TINY, sample_sizes=(10, 20), embeddings=("PV", "RN")
+        )
+        assert len(table.rows) == 4
+
+    def test_gridsearch(self):
+        spec = gridsearch.GridSearchSpec(task="binary", solver="RN")
+        table = gridsearch.run(
+            spec, TINY,
+            grid={"alpha": (1.0,), "beta": (0.0,), "gamma": (1.0,), "delta": (0.0, 1.0)},
+        )
+        assert len(table.rows) == 2
+        best = gridsearch.best_configuration(table)
+        assert {"alpha", "beta", "gamma", "delta", "accuracy"} <= set(best)
+
+    def test_gridsearch_spec_validation(self):
+        with pytest.raises(Exception):
+            gridsearch.GridSearchSpec(task="bogus")
+
+    def test_figure12a(self):
+        table = figure12_imputation.run_language_imputation(TINY)
+        methods = set(table.column("method"))
+        assert {"MODE", "DTWG", "PV", "RN"} <= methods
+
+    def test_figure12b(self):
+        table = figure12_imputation.run_app_category_imputation(TINY)
+        assert {"MODE", "DTWG", "RN"} <= set(table.column("method"))
+
+    def test_figure13(self):
+        table = figure13_regression.run(TINY)
+        assert all(row["mae_mean"] > 0 for row in table.rows)
+
+    def test_figure14(self):
+        table = figure14_link_prediction.run(TINY, n_pairs=40)
+        assert all(0.0 <= row["accuracy_mean"] <= 1.0 for row in table.rows)

@@ -1,0 +1,63 @@
+"""Tests for the experiment result table and sizing presets."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentSizes, ResultTable
+
+
+class TestResultTable:
+    def test_add_and_read_rows(self):
+        table = ResultTable("demo", ["method", "accuracy"])
+        table.add_row(method="PV", accuracy=0.8)
+        table.add_row(method="RN", accuracy=0.9)
+        assert table.column("accuracy") == [0.8, 0.9]
+        assert table.row_for("method", "RN")["accuracy"] == 0.9
+
+    def test_unknown_column_rejected(self):
+        table = ResultTable("demo", ["a"])
+        with pytest.raises(ExperimentError):
+            table.add_row(b=1)
+        with pytest.raises(ExperimentError):
+            table.column("b")
+
+    def test_missing_key_becomes_blank(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(a=1)
+        assert table.rows[0]["b"] == ""
+
+    def test_row_for_missing_value(self):
+        table = ResultTable("demo", ["a"])
+        with pytest.raises(ExperimentError):
+            table.row_for("a", 42)
+
+    def test_to_text_contains_all_cells(self):
+        table = ResultTable("demo", ["method", "value"])
+        table.add_row(method="PV", value=0.1234)
+        table.add_note("a note")
+        text = table.to_text()
+        assert "demo" in text and "PV" in text and "0.1234" in text
+        assert "a note" in text
+
+    def test_to_text_formats_large_numbers(self):
+        table = ResultTable("demo", ["value"])
+        table.add_row(value=1234567.0)
+        assert "1,234,567.0" in table.to_text()
+
+    def test_to_text_without_rows(self):
+        table = ResultTable("empty", ["a"])
+        assert "empty" in table.to_text()
+
+
+class TestExperimentSizes:
+    def test_quick_is_smaller_than_paper_scale(self):
+        quick = ExperimentSizes.quick()
+        paper = ExperimentSizes.paper_scale()
+        assert quick.num_movies < paper.num_movies
+        assert quick.trials < paper.trials
+        assert quick.hidden_units[0] < paper.hidden_units[0]
+
+    def test_frozen(self):
+        sizes = ExperimentSizes.quick()
+        with pytest.raises(Exception):
+            sizes.num_movies = 10  # type: ignore[misc]

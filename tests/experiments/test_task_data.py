@@ -1,0 +1,101 @@
+"""Tests for the dataset → task-input mapping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.task_data import (
+    app_category_data,
+    budget_regression_data,
+    director_classification_data,
+    genre_link_pairs,
+    genre_relation_names,
+    language_imputation_data,
+)
+from repro.retrofit.extraction import extract_text_values
+
+
+@pytest.fixture(scope="module")
+def gp_extraction(small_google_play):
+    return extract_text_values(small_google_play.database)
+
+
+class TestDirectorData:
+    def test_indices_and_labels(self, tmdb_extraction, small_tmdb):
+        data = director_classification_data(tmdb_extraction, small_tmdb)
+        assert len(data) > 0
+        assert set(np.unique(data.labels)) <= {0, 1}
+        assert data.n_classes == 2
+        for index in data.indices:
+            assert tmdb_extraction.records[index].category == "persons.name"
+
+    def test_labels_match_ground_truth(self, tmdb_extraction, small_tmdb):
+        data = director_classification_data(tmdb_extraction, small_tmdb)
+        is_us = small_tmdb.director_is_us()
+        for index, label in zip(data.indices, data.labels):
+            name = tmdb_extraction.records[index].text
+            assert is_us[name] == bool(label)
+
+
+class TestLanguageData:
+    def test_indices_point_to_titles(self, tmdb_extraction, small_tmdb):
+        data = language_imputation_data(tmdb_extraction, small_tmdb)
+        assert len(data) == small_tmdb.num_movies
+        for index, label in zip(data.indices, data.labels):
+            record = tmdb_extraction.records[index]
+            assert record.category == "movies.title"
+            assert small_tmdb.movie_language[record.text] == data.label_names[label]
+
+
+class TestBudgetData:
+    def test_targets_match_ground_truth(self, tmdb_extraction, small_tmdb):
+        indices, targets = budget_regression_data(tmdb_extraction, small_tmdb)
+        assert len(indices) == len(targets) == small_tmdb.num_movies
+        for index, target in zip(indices, targets):
+            title = tmdb_extraction.records[index].text
+            assert small_tmdb.movie_budget[title] == pytest.approx(target)
+
+
+class TestAppData:
+    def test_indices_point_to_app_names(self, gp_extraction, small_google_play):
+        data = app_category_data(gp_extraction, small_google_play)
+        assert len(data) == small_google_play.num_apps
+        assert data.n_classes == 33
+        for index in data.indices:
+            assert gp_extraction.records[index].category == "apps.name"
+
+
+class TestGenreLinks:
+    def test_relation_names_touch_genres(self, small_tmdb):
+        names = genre_relation_names(small_tmdb.database)
+        assert names
+        assert all("genres.name" in name for name in names)
+
+    def test_pairs_balanced_and_valid(self, tmdb_extraction, small_tmdb, rng):
+        pairs = genre_link_pairs(tmdb_extraction, small_tmdb, n_pairs=60, rng=rng)
+        assert len(pairs) == 2 * int(pairs.labels.sum())
+        for source, target in zip(pairs.source_indices, pairs.target_indices):
+            assert tmdb_extraction.records[source].category == "movies.title"
+            assert tmdb_extraction.records[target].category == "genres.name"
+
+    def test_positive_pairs_are_true_relations(self, tmdb_extraction, small_tmdb, rng):
+        pairs = genre_link_pairs(tmdb_extraction, small_tmdb, n_pairs=50, rng=rng)
+        for source, target, label in zip(
+            pairs.source_indices, pairs.target_indices, pairs.labels
+        ):
+            title = tmdb_extraction.records[source].text
+            genre = tmdb_extraction.records[target].text
+            if label == 1.0:
+                assert genre in small_tmdb.movie_genres[title]
+            else:
+                assert genre not in small_tmdb.movie_genres[title]
+
+    def test_n_pairs_caps_positives(self, tmdb_extraction, small_tmdb, rng):
+        pairs = genre_link_pairs(tmdb_extraction, small_tmdb, n_pairs=10, rng=rng)
+        assert int(pairs.labels.sum()) == 10
+
+
+class TestErrors:
+    def test_missing_directors_raise(self, gp_extraction, small_tmdb):
+        with pytest.raises(ExperimentError):
+            director_classification_data(gp_extraction, small_tmdb)

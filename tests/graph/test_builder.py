@@ -1,0 +1,64 @@
+"""Tests for building the database property graph (paper §3.4)."""
+
+from repro.graph.builder import (
+    CATEGORY_EDGE,
+    CATEGORY_LABEL,
+    TEXT_VALUE_LABEL,
+    build_graph,
+    category_node_id,
+    text_value_node_id,
+)
+from repro.retrofit.extraction import extract_text_values
+
+
+class TestBuildGraph:
+    def test_node_counts(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        text_nodes = graph.node_ids(TEXT_VALUE_LABEL)
+        category_nodes = graph.node_ids(CATEGORY_LABEL)
+        assert len(text_nodes) == len(extraction)
+        assert len(category_nodes) == len(extraction.categories)
+
+    def test_category_edges_connect_members(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        for category, indices in extraction.categories.items():
+            node = category_node_id(category)
+            neighbors = set(graph.neighbors(node))
+            for index in indices:
+                assert text_value_node_id(index) in neighbors
+
+    def test_relation_edges_present(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        group = extraction.relation_groups[0]
+        for i, j in group.pairs:
+            assert text_value_node_id(j) in graph.neighbors(text_value_node_id(i))
+
+    def test_edge_types_include_relation_names(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        types = graph.edge_types()
+        assert CATEGORY_EDGE in types
+        assert {group.name for group in extraction.relation_groups} <= types
+
+    def test_without_category_nodes(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction, include_category_nodes=False)
+        assert graph.node_ids(CATEGORY_LABEL) == []
+        assert len(graph) == len(extraction)
+
+    def test_text_node_properties(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        record = extraction.records[0]
+        node = graph.nodes[text_value_node_id(record.index)]
+        assert node.property("text") == record.text
+        assert node.property("category") == record.category
+
+    def test_tmdb_graph_size(self, tmdb_extraction):
+        graph = build_graph(tmdb_extraction)
+        expected_nodes = len(tmdb_extraction) + len(tmdb_extraction.categories)
+        assert len(graph) == expected_nodes
+        assert graph.number_of_edges() >= tmdb_extraction.relation_count()

@@ -1,0 +1,100 @@
+"""Tests for Skip-Gram with negative sampling and the DeepWalk pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.deepwalk.deepwalk import DeepWalk, DeepWalkConfig
+from repro.deepwalk.skipgram import SkipGramConfig, SkipGramModel
+from repro.errors import TrainingError
+from repro.graph.builder import build_graph
+from repro.graph.property_graph import PropertyGraph
+from repro.retrofit.extraction import extract_text_values
+
+
+def two_cluster_corpus(n_sentences: int = 120) -> list[list[str]]:
+    """Sentences drawn from two disjoint token communities."""
+    rng = np.random.default_rng(0)
+    cluster_a = [f"a{i}" for i in range(5)]
+    cluster_b = [f"b{i}" for i in range(5)]
+    corpus = []
+    for s in range(n_sentences):
+        cluster = cluster_a if s % 2 == 0 else cluster_b
+        corpus.append([cluster[int(rng.integers(0, 5))] for _ in range(10)])
+    return corpus
+
+
+class TestSkipGramConfig:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            SkipGramConfig(dimension=0)
+        with pytest.raises(TrainingError):
+            SkipGramConfig(window=0)
+        with pytest.raises(TrainingError):
+            SkipGramConfig(negative_samples=0)
+        with pytest.raises(TrainingError):
+            SkipGramConfig(epochs=0)
+
+
+class TestSkipGramModel:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(TrainingError):
+            SkipGramModel([])
+
+    def test_vocabulary_and_vectors(self):
+        model = SkipGramModel([["a", "b"], ["b", "c"]],
+                              SkipGramConfig(dimension=8, epochs=1))
+        assert set(model.vocabulary) == {"a", "b", "c"}
+        assert model.vector("a").shape == (8,)
+        assert "a" in model and "z" not in model
+        with pytest.raises(TrainingError):
+            model.vector("z")
+
+    def test_matrix_shape(self):
+        model = SkipGramModel([["a", "b", "c"]], SkipGramConfig(dimension=4, epochs=1))
+        assert model.matrix().shape == (3, 4)
+
+    def test_training_separates_communities(self):
+        corpus = two_cluster_corpus()
+        model = SkipGramModel(
+            corpus, SkipGramConfig(dimension=16, epochs=3, window=3, seed=1)
+        ).train()
+
+        def cos(x, y):
+            return float(x @ y / (np.linalg.norm(x) * np.linalg.norm(y) + 1e-12))
+
+        within = cos(model.vector("a0"), model.vector("a1"))
+        between = cos(model.vector("a0"), model.vector("b0"))
+        assert within > between
+
+
+class TestDeepWalk:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TrainingError):
+            DeepWalk().train_on_graph(PropertyGraph())
+
+    def test_alignment_with_extraction(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        deepwalk = DeepWalk(DeepWalkConfig(dimension=8, walks_per_node=4,
+                                           walk_length=6, epochs=1))
+        result = deepwalk.train_for_extraction(extraction)
+        assert result.matrix.shape == (len(extraction), 8)
+        assert result.missing == []
+
+    def test_related_nodes_more_similar_than_unrelated(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        graph = build_graph(extraction)
+        deepwalk = DeepWalk(DeepWalkConfig(dimension=16, walks_per_node=20,
+                                           walk_length=10, epochs=3, seed=2))
+        result = deepwalk.train_for_extraction(extraction, graph)
+
+        def vector(category, text):
+            return result.matrix[extraction.index_of(category, text)]
+
+        def cos(x, y):
+            return float(x @ y / (np.linalg.norm(x) * np.linalg.norm(y) + 1e-12))
+
+        amelie_france = cos(vector("movies.title", "amelie"),
+                            vector("countries.name", "france"))
+        amelie_usa = cos(vector("movies.title", "amelie"),
+                         vector("countries.name", "usa"))
+        assert amelie_france > amelie_usa

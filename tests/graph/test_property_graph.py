@@ -1,0 +1,83 @@
+"""Tests for the property graph."""
+
+import pytest
+
+from repro.graph.property_graph import GraphError, PropertyGraph
+
+
+@pytest.fixture()
+def graph():
+    g = PropertyGraph()
+    g.add_node("m1", "text_value", text="amelie")
+    g.add_node("m2", "text_value", text="inception")
+    g.add_node("c1", "category", category="movies.title")
+    g.add_edge("m1", "c1", "category")
+    g.add_edge("m2", "c1", "category")
+    g.add_edge("m1", "m2", "related")
+    return g
+
+
+class TestNodesAndEdges:
+    def test_node_count_and_membership(self, graph):
+        assert len(graph) == 3
+        assert "m1" in graph and "missing" not in graph
+
+    def test_add_node_is_idempotent(self, graph):
+        graph.add_node("m1", "text_value")
+        assert len(graph) == 3
+
+    def test_node_properties(self, graph):
+        assert graph.nodes["m1"].property("text") == "amelie"
+        assert graph.nodes["m1"].property("missing", 42) == 42
+
+    def test_node_ids_by_label(self, graph):
+        assert set(graph.node_ids("text_value")) == {"m1", "m2"}
+        assert graph.node_ids("category") == ["c1"]
+
+    def test_edge_requires_existing_nodes(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge("m1", "missing", "x")
+        with pytest.raises(GraphError):
+            graph.add_edge("missing", "m1", "x")
+
+    def test_edge_count_and_types(self, graph):
+        assert graph.number_of_edges() == 3
+        assert graph.edge_types() == {"category", "related"}
+
+
+class TestTraversal:
+    def test_neighbors_are_undirected(self, graph):
+        assert set(graph.neighbors("c1")) == {"m1", "m2"}
+        assert set(graph.neighbors("m1")) == {"c1", "m2"}
+
+    def test_degree(self, graph):
+        assert graph.degree("m1") == 2
+        assert graph.degree("c1") == 2
+
+    def test_unknown_node_raises(self, graph):
+        with pytest.raises(GraphError):
+            graph.neighbors("missing")
+        with pytest.raises(GraphError):
+            graph.degree("missing")
+
+    def test_iter_adjacency(self, graph):
+        adjacency = dict(graph.iter_adjacency())
+        assert set(adjacency) == {"m1", "m2", "c1"}
+        assert set(adjacency["c1"]) == {"m1", "m2"}
+
+
+class TestConversion:
+    def test_to_networkx(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 3
+        assert nx_graph.nodes["m1"]["label"] == "text_value"
+
+    def test_subgraph(self, graph):
+        sub = graph.subgraph(["m1", "m2"])
+        assert len(sub) == 2
+        assert sub.number_of_edges() == 1
+
+    def test_subgraph_unknown_node(self, graph):
+        with pytest.raises(GraphError):
+            graph.subgraph(["m1", "missing"])

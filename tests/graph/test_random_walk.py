@@ -1,0 +1,71 @@
+"""Tests for random-walk corpus generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.random_walk import RandomWalkGenerator
+
+
+@pytest.fixture()
+def line_graph():
+    graph = PropertyGraph()
+    for i in range(5):
+        graph.add_node(f"n{i}", "text_value")
+    for i in range(4):
+        graph.add_edge(f"n{i}", f"n{i + 1}", "link")
+    graph.add_node("isolated", "text_value")
+    return graph
+
+
+class TestRandomWalkGenerator:
+    def test_parameter_validation(self, line_graph):
+        with pytest.raises(ReproError):
+            RandomWalkGenerator(line_graph, walk_length=0)
+        with pytest.raises(ReproError):
+            RandomWalkGenerator(line_graph, walks_per_node=0)
+
+    def test_walk_from_unknown_node(self, line_graph):
+        generator = RandomWalkGenerator(line_graph)
+        with pytest.raises(ReproError):
+            generator.walk_from("missing", np.random.default_rng(0))
+
+    def test_walks_respect_length(self, line_graph):
+        generator = RandomWalkGenerator(line_graph, walk_length=4, walks_per_node=2)
+        for walk in generator.generate():
+            assert 1 <= len(walk) <= 4
+
+    def test_walk_steps_follow_edges(self, line_graph):
+        generator = RandomWalkGenerator(line_graph, walk_length=6, walks_per_node=1)
+        neighbors = {
+            node_id: set(line_graph.neighbors(node_id)) for node_id in line_graph.nodes
+        }
+        for walk in generator.generate():
+            for a, b in zip(walk, walk[1:]):
+                assert b in neighbors[a]
+
+    def test_isolated_node_walk_has_length_one(self, line_graph):
+        generator = RandomWalkGenerator(line_graph, walk_length=5, walks_per_node=1)
+        walk = generator.walk_from("isolated", np.random.default_rng(0))
+        assert walk == ["isolated"]
+
+    def test_corpus_size(self, line_graph):
+        generator = RandomWalkGenerator(line_graph, walk_length=3, walks_per_node=4)
+        corpus = generator.corpus()
+        assert len(corpus) == 4 * len(line_graph.nodes)
+
+    def test_every_node_is_a_start(self, line_graph):
+        generator = RandomWalkGenerator(line_graph, walk_length=2, walks_per_node=1)
+        starts = {walk[0] for walk in generator.generate()}
+        assert starts == set(line_graph.nodes)
+
+    def test_determinism_by_seed(self, line_graph):
+        first = RandomWalkGenerator(line_graph, seed=9).corpus()
+        second = RandomWalkGenerator(line_graph, seed=9).corpus()
+        assert first == second
+
+    def test_different_seed_differs(self, line_graph):
+        first = RandomWalkGenerator(line_graph, seed=1, walk_length=10).corpus()
+        second = RandomWalkGenerator(line_graph, seed=2, walk_length=10).corpus()
+        assert first != second

@@ -1,0 +1,71 @@
+"""Tests for activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.activations import get_activation
+
+
+def numerical_gradient(activation, x, epsilon=1e-6):
+    plus = activation.forward(x + epsilon)
+    minus = activation.forward(x - epsilon)
+    return (plus - minus) / (2 * epsilon)
+
+
+class TestForward:
+    def test_sigmoid_range_and_midpoint(self):
+        sigmoid = get_activation("sigmoid")
+        values = sigmoid.forward(np.array([-100.0, 0.0, 100.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-6)
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_relu(self):
+        relu = get_activation("relu")
+        assert np.allclose(relu.forward(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+    def test_linear_identity(self):
+        linear = get_activation("linear")
+        x = np.array([1.0, -2.0])
+        assert np.allclose(linear.forward(x), x)
+
+    def test_tanh(self):
+        tanh = get_activation("tanh")
+        assert np.allclose(tanh.forward(np.array([0.0])), [0.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        softmax = get_activation("softmax")
+        x = np.array([[1.0, 2.0, 3.0], [10.0, 10.0, 10.0]])
+        probabilities = softmax.forward(x)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert probabilities[0].argmax() == 2
+
+    def test_softmax_is_shift_invariant(self):
+        softmax = get_activation("softmax")
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax.forward(x), softmax.forward(x + 100.0))
+
+
+class TestBackward:
+    @pytest.mark.parametrize("name", ["sigmoid", "relu", "tanh", "linear"])
+    def test_gradient_matches_numerical(self, name):
+        activation = get_activation(name)
+        x = np.linspace(-2.0, 2.0, 21) + 0.01  # avoid the ReLU kink at 0
+        output = activation.forward(x)
+        analytic = activation.backward(x, output)
+        numerical = numerical_gradient(activation, x)
+        assert np.allclose(analytic, numerical, atol=1e-4)
+
+
+class TestRegistry:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_activation("ReLU").name == "relu"
+
+    def test_instance_passthrough(self):
+        instance = get_activation("sigmoid")
+        assert get_activation(instance) is instance
+
+    def test_unknown_activation(self):
+        with pytest.raises(TrainingError):
+            get_activation("swish")

@@ -1,0 +1,122 @@
+"""Tests for Dense and Dropout layers (including gradient checks)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.layers import Dense, Dropout
+
+
+class TestDense:
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            Dense(0)
+        with pytest.raises(TrainingError):
+            Dense(3, l2=-0.1)
+
+    def test_forward_requires_build(self):
+        layer = Dense(3)
+        with pytest.raises(TrainingError):
+            layer.forward(np.zeros((1, 2)))
+
+    def test_build_and_forward_shapes(self):
+        layer = Dense(3, activation="relu")
+        out_dim = layer.build(4, np.random.default_rng(0))
+        assert out_dim == 3
+        output = layer.forward(np.zeros((5, 4)))
+        assert output.shape == (5, 3)
+
+    def test_backward_requires_forward(self):
+        layer = Dense(2)
+        layer.build(2, np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Dense(3, activation="sigmoid")
+        layer.build(4, rng)
+        inputs = rng.normal(size=(6, 4))
+        upstream = rng.normal(size=(6, 3))
+
+        def loss(weights):
+            saved = layer.weights.copy()
+            layer.weights = weights
+            value = float(np.sum(layer.forward(inputs) * upstream))
+            layer.weights = saved
+            return value
+
+        layer.forward(inputs)
+        layer.backward(upstream)
+        analytic = layer.gradients()[0] * inputs.shape[0]  # undo the 1/batch scaling
+        epsilon = 1e-6
+        for i in range(2):
+            for j in range(2):
+                perturbed = layer.weights.copy()
+                perturbed[i, j] += epsilon
+                plus = loss(perturbed)
+                perturbed[i, j] -= 2 * epsilon
+                minus = loss(perturbed)
+                numeric = (plus - minus) / (2 * epsilon)
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_l2_regularisation_added_to_gradient(self):
+        rng = np.random.default_rng(2)
+        plain = Dense(2, activation="linear", l2=0.0)
+        regularised = Dense(2, activation="linear", l2=1.0)
+        plain.build(2, np.random.default_rng(7))
+        regularised.build(2, np.random.default_rng(7))
+        inputs = rng.normal(size=(3, 2))
+        upstream = rng.normal(size=(3, 2))
+        plain.forward(inputs)
+        regularised.forward(inputs)
+        plain.backward(upstream)
+        regularised.backward(upstream)
+        difference = regularised.gradients()[0] - plain.gradients()[0]
+        assert np.allclose(difference, regularised.weights)
+
+    def test_regularisation_loss(self):
+        layer = Dense(2, l2=0.5)
+        layer.build(2, np.random.default_rng(0))
+        expected = 0.25 * float(np.sum(layer.weights**2))
+        assert layer.regularisation_loss() == pytest.approx(expected)
+        assert Dense(2).regularisation_loss() == 0.0
+
+
+class TestDropout:
+    def test_rate_validation(self):
+        with pytest.raises(TrainingError):
+            Dropout(1.0)
+        with pytest.raises(TrainingError):
+            Dropout(-0.1)
+
+    def test_identity_at_inference(self):
+        layer = Dropout(0.5)
+        layer.build(4, np.random.default_rng(0))
+        inputs = np.ones((3, 4))
+        assert np.allclose(layer.forward(inputs, training=False), inputs)
+
+    def test_training_zeroes_some_units(self):
+        layer = Dropout(0.5, seed=1)
+        layer.build(100, np.random.default_rng(0))
+        output = layer.forward(np.ones((1, 100)), training=True)
+        assert np.any(output == 0.0)
+        assert np.any(output > 1.0)  # inverted dropout rescales survivors
+
+    def test_expected_scale_preserved(self):
+        layer = Dropout(0.3, seed=2)
+        layer.build(10_000, np.random.default_rng(0))
+        output = layer.forward(np.ones((1, 10_000)), training=True)
+        assert output.mean() == pytest.approx(1.0, rel=0.05)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, seed=3)
+        layer.build(50, np.random.default_rng(0))
+        output = layer.forward(np.ones((1, 50)), training=True)
+        gradient = layer.backward(np.ones((1, 50)))
+        assert np.allclose((output == 0.0), (gradient == 0.0))
+
+    def test_backward_identity_without_mask(self):
+        layer = Dropout(0.5)
+        gradient = np.ones((2, 3))
+        assert np.allclose(layer.backward(gradient), gradient)

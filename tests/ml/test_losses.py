@@ -1,0 +1,89 @@
+"""Tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.losses import (
+    BinaryCrossEntropy,
+    CategoricalCrossEntropy,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    get_loss,
+)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_is_near_zero(self):
+        loss = BinaryCrossEntropy()
+        predictions = np.array([[0.999], [0.001]])
+        targets = np.array([[1.0], [0.0]])
+        assert loss.value(predictions, targets) < 0.01
+
+    def test_worst_prediction_is_large(self):
+        loss = BinaryCrossEntropy()
+        predictions = np.array([[0.01]])
+        targets = np.array([[1.0]])
+        assert loss.value(predictions, targets) > 1.0
+
+    def test_gradient_sign(self):
+        loss = BinaryCrossEntropy()
+        predictions = np.array([[0.3]])
+        assert loss.gradient(predictions, np.array([[1.0]]))[0, 0] < 0
+        assert loss.gradient(predictions, np.array([[0.0]]))[0, 0] > 0
+
+
+class TestCategoricalCrossEntropy:
+    def test_value_for_uniform_prediction(self):
+        loss = CategoricalCrossEntropy()
+        predictions = np.full((1, 4), 0.25)
+        targets = np.array([[0.0, 1.0, 0.0, 0.0]])
+        assert loss.value(predictions, targets) == pytest.approx(np.log(4))
+
+    def test_gradient_is_probabilities_minus_targets(self):
+        loss = CategoricalCrossEntropy()
+        predictions = np.array([[0.7, 0.2, 0.1]])
+        targets = np.array([[0.0, 1.0, 0.0]])
+        assert np.allclose(loss.gradient(predictions, targets), [[0.7, -0.8, 0.1]])
+
+
+class TestRegressionLosses:
+    def test_mae_value_and_gradient(self):
+        loss = MeanAbsoluteError()
+        predictions = np.array([[2.0], [0.0]])
+        targets = np.array([[1.0], [1.0]])
+        assert loss.value(predictions, targets) == pytest.approx(1.0)
+        gradient = loss.gradient(predictions, targets)
+        assert gradient[0, 0] > 0 and gradient[1, 0] < 0
+
+    def test_mse_value_and_gradient(self):
+        loss = MeanSquaredError()
+        predictions = np.array([[3.0]])
+        targets = np.array([[1.0]])
+        assert loss.value(predictions, targets) == pytest.approx(4.0)
+        assert np.allclose(loss.gradient(predictions, targets), [[4.0]])
+
+    def test_mae_zero_for_exact(self):
+        loss = MeanAbsoluteError()
+        values = np.array([[1.0], [2.0]])
+        assert loss.value(values, values) == 0.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("binary_crossentropy", BinaryCrossEntropy),
+        ("categorical_crossentropy", CategoricalCrossEntropy),
+        ("mae", MeanAbsoluteError),
+        ("mean_absolute_error", MeanAbsoluteError),
+        ("mse", MeanSquaredError),
+    ])
+    def test_lookup(self, name, cls):
+        assert isinstance(get_loss(name), cls)
+
+    def test_instance_passthrough(self):
+        loss = MeanAbsoluteError()
+        assert get_loss(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(TrainingError):
+            get_loss("hinge")

@@ -1,0 +1,93 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.metrics import (
+    accuracy,
+    binary_accuracy,
+    confusion_matrix,
+    mean_absolute_error,
+    precision_recall_f1,
+)
+
+
+class TestBinaryAccuracy:
+    def test_perfect_and_half(self):
+        targets = np.array([1, 0, 1, 0])
+        assert binary_accuracy(np.array([0.9, 0.1, 0.8, 0.2]), targets) == 1.0
+        assert binary_accuracy(np.array([0.9, 0.9, 0.1, 0.1]), targets) == 0.5
+
+    def test_threshold(self):
+        assert binary_accuracy(np.array([0.4]), np.array([1]), threshold=0.3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            binary_accuracy(np.array([0.5]), np.array([1, 0]))
+        with pytest.raises(TrainingError):
+            binary_accuracy(np.array([]), np.array([]))
+
+
+class TestAccuracy:
+    def test_one_hot_accuracy(self):
+        predictions = np.array([[0.8, 0.1, 0.1], [0.1, 0.2, 0.7]])
+        targets = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        assert accuracy(predictions, targets) == 0.5
+
+    def test_delegates_to_binary_for_single_column(self):
+        assert accuracy(np.array([[0.9], [0.1]]), np.array([[1.0], [0.0]])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            accuracy(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestMae:
+    def test_value(self):
+        assert mean_absolute_error(np.array([1.0, 3.0]), np.array([2.0, 1.0])) == 1.5
+
+    def test_empty(self):
+        with pytest.raises(TrainingError):
+            mean_absolute_error(np.array([]), np.array([]))
+
+
+class TestConfusionMatrix:
+    def test_entries(self):
+        matrix = confusion_matrix(
+            predicted_labels=np.array([0, 1, 1, 2]),
+            target_labels=np.array([0, 1, 2, 2]),
+            n_classes=3,
+        )
+        assert matrix[0, 0] == 1
+        assert matrix[1, 1] == 1
+        assert matrix[2, 1] == 1
+        assert matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            confusion_matrix(np.array([0]), np.array([0, 1]), 2)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        precision, recall, f1 = precision_recall_f1(
+            np.array([0.9, 0.1]), np.array([1, 0])
+        )
+        assert precision == recall == f1 == 1.0
+
+    def test_no_positive_predictions(self):
+        precision, recall, f1 = precision_recall_f1(
+            np.array([0.1, 0.1]), np.array([1, 0])
+        )
+        assert precision == 0.0 and recall == 0.0 and f1 == 0.0
+
+    def test_known_values(self):
+        # predictions: TP=1, FP=1, FN=1
+        precision, recall, f1 = precision_recall_f1(
+            np.array([0.9, 0.9, 0.1]), np.array([1, 0, 1])
+        )
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)

@@ -1,0 +1,140 @@
+"""Tests for the sequential network: training, early stopping, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.layers import Dense, Dropout
+from repro.ml.metrics import accuracy, binary_accuracy
+from repro.ml.network import NeuralNetwork
+
+
+def xor_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1.0, 1.0, (n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+    return x, y
+
+
+def blob_data(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = np.array([[2.0, 0.0], [-2.0, 0.0], [0.0, 2.5]])
+    labels = rng.integers(0, 3, n)
+    x = centres[labels] + rng.normal(0.0, 0.5, (n, 2))
+    one_hot = np.zeros((n, 3))
+    one_hot[np.arange(n), labels] = 1.0
+    return x, one_hot
+
+
+class TestValidation:
+    def test_requires_layers(self):
+        with pytest.raises(TrainingError):
+            NeuralNetwork([])
+
+    def test_requires_matching_lengths(self):
+        network = NeuralNetwork([Dense(2, activation="sigmoid")])
+        with pytest.raises(TrainingError):
+            network.fit(np.zeros((4, 2)), np.zeros(3), epochs=1)
+
+    def test_requires_two_samples(self):
+        network = NeuralNetwork([Dense(1, activation="sigmoid")])
+        with pytest.raises(TrainingError):
+            network.fit(np.zeros((1, 2)), np.zeros(1), epochs=1)
+
+    def test_input_width_fixed_after_build(self):
+        network = NeuralNetwork([Dense(1, activation="sigmoid")])
+        network.build(3)
+        with pytest.raises(TrainingError):
+            network.predict(np.zeros((2, 5)))
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        from repro.ml.optimizers import Nadam
+
+        x, y = xor_data()
+        network = NeuralNetwork(
+            [Dense(16, activation="tanh"), Dense(1, activation="sigmoid")],
+            loss="binary_crossentropy",
+            optimizer=Nadam(learning_rate=0.01),
+            seed=1,
+        )
+        network.fit(x, y, epochs=150, batch_size=16, validation_split=0.1,
+                    patience=80)
+        predictions = network.predict(x).ravel()
+        assert binary_accuracy(predictions, y) > 0.9
+
+    def test_learns_multiclass_blobs(self):
+        x, y = blob_data()
+        network = NeuralNetwork(
+            [Dense(16, activation="relu"), Dense(3, activation="softmax")],
+            loss="categorical_crossentropy",
+            optimizer="nadam",
+            seed=2,
+        )
+        network.fit(x, y, epochs=80, batch_size=16)
+        assert accuracy(network.predict(x), y) > 0.9
+
+    def test_learns_linear_regression(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(300, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 0.3
+        network = NeuralNetwork(
+            [Dense(16, activation="relu"), Dense(1, activation="linear")],
+            loss="mean_squared_error",
+            optimizer="adam",
+            seed=3,
+        )
+        network.fit(x, y, epochs=120, batch_size=32, validation_split=0.1,
+                    patience=120)
+        predictions = network.predict(x).ravel()
+        residual = np.mean(np.abs(predictions - y))
+        assert residual < 0.4
+
+    def test_history_contents(self):
+        x, y = xor_data(80)
+        network = NeuralNetwork(
+            [Dense(8, activation="tanh"), Dense(1, activation="sigmoid")], seed=0
+        )
+        history = network.fit(x, y, epochs=10, validation_split=0.2, patience=20)
+        assert history.epochs <= 10
+        assert len(history.train_loss) == history.epochs
+        assert len(history.validation_loss) == history.epochs
+        assert 0 <= history.best_epoch < history.epochs
+
+    def test_early_stopping_triggers(self):
+        x, y = xor_data(60)
+        network = NeuralNetwork(
+            [Dense(4, activation="sigmoid"), Dense(1, activation="sigmoid")], seed=0
+        )
+        history = network.fit(x, y, epochs=500, validation_split=0.3, patience=3)
+        assert history.stopped_early
+        assert history.epochs < 500
+
+    def test_training_with_dropout_runs(self):
+        x, y = xor_data(100)
+        network = NeuralNetwork(
+            [Dense(16, activation="relu"), Dropout(0.3), Dense(1, activation="sigmoid")],
+            seed=4,
+        )
+        history = network.fit(x, y, epochs=20)
+        assert history.epochs > 0
+
+    def test_no_validation_split(self):
+        x, y = xor_data(50)
+        network = NeuralNetwork(
+            [Dense(4, activation="tanh"), Dense(1, activation="sigmoid")], seed=5
+        )
+        history = network.fit(x, y, epochs=5, validation_split=0.0)
+        assert history.validation_loss == []
+
+    def test_predict_is_deterministic(self):
+        x, y = xor_data(60)
+        network = NeuralNetwork(
+            [Dense(8, activation="tanh"), Dropout(0.5), Dense(1, activation="sigmoid")],
+            seed=6,
+        )
+        network.fit(x, y, epochs=5)
+        first = network.predict(x)
+        second = network.predict(x)
+        assert np.allclose(first, second)

@@ -1,0 +1,78 @@
+"""Tests for SGD, Adam and Nadam optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.optimizers import SGD, Adam, Nadam, get_optimizer
+
+
+def quadratic_descent(optimizer, steps=200, start=5.0):
+    """Minimise f(x) = x^2 and return the final |x|."""
+    x = np.array([start])
+    for _ in range(steps):
+        gradient = 2.0 * x
+        optimizer.step([x], [gradient])
+    return float(abs(x[0]))
+
+
+class TestValidation:
+    def test_learning_rate_positive(self):
+        with pytest.raises(TrainingError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            Adam(learning_rate=-1.0)
+
+    def test_momentum_range(self):
+        with pytest.raises(TrainingError):
+            SGD(momentum=1.0)
+
+
+class TestConvergenceOnQuadratic:
+    @pytest.mark.parametrize("optimizer", [
+        SGD(learning_rate=0.1),
+        SGD(learning_rate=0.05, momentum=0.9),
+        Adam(learning_rate=0.2),
+        Nadam(learning_rate=0.2),
+    ])
+    def test_converges_to_minimum(self, optimizer):
+        assert quadratic_descent(optimizer) < 0.05
+
+    def test_nadam_faster_than_plain_sgd_small_lr(self):
+        sgd_final = quadratic_descent(SGD(learning_rate=0.001), steps=100)
+        nadam_final = quadratic_descent(Nadam(learning_rate=0.1), steps=100)
+        assert nadam_final < sgd_final
+
+
+class TestMechanics:
+    def test_none_gradients_are_skipped(self):
+        x = np.array([1.0])
+        Nadam().step([x, x], [None, np.array([0.0])])
+        assert x[0] == 1.0
+
+    def test_sgd_update_rule(self):
+        x = np.array([1.0])
+        SGD(learning_rate=0.5).step([x], [np.array([1.0])])
+        assert x[0] == pytest.approx(0.5)
+
+    def test_reset_clears_state(self):
+        optimizer = Adam(learning_rate=0.1)
+        x = np.array([1.0])
+        optimizer.step([x], [np.array([1.0])])
+        optimizer.reset()
+        assert optimizer._t == 0 and not optimizer._m
+
+    def test_adam_state_is_per_parameter(self):
+        optimizer = Adam(learning_rate=0.1)
+        x = np.array([1.0])
+        y = np.array([2.0, 3.0])
+        optimizer.step([x, y], [np.array([1.0]), np.array([1.0, 1.0])])
+        assert len(optimizer._m) == 2
+
+    def test_registry(self):
+        assert isinstance(get_optimizer("nadam"), Nadam)
+        assert isinstance(get_optimizer("sgd", learning_rate=0.1), SGD)
+        instance = Adam()
+        assert get_optimizer(instance) is instance
+        with pytest.raises(TrainingError):
+            get_optimizer("rmsprop")

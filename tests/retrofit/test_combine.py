@@ -1,0 +1,104 @@
+"""Tests for normalisation, concatenation and the TextValueEmbeddingSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetrofitError
+from repro.retrofit.combine import (
+    TextValueEmbeddingSet,
+    concatenate_embeddings,
+    normalise_rows,
+)
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.initialization import initialise_vectors
+
+
+@pytest.fixture()
+def toy_set(toy_dataset):
+    extraction = extract_text_values(toy_dataset.database)
+    base = initialise_vectors(extraction, toy_dataset.embedding)
+    return TextValueEmbeddingSet(extraction, base.matrix, name="PV")
+
+
+class TestNormaliseRows:
+    def test_unit_norms(self):
+        matrix = np.array([[3.0, 4.0], [0.0, 2.0]])
+        normalised = normalise_rows(matrix)
+        assert np.allclose(np.linalg.norm(normalised, axis=1), 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0]])
+        normalised = normalise_rows(matrix)
+        assert np.allclose(normalised[0], 0.0)
+
+    def test_original_untouched(self):
+        matrix = np.array([[3.0, 4.0]])
+        normalise_rows(matrix)
+        assert np.allclose(matrix, [[3.0, 4.0]])
+
+
+class TestConcatenate:
+    def test_dimensions_add_up(self):
+        left = np.ones((4, 3))
+        right = np.ones((4, 2))
+        combined = concatenate_embeddings(left, right)
+        assert combined.shape == (4, 5)
+
+    def test_row_mismatch_rejected(self):
+        with pytest.raises(RetrofitError):
+            concatenate_embeddings(np.ones((3, 2)), np.ones((4, 2)))
+
+    def test_normalisation_balances_scales(self):
+        left = 100.0 * np.ones((2, 2))
+        right = 0.01 * np.ones((2, 2))
+        combined = concatenate_embeddings(left, right, normalise=True)
+        assert np.allclose(
+            np.linalg.norm(combined[:, :2], axis=1),
+            np.linalg.norm(combined[:, 2:], axis=1),
+        )
+
+    def test_without_normalisation(self):
+        left = np.array([[2.0, 0.0]])
+        right = np.array([[0.0, 3.0]])
+        combined = concatenate_embeddings(left, right, normalise=False)
+        assert np.allclose(combined, [[2.0, 0.0, 0.0, 3.0]])
+
+
+class TestTextValueEmbeddingSet:
+    def test_row_count_validated(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        with pytest.raises(RetrofitError):
+            TextValueEmbeddingSet(extraction, np.zeros((2, 4)))
+
+    def test_vector_lookup(self, toy_set, toy_dataset):
+        vector = toy_set.vector_for("countries.name", "france")
+        assert np.allclose(vector, toy_dataset.embedding["france"])
+        assert toy_set.has_value("countries.name", "france")
+        assert not toy_set.has_value("countries.name", "spain")
+
+    def test_vectors_for_many(self, toy_set):
+        matrix = toy_set.vectors_for("movies.title", ["amelie", "godfather"])
+        assert matrix.shape == (2, toy_set.dimension)
+
+    def test_category_matrix(self, toy_set):
+        texts, matrix = toy_set.category_matrix("movies.title")
+        assert len(texts) == 3 and matrix.shape[0] == 3
+
+    def test_nearest_within_category(self, toy_set, toy_dataset):
+        query = toy_dataset.embedding["usa"]
+        results = toy_set.nearest(query, k=2, category="movies.title")
+        assert len(results) == 2
+        assert all(category == "movies.title" for category, _, _ in results)
+        scores = [score for _, _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_nearest_over_all_categories(self, toy_set, toy_dataset):
+        results = toy_set.nearest(toy_dataset.embedding["france"], k=1)
+        assert results[0][1] == "france"
+
+    def test_concatenated_with(self, toy_set):
+        other = np.ones((len(toy_set), 2))
+        combined = toy_set.concatenated_with(other, name="PV+X")
+        assert combined.dimension == toy_set.dimension + 2
+        assert combined.name == "PV+X"
+        assert len(combined) == len(toy_set)

@@ -1,0 +1,154 @@
+"""Tests for text-value / relationship extraction (paper §3.2, §3.3)."""
+
+import pytest
+
+from repro.db.database import Database, build_table_schema
+from repro.db.schema import ForeignKey
+from repro.db.types import ColumnType
+from repro.errors import ExtractionError
+from repro.retrofit.extraction import extract_text_values
+
+
+@pytest.fixture()
+def toy_extraction(toy_dataset):
+    return extract_text_values(toy_dataset.database)
+
+
+class TestRecordsAndCategories:
+    def test_one_record_per_unique_value_per_column(self, toy_extraction):
+        assert len(toy_extraction) == 5  # 2 countries + 3 movies
+        assert set(toy_extraction.categories) == {"countries.name", "movies.title"}
+
+    def test_indices_are_dense_and_unique(self, toy_extraction):
+        indices = [record.index for record in toy_extraction.records]
+        assert indices == list(range(len(toy_extraction)))
+
+    def test_index_of_lookup(self, toy_extraction):
+        index = toy_extraction.index_of("movies.title", "amelie")
+        assert toy_extraction.records[index].text == "amelie"
+        assert toy_extraction.has_value("movies.title", "amelie")
+        assert not toy_extraction.has_value("movies.title", "matrix")
+        with pytest.raises(ExtractionError):
+            toy_extraction.index_of("movies.title", "matrix")
+
+    def test_same_value_in_two_columns_gets_two_records(self):
+        db = Database()
+        db.create_table(build_table_schema(
+            "a", [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+            primary_key="id"))
+        db.create_table(build_table_schema(
+            "b", [("id", ColumnType.INTEGER), ("label", ColumnType.TEXT)],
+            primary_key="id"))
+        db.insert("a", {"id": 1, "name": "amelie"})
+        db.insert("b", {"id": 1, "label": "amelie"})
+        extraction = extract_text_values(db)
+        assert len(extraction) == 2
+
+    def test_duplicate_value_in_one_column_gets_one_record(self):
+        db = Database()
+        db.create_table(build_table_schema(
+            "a", [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT)],
+            primary_key="id"))
+        db.insert("a", {"id": 1, "name": "amelie"})
+        db.insert("a", {"id": 2, "name": "amelie"})
+        extraction = extract_text_values(db)
+        assert len(extraction) == 1
+
+    def test_records_of_category(self, toy_extraction):
+        records = toy_extraction.records_of_category("movies.title")
+        assert {r.text for r in records} == {"amelie", "inception", "godfather"}
+        with pytest.raises(ExtractionError):
+            toy_extraction.records_of_category("nope")
+
+
+class TestRelationGroups:
+    def test_fk_relation_pairs(self, toy_extraction):
+        group = toy_extraction.relation_group(
+            "movies.title->countries.name[fk]"
+        )
+        texts = {
+            (toy_extraction.records[i].text, toy_extraction.records[j].text)
+            for i, j in group.pairs
+        }
+        assert texts == {
+            ("amelie", "france"), ("inception", "usa"), ("godfather", "usa"),
+        }
+
+    def test_relation_group_lookup_error(self, toy_extraction):
+        with pytest.raises(ExtractionError):
+            toy_extraction.relation_group("nope")
+
+    def test_inverted_group(self, toy_extraction):
+        group = toy_extraction.relation_groups[0]
+        inverted = group.inverted()
+        assert inverted.pairs == [(j, i) for i, j in group.pairs]
+        assert inverted.source_category == group.target_category
+
+    def test_relation_groups_of(self, toy_extraction):
+        amelie = toy_extraction.index_of("movies.title", "amelie")
+        groups = toy_extraction.relation_groups_of(amelie)
+        assert len(groups) == 1
+
+    def test_relation_count(self, toy_extraction):
+        assert toy_extraction.relation_count() == 3
+
+    def test_row_and_m2m_relations_in_tmdb(self, tmdb_extraction):
+        kinds = {group.kind for group in tmdb_extraction.relation_groups}
+        assert kinds == {"row", "fk", "m2m"}
+
+    def test_tmdb_pairs_reference_valid_indices(self, tmdb_extraction):
+        n = len(tmdb_extraction)
+        for group in tmdb_extraction.relation_groups:
+            for i, j in group.pairs:
+                assert 0 <= i < n and 0 <= j < n
+
+
+class TestExclusions:
+    def test_exclude_columns_removes_category_and_relations(self, small_tmdb):
+        full = extract_text_values(small_tmdb.database)
+        reduced = extract_text_values(
+            small_tmdb.database, exclude_columns=("movies.original_language",)
+        )
+        assert "movies.original_language" in full.categories
+        assert "movies.original_language" not in reduced.categories
+        assert len(reduced) < len(full)
+        for group in reduced.relation_groups:
+            assert group.source_category != "movies.original_language"
+            assert group.target_category != "movies.original_language"
+
+    def test_exclude_relations_keeps_categories(self, small_tmdb):
+        excluded = [
+            spec.name for spec in small_tmdb.database.relationships()
+            if "genres.name" in (str(spec.source), str(spec.target))
+        ]
+        reduced = extract_text_values(
+            small_tmdb.database, exclude_relations=excluded
+        )
+        assert "genres.name" in reduced.categories
+        for group in reduced.relation_groups:
+            assert "genres.name" not in (group.source_category, group.target_category)
+
+    def test_min_relation_pairs_filter(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database, min_relation_pairs=10)
+        assert extraction.relation_groups == []
+
+
+class TestFkJoinCorrectness:
+    def test_fk_relation_via_non_pk_column(self):
+        db = Database()
+        db.create_table(build_table_schema(
+            "languages",
+            [("code", ColumnType.TEXT), ("label", ColumnType.TEXT)],
+        ))
+        db.create_table(build_table_schema(
+            "movies",
+            [("id", ColumnType.INTEGER), ("title", ColumnType.TEXT),
+             ("lang_code", ColumnType.TEXT)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("lang_code", "languages", "code")],
+        ))
+        db.insert("languages", {"code": "en", "label": "english"})
+        db.insert("movies", {"id": 1, "title": "inception", "lang_code": "en"})
+        extraction = extract_text_values(db)
+        names = {group.name for group in extraction.relation_groups}
+        assert "movies.title->languages.label[fk]" in names

@@ -1,0 +1,87 @@
+"""Tests for the Faruqui et al. retrofitting baseline (MF)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetrofitError
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.faruqui import edges_from_extraction, faruqui_retrofit
+from repro.retrofit.loss import faruqui_loss
+
+
+class TestEdgesFromExtraction:
+    def test_edges_are_undirected_and_deduplicated(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        edges = edges_from_extraction(extraction)
+        assert len(edges) == 3
+        assert all(i < j for i, j in edges)
+
+    def test_category_edges_optional(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        with_categories = edges_from_extraction(extraction, include_categories=True)
+        without = edges_from_extraction(extraction)
+        assert len(with_categories) > len(without)
+
+
+class TestFaruquiRetrofit:
+    def test_no_edges_returns_copy(self):
+        base = np.random.default_rng(0).normal(size=(4, 3))
+        matrix, report = faruqui_retrofit(base, [])
+        assert np.allclose(matrix, base)
+        assert report.iterations == 0
+
+    def test_input_validation(self):
+        base = np.zeros((3, 2))
+        with pytest.raises(RetrofitError):
+            faruqui_retrofit(base.ravel(), [(0, 1)])
+        with pytest.raises(RetrofitError):
+            faruqui_retrofit(base, [(0, 7)])
+
+    def test_connected_words_move_towards_each_other(self):
+        base = np.array([[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]])
+        matrix, _ = faruqui_retrofit(base, [(0, 1)], iterations=20)
+        before = np.linalg.norm(base[0] - base[1])
+        after = np.linalg.norm(matrix[0] - matrix[1])
+        assert after < before
+        # the isolated word must not move at all
+        assert np.allclose(matrix[2], base[2])
+
+    def test_loss_does_not_increase(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(6, 4))
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]
+        degrees = np.zeros(6)
+        for i, j in edges:
+            degrees[i] += 1
+            degrees[j] += 1
+        alpha = np.ones(6)
+        beta = 1.0 / degrees
+        undirected = edges + [(j, i) for i, j in edges]
+        previous = faruqui_loss(base, base, undirected, alpha, beta)
+        matrix = base
+        for _ in range(5):
+            matrix, _ = faruqui_retrofit(base, edges, iterations=1) if matrix is base \
+                else faruqui_retrofit(matrix, edges, iterations=1)
+        final = faruqui_loss(matrix, base, undirected, alpha, beta)
+        assert final <= previous
+
+    def test_early_stopping(self):
+        base = np.array([[1.0, 0.0], [1.0, 0.0]])
+        matrix, report = faruqui_retrofit(base, [(0, 1)], iterations=50)
+        assert report.iterations < 50
+        assert np.allclose(matrix, base)
+
+    def test_alpha_dominates_when_large(self):
+        base = np.array([[1.0, 0.0], [0.0, 1.0]])
+        tight, _ = faruqui_retrofit(base, [(0, 1)], alpha=100.0, iterations=20)
+        loose, _ = faruqui_retrofit(base, [(0, 1)], alpha=0.01, iterations=20)
+        drift_tight = np.linalg.norm(tight - base)
+        drift_loose = np.linalg.norm(loose - base)
+        assert drift_tight < drift_loose
+
+    def test_on_tmdb_extraction(self, tmdb_extraction, tmdb_base):
+        edges = edges_from_extraction(tmdb_extraction)
+        matrix, report = faruqui_retrofit(tmdb_base.matrix, edges, iterations=5)
+        assert matrix.shape == tmdb_base.matrix.shape
+        assert np.all(np.isfinite(matrix))
+        assert report.iterations == 5

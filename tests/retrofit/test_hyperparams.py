@@ -1,0 +1,152 @@
+"""Tests for hyperparameter handling, derived weights and convexity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RetrofitError
+from repro.retrofit.extraction import RelationGroup
+from repro.retrofit.hyperparams import (
+    DerivedWeights,
+    DirectedRelation,
+    RetroHyperparameters,
+    build_directed_relations,
+    check_convexity,
+    participation_counts,
+)
+
+
+def simple_groups():
+    return [
+        RelationGroup(
+            name="a->b", kind="fk",
+            source_category="a", target_category="b",
+            pairs=[(0, 2), (1, 2), (1, 3)],
+        ),
+    ]
+
+
+class TestRetroHyperparameters:
+    def test_defaults(self):
+        params = RetroHyperparameters()
+        assert params.alpha == 1.0 and params.gamma == 3.0
+
+    def test_paper_defaults(self):
+        assert RetroHyperparameters.paper_ro_default().delta == 3.0
+        assert RetroHyperparameters.paper_rn_default().delta == 1.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(RetrofitError):
+            RetroHyperparameters(alpha=-1.0)
+        with pytest.raises(RetrofitError):
+            RetroHyperparameters(delta=-0.5)
+
+    def test_all_zero_pull_rejected(self):
+        with pytest.raises(RetrofitError):
+            RetroHyperparameters(alpha=0.0, beta=0.0, gamma=0.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(RetrofitError):
+            RetroHyperparameters(alpha=float("nan"))
+
+    def test_replace(self):
+        params = RetroHyperparameters().replace(gamma=5.0)
+        assert params.gamma == 5.0 and params.alpha == 1.0
+
+
+class TestDirectedRelations:
+    def test_forward_and_inverse_created(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        assert len(directed) == 2
+        forward, inverse = directed
+        assert forward.name == "a->b"
+        assert inverse.name == "a->b::inv"
+        assert set(map(tuple, zip(inverse.source_rows, inverse.target_rows))) == {
+            (2, 0), (2, 1), (3, 1)
+        }
+
+    def test_out_degree_and_cardinalities(self):
+        forward = build_directed_relations(simple_groups(), n_values=4)[0]
+        assert forward.out_degree == {0: 1, 1: 2}
+        assert forward.n_sources == 2 and forward.n_targets == 2
+        assert forward.max_cardinality() == 2
+
+    def test_out_of_range_indices_rejected(self):
+        with pytest.raises(RetrofitError):
+            build_directed_relations(simple_groups(), n_values=2)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(RetrofitError):
+            DirectedRelation("bad", np.array([0, 1]), np.array([2]))
+
+    def test_empty_groups_skipped(self):
+        groups = [RelationGroup("empty", "fk", "a", "b", pairs=[])]
+        assert build_directed_relations(groups, n_values=4) == []
+
+    def test_participation_counts(self):
+        directed = build_directed_relations(simple_groups(), n_values=5)
+        counts = participation_counts(directed, 5)
+        assert list(counts) == [1, 1, 1, 1, 0]
+
+
+class TestDerivedWeights:
+    def test_alpha_and_beta_vectors(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=2.0, beta=1.0, gamma=3.0, delta=1.0)
+        weights = DerivedWeights(params, 4, directed)
+        assert np.allclose(weights.alpha_vec, 2.0)
+        # every node participates in exactly one directed group -> beta/2
+        assert np.allclose(weights.beta_vec, 0.5)
+
+    def test_gamma_weights_follow_eq_12(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=1.0, beta=0.0, gamma=3.0, delta=0.0)
+        weights = DerivedWeights(params, 4, directed)
+        gamma_forward = weights.gamma_node[0]
+        # node 0 has out-degree 1, node 1 has out-degree 2; |R_i| = 1
+        assert gamma_forward[0] == pytest.approx(3.0 / (1 * 2))
+        assert gamma_forward[1] == pytest.approx(3.0 / (2 * 2))
+        assert gamma_forward[2] == 0.0
+
+    def test_delta_ro_follows_eq_13(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=1.0, beta=0.0, gamma=1.0, delta=2.0)
+        weights = DerivedWeights(params, 4, directed)
+        # mc(r) = 2, mr(r) = 2 -> delta / 4
+        assert weights.delta_ro[0] == pytest.approx(0.5)
+
+    def test_delta_rn_scaled_by_target_count(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=1.0, beta=0.0, gamma=1.0, delta=2.0)
+        weights = DerivedWeights(params, 4, directed)
+        delta_rn = weights.delta_rn_node[0]
+        # sources are 0 and 1, 2 distinct targets, |R_i|+1 = 2 -> 2/(2*2)
+        assert delta_rn[0] == pytest.approx(0.5)
+        assert delta_rn[2] == 0.0
+
+    def test_gamma_pair_weights(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(gamma=3.0)
+        weights = DerivedWeights(params, 4, directed)
+        pair_weights = weights.gamma_pair_weights(0)
+        assert pair_weights.shape == (3,)
+        assert pair_weights[0] == weights.gamma_node[0][0]
+
+
+class TestConvexity:
+    def test_zero_delta_is_always_convex(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=0.1, delta=0.0)
+        convex, margin = check_convexity(params, directed, 4)
+        assert convex and margin >= 0.0
+
+    def test_large_delta_violates_convexity(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        params = RetroHyperparameters(alpha=0.01, delta=10.0)
+        convex, margin = check_convexity(params, directed, 4)
+        assert not convex and margin < 0.0
+
+    def test_margin_monotone_in_alpha(self):
+        directed = build_directed_relations(simple_groups(), n_values=4)
+        _, low = check_convexity(RetroHyperparameters(alpha=1.0, delta=1.0), directed, 4)
+        _, high = check_convexity(RetroHyperparameters(alpha=5.0, delta=1.0), directed, 4)
+        assert high > low

@@ -1,0 +1,94 @@
+"""Tests for incremental maintenance of retrofitted embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_toy_movie_database
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.incremental import full_and_incremental_agree
+from repro.retrofit.pipeline import RetroPipeline
+
+
+@pytest.fixture()
+def toy_pipeline():
+    # a fresh toy dataset per test because the database is mutated
+    dataset = build_toy_movie_database()
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    return dataset, pipeline, pipeline.run()
+
+
+def add_movie(dataset, title="matrix", country_id=2):
+    dataset.database.insert("movies", {
+        "id": 10 + country_id, "title": title, "country_id": country_id,
+    })
+
+
+class TestIncrementalRetrofitter:
+    def test_new_value_receives_vector(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        update = retrofitter.update(dataset.database)
+        assert update.embeddings.has_value("movies.title", "matrix")
+        vector = update.embeddings.vector_for("movies.title", "matrix")
+        assert np.linalg.norm(vector) > 0.0
+
+    def test_existing_vectors_are_frozen(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        update = retrofitter.update(dataset.database)
+        for record in result.extraction.records:
+            old = result.embeddings.vector_for(record.category, record.text)
+            new = update.embeddings.vector_for(record.category, record.text)
+            assert np.allclose(old, new)
+
+    def test_new_and_reused_bookkeeping(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        update = retrofitter.update(dataset.database)
+        assert len(update.new_indices) == 1
+        assert len(update.reused_indices) == len(result.extraction)
+
+    def test_new_vector_close_to_related_country(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        update = retrofitter.update(dataset.database)
+        matrix_vector = update.embeddings.vector_for("movies.title", "matrix")
+        usa = update.embeddings.vector_for("countries.name", "usa")
+        france = update.embeddings.vector_for("countries.name", "france")
+
+        def cos(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+        assert cos(matrix_vector, usa) > cos(matrix_vector, france)
+
+    def test_agreement_with_full_rerun(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        update = retrofitter.update(dataset.database)
+        full = pipeline.run()
+        assert full_and_incremental_agree(full.embeddings, update.embeddings)
+
+    def test_successive_updates(self, toy_pipeline):
+        dataset, pipeline, result = toy_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        add_movie(dataset, "matrix", 2)
+        first = retrofitter.update(dataset.database)
+        add_movie(dataset, "ratatouille", 1)
+        second = retrofitter.update(dataset.database)
+        assert second.embeddings.has_value("movies.title", "matrix")
+        assert second.embeddings.has_value("movies.title", "ratatouille")
+        assert len(second.new_indices) == 1
+        # the vector solved in the first update is reused untouched
+        assert np.allclose(
+            first.embeddings.vector_for("movies.title", "matrix"),
+            second.embeddings.vector_for("movies.title", "matrix"),
+        )

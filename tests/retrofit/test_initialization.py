@@ -1,0 +1,50 @@
+"""Tests for W0 initialisation."""
+
+import numpy as np
+
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.initialization import initialise_vectors
+from repro.text.tokenizer import Tokenizer
+
+
+class TestInitialiseVectors:
+    def test_shapes_and_coverage(self, small_tmdb, tmdb_extraction, tmdb_base):
+        assert tmdb_base.matrix.shape == (
+            len(tmdb_extraction), small_tmdb.embedding.dimension
+        )
+        assert tmdb_base.n_values == len(tmdb_extraction)
+        assert tmdb_base.dimension == small_tmdb.embedding.dimension
+        assert 0.0 < tmdb_base.coverage <= 1.0
+        assert tmdb_base.oov_count == int(tmdb_base.oov_mask.sum())
+
+    def test_oov_rows_are_null_vectors(self, tmdb_base):
+        oov_rows = tmdb_base.matrix[tmdb_base.oov_mask]
+        assert np.allclose(oov_rows, 0.0)
+
+    def test_in_vocabulary_rows_are_non_null(self, tmdb_base):
+        in_vocab = tmdb_base.matrix[~tmdb_base.oov_mask]
+        norms = np.linalg.norm(in_vocab, axis=1)
+        assert np.all(norms > 0.0)
+
+    def test_some_oov_exists_in_tmdb(self, tmdb_base):
+        # the synthetic TMDB dataset keeps a share of person names out of
+        # vocabulary on purpose
+        assert 0 < tmdb_base.oov_count < tmdb_base.n_values
+
+    def test_toy_dataset_fully_covered(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        base = initialise_vectors(extraction, toy_dataset.embedding)
+        assert base.oov_count == 0
+        assert base.coverage == 1.0
+
+    def test_known_value_matches_embedding(self, toy_dataset):
+        extraction = extract_text_values(toy_dataset.database)
+        base = initialise_vectors(extraction, toy_dataset.embedding)
+        index = extraction.index_of("countries.name", "france")
+        assert np.allclose(base.matrix[index], toy_dataset.embedding["france"])
+
+    def test_reusing_prebuilt_tokenizer(self, small_tmdb, tmdb_extraction):
+        tokenizer = Tokenizer(small_tmdb.embedding)
+        first = initialise_vectors(tmdb_extraction, small_tmdb.embedding, tokenizer)
+        second = initialise_vectors(tmdb_extraction, small_tmdb.embedding)
+        assert np.allclose(first.matrix, second.matrix)

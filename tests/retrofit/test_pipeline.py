@@ -1,0 +1,132 @@
+"""Tests for the end-to-end RetroPipeline and in-database deployment."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import Database, build_table_schema
+from repro.db.types import ColumnType
+from repro.errors import RetrofitError
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import EMBEDDING_TABLE_NAME, RetroPipeline
+from repro.text.embedding import WordEmbedding
+
+
+@pytest.fixture(scope="module")
+def toy_pipeline_result(toy_dataset):
+    pipeline = RetroPipeline(
+        toy_dataset.database,
+        toy_dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+        method="series",
+    )
+    return pipeline, pipeline.run()
+
+
+class TestPipelineRun:
+    def test_result_contents(self, toy_pipeline_result):
+        _, result = toy_pipeline_result
+        assert len(result.extraction) == 5
+        assert result.embeddings.matrix.shape == (5, result.dimension)
+        assert result.plain.matrix.shape == (5, result.dimension)
+        assert result.report.method == "RN"
+        assert result.node_embeddings is None and result.combined is None
+
+    def test_vector_lookup(self, toy_pipeline_result):
+        _, result = toy_pipeline_result
+        vector = result.vector_for("movies.title", "amelie")
+        assert vector.shape == (result.dimension,)
+        assert np.all(np.isfinite(vector))
+
+    def test_plain_equals_tokenised_base(self, toy_pipeline_result, toy_dataset):
+        _, result = toy_pipeline_result
+        assert np.allclose(
+            result.plain.vector_for("countries.name", "usa"),
+            toy_dataset.embedding["usa"],
+        )
+
+    def test_retrofitting_moves_vectors(self, toy_pipeline_result):
+        _, result = toy_pipeline_result
+        assert not np.allclose(result.embeddings.matrix, result.plain.matrix)
+
+    def test_optimization_method(self, toy_dataset):
+        pipeline = RetroPipeline(
+            toy_dataset.database, toy_dataset.embedding, method="optimization"
+        )
+        result = pipeline.run(iterations=5)
+        assert result.report.method == "RO"
+        assert result.report.iterations <= 5
+
+    def test_node_embeddings_and_combination(self, toy_dataset):
+        from repro.deepwalk.deepwalk import DeepWalkConfig
+
+        pipeline = RetroPipeline(
+            toy_dataset.database,
+            toy_dataset.embedding,
+            deepwalk_config=DeepWalkConfig(dimension=4, walks_per_node=2,
+                                           walk_length=4, epochs=1),
+        )
+        result = pipeline.run(include_node_embeddings=True)
+        assert result.node_embeddings is not None
+        assert result.node_embeddings.matrix.shape == (5, 4)
+        assert result.combined is not None
+        assert result.combined.dimension == result.dimension + 4
+
+    def test_empty_database_rejected(self, toy_dataset):
+        empty = Database("empty")
+        empty.create_table(build_table_schema(
+            "numbers", [("id", ColumnType.INTEGER), ("x", ColumnType.FLOAT)],
+            primary_key="id"))
+        pipeline = RetroPipeline(empty, toy_dataset.embedding)
+        with pytest.raises(RetrofitError):
+            pipeline.run()
+
+    def test_exclude_columns_respected(self, small_tmdb):
+        pipeline = RetroPipeline(
+            small_tmdb.database,
+            small_tmdb.embedding,
+            exclude_columns=("movies.original_language",),
+        )
+        extraction = pipeline.extract()
+        assert "movies.original_language" not in extraction.categories
+
+
+class TestAugmentDatabase:
+    """Uses a fresh toy database per test because augmenting mutates it."""
+
+    @staticmethod
+    def _fresh():
+        from repro.datasets import build_toy_movie_database
+
+        return build_toy_movie_database()
+
+    def test_vectors_written_back(self):
+        dataset = self._fresh()
+        pipeline = RetroPipeline(dataset.database, dataset.embedding)
+        result = pipeline.run()
+        pipeline.augment_database(result)
+        table = dataset.database.table(EMBEDDING_TABLE_NAME)
+        assert len(table) == len(result.extraction)
+        row = table.get_by_key(0)
+        assert isinstance(row["vector"], list)
+        assert len(row["vector"]) == result.dimension
+
+    def test_augment_is_idempotent(self):
+        dataset = self._fresh()
+        pipeline = RetroPipeline(dataset.database, dataset.embedding)
+        result = pipeline.run()
+        pipeline.augment_database(result)
+        pipeline.augment_database(result)
+        table = dataset.database.table(EMBEDDING_TABLE_NAME)
+        assert len(table) == len(result.extraction)
+
+    def test_stored_vector_matches_result(self):
+        dataset = self._fresh()
+        pipeline = RetroPipeline(dataset.database, dataset.embedding)
+        result = pipeline.run()
+        pipeline.augment_database(result)
+        table = dataset.database.table(EMBEDDING_TABLE_NAME)
+        for row in table:
+            expected = result.vector_for(
+                f"{row['source_table']}.{row['source_column']}", row["value"]
+            )
+            assert np.allclose(np.array(row["vector"]), expected, atol=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for the binary classification and category imputation tasks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.tasks.classification import BinaryClassificationTask
+from repro.tasks.imputation import CategoryImputationTask, one_hot
+
+
+def separable_binary(n=160, dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, n)
+    direction = np.zeros(dim)
+    direction[0] = 1.0
+    features = rng.normal(0.0, 0.4, (n, dim)) + np.outer(2 * labels - 1, direction)
+    return features, labels
+
+
+def separable_multiclass(n=200, n_classes=4, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, n_classes, n)
+    centres = rng.normal(0.0, 2.0, (n_classes, dim))
+    features = centres[labels] + rng.normal(0.0, 0.4, (n, dim))
+    return features, labels
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert encoded.shape == (3, 3)
+        assert np.allclose(encoded.sum(axis=1), 1.0)
+        assert encoded[1, 2] == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ExperimentError):
+            one_hot(np.array([0, 3]), 3)
+
+
+class TestBinaryClassificationTask:
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ExperimentError):
+            BinaryClassificationTask(hidden_units=())
+
+    def test_learns_separable_problem(self):
+        features, labels = separable_binary()
+        task = BinaryClassificationTask(hidden_units=(16,), epochs=60,
+                                        dropout=0.0, seed=0)
+        outcome = task.train_and_evaluate(
+            features[:100], labels[:100], features[100:], labels[100:]
+        )
+        assert outcome.accuracy > 0.85
+        assert 0.0 <= outcome.precision <= 1.0
+        assert 0.0 <= outcome.recall <= 1.0
+        assert outcome.history.epochs > 0
+
+    def test_length_mismatch_rejected(self):
+        features, labels = separable_binary(40)
+        task = BinaryClassificationTask(hidden_units=(4,), epochs=2)
+        with pytest.raises(ExperimentError):
+            task.train_and_evaluate(features, labels[:-1], features, labels)
+        with pytest.raises(ExperimentError):
+            task.train_and_evaluate(features, labels, features[:-1], labels)
+
+    def test_network_architecture(self):
+        task = BinaryClassificationTask(hidden_units=(32, 16))
+        network = task.build_network()
+        from repro.ml.layers import Dense
+        dense_layers = [l for l in network.layers if isinstance(l, Dense)]
+        assert [l.units for l in dense_layers] == [32, 16, 1]
+
+
+class TestCategoryImputationTask:
+    def test_requires_two_classes(self):
+        task = CategoryImputationTask(hidden_units=(8,))
+        with pytest.raises(ExperimentError):
+            task.build_network(1)
+
+    def test_learns_separable_multiclass(self):
+        features, labels = separable_multiclass()
+        task = CategoryImputationTask(hidden_units=(24,), epochs=80,
+                                      dropout=0.0, seed=1)
+        outcome = task.train_and_evaluate(
+            features[:140], labels[:140], features[140:], labels[140:]
+        )
+        assert outcome.accuracy > 0.8
+        assert outcome.n_classes == 4
+
+    def test_n_classes_inferred(self):
+        features, labels = separable_multiclass(n=80, n_classes=3)
+        task = CategoryImputationTask(hidden_units=(8,), epochs=5)
+        outcome = task.train_and_evaluate(
+            features[:60], labels[:60], features[60:], labels[60:]
+        )
+        assert outcome.n_classes == 3

@@ -1,0 +1,103 @@
+"""Tests for the regression and link-prediction tasks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.regression import RegressionTask
+
+
+def linear_regression_data(n=260, dim=5, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(n, dim))
+    weights = np.linspace(1.0, 2.0, dim)
+    targets = features @ weights * 1e6 + 5e6
+    return features, targets
+
+
+def link_data(n_entities=30, dim=8, seed=0):
+    """Pairs are positive when source and target share the same latent group."""
+    rng = np.random.default_rng(seed)
+    groups = rng.integers(0, 3, n_entities)
+    centres = rng.normal(0.0, 2.0, (3, dim))
+    vectors = centres[groups] + rng.normal(0.0, 0.3, (n_entities, dim))
+    sources, targets, labels = [], [], []
+    for _ in range(400):
+        i, j = rng.integers(0, n_entities, 2)
+        sources.append(vectors[i])
+        targets.append(vectors[j])
+        labels.append(1.0 if groups[i] == groups[j] else 0.0)
+    return np.array(sources), np.array(targets), np.array(labels)
+
+
+class TestRegressionTask:
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ExperimentError):
+            RegressionTask(hidden_units=())
+
+    def test_requires_two_targets(self):
+        task = RegressionTask(hidden_units=(4,), epochs=1)
+        with pytest.raises(ExperimentError):
+            task.train_and_evaluate(
+                np.zeros((1, 2)), np.zeros(1), np.zeros((1, 2)), np.zeros(1)
+            )
+
+    def test_learns_linear_target(self):
+        features, targets = linear_regression_data()
+        task = RegressionTask(hidden_units=(32, 32), dropout=0.0, epochs=120,
+                              seed=0)
+        outcome = task.train_and_evaluate(
+            features[:200], targets[:200], features[200:], targets[200:]
+        )
+        # predicting the mean would give a normalised MAE around 0.8
+        assert outcome.normalised_mae < 0.6
+        assert outcome.mae > 0  # rescaled to original units (dollars)
+
+    def test_mae_in_original_units(self):
+        features, targets = linear_regression_data(n=120)
+        task = RegressionTask(hidden_units=(8,), dropout=0.0, epochs=10)
+        outcome = task.train_and_evaluate(
+            features[:100], targets[:100], features[100:], targets[100:]
+        )
+        assert outcome.mae == pytest.approx(
+            outcome.normalised_mae * targets[:100].std(), rel=0.05
+        )
+
+    def test_constant_targets_do_not_crash(self):
+        features = np.random.default_rng(0).normal(size=(30, 3))
+        targets = np.full(30, 7.0)
+        task = RegressionTask(hidden_units=(4,), epochs=3)
+        outcome = task.train_and_evaluate(features[:20], targets[:20],
+                                          features[20:], targets[20:])
+        assert np.isfinite(outcome.mae)
+
+
+class TestLinkPredictionTask:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            LinkPredictionTask(hidden_units=0)
+
+    def test_shape_checks(self):
+        task = LinkPredictionTask(hidden_units=4, epochs=1)
+        with pytest.raises(ExperimentError):
+            task.train_and_evaluate(
+                np.zeros((4, 3)), np.zeros((4, 2)), np.zeros(4),
+                np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2),
+            )
+        with pytest.raises(ExperimentError):
+            task.train_and_evaluate(
+                np.zeros((4, 3)), np.zeros((4, 3)), np.zeros(3),
+                np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2),
+            )
+
+    def test_learns_group_membership_links(self):
+        sources, targets, labels = link_data()
+        task = LinkPredictionTask(hidden_units=32, epochs=80, seed=0)
+        outcome = task.train_and_evaluate(
+            sources[:300], targets[:300], labels[:300],
+            sources[300:], targets[300:], labels[300:],
+        )
+        assert outcome.accuracy > 0.7
+        assert len(outcome.train_loss) == 80
+        assert outcome.train_loss[-1] < outcome.train_loss[0]

@@ -1,0 +1,113 @@
+"""Tests for sampling helpers and trial statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.tasks.sampling import (
+    TrialStatistics,
+    balanced_binary_sample,
+    normalise_features,
+    stratified_sample,
+    train_test_split,
+)
+
+
+class TestTrialStatistics:
+    def test_mean_std_min_max(self):
+        stats = TrialStatistics("demo")
+        for value in (0.5, 0.7, 0.9):
+            stats.add(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(0.7)
+        assert stats.std == pytest.approx(np.std([0.5, 0.7, 0.9]))
+        assert stats.minimum == 0.5 and stats.maximum == 0.9
+        assert stats.summary()["n"] == 3.0
+
+    def test_empty_statistics_raise(self):
+        stats = TrialStatistics("empty")
+        with pytest.raises(ExperimentError):
+            _ = stats.mean
+        with pytest.raises(ExperimentError):
+            _ = stats.std
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        features = np.arange(20).reshape(10, 2)
+        targets = np.arange(10)
+        x_train, y_train, x_test, y_test = train_test_split(
+            features, targets, test_fraction=0.3, rng=rng
+        )
+        assert len(x_test) == 3 and len(x_train) == 7
+        assert len(y_test) == 3 and len(y_train) == 7
+
+    def test_rows_stay_aligned(self, rng):
+        features = np.arange(10).reshape(10, 1)
+        targets = np.arange(10) * 10
+        x_train, y_train, _, _ = train_test_split(features, targets, 0.2, rng)
+        assert np.all(y_train == x_train.ravel() * 10)
+
+    def test_validation(self, rng):
+        with pytest.raises(ExperimentError):
+            train_test_split(np.zeros((3, 1)), np.zeros(3), 0.0, rng)
+        with pytest.raises(ExperimentError):
+            train_test_split(np.zeros((3, 1)), np.zeros(2), 0.5, rng)
+
+
+class TestBalancedBinarySample:
+    def test_balanced_output(self, rng):
+        indices, labels = balanced_binary_sample(
+            np.arange(0, 50), np.arange(50, 100), 20, rng
+        )
+        assert len(indices) == 40
+        assert labels.sum() == 20
+
+    def test_labels_match_source_pools(self, rng):
+        positives = np.arange(0, 10)
+        negatives = np.arange(100, 110)
+        indices, labels = balanced_binary_sample(positives, negatives, 5, rng)
+        assert np.all(indices[labels == 1] < 10)
+        assert np.all(indices[labels == 0] >= 100)
+
+    def test_sampling_with_replacement_when_pool_small(self, rng):
+        indices, labels = balanced_binary_sample(
+            np.array([1]), np.array([2, 3]), 10, rng
+        )
+        assert len(indices) == 20
+
+    def test_validation(self, rng):
+        with pytest.raises(ExperimentError):
+            balanced_binary_sample(np.array([]), np.array([1]), 5, rng)
+        with pytest.raises(ExperimentError):
+            balanced_binary_sample(np.array([1]), np.array([2]), 0, rng)
+
+
+class TestStratifiedSample:
+    def test_preserves_proportions_roughly(self, rng):
+        labels = np.array([0] * 80 + [1] * 20)
+        sample = stratified_sample(labels, 50, rng)
+        share = labels[sample].mean()
+        assert 0.1 <= share <= 0.35
+
+    def test_all_classes_present(self, rng):
+        labels = np.array([0] * 95 + [1] * 5)
+        sample = stratified_sample(labels, 20, rng)
+        assert set(labels[sample]) == {0, 1}
+
+    def test_validation(self, rng):
+        with pytest.raises(ExperimentError):
+            stratified_sample(np.array([]), 5, rng)
+        with pytest.raises(ExperimentError):
+            stratified_sample(np.array([1, 2]), 0, rng)
+
+
+class TestNormaliseFeatures:
+    def test_rows_unit_length(self):
+        features = np.array([[3.0, 4.0], [1.0, 0.0]])
+        normalised = normalise_features(features)
+        assert np.allclose(np.linalg.norm(normalised, axis=1), 1.0)
+
+    def test_zero_rows_preserved(self):
+        normalised = normalise_features(np.zeros((2, 3)))
+        assert np.allclose(normalised, 0.0)

@@ -1,0 +1,136 @@
+"""Integration tests: full pipeline runs across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    RetroHyperparameters,
+    RetroPipeline,
+    __version__,
+)
+from repro.datasets import generate_google_play, generate_tmdb
+from repro.experiments.embedding_factory import build_embedding_suite
+from repro.experiments.task_data import director_classification_data
+from repro.tasks import BinaryClassificationTask
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert __version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestTmdbEndToEnd:
+    @pytest.fixture(scope="class")
+    def pipeline_result(self, small_tmdb):
+        pipeline = RetroPipeline(
+            small_tmdb.database,
+            small_tmdb.embedding,
+            hyperparams=RetroHyperparameters.paper_rn_default(),
+        )
+        return pipeline.run()
+
+    def test_every_text_value_has_a_vector(self, pipeline_result, small_tmdb):
+        assert len(pipeline_result.extraction) == (
+            small_tmdb.database.unique_text_values()
+        )
+        norms = np.linalg.norm(pipeline_result.embeddings.matrix, axis=1)
+        assert np.mean(norms > 0) > 0.95
+
+    def test_retrofitted_titles_closer_to_their_country(
+        self, pipeline_result, small_tmdb
+    ):
+        """Relational retrofitting must move movie titles towards the vector
+        of their production country more often than not."""
+        embeddings = pipeline_result.embeddings
+        plain = pipeline_result.plain
+        db = small_tmdb.database
+        movies = db.table("movies")
+        countries = db.table("countries")
+        closer = 0
+        total = 0
+        for link in db.table("movie_countries"):
+            movie = movies.get_by_key(link["movie_id"])
+            country = countries.get_by_key(link["country_id"])
+            title, country_name = movie["title"], country["name"]
+
+            def gap(embedding_set):
+                title_vec = embedding_set.vector_for("movies.title", title)
+                country_vec = embedding_set.vector_for("countries.name", country_name)
+                denom = (np.linalg.norm(title_vec) * np.linalg.norm(country_vec))
+                if denom < 1e-12:
+                    return -1.0
+                return float(title_vec @ country_vec / denom)
+
+            total += 1
+            if gap(embeddings) > gap(plain):
+                closer += 1
+        assert closer / total > 0.7
+
+    def test_classification_beats_chance(self, small_tmdb):
+        suite = build_embedding_suite(
+            small_tmdb.database, small_tmdb.embedding, methods=("RN",)
+        )
+        data = director_classification_data(suite.extraction, small_tmdb)
+        features = suite.get("RN").matrix[data.indices]
+        labels = data.labels
+        split = len(labels) // 2
+        task = BinaryClassificationTask(hidden_units=(32,), epochs=40, seed=0)
+        outcome = task.train_and_evaluate(
+            features[:split], labels[:split], features[split:], labels[split:]
+        )
+        assert outcome.accuracy > 0.55
+
+
+class TestGooglePlayEndToEnd:
+    def test_pipeline_with_exclusions(self):
+        dataset = generate_google_play(num_apps=30, seed=2, embedding_dimension=16)
+        pipeline = RetroPipeline(
+            dataset.database,
+            dataset.embedding,
+            exclude_columns=("categories.name", "genres.name"),
+        )
+        result = pipeline.run()
+        assert "categories.name" not in result.extraction.categories
+        assert result.embeddings.has_value("apps.name",
+                                           next(iter(dataset.app_category)))
+
+
+class TestScalingConsistency:
+    def test_larger_database_yields_more_vectors(self):
+        small = generate_tmdb(num_movies=20, seed=0, embedding_dimension=16)
+        large = generate_tmdb(num_movies=50, seed=0, embedding_dimension=16)
+        small_result = RetroPipeline(small.database, small.embedding).run()
+        large_result = RetroPipeline(large.database, large.embedding).run()
+        assert len(large_result.extraction) > len(small_result.extraction)
+
+    def test_isolated_databases_do_not_interfere(self):
+        first = generate_tmdb(num_movies=20, seed=3, embedding_dimension=16)
+        before = first.database.summary()
+        _ = generate_tmdb(num_movies=20, seed=4, embedding_dimension=16)
+        assert first.database.summary() == before
+
+
+class TestErrorPaths:
+    def test_pipeline_requires_text_values(self):
+        from repro.db.database import build_table_schema
+        from repro.db.types import ColumnType
+        from repro.text.embedding import WordEmbedding
+
+        db = Database("numbers_only")
+        db.create_table(build_table_schema(
+            "points", [("id", ColumnType.INTEGER), ("x", ColumnType.FLOAT)],
+            primary_key="id"))
+        db.insert("points", {"id": 1, "x": 0.5})
+        embedding = WordEmbedding.from_dict({"word": np.ones(4)})
+        pipeline = RetroPipeline(db, embedding)
+        from repro.errors import RetrofitError
+
+        with pytest.raises(RetrofitError):
+            pipeline.run()

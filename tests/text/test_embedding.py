@@ -1,0 +1,106 @@
+"""Tests for the WordEmbedding store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.text.embedding import WordEmbedding, cosine
+
+
+@pytest.fixture()
+def embedding():
+    emb = WordEmbedding(3)
+    emb.add("cat", np.array([1.0, 0.0, 0.0]))
+    emb.add("dog", np.array([0.9, 0.1, 0.0]))
+    emb.add("car", np.array([0.0, 0.0, 1.0]))
+    emb.add("Bank Account", np.array([0.0, 1.0, 0.0]))
+    return emb
+
+
+class TestConstruction:
+    def test_dimension_must_be_positive(self):
+        with pytest.raises(EmbeddingError):
+            WordEmbedding(0)
+
+    def test_add_checks_shape(self, embedding):
+        with pytest.raises(EmbeddingError):
+            embedding.add("bad", np.array([1.0, 2.0]))
+
+    def test_add_rejects_empty_word(self, embedding):
+        with pytest.raises(EmbeddingError):
+            embedding.add("   ", np.zeros(3))
+
+    def test_add_replaces_existing(self, embedding):
+        embedding.add("cat", np.array([0.0, 0.0, 5.0]))
+        assert embedding["cat"][2] == 5.0
+        assert len(embedding) == 4
+
+    def test_from_dict(self):
+        emb = WordEmbedding.from_dict({"a": np.ones(2), "b": np.zeros(2)})
+        assert len(emb) == 2 and emb.dimension == 2
+
+    def test_from_empty_dict(self):
+        with pytest.raises(EmbeddingError):
+            WordEmbedding.from_dict({})
+
+
+class TestLookup:
+    def test_canonicalisation(self, embedding):
+        assert "bank account" in embedding
+        assert "BANK_ACCOUNT" in embedding
+        assert np.allclose(embedding["bank_account"], [0.0, 1.0, 0.0])
+
+    def test_get_returns_none_for_oov(self, embedding):
+        assert embedding.get("unknown") is None
+        with pytest.raises(KeyError):
+            embedding["unknown"]
+
+    def test_matrix_shape_and_order(self, embedding):
+        matrix = embedding.matrix()
+        assert matrix.shape == (4, 3)
+        assert np.allclose(matrix[0], embedding["cat"])
+
+    def test_vocabulary_order(self, embedding):
+        assert embedding.vocabulary == ["cat", "dog", "car", "bank_account"]
+
+
+class TestSimilarity:
+    def test_cosine_similarity(self, embedding):
+        assert embedding.cosine_similarity("cat", "dog") > 0.9
+        assert embedding.cosine_similarity("cat", "car") == pytest.approx(0.0)
+
+    def test_cosine_similarity_oov(self, embedding):
+        with pytest.raises(EmbeddingError):
+            embedding.cosine_similarity("cat", "unknown")
+
+    def test_cosine_zero_vector(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_nearest(self, embedding):
+        results = embedding.nearest(np.array([1.0, 0.05, 0.0]), k=2)
+        assert [word for word, _ in results] == ["cat", "dog"]
+
+    def test_nearest_checks_shape(self, embedding):
+        with pytest.raises(EmbeddingError):
+            embedding.nearest(np.ones(2))
+
+
+class TestPersistence:
+    def test_npz_roundtrip(self, embedding, tmp_path):
+        path = tmp_path / "emb.npz"
+        embedding.save(path)
+        loaded = WordEmbedding.load(path)
+        assert loaded.vocabulary == embedding.vocabulary
+        assert np.allclose(loaded.matrix(), embedding.matrix())
+
+    def test_text_format(self, tmp_path):
+        path = tmp_path / "vectors.txt"
+        path.write_text("cat 1.0 0.0\ndog 0.5 0.5\n", encoding="utf-8")
+        emb = WordEmbedding.load_text_format(path)
+        assert len(emb) == 2 and emb.dimension == 2
+
+    def test_text_format_empty(self, tmp_path):
+        path = tmp_path / "vectors.txt"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(EmbeddingError):
+            WordEmbedding.load_text_format(path)

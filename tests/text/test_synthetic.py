@@ -1,0 +1,98 @@
+"""Tests for the synthetic, concept-structured embedding space."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.text.embedding import cosine
+from repro.text.synthetic import SyntheticEmbeddingSpace
+
+
+@pytest.fixture()
+def space():
+    space = SyntheticEmbeddingSpace(dimension=32, seed=3)
+    space.add_concept("language/english", ["english"])
+    space.add_concept("country/usa", ["usa", "american"], parent="language/english")
+    space.add_concept("genre/horror", ["haunted", "scream", "nightmare"])
+    space.add_background_words(["the", "of"])
+    return space
+
+
+class TestConstruction:
+    def test_dimension_validation(self):
+        with pytest.raises(EmbeddingError):
+            SyntheticEmbeddingSpace(dimension=0)
+
+    def test_duplicate_concept_rejected(self, space):
+        with pytest.raises(EmbeddingError):
+            space.add_concept("genre/horror")
+
+    def test_unknown_parent_rejected(self, space):
+        with pytest.raises(EmbeddingError):
+            space.add_concept("x", parent="does/not/exist")
+
+    def test_add_words_to_unknown_concept(self, space):
+        with pytest.raises(EmbeddingError):
+            space.add_words("does/not/exist", ["word"])
+
+    def test_build_requires_words(self):
+        with pytest.raises(EmbeddingError):
+            SyntheticEmbeddingSpace(dimension=4).build()
+
+
+class TestStructure:
+    def test_words_cluster_around_their_concept(self, space):
+        embedding = space.build()
+        horror = [embedding[w] for w in ("haunted", "scream", "nightmare")]
+        centroid = space.concept_centroid("genre/horror")
+        for vector in horror:
+            assert cosine(vector, centroid) > 0.7
+
+    def test_within_cluster_similarity_exceeds_between(self, space):
+        embedding = space.build()
+        within = embedding.cosine_similarity("haunted", "scream")
+        between = embedding.cosine_similarity("haunted", "american")
+        assert within > between
+
+    def test_child_concept_near_parent(self, space):
+        child = space.concept_centroid("country/usa")
+        parent = space.concept_centroid("language/english")
+        assert cosine(child, parent) > 0.5
+
+    def test_concept_of(self, space):
+        assert space.concept_of("haunted") == "genre/horror"
+        assert space.concept_of("the") == "__background__"
+        assert space.concept_of("unknown") is None
+
+    def test_determinism(self):
+        def build():
+            s = SyntheticEmbeddingSpace(dimension=16, seed=11)
+            s.add_concept("c", ["a", "b"])
+            return s.build()
+
+        first, second = build(), build()
+        assert np.allclose(first.matrix(), second.matrix())
+
+    def test_different_seeds_differ(self):
+        def build(seed):
+            s = SyntheticEmbeddingSpace(dimension=16, seed=seed)
+            s.add_concept("c", ["a", "b"])
+            return s.build()
+
+        assert not np.allclose(build(1).matrix(), build(2).matrix())
+
+    def test_noise_scale_independent_of_dimension(self):
+        distances = []
+        for dim in (8, 128):
+            s = SyntheticEmbeddingSpace(dimension=dim, seed=5)
+            s.add_concept("c", [f"w{i}" for i in range(20)], spread=0.3)
+            emb = s.build()
+            centroid = s.concept_centroid("c")
+            distance = np.mean([
+                np.linalg.norm(emb[f"w{i}"] - centroid) for i in range(20)
+            ])
+            distances.append(distance)
+        assert distances[1] == pytest.approx(distances[0], rel=0.5)
+
+    def test_len_counts_words(self, space):
+        assert len(space) == 8

@@ -1,0 +1,93 @@
+"""Tests for normalisation, longest-match tokenisation and W0 initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TokenizationError
+from repro.text.embedding import WordEmbedding
+from repro.text.tokenizer import Tokenizer, normalise_text
+
+
+@pytest.fixture()
+def embedding():
+    return WordEmbedding.from_dict({
+        "bank": np.array([1.0, 0.0]),
+        "account": np.array([0.0, 1.0]),
+        "bank_account": np.array([10.0, 10.0]),
+        "luc_besson": np.array([2.0, 2.0]),
+        "movie": np.array([-1.0, 0.0]),
+    })
+
+
+class TestNormaliseText:
+    def test_lowercase_and_split(self):
+        assert normalise_text("Luc Besson") == ["luc", "besson"]
+
+    def test_underscores_and_hyphens(self):
+        assert normalise_text("bank_account-number") == ["bank", "account", "number"]
+
+    def test_punctuation_removed(self):
+        assert normalise_text("Hello, world!!") == ["hello", "world"]
+
+    def test_numbers_kept(self):
+        assert normalise_text("Blade Runner 2049") == ["blade", "runner", "2049"]
+
+    def test_apostrophes(self):
+        assert normalise_text("don't stop") == ["don't", "stop"]
+
+    def test_empty(self):
+        assert normalise_text("...") == []
+
+
+class TestTokenizer:
+    def test_requires_non_empty_vocabulary(self):
+        with pytest.raises(TokenizationError):
+            Tokenizer(WordEmbedding(4))
+
+    def test_longest_phrase_preferred(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        result = tokenizer.tokenize("Bank Account")
+        assert result.matched_phrases == ["bank_account"]
+        assert np.allclose(result.vector, [10.0, 10.0])
+
+    def test_single_tokens_without_trie(self, embedding):
+        tokenizer = Tokenizer(embedding, use_trie=False)
+        result = tokenizer.tokenize("Bank Account")
+        assert result.matched_phrases == ["bank", "account"]
+        assert np.allclose(result.vector, [0.5, 0.5])
+
+    def test_unmatched_tokens_are_reported(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        result = tokenizer.tokenize("bank robbery movie")
+        assert result.matched_phrases == ["bank", "movie"]
+        assert result.unmatched_tokens == ["robbery"]
+        assert 0.0 < result.coverage < 1.0
+
+    def test_out_of_vocabulary_value(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        result = tokenizer.tokenize("zorgblatt")
+        assert result.is_out_of_vocabulary
+        assert result.vector is None
+        assert result.coverage == 0.0
+
+    def test_initial_vector_is_null_for_oov(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        assert np.allclose(tokenizer.initial_vector("zorgblatt"), 0.0)
+
+    def test_centroid_of_multiple_matches(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        vector = tokenizer.initial_vector("bank movie")
+        assert np.allclose(vector, [0.0, 0.0])
+
+    def test_vectorize_all(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        matrix, oov = tokenizer.vectorize_all(["bank", "zorgblatt", "Luc Besson"])
+        assert matrix.shape == (3, 2)
+        assert list(oov) == [False, True, False]
+        assert np.allclose(matrix[1], 0.0)
+        assert np.allclose(matrix[2], [2.0, 2.0])
+
+    def test_empty_text(self, embedding):
+        tokenizer = Tokenizer(embedding)
+        result = tokenizer.tokenize("")
+        assert result.is_out_of_vocabulary

@@ -1,0 +1,67 @@
+"""Tests for the token prefix trie."""
+
+from repro.text.trie import TokenTrie
+
+
+class TestTokenTrie:
+    def test_insert_and_contains(self):
+        trie = TokenTrie()
+        trie.insert(["bank"])
+        trie.insert(["bank", "account"])
+        assert trie.contains(["bank"])
+        assert trie.contains(["bank", "account"])
+        assert not trie.contains(["account"])
+        assert not trie.contains(["bank", "robbery"])
+
+    def test_len_counts_distinct_phrases(self):
+        trie = TokenTrie()
+        trie.insert(["a"])
+        trie.insert(["a"])
+        trie.insert(["a", "b"])
+        assert len(trie) == 2
+
+    def test_empty_insert_is_ignored(self):
+        trie = TokenTrie()
+        trie.insert([])
+        assert len(trie) == 0
+
+    def test_longest_match_prefers_longer_phrase(self):
+        trie = TokenTrie()
+        trie.insert(["bank"])
+        trie.insert(["bank", "account"])
+        length, phrase = trie.longest_match(["bank", "account", "number"])
+        assert length == 2 and phrase == "bank_account"
+
+    def test_longest_match_falls_back_to_shorter(self):
+        trie = TokenTrie()
+        trie.insert(["bank"])
+        trie.insert(["bank", "account"])
+        length, phrase = trie.longest_match(["bank", "robbery"])
+        assert length == 1 and phrase == "bank"
+
+    def test_longest_match_no_match(self):
+        trie = TokenTrie()
+        trie.insert(["bank"])
+        assert trie.longest_match(["river"]) == (0, None)
+
+    def test_longest_match_with_start_offset(self):
+        trie = TokenTrie()
+        trie.insert(["account"])
+        length, phrase = trie.longest_match(["bank", "account"], start=1)
+        assert length == 1 and phrase == "account"
+
+    def test_partial_path_is_not_a_match(self):
+        trie = TokenTrie()
+        trie.insert(["new", "york", "city"])
+        assert trie.longest_match(["new", "york"]) == (0, None)
+
+    def test_custom_phrase_label(self):
+        trie = TokenTrie()
+        trie.insert(["los", "angeles"], phrase="Los_Angeles")
+        length, phrase = trie.longest_match(["los", "angeles"])
+        assert length == 2 and phrase == "Los_Angeles"
+
+    def test_insert_many(self):
+        trie = TokenTrie()
+        trie.insert_many([["a"], ["b", "c"]])
+        assert trie.contains(["a"]) and trie.contains(["b", "c"])
