@@ -1,0 +1,113 @@
+"""Benchmark: batched top-k latency of the serving indexes (flat vs IVF).
+
+Builds a synthetic clustered embedding matrix (a mixture of Gaussians, the
+shape real text-value embeddings take after retrofitting) and measures the
+batched top-10 query latency of the exact :class:`FlatIndex` against the
+:class:`IVFIndex` at several ``nprobe`` settings, together with the IVF
+recall against the exact ranking.
+
+Acceptance guard of the serving subsystem: IVF must beat brute force while
+keeping recall@10 at or above 0.9.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments.runner import ResultTable
+from repro.serving import FlatIndex, IVFIndex
+
+K = 10
+BATCH = 128
+REPEATS = 3
+
+
+def _build_corpus(scale: str) -> tuple[np.ndarray, np.ndarray]:
+    if scale == "paper":
+        n_rows, dimension, n_clusters = 50_000, 300, 400
+    else:
+        n_rows, dimension, n_clusters = 20_000, 300, 200
+    rng = np.random.default_rng(0)
+    centers = rng.normal(size=(n_clusters, dimension)) * 4.0
+    rows = centers[rng.integers(0, n_clusters, size=n_rows)]
+    rows = rows + rng.normal(size=rows.shape)
+    queries = rows[rng.choice(n_rows, size=BATCH, replace=False)]
+    queries = queries + 0.1 * rng.normal(size=queries.shape)
+    return rows, queries
+
+
+def _best_query_seconds(index, queries: np.ndarray) -> tuple[float, np.ndarray]:
+    best = np.inf
+    indices = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        indices, _ = index.query_batch(queries, K)
+        best = min(best, time.perf_counter() - started)
+    return best, indices
+
+
+def _recall(reference: np.ndarray, candidate: np.ndarray) -> float:
+    return float(np.mean([
+        len(set(ref.tolist()) & set(cand.tolist())) / K
+        for ref, cand in zip(reference, candidate)
+    ]))
+
+
+def run() -> ResultTable:
+    scale = os.environ.get("RETRO_BENCH_SCALE", "quick")
+    matrix, queries = _build_corpus(scale)
+    table = ResultTable(
+        name=f"index top-{K} latency ({matrix.shape[0]}x{matrix.shape[1]}, "
+        f"batch {BATCH})",
+        columns=["index", "build_seconds", "query_ms", "per_query_us",
+                 "speedup", "recall_at_10"],
+    )
+
+    started = time.perf_counter()
+    flat = FlatIndex(matrix)
+    flat_build = time.perf_counter() - started
+    flat_seconds, flat_indices = _best_query_seconds(flat, queries)
+    table.add_row(
+        index="flat",
+        build_seconds=flat_build,
+        query_ms=flat_seconds * 1e3,
+        per_query_us=flat_seconds / BATCH * 1e6,
+        speedup=1.0,
+        recall_at_10=1.0,
+    )
+
+    for nprobe in (4, 8, 16):
+        started = time.perf_counter()
+        ivf = IVFIndex(matrix, nprobe=nprobe, seed=0)
+        ivf_build = time.perf_counter() - started
+        ivf_seconds, ivf_indices = _best_query_seconds(ivf, queries)
+        table.add_row(
+            index=f"ivf(nprobe={nprobe}/{ivf.n_cells})",
+            build_seconds=ivf_build,
+            query_ms=ivf_seconds * 1e3,
+            per_query_us=ivf_seconds / BATCH * 1e6,
+            speedup=flat_seconds / ivf_seconds,
+            recall_at_10=_recall(flat_indices, ivf_indices),
+        )
+    table.add_note(f"k={K}, query batch={BATCH}, best of {REPEATS} runs")
+    return table
+
+
+def test_ivf_beats_flat_at_high_recall(benchmark, record_table):
+    table = run_once(benchmark, run)
+    record_table(table, "index_topk")
+
+    flat_row = table.row_for("index", "flat")
+    ivf_rows = [row for row in table.rows if row["index"].startswith("ivf")]
+    assert ivf_rows, "no IVF rows recorded"
+    # at least one IVF configuration must be measurably faster than brute
+    # force while keeping recall@10 >= 0.9
+    winners = [
+        row for row in ivf_rows
+        if row["recall_at_10"] >= 0.9 and row["query_ms"] < flat_row["query_ms"] / 1.5
+    ]
+    assert winners, f"no IVF config beat flat at recall>=0.9: {table.to_text()}"

@@ -16,6 +16,23 @@ retrofitted vector for every unique text value in the database::
                              hyperparams=RetroHyperparameters(gamma=3.0))
     result = pipeline.run()
     vector = result.vector_for("movies.title", next(iter(dataset.movie_language)))
+
+Trained results can be persisted and served without re-running the solver.
+The :mod:`repro.serving` subsystem provides exact (:class:`FlatIndex`) and
+IVF-approximate (:class:`IVFIndex`) top-k similarity indexes with batched
+queries, a versioned on-disk :class:`EmbeddingStore`, and the
+:class:`ServingSession` facade combining both behind an LRU query cache::
+
+    result.save("model_store")                  # npz matrices + JSON header
+    result = RetroResult.load("model_store")    # no solver rerun
+
+    from repro.serving import ServingSession
+    session = ServingSession.from_store("model_store")
+    hits = session.topk(vector, k=5, category="movies.title")
+    batches = session.topk_batch(query_matrix, k=5)
+
+See ``examples/serving_quickstart.py`` for the full train → save → load →
+query walk-through.
 """
 
 from repro.errors import (
@@ -29,6 +46,8 @@ from repro.errors import (
     ReproError,
     RetrofitError,
     SchemaError,
+    ServingError,
+    StoreFormatError,
     TokenizationError,
     TrainingError,
 )
@@ -45,8 +64,16 @@ from repro.retrofit import (
     faruqui_retrofit,
 )
 from repro.deepwalk import DeepWalk, DeepWalkConfig
+from repro.serving import (
+    EmbeddingStore,
+    FlatIndex,
+    IVFIndex,
+    LRUCache,
+    ServingSession,
+    VectorIndex,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -63,6 +90,8 @@ __all__ = [
     "TrainingError",
     "DatasetError",
     "ExperimentError",
+    "ServingError",
+    "StoreFormatError",
     # relational engine
     "Database",
     "Table",
@@ -86,4 +115,11 @@ __all__ = [
     # node embeddings
     "DeepWalk",
     "DeepWalkConfig",
+    # serving
+    "VectorIndex",
+    "FlatIndex",
+    "IVFIndex",
+    "EmbeddingStore",
+    "ServingSession",
+    "LRUCache",
 ]

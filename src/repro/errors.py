@@ -54,3 +54,12 @@ class DatasetError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class ServingError(ReproError):
+    """The embedding serving layer (indexes, sessions) was misused."""
+
+
+class StoreFormatError(ServingError):
+    """A persisted embedding artifact is corrupt, truncated or from an
+    incompatible format version."""

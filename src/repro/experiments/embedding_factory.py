@@ -58,6 +58,37 @@ class EmbeddingSuite:
         """All trained embedding type names."""
         return list(self.sets)
 
+    def index_for(self, name: str, category: str | None = None):
+        """A cached :class:`repro.serving.FlatIndex` over one trained set.
+
+        Evaluation tasks issue thousands of similarity lookups against the
+        same matrices; routing them through the per-suite index cache turns
+        every lookup into an ``argpartition`` top-k instead of a fresh scan
+        plus full sort.
+        """
+        return self.get(name).index_for(category)
+
+    def serving_session(self, name: str, cache_size: int = 1024):
+        """A :class:`repro.serving.ServingSession` over one trained set."""
+        from repro.serving.session import ServingSession
+
+        return ServingSession(self.get(name), cache_size=cache_size)
+
+    def save(self, path, names: tuple[str, ...] | None = None) -> list[str]:
+        """Persist trained sets into an :class:`repro.serving.EmbeddingStore`.
+
+        Each set becomes one artifact named exactly after its embedding
+        type (``RN``, ``PV+DW``, ...); returns the artifact names written.
+        """
+        from repro.serving.store import EmbeddingStore
+
+        store = EmbeddingStore(path)
+        saved = []
+        for name in names if names is not None else tuple(self.sets):
+            store.save_embedding_set(name, self.get(name))
+            saved.append(name)
+        return saved
+
 
 def build_embedding_suite(
     database: Database,

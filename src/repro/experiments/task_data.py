@@ -15,6 +15,7 @@ import numpy as np
 from repro.datasets.google_play import GooglePlayDataset
 from repro.datasets.tmdb import TmdbDataset
 from repro.errors import ExperimentError
+from repro.retrofit.combine import TextValueEmbeddingSet
 from repro.retrofit.extraction import ExtractionResult
 
 DIRECTOR_CATEGORY = "persons.name"
@@ -114,6 +115,62 @@ def app_category_data(
         labels=np.array(labels, dtype=np.int64),
         label_names=categories,
     )
+
+
+def knn_impute_labels(
+    embeddings: TextValueEmbeddingSet,
+    train: LabelledIndices,
+    query_indices: np.ndarray,
+    k: int = 5,
+    index=None,
+) -> np.ndarray:
+    """Index-served k-nearest-neighbour label imputation.
+
+    Predicts a class for every extraction index in ``query_indices`` by
+    majority vote over the ``k`` most similar labelled training vectors.
+    The neighbour search runs as one batched top-k query against ``index``
+    (any :class:`repro.serving.VectorIndex` over
+    ``embeddings.matrix[train.indices]``); a :class:`FlatIndex` is built on
+    demand when none is supplied.  Ties break towards the lower class id.
+    """
+    if len(train) == 0:
+        raise ExperimentError("knn imputation needs labelled training indices")
+    if k <= 0:
+        raise ExperimentError("knn imputation needs k >= 1")
+    if index is None:
+        from repro.serving.index import FlatIndex
+
+        index = FlatIndex(embeddings.matrix[train.indices], metric="cosine")
+    else:
+        indexed_rows = getattr(index, "n_rows", None)
+        if indexed_rows is not None and indexed_rows != len(train):
+            raise ExperimentError(
+                f"index holds {indexed_rows} vectors but the training set has "
+                f"{len(train)}; build the index over "
+                "embeddings.matrix[train.indices]"
+            )
+    query_indices = np.asarray(query_indices, dtype=np.int64)
+    k = min(int(k), len(train))
+    neighbour_rows, _ = index.query_batch(embeddings.matrix[query_indices], k)
+    valid = neighbour_rows >= 0
+    starved = np.nonzero(~valid.any(axis=1))[0]
+    if starved.size:
+        raise ExperimentError(
+            f"index returned no neighbours for query rows {starved.tolist()}; "
+            "increase nprobe or use an exhaustive index"
+        )
+    # one vectorised tally over all queries; argmax breaks ties towards
+    # the lower class id
+    rows = np.broadcast_to(
+        np.arange(len(query_indices))[:, None], neighbour_rows.shape
+    )
+    votes = np.zeros((len(query_indices), train.n_classes), dtype=np.int64)
+    np.add.at(
+        votes,
+        (rows[valid], train.labels[neighbour_rows[valid]]),
+        1,
+    )
+    return np.argmax(votes, axis=1).astype(np.int64)
 
 
 @dataclass

@@ -62,6 +62,9 @@ class TextValueEmbeddingSet:
                 f"matrix has {self.matrix.shape[0]} rows, extraction has "
                 f"{len(self.extraction)} text values"
             )
+        self._scope_indexes: dict[str | None, object] = {}
+        self._scope_rows: dict[str | None, object] = {}
+        self._indexed_matrix: np.ndarray | None = None
 
     @property
     def dimension(self) -> int:
@@ -91,33 +94,63 @@ class TextValueEmbeddingSet:
         texts = [record.text for record in records]
         return texts, self.matrix[[record.index for record in records]]
 
+    def scope_rows(self, category: str | None = None):
+        """Matrix row numbers of one query scope (``None`` = every value).
+
+        Returns a ``range`` for the full scope (no materialised copy) and a
+        ``list`` for a category scope; both support positional indexing.
+        """
+        if category is None:
+            return range(len(self))
+        return [
+            record.index
+            for record in self.extraction.records_of_category(category)
+        ]
+
+    def index_for(self, category: str | None = None):
+        """A cached :class:`repro.serving.FlatIndex` over one scope.
+
+        ``None`` indexes every text value; a category name indexes only that
+        column's values.  The vectors are immutable by convention, so the
+        index (with its precomputed row norms) is reused across queries;
+        reassigning :attr:`matrix` drops all cached indexes (in-place
+        element mutation is not detected).
+        """
+        if self._indexed_matrix is not self.matrix:
+            self._scope_indexes.clear()
+            self._scope_rows.clear()
+            self._indexed_matrix = self.matrix
+        if category not in self._scope_indexes:
+            from repro.serving.index import FlatIndex
+
+            rows = self.scope_rows(category)
+            self._scope_rows[category] = rows
+            self._scope_indexes[category] = FlatIndex(
+                self.matrix if category is None else self.matrix[rows],
+                metric="cosine",
+            )
+        return self._scope_indexes[category]
+
     def nearest(
         self, vector: np.ndarray, k: int = 10, category: str | None = None
     ) -> list[tuple[str, str, float]]:
         """The ``k`` most cosine-similar text values to ``vector``.
 
         Returns ``(category, text, similarity)`` triples, optionally
-        restricted to one category.
+        restricted to one category.  Served by a cached per-scope
+        :class:`repro.serving.FlatIndex` (``argpartition`` top-k instead of
+        a full vocabulary sort).
         """
         vector = np.asarray(vector, dtype=np.float64)
-        if category is None:
-            candidates = list(range(len(self)))
-        else:
-            candidates = [
-                record.index
-                for record in self.extraction.records_of_category(category)
-            ]
-        if not candidates:
+        index = self.index_for(category)
+        if index.n_rows == 0:
             return []
-        rows = self.matrix[candidates]
-        denom = np.linalg.norm(rows, axis=1) * (np.linalg.norm(vector) + _EPSILON)
-        denom[denom < _EPSILON] = _EPSILON
-        scores = rows @ vector / denom
-        order = np.argsort(-scores)[:k]
+        candidates = self._scope_rows[category]
+        indices, scores = index.query(vector, k)
         results = []
-        for position in order:
+        for position, score in zip(indices, scores):
             record = self.extraction.records[candidates[int(position)]]
-            results.append((record.category, record.text, float(scores[position])))
+            results.append((record.category, record.text, float(score)))
         return results
 
     def concatenated_with(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -52,6 +53,30 @@ class RetroResult:
     def dimension(self) -> int:
         """Dimensionality of the retrofitted vectors."""
         return self.embeddings.dimension
+
+    # ------------------------------------------------------------------ #
+    # persistence (serving without recomputation)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path, name: str = "result") -> Path:
+        """Persist this result as artifact ``name`` in the store at ``path``.
+
+        The artifact can be reloaded with :meth:`RetroResult.load` or served
+        directly through :class:`repro.serving.ServingSession`.
+        """
+        from repro.serving.store import EmbeddingStore
+
+        return EmbeddingStore(path).save_result(name, self)
+
+    @classmethod
+    def load(cls, path: str | Path, name: str = "result") -> "RetroResult":
+        """Reload a result saved with :meth:`save` (no solver rerun).
+
+        Subclasses get instances of themselves (``cls`` is forwarded to
+        the store).
+        """
+        from repro.serving.store import EmbeddingStore
+
+        return EmbeddingStore(path).load_result(name, result_cls=cls)
 
 
 class RetroPipeline:
@@ -131,6 +156,13 @@ class RetroPipeline:
             combined=combined,
             hyperparams=self.hyperparams,
         )
+
+    def save(
+        self, result: RetroResult, path: str | Path, name: str = "result"
+    ) -> Path:
+        """Persist ``result`` so it can be served without re-running the
+        solver; see :meth:`RetroResult.save`."""
+        return result.save(path, name=name)
 
     def incremental_retrofitter(self, result: RetroResult) -> IncrementalRetrofitter:
         """An :class:`IncrementalRetrofitter` continuing from ``result``."""

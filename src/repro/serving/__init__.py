@@ -1,0 +1,36 @@
+"""Embedding serving: ANN indexes, artifact persistence, query sessions.
+
+The training side of the reproduction ends with dense matrices; this
+package is the serving side.  :class:`FlatIndex` and :class:`IVFIndex`
+answer single and batched top-k similarity queries, :class:`EmbeddingStore`
+persists and reloads trained artifacts (so a served model never re-runs the
+solver), and :class:`ServingSession` glues the two together behind an LRU
+query cache.
+"""
+
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descending
+from repro.serving.session import ServingSession, default_index_factory
+from repro.serving.store import (
+    EmbeddingStore,
+    STORE_FORMAT,
+    STORE_VERSION,
+    extraction_from_dict,
+    extraction_to_dict,
+)
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "VectorIndex",
+    "FlatIndex",
+    "IVFIndex",
+    "topk_descending",
+    "ServingSession",
+    "default_index_factory",
+    "EmbeddingStore",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "extraction_to_dict",
+    "extraction_from_dict",
+]

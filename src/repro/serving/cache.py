@@ -1,0 +1,83 @@
+"""A small LRU cache for repeated top-k queries.
+
+Serving workloads are heavily skewed — the same head entities are looked up
+over and over — so even a modest exact-match cache removes a large share of
+index scans.  Keys are opaque hashables; :class:`ServingSession` derives
+them from the raw query bytes plus the search parameters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.errors import ServingError
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A fixed-capacity mapping evicting the least recently used entry."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ServingError("cache capacity must be positive")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for ``key`` (marking it most recently used)."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self._misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store ``value``, evicting the least recently used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            capacity=self.capacity,
+        )

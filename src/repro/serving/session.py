@@ -1,0 +1,222 @@
+"""The serving facade: store + per-category indexes + query cache.
+
+A :class:`ServingSession` answers "query an already-trained RETRO model"
+requests without touching the solver:
+
+* it is constructed from an in-memory :class:`TextValueEmbeddingSet` or
+  straight :meth:`from_store` (reloading a persisted pipeline run),
+* it lazily builds one :class:`VectorIndex` per queried scope (the whole
+  extraction, or one category) and keeps them for the session's lifetime,
+* single top-k lookups go through an LRU cache keyed on the raw query
+  bytes, batched lookups go straight to the index's batch kernel.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.index import FlatIndex, IVFIndex, VectorIndex
+from repro.serving.store import EmbeddingStore
+
+IndexFactory = Callable[[np.ndarray], VectorIndex]
+
+#: Build an IVF index for scopes of at least this many vectors, a flat
+#: index below (brute force beats cell bookkeeping on small scopes).
+DEFAULT_IVF_THRESHOLD = 4096
+
+
+def default_index_factory(
+    metric: str = "cosine",
+    ivf_threshold: int = DEFAULT_IVF_THRESHOLD,
+    nprobe: int = 8,
+) -> IndexFactory:
+    """The standard adaptive factory: flat for small scopes, IVF for large."""
+
+    def build(matrix: np.ndarray) -> VectorIndex:
+        if matrix.shape[0] >= ivf_threshold:
+            return IVFIndex(matrix, metric=metric, nprobe=nprobe)
+        return FlatIndex(matrix, metric=metric)
+
+    return build
+
+
+class ServingSession:
+    """Batched top-k similarity serving over one embedding set."""
+
+    def __init__(
+        self,
+        embeddings: TextValueEmbeddingSet,
+        index_factory: IndexFactory | None = None,
+        cache_size: int = 1024,
+    ) -> None:
+        self.embeddings = embeddings
+        self._index_factory = index_factory
+        self._indexes: dict[str | None, VectorIndex] = {}
+        self._scope_rows: dict[str | None, Sequence[int]] = {}
+        self._cache = LRUCache(cache_size) if cache_size > 0 else None
+        self._indexed_matrix: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction from disk
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_store(
+        cls,
+        path: str | Path,
+        name: str = "result",
+        index_factory: IndexFactory | None = None,
+        cache_size: int = 1024,
+    ) -> "ServingSession":
+        """Open a session over a persisted pipeline result or embedding set.
+
+        ``path`` is an :class:`EmbeddingStore` directory; ``name`` the
+        artifact.  A ``retro_result`` artifact serves its retrofitted
+        embeddings, an ``embedding_set`` artifact is served as-is.
+        """
+        store = EmbeddingStore(path)
+        kind = store.artifact_kind(name)
+        if kind == "retro_result":
+            embeddings = store.load_result(name).embeddings
+        else:
+            embeddings = store.load_embedding_set(name)
+        return cls(embeddings, index_factory=index_factory, cache_size=cache_size)
+
+    # ------------------------------------------------------------------ #
+    # vocabulary access
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the served vectors."""
+        return self.embeddings.dimension
+
+    @property
+    def categories(self) -> list[str]:
+        """All servable categories (qualified column names)."""
+        return list(self.embeddings.extraction.categories)
+
+    def vector_for(self, category: str, text: str) -> np.ndarray:
+        """The served vector of ``text`` within ``category``."""
+        return self.embeddings.vector_for(category, text)
+
+    # ------------------------------------------------------------------ #
+    # index management
+    # ------------------------------------------------------------------ #
+    def _sync_matrix(self) -> None:
+        """Drop indexes and cached results if the served matrix was
+        reassigned (mirrors :meth:`TextValueEmbeddingSet.index_for`;
+        in-place element mutation is not detected)."""
+        if self._indexed_matrix is not self.embeddings.matrix:
+            self._indexes.clear()
+            self._scope_rows.clear()
+            if self._cache is not None:
+                self._cache.clear()
+            self._indexed_matrix = self.embeddings.matrix
+
+    def index_for(self, category: str | None = None) -> VectorIndex:
+        """The (lazily built) index of one scope; ``None`` = all values.
+
+        Scope membership comes from
+        :meth:`TextValueEmbeddingSet.scope_rows`.  Without a custom
+        factory, small scopes reuse the flat index cached on the embedding
+        set itself (one shared index per scope instead of two) and only
+        scopes of at least :data:`DEFAULT_IVF_THRESHOLD` rows get a
+        session-owned IVF index.
+        """
+        self._sync_matrix()
+        if category not in self._indexes:
+            rows = self.embeddings.scope_rows(category)
+            self._scope_rows[category] = rows
+            matrix = self.embeddings.matrix
+            scope_matrix = matrix if category is None else matrix[rows]
+            if self._index_factory is not None:
+                index = self._index_factory(scope_matrix)
+            elif len(rows) >= DEFAULT_IVF_THRESHOLD:
+                # same policy object users get from default_index_factory(),
+                # so IVF parameters are defined in exactly one place
+                index = default_index_factory()(scope_matrix)
+            else:
+                index = self.embeddings.index_for(category)
+            self._indexes[category] = index
+        return self._indexes[category]
+
+    def _decorate(
+        self, category: str | None, indices: np.ndarray, scores: np.ndarray
+    ) -> list[tuple[str, str, float]]:
+        records = self.embeddings.extraction.records
+        rows = self._scope_rows[category]
+        results: list[tuple[str, str, float]] = []
+        for position, score in zip(indices, scores):
+            if position < 0 or not np.isfinite(score):
+                continue
+            record = records[rows[int(position)]]
+            results.append((record.category, record.text, float(score)))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def topk(
+        self, vector: np.ndarray, k: int = 10, category: str | None = None
+    ) -> list[tuple[str, str, float]]:
+        """The ``k`` most similar ``(category, text, score)`` triples."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            # validate before the cache lookup: a (1, d) matrix shares the
+            # byte representation of the (d,) vector it wraps, and whether
+            # it errors must not depend on cache state
+            raise ServingError(
+                f"query vector has shape {vector.shape}, "
+                f"expected ({self.dimension},)"
+            )
+        self._sync_matrix()  # before the cache lookup: stale hits are wrong
+        key = None
+        if self._cache is not None:
+            key = (category, int(k), vector.tobytes())
+            cached = self._cache.get(key)
+            if cached is not None:
+                return list(cached)
+        index = self.index_for(category)
+        indices, scores = index.query(vector, k)
+        results = self._decorate(category, indices, scores)
+        if self._cache is not None:
+            self._cache.put(key, tuple(results))
+        return results
+
+    def topk_batch(
+        self,
+        vectors: np.ndarray | Sequence[np.ndarray],
+        k: int = 10,
+        category: str | None = None,
+    ) -> list[list[tuple[str, str, float]]]:
+        """Batched :meth:`topk`: one result list per query row."""
+        queries = np.asarray(vectors, dtype=np.float64)
+        if queries.ndim != 2:
+            raise ServingError("topk_batch expects a (batch, dimension) matrix")
+        index = self.index_for(category)
+        indices, scores = index.query_batch(queries, k)
+        return [
+            self._decorate(category, row_indices, row_scores)
+            for row_indices, row_scores in zip(indices, scores)
+        ]
+
+    def neighbours_of(
+        self, category: str, text: str, k: int = 10, within: str | None = None
+    ) -> list[tuple[str, str, float]]:
+        """Top-``k`` neighbours of a stored text value (excluding itself)."""
+        vector = self.vector_for(category, text)
+        results = self.topk(vector, k + 1, category=within)
+        return [
+            triple for triple in results
+            if not (triple[0] == category and triple[1] == text)
+        ][:k]
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Hit/miss counters of the query cache (``None`` when disabled)."""
+        return self._cache.stats if self._cache is not None else None

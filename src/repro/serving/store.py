@@ -1,0 +1,482 @@
+"""Persistence of learned embedding artifacts (npz matrices + JSON header).
+
+A pipeline run is expensive; serving it should not require re-running the
+solver.  :class:`EmbeddingStore` writes named artifacts into a directory:
+
+* ``<name>.json`` — a versioned header (format marker, format version,
+  artifact kind, hyperparameters, solver report, extraction metadata and a
+  SHA-256 checksum of the matrix archive),
+* ``<name>.<checksum12>.npz`` — all dense matrices of the artifact, under a
+  content-addressed file name referenced by the header; the header rename
+  is the commit point of a save, so an interrupted overwrite never damages
+  the previously stored artifact.
+
+Loading validates the format marker, the version, the checksum and the
+matrix/extraction shape agreement, raising :class:`StoreFormatError` (a
+:class:`ReproError` subclass) with a precise message on any mismatch, so a
+corrupt or incompatible artifact never produces silently wrong vectors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.deepwalk.deepwalk import NodeEmbeddingResult
+from repro.errors import StoreFormatError
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.retrofit.extraction import (
+    ExtractionResult,
+    RelationGroup,
+    TextValueRecord,
+)
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.initialization import InitialisedMatrix
+from repro.retrofit.retro import SolverReport
+
+STORE_FORMAT = "repro-embedding-store"
+STORE_VERSION = 1
+
+KIND_EMBEDDING_SET = "embedding_set"
+KIND_RETRO_RESULT = "retro_result"
+
+
+# --------------------------------------------------------------------------- #
+# extraction (de)serialisation
+# --------------------------------------------------------------------------- #
+def extraction_to_dict(extraction: ExtractionResult) -> dict[str, Any]:
+    """A JSON-serialisable representation of an :class:`ExtractionResult`."""
+    return {
+        "records": [
+            [record.index, record.text, record.table, record.column]
+            for record in extraction.records
+        ],
+        # list of pairs, not an object: category *order* is part of the
+        # artifact and must survive json round-trips with sorted keys
+        "categories": [
+            [category, list(indices)]
+            for category, indices in extraction.categories.items()
+        ],
+        "relation_groups": [
+            {
+                "name": group.name,
+                "kind": group.kind,
+                "source_category": group.source_category,
+                "target_category": group.target_category,
+                "pairs": [[i, j] for i, j in group.pairs],
+            }
+            for group in extraction.relation_groups
+        ],
+    }
+
+
+def extraction_from_dict(payload: dict[str, Any]) -> ExtractionResult:
+    """Rebuild an :class:`ExtractionResult` from :func:`extraction_to_dict`."""
+    try:
+        records = [
+            TextValueRecord(
+                index=int(index), text=str(text), table=str(table), column=str(column)
+            )
+            for index, text, table, column in payload["records"]
+        ]
+        categories = {
+            str(category): [int(i) for i in indices]
+            for category, indices in payload["categories"]
+        }
+        groups = [
+            RelationGroup(
+                name=str(group["name"]),
+                kind=str(group["kind"]),
+                source_category=str(group["source_category"]),
+                target_category=str(group["target_category"]),
+                pairs=[(int(i), int(j)) for i, j in group["pairs"]],
+            )
+            for group in payload["relation_groups"]
+        ]
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreFormatError(f"malformed extraction metadata: {error}") from error
+    n_records = len(records)
+    for position, record in enumerate(records):
+        if record.index != position:
+            raise StoreFormatError(
+                f"extraction record {position} carries index {record.index}"
+            )
+    # range-check every stored index: a corrupt header must fail loudly at
+    # load time, not wrap around (negative) or crash later during a query
+    for category, indices in categories.items():
+        for index in indices:
+            if not 0 <= index < n_records:
+                raise StoreFormatError(
+                    f"category {category!r} references record {index}, "
+                    f"outside 0..{n_records - 1}"
+                )
+    for group in groups:
+        for i, j in group.pairs:
+            if not (0 <= i < n_records and 0 <= j < n_records):
+                raise StoreFormatError(
+                    f"relation group {group.name!r} references pair "
+                    f"({i}, {j}), outside 0..{n_records - 1}"
+                )
+    return ExtractionResult(
+        records=records, categories=categories, relation_groups=groups
+    )
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+class EmbeddingStore:
+    """A directory of named, versioned embedding artifacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # low-level artifact IO
+    # ------------------------------------------------------------------ #
+    def _header_path(self, name: str) -> Path:
+        if (
+            not name
+            or "/" in name
+            or "\\" in name
+            or name.startswith(".")
+        ):
+            raise StoreFormatError(f"invalid artifact name {name!r}")
+        return self.root / f"{name}.json"
+
+    def _write(
+        self, name: str, kind: str, header: dict[str, Any], arrays: dict[str, np.ndarray]
+    ) -> Path:
+        header_path = self._header_path(name)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # the matrix lives under a content-addressed name and the header
+        # rename is the single commit point: a crash anywhere mid-save
+        # leaves the previous artifact (header + its own matrix file)
+        # fully intact, never a header whose checksum mismatches its matrix;
+        # the tmp name is per-process so concurrent savers never collide
+        matrix_tmp = self.root / f"{name}.{os.getpid()}.tmp.npz"
+        np.savez_compressed(matrix_tmp, **arrays)
+        checksum = _sha256(matrix_tmp)
+        matrix_path = self.root / f"{name}.{checksum[:12]}.npz"
+        os.replace(matrix_tmp, matrix_path)
+        payload = {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "kind": kind,
+            "matrix_file": matrix_path.name,
+            "matrix_sha256": checksum,
+            **header,
+        }
+        header_tmp = header_path.with_name(
+            f"{header_path.name}.{os.getpid()}.tmp"
+        )
+        header_tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(header_tmp, header_path)  # commit
+        self._drop_stale_matrices(name, keep=matrix_path.name)
+        return header_path
+
+    #: Grace period before a superseded matrix file is garbage-collected.
+    #: A concurrent saver's freshly renamed matrix (header not yet
+    #: committed) must never be deleted from under it; anything older than
+    #: this that the current header does not reference is genuinely stale.
+    STALE_GRACE_SECONDS = 60.0
+
+    def _drop_stale_matrices(self, name: str, keep: str) -> None:
+        """Delete superseded matrix files and crashed-save leftovers of
+        ``name`` (both past the grace period)."""
+        escaped = re.escape(name)
+        stale = re.compile(rf"^{escaped}\.[0-9a-f]{{12}}\.npz$")
+        orphan_matrix = re.compile(rf"^{escaped}\.\d+\.tmp\.npz$")
+        orphan_header = re.compile(rf"^{escaped}\.json\.\d+\.tmp$")
+        cutoff = time.time() - self.STALE_GRACE_SECONDS
+        for candidate in self.root.glob(f"{name}.*"):
+            if candidate.name == keep:
+                continue
+            if not (
+                stale.match(candidate.name)
+                or orphan_matrix.match(candidate.name)
+                or orphan_header.match(candidate.name)
+            ):
+                continue
+            try:
+                if candidate.stat().st_mtime < cutoff:
+                    candidate.unlink()
+            except OSError:
+                pass  # a concurrent save may have removed it already
+
+    def _read_header(self, name: str) -> dict[str, Any]:
+        """Parse an artifact's JSON header (no format/version validation)."""
+        header_path = self._header_path(name)
+        if not header_path.exists():
+            raise StoreFormatError(f"no artifact {name!r} in store {self.root}")
+        try:
+            header = json.loads(header_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise StoreFormatError(
+                f"unreadable artifact header {header_path}: {error}"
+            ) from error
+        if not isinstance(header, dict):
+            raise StoreFormatError(f"{header_path} does not hold a JSON object")
+        return header
+
+    def _validate_header(self, name: str, header: dict[str, Any], kind: str) -> None:
+        header_path = self._header_path(name)
+        if header.get("format") != STORE_FORMAT:
+            raise StoreFormatError(
+                f"{header_path} is not a {STORE_FORMAT} artifact"
+            )
+        version = header.get("version")
+        if version != STORE_VERSION:
+            raise StoreFormatError(
+                f"artifact {name!r} has format version {version!r}, this "
+                f"library reads version {STORE_VERSION}"
+            )
+        if header.get("kind") != kind:
+            raise StoreFormatError(
+                f"artifact {name!r} is a {header.get('kind')!r}, expected {kind!r}"
+            )
+
+    def _read(self, name: str, kind: str) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        header = self._read_header(name)
+        # a concurrent re-save can garbage-collect the matrix file between
+        # our header read and the open; one re-read of the (now new,
+        # self-consistent) header recovers without surfacing a phantom error
+        for attempt in (0, 1):
+            self._validate_header(name, header, kind)
+            matrix_file = header.get("matrix_file")
+            if (
+                not isinstance(matrix_file, str)
+                or "/" in matrix_file
+                or "\\" in matrix_file
+                or not matrix_file.endswith(".npz")
+            ):
+                raise StoreFormatError(
+                    f"artifact {name!r} has an invalid matrix_file reference"
+                )
+            matrix_path = self.root / matrix_file
+            if not matrix_path.exists():
+                if attempt == 0:
+                    header = self._read_header(name)
+                    continue
+                raise StoreFormatError(f"artifact {name!r} lacks its matrix file")
+            checksum = _sha256(matrix_path)
+            if checksum != header.get("matrix_sha256"):
+                if attempt == 0:
+                    header = self._read_header(name)
+                    continue
+                raise StoreFormatError(
+                    f"matrix file of artifact {name!r} is corrupt "
+                    f"(checksum {checksum[:12]}… does not match the header)"
+                )
+            with np.load(matrix_path, allow_pickle=False) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+            return header, arrays
+        raise StoreFormatError(f"artifact {name!r} could not be read")  # unreachable
+
+    def list_artifacts(self) -> list[str]:
+        """Names of all artifacts in the store, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def has_artifact(self, name: str) -> bool:
+        """Whether an artifact called ``name`` exists."""
+        return self._header_path(name).exists()
+
+    def artifact_kind(self, name: str) -> str:
+        """The kind of artifact ``name`` (without loading its matrices)."""
+        kind = self._read_header(name).get("kind")
+        if not isinstance(kind, str):
+            raise StoreFormatError(f"artifact {name!r} lacks a kind marker")
+        return kind
+
+    # ------------------------------------------------------------------ #
+    # embedding sets
+    # ------------------------------------------------------------------ #
+    def save_embedding_set(
+        self, name: str, embeddings: TextValueEmbeddingSet
+    ) -> Path:
+        """Persist one :class:`TextValueEmbeddingSet` as artifact ``name``."""
+        header = {
+            "set_name": embeddings.name,
+            "dimension": embeddings.dimension,
+            "n_values": len(embeddings),
+            "extraction": extraction_to_dict(embeddings.extraction),
+        }
+        return self._write(
+            name, KIND_EMBEDDING_SET, header, {"matrix": embeddings.matrix}
+        )
+
+    def load_embedding_set(self, name: str) -> TextValueEmbeddingSet:
+        """Reload an embedding set saved by :meth:`save_embedding_set`."""
+        header, arrays = self._read(name, KIND_EMBEDDING_SET)
+        extraction = extraction_from_dict(header.get("extraction", {}))
+        matrix = arrays.get("matrix")
+        if matrix is None or matrix.ndim != 2:
+            raise StoreFormatError(f"artifact {name!r} lacks a 2-D matrix")
+        if matrix.shape[0] != len(extraction):
+            raise StoreFormatError(
+                f"artifact {name!r}: matrix has {matrix.shape[0]} rows but the "
+                f"extraction lists {len(extraction)} text values"
+            )
+        return TextValueEmbeddingSet(
+            extraction=extraction,
+            matrix=matrix,
+            name=str(header.get("set_name", name)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # full pipeline results
+    # ------------------------------------------------------------------ #
+    def save_result(self, name: str, result) -> Path:
+        """Persist a full :class:`repro.retrofit.pipeline.RetroResult`."""
+        params = result.hyperparams
+        report = result.report
+        header: dict[str, Any] = {
+            "set_name": result.embeddings.name,
+            "dimension": result.embeddings.dimension,
+            "n_values": len(result.embeddings),
+            "extraction": extraction_to_dict(result.extraction),
+            "hyperparams": {
+                "alpha": params.alpha,
+                "beta": params.beta,
+                "gamma": params.gamma,
+                "delta": params.delta,
+            },
+            "report": {
+                "method": report.method,
+                "iterations": report.iterations,
+                "runtime_seconds": report.runtime_seconds,
+                "converged": report.converged,
+                "convexity_margin": report.convexity_margin,
+                "shift_history": list(report.shift_history),
+                "loss_history": list(report.loss_history),
+            },
+            "base_coverage": result.base.coverage,
+            "plain_name": result.plain.name,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "matrix": result.embeddings.matrix,
+            "base_matrix": result.base.matrix,
+            "oov_mask": result.base.oov_mask.astype(np.bool_),
+            "plain_matrix": result.plain.matrix,
+        }
+        if result.node_embeddings is not None:
+            node = result.node_embeddings
+            arrays["node_matrix"] = node.matrix
+            header["node_embeddings"] = {
+                "node_ids": list(node.node_ids),
+                "missing": [int(i) for i in node.missing],
+            }
+        if result.combined is not None:
+            arrays["combined_matrix"] = result.combined.matrix
+            header["combined_name"] = result.combined.name
+        return self._write(name, KIND_RETRO_RESULT, header, arrays)
+
+    def load_result(self, name: str, result_cls=None):
+        """Reload a pipeline result saved by :meth:`save_result`.
+
+        ``result_cls`` lets :class:`RetroResult` subclasses reconstruct
+        themselves; defaults to ``RetroResult``.
+        """
+        if result_cls is None:
+            from repro.retrofit.pipeline import RetroResult as result_cls
+
+        header, arrays = self._read(name, KIND_RETRO_RESULT)
+        extraction = extraction_from_dict(header.get("extraction", {}))
+        required = ("matrix", "base_matrix", "oov_mask", "plain_matrix")
+        missing = [key for key in required if key not in arrays]
+        if missing:
+            raise StoreFormatError(
+                f"artifact {name!r} lacks matrix arrays: {missing}"
+            )
+        # every per-value array must agree with the extraction row count —
+        # a wrong-rows array must fail here as StoreFormatError, never load
+        # into inconsistent state or surface as a downstream RetrofitError
+        expected_rows = len(extraction)
+        row_checked = (
+            "matrix", "base_matrix", "oov_mask", "plain_matrix",
+            "node_matrix", "combined_matrix",
+        )
+        for key in row_checked:
+            if key not in arrays:
+                continue
+            array = arrays[key]
+            expected_ndim = 1 if key == "oov_mask" else 2
+            if array.ndim != expected_ndim or array.shape[0] != expected_rows:
+                raise StoreFormatError(
+                    f"artifact {name!r}: array {key!r} has shape "
+                    f"{array.shape}, expected {expected_rows} rows"
+                )
+        matrix = arrays["matrix"]
+        try:
+            params = RetroHyperparameters(**header["hyperparams"])
+            report_payload = dict(header["report"])
+            report = SolverReport(
+                method=str(report_payload["method"]),
+                iterations=int(report_payload["iterations"]),
+                runtime_seconds=float(report_payload["runtime_seconds"]),
+                converged=bool(report_payload["converged"]),
+                convexity_margin=report_payload.get("convexity_margin"),
+                shift_history=[float(v) for v in report_payload.get("shift_history", [])],
+                loss_history=[float(v) for v in report_payload.get("loss_history", [])],
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreFormatError(
+                f"artifact {name!r} has malformed hyperparameter/report "
+                f"metadata: {error}"
+            ) from error
+        base = InitialisedMatrix(
+            matrix=arrays["base_matrix"],
+            oov_mask=arrays["oov_mask"].astype(bool),
+            coverage=float(header.get("base_coverage", 0.0)),
+        )
+        embeddings = TextValueEmbeddingSet(
+            extraction=extraction,
+            matrix=matrix,
+            name=str(header.get("set_name", report.method)),
+        )
+        plain = TextValueEmbeddingSet(
+            extraction=extraction,
+            matrix=arrays["plain_matrix"],
+            name=str(header.get("plain_name", "PV")),
+        )
+        node_embeddings = None
+        if "node_matrix" in arrays:
+            node_meta = header.get("node_embeddings", {})
+            node_embeddings = NodeEmbeddingResult(
+                matrix=arrays["node_matrix"],
+                node_ids=[str(v) for v in node_meta.get("node_ids", [])],
+                missing=[int(v) for v in node_meta.get("missing", [])],
+            )
+        combined = None
+        if "combined_matrix" in arrays:
+            combined = TextValueEmbeddingSet(
+                extraction=extraction,
+                matrix=arrays["combined_matrix"],
+                name=str(header.get("combined_name", f"{embeddings.name}+DW")),
+            )
+        return result_cls(
+            extraction=extraction,
+            base=base,
+            embeddings=embeddings,
+            report=report,
+            plain=plain,
+            node_embeddings=node_embeddings,
+            combined=combined,
+            hyperparams=params,
+        )

@@ -31,6 +31,33 @@ class LinkPredictionOutcome:
     train_loss: list[float] = field(default_factory=list)
 
 
+def rank_link_candidates(
+    source_vectors: np.ndarray,
+    target_index,
+    k: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Embedding-based candidate retrieval for link prediction.
+
+    Scores every source vector against an index built over the candidate
+    target vectors (a :class:`repro.serving.VectorIndex`) in one batched
+    top-k query — the candidate-generation idiom of embedding-backed entity
+    linkers.  Returns ``(indices, scores)`` of shape
+    ``(n_sources, min(k, reachable targets))``; the indices refer to rows
+    of the target index's matrix, and IVF rows short on candidates carry a
+    ``-1`` / ``-inf`` tail (see :meth:`VectorIndex.query_batch`).  Use the
+    two-tower :class:`LinkPredictionTask` to re-rank the shortlisted pairs.
+    """
+    source_vectors = np.asarray(source_vectors, dtype=np.float64)
+    if source_vectors.ndim != 2:
+        raise ExperimentError("source_vectors must be a (n_sources, dim) matrix")
+    if source_vectors.shape[1] != target_index.dimension:
+        raise ExperimentError(
+            f"source vectors have dimension {source_vectors.shape[1]}, the "
+            f"target index holds dimension {target_index.dimension}"
+        )
+    return target_index.query_batch(source_vectors, k)
+
+
 class _TwoTowerNetwork:
     """The Figure-5c architecture: two input towers, subtraction, two layers."""
 

@@ -25,6 +25,8 @@ class WordEmbedding:
         self._index: dict[str, int] = {}
         self._vectors: list[np.ndarray] = []
         self._matrix_cache: np.ndarray | None = None
+        self._flat_index = None
+        self._words_cache: list[str] | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -46,6 +48,8 @@ class WordEmbedding:
         if not key:
             raise EmbeddingError("cannot add an empty word")
         self._matrix_cache = None
+        self._flat_index = None
+        self._words_cache = None
         if key in self._index:
             self._vectors[self._index[key]] = vector
         else:
@@ -117,22 +121,37 @@ class WordEmbedding:
             raise EmbeddingError(f"word {missing!r} is out of vocabulary")
         return float(cosine(a, b))
 
+    def flat_index(self):
+        """A :class:`repro.serving.FlatIndex` over the current vocabulary.
+
+        Built lazily and invalidated whenever a vector is added, so repeated
+        :meth:`nearest` calls share one set of precomputed row norms.
+        """
+        if self._flat_index is None:
+            from repro.serving.index import FlatIndex
+
+            self._flat_index = FlatIndex(self.matrix(), metric="cosine")
+        return self._flat_index
+
     def nearest(self, vector: np.ndarray, k: int = 10) -> list[tuple[str, float]]:
-        """The ``k`` vocabulary entries closest to ``vector`` by cosine."""
+        """The ``k`` vocabulary entries closest to ``vector`` by cosine.
+
+        Delegates to a cached :class:`repro.serving.FlatIndex`, which selects
+        the top ``k`` with ``argpartition`` instead of sorting the whole
+        vocabulary.
+        """
         vector = np.asarray(vector, dtype=np.float64)
         if vector.shape != (self.dimension,):
             raise EmbeddingError(
                 f"query vector has shape {vector.shape}, expected ({self.dimension},)"
             )
-        matrix = self.matrix()
-        if matrix.shape[0] == 0:
+        if len(self._vectors) == 0:
             return []
-        norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(vector) + 1e-12)
-        norms[norms == 0] = 1e-12
-        scores = matrix @ vector / norms
-        order = np.argsort(-scores)[:k]
-        words = self.vocabulary
-        return [(words[i], float(scores[i])) for i in order]
+        indices, scores = self.flat_index().query(vector, k)
+        if self._words_cache is None:
+            self._words_cache = self.vocabulary
+        words = self._words_cache
+        return [(words[int(i)], float(s)) for i, s in zip(indices, scores)]
 
     # ------------------------------------------------------------------ #
     # persistence

@@ -102,3 +102,21 @@ class TestTextValueEmbeddingSet:
         assert combined.dimension == toy_set.dimension + 2
         assert combined.name == "PV+X"
         assert len(combined) == len(toy_set)
+
+
+class TestIndexInvalidation:
+    def test_matrix_reassignment_drops_cached_indexes(self):
+        from repro.retrofit.extraction import ExtractionResult, TextValueRecord
+
+        extraction = ExtractionResult(
+            records=[
+                TextValueRecord(0, "a", "t", "c"),
+                TextValueRecord(1, "b", "t", "c"),
+            ],
+            categories={"t.c": [0, 1]},
+            relation_groups=[],
+        )
+        embeddings = TextValueEmbeddingSet(extraction, np.eye(2), "x")
+        assert embeddings.nearest(np.array([1.0, 0.0]), 1)[0][1] == "a"
+        embeddings.matrix = np.asarray([[0.0, 1.0], [1.0, 0.0]], dtype=np.float64)
+        assert embeddings.nearest(np.array([1.0, 0.0]), 1)[0][1] == "b"

@@ -1,0 +1,257 @@
+"""Tests for the ServingSession facade, the LRU cache and the task hooks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExtractionError, ServingError
+from repro.experiments.embedding_factory import build_embedding_suite
+from repro.experiments.task_data import (
+    MOVIE_TITLE_CATEGORY,
+    knn_impute_labels,
+    language_imputation_data,
+)
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.serving.cache import LRUCache
+from repro.serving.index import FlatIndex, IVFIndex
+from repro.serving.session import ServingSession, default_index_factory
+from repro.tasks.link_prediction import rank_link_candidates
+
+
+@pytest.fixture(scope="module")
+def pv_embeddings(tmdb_extraction, tmdb_base):
+    return TextValueEmbeddingSet(tmdb_extraction, tmdb_base.matrix.copy(), name="PV")
+
+
+@pytest.fixture()
+def session(pv_embeddings):
+    return ServingSession(pv_embeddings, cache_size=8)
+
+
+class TestLRUCache:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ServingError):
+            LRUCache(0)
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_stats(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_overwrite_keeps_capacity(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        cache.put("b", 3)
+        assert len(cache) == 2 and cache.get("a") == 2
+
+
+class TestServingSession:
+    def test_topk_matches_embedding_set_nearest(self, session, pv_embeddings):
+        query = pv_embeddings.matrix[3]
+        assert session.topk(query, 5) == pv_embeddings.nearest(query, 5)
+        assert session.topk(query, 5, category=MOVIE_TITLE_CATEGORY) == (
+            pv_embeddings.nearest(query, 5, category=MOVIE_TITLE_CATEGORY)
+        )
+
+    def test_batch_matches_single(self, session, pv_embeddings, rng):
+        queries = rng.normal(size=(4, pv_embeddings.dimension))
+        batched = session.topk_batch(queries, 4)
+        assert len(batched) == 4
+        for row, query in enumerate(queries):
+            single = session.topk(query, 4)
+            # GEMM (batch) and GEMV (single) accumulate in different orders,
+            # so scores agree only to float precision; rankings must match
+            assert [hit[:2] for hit in batched[row]] == [hit[:2] for hit in single]
+            assert np.allclose(
+                [hit[2] for hit in batched[row]], [hit[2] for hit in single]
+            )
+
+    def test_cache_hits_on_repeated_queries(self, session, pv_embeddings):
+        query = pv_embeddings.matrix[0]
+        first = session.topk(query, 3)
+        second = session.topk(query, 3)
+        assert first == second
+        stats = session.cache_stats
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_cache_disabled(self, pv_embeddings):
+        session = ServingSession(pv_embeddings, cache_size=0)
+        query = pv_embeddings.matrix[0]
+        session.topk(query, 3)
+        assert session.cache_stats is None
+
+    def test_neighbours_exclude_self(self, session, pv_embeddings):
+        record = pv_embeddings.extraction.records_of_category(MOVIE_TITLE_CATEGORY)[0]
+        neighbours = session.neighbours_of(
+            record.category, record.text, k=3, within=MOVIE_TITLE_CATEGORY
+        )
+        assert len(neighbours) <= 3
+        assert all(text != record.text for _, text, _ in neighbours)
+
+    def test_vector_and_categories(self, session, pv_embeddings):
+        assert MOVIE_TITLE_CATEGORY in session.categories
+        record = pv_embeddings.extraction.records[0]
+        assert np.array_equal(
+            session.vector_for(record.category, record.text),
+            pv_embeddings.matrix[0],
+        )
+
+    def test_unknown_category_raises(self, session):
+        with pytest.raises(ExtractionError):
+            session.topk(np.zeros(session.dimension), 3, category="no.such")
+
+    def test_bad_batch_shape_raises(self, session):
+        with pytest.raises(ServingError):
+            session.topk_batch(np.zeros(session.dimension), 3)
+
+    def test_default_factory_switches_to_ivf(self, rng):
+        factory = default_index_factory(ivf_threshold=64, nprobe=4)
+        assert isinstance(factory(rng.normal(size=(63, 4))), FlatIndex)
+        assert isinstance(factory(rng.normal(size=(64, 4))), IVFIndex)
+
+
+class TestStoreBackedSession:
+    def test_from_store_result_and_set(self, pv_embeddings, tmp_path):
+        from repro.serving.store import EmbeddingStore
+
+        store = EmbeddingStore(tmp_path / "store")
+        store.save_embedding_set("pv", pv_embeddings)
+        session = ServingSession.from_store(tmp_path / "store", name="pv")
+        query = pv_embeddings.matrix[1]
+        assert session.topk(query, 3) == pv_embeddings.nearest(query, 3)
+
+
+class TestSuiteServingHooks:
+    @pytest.fixture(scope="class")
+    def suite(self, small_tmdb):
+        return build_embedding_suite(
+            small_tmdb.database,
+            small_tmdb.embedding,
+            methods=("PV",),
+            include_combinations=False,
+        )
+
+    def test_index_for_is_cached(self, suite):
+        index = suite.index_for("PV", MOVIE_TITLE_CATEGORY)
+        assert index is suite.index_for("PV", MOVIE_TITLE_CATEGORY)
+        assert isinstance(index, FlatIndex)
+
+    def test_serving_session_over_suite(self, suite):
+        session = suite.serving_session("PV")
+        query = suite.get("PV").matrix[0]
+        assert session.topk(query, 3) == suite.get("PV").nearest(query, 3)
+
+    def test_suite_save(self, suite, tmp_path):
+        from repro.serving.store import EmbeddingStore
+
+        names = suite.save(tmp_path / "suite")
+        assert names == ["PV"]
+        loaded = EmbeddingStore(tmp_path / "suite").load_embedding_set("PV")
+        assert np.array_equal(loaded.matrix, suite.get("PV").matrix)
+
+
+class TestTaskHooks:
+    def test_rank_link_candidates_matches_flat_ranking(self, pv_embeddings, rng):
+        targets = pv_embeddings.matrix[:20]
+        sources = rng.normal(size=(5, pv_embeddings.dimension))
+        index = FlatIndex(targets)
+        indices, scores = rank_link_candidates(sources, index, k=4)
+        assert indices.shape == (5, 4)
+        for row in range(5):
+            expected, _ = index.query(sources[row], 4)
+            assert np.array_equal(indices[row], expected)
+
+    def test_rank_link_candidates_validates_shapes(self, pv_embeddings, rng):
+        index = FlatIndex(pv_embeddings.matrix[:10])
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            rank_link_candidates(rng.normal(size=5), index, k=2)
+        with pytest.raises(ExperimentError):
+            rank_link_candidates(
+                rng.normal(size=(2, pv_embeddings.dimension + 1)), index, k=2
+            )
+
+    def test_knn_impute_recovers_training_labels(
+        self, pv_embeddings, small_tmdb, tmdb_extraction
+    ):
+        data = language_imputation_data(tmdb_extraction, small_tmdb)
+        predictions = knn_impute_labels(
+            pv_embeddings, data, data.indices, k=1
+        )
+        # with k=1 each training point's own vector is its nearest neighbour
+        assert np.array_equal(predictions, data.labels)
+
+    def test_knn_impute_accepts_prebuilt_index(
+        self, pv_embeddings, small_tmdb, tmdb_extraction
+    ):
+        data = language_imputation_data(tmdb_extraction, small_tmdb)
+        index = FlatIndex(pv_embeddings.matrix[data.indices])
+        with_index = knn_impute_labels(
+            pv_embeddings, data, data.indices[:5], k=3, index=index
+        )
+        without = knn_impute_labels(pv_embeddings, data, data.indices[:5], k=3)
+        assert np.array_equal(with_index, without)
+
+    def test_knn_impute_rejects_neighbourless_rows(
+        self, pv_embeddings, small_tmdb, tmdb_extraction
+    ):
+        from repro.errors import ExperimentError
+
+        class StarvedIndex:
+            """An index whose probed cells never hold any candidates."""
+
+            def query_batch(self, queries, k):
+                batch = queries.shape[0]
+                return (
+                    np.full((batch, k), -1, dtype=np.int64),
+                    np.full((batch, k), -np.inf),
+                )
+
+        data = language_imputation_data(tmdb_extraction, small_tmdb)
+        with pytest.raises(ExperimentError, match="no neighbours"):
+            knn_impute_labels(
+                pv_embeddings, data, data.indices[:2], k=2, index=StarvedIndex()
+            )
+
+
+class TestSharedIndexCache:
+    def test_default_session_reuses_embedding_set_flat_index(
+        self, pv_embeddings
+    ):
+        session = ServingSession(pv_embeddings)
+        assert session.index_for(MOVIE_TITLE_CATEGORY) is (
+            pv_embeddings.index_for(MOVIE_TITLE_CATEGORY)
+        )
+
+    def test_custom_factory_builds_its_own_index(self, pv_embeddings):
+        session = ServingSession(
+            pv_embeddings, index_factory=lambda m: FlatIndex(m)
+        )
+        assert session.index_for(MOVIE_TITLE_CATEGORY) is not (
+            pv_embeddings.index_for(MOVIE_TITLE_CATEGORY)
+        )
+
+    def test_matrix_reassignment_invalidates_session(self, tmdb_extraction):
+        matrix = np.eye(len(tmdb_extraction))[:, :8]
+        embeddings = TextValueEmbeddingSet(tmdb_extraction, matrix, "x")
+        session = ServingSession(embeddings, cache_size=8)
+        query = np.zeros(8)
+        query[0] = 1.0
+        first = session.topk(query, 1)
+        embeddings.matrix = np.roll(matrix, 1, axis=0)
+        second = session.topk(query, 1)
+        assert first[0][:2] != second[0][:2]
+        assert session.topk(query, 1) == second  # cache refilled, consistent

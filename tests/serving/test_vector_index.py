@@ -1,0 +1,140 @@
+"""Tests for the exact (flat) and IVF approximate top-k indexes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.index import FlatIndex, IVFIndex, topk_descending
+
+
+def loop_cosine_scores(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """The literal per-row cosine reference the indexes must reproduce."""
+    scores = []
+    for row in matrix:
+        denom = np.linalg.norm(row) * (np.linalg.norm(query) + 1e-12)
+        if denom == 0:
+            denom = 1e-12
+        scores.append(float(row @ query / denom))
+    return np.array(scores)
+
+
+class TestTopkSelection:
+    def test_matches_full_sort_on_vector(self, rng):
+        scores = rng.normal(size=97)
+        assert np.array_equal(topk_descending(scores, 10), np.argsort(-scores)[:10])
+
+    def test_matches_full_sort_on_batch(self, rng):
+        scores = rng.normal(size=(5, 40))
+        top = topk_descending(scores, 7)
+        for row in range(5):
+            assert np.array_equal(top[row], np.argsort(-scores[row])[:7])
+
+    def test_k_larger_than_n(self, rng):
+        scores = rng.normal(size=6)
+        assert np.array_equal(topk_descending(scores, 50), np.argsort(-scores))
+
+    def test_k_zero_is_empty(self, rng):
+        assert topk_descending(rng.normal(size=6), 0).shape == (0,)
+
+
+class TestFlatIndex:
+    def test_single_query_matches_loop_reference(self, rng):
+        matrix = rng.normal(size=(60, 16))
+        query = rng.normal(size=16)
+        index = FlatIndex(matrix)
+        indices, scores = index.query(query, 8)
+        reference = loop_cosine_scores(matrix, query)
+        assert np.array_equal(indices, np.argsort(-reference)[:8])
+        assert np.allclose(scores, reference[indices])
+
+    def test_batch_matches_single(self, rng):
+        matrix = rng.normal(size=(40, 8))
+        queries = rng.normal(size=(6, 8))
+        index = FlatIndex(matrix)
+        batch_indices, batch_scores = index.query_batch(queries, 5)
+        for row in range(6):
+            indices, scores = index.query(queries[row], 5)
+            assert np.array_equal(batch_indices[row], indices)
+            assert np.allclose(batch_scores[row], scores)
+
+    def test_dot_metric(self, rng):
+        matrix = rng.normal(size=(30, 4))
+        query = rng.normal(size=4)
+        indices, scores = FlatIndex(matrix, metric="dot").query(query, 3)
+        reference = matrix @ query
+        assert np.array_equal(indices, np.argsort(-reference)[:3])
+        assert np.allclose(scores, reference[indices])
+
+    def test_zero_rows_score_zero(self, rng):
+        matrix = rng.normal(size=(5, 3))
+        matrix[2] = 0.0
+        _, scores = FlatIndex(matrix).query(rng.normal(size=3), 5)
+        assert 0.0 in np.round(scores, 12)
+
+    def test_empty_index(self):
+        index = FlatIndex(np.zeros((0, 4)))
+        indices, scores = index.query(np.ones(4), 3)
+        assert indices.shape == (0,) and scores.shape == (0,)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ServingError):
+            FlatIndex(rng.normal(size=(4, 4)), metric="euclidean")
+        with pytest.raises(ServingError):
+            FlatIndex(rng.normal(size=4))
+        index = FlatIndex(rng.normal(size=(4, 4)))
+        with pytest.raises(ServingError):
+            index.query(rng.normal(size=3), 2)
+        with pytest.raises(ServingError):
+            index.query_batch(rng.normal(size=(2, 5)), 2)
+
+
+class TestIVFIndex:
+    def test_exhaustive_probe_equals_flat(self, rng):
+        matrix = rng.normal(size=(300, 12))
+        queries = rng.normal(size=(9, 12))
+        flat_indices, flat_scores = FlatIndex(matrix).query_batch(queries, 10)
+        ivf = IVFIndex(matrix, n_cells=12, nprobe=12, seed=3)
+        ivf_indices, ivf_scores = ivf.query_batch(queries, 10)
+        assert np.array_equal(flat_indices, ivf_indices)
+        assert np.allclose(flat_scores, ivf_scores)
+
+    def test_partial_probe_has_reasonable_recall(self, rng):
+        matrix = rng.normal(size=(600, 16))
+        queries = matrix[rng.choice(600, size=20, replace=False)] + 0.01
+        flat_indices, _ = FlatIndex(matrix).query_batch(queries, 10)
+        ivf = IVFIndex(matrix, n_cells=24, nprobe=8, seed=0)
+        ivf_indices, _ = ivf.query_batch(queries, 10)
+        overlap = np.mean([
+            len(set(a.tolist()) & set(b.tolist())) / 10
+            for a, b in zip(flat_indices, ivf_indices)
+        ])
+        assert overlap >= 0.8
+
+    def test_every_row_lives_in_exactly_one_cell(self, rng):
+        matrix = rng.normal(size=(100, 6))
+        ivf = IVFIndex(matrix, n_cells=7, seed=1)
+        assert sum(ivf.cell_sizes()) == 100
+        seen = np.concatenate([ids for ids in ivf._cell_ids])
+        assert np.array_equal(np.sort(seen), np.arange(100))
+
+    def test_padding_when_probed_cells_are_small(self, rng):
+        matrix = rng.normal(size=(12, 4))
+        ivf = IVFIndex(matrix, n_cells=6, nprobe=1, seed=0)
+        indices, scores = ivf.query(rng.normal(size=4), 12)
+        valid = indices >= 0
+        assert valid.sum() < 12  # one probed cell cannot hold all rows
+        assert np.all(np.isinf(scores[~valid]))
+
+    def test_rejects_bad_configuration(self, rng):
+        with pytest.raises(ServingError):
+            IVFIndex(np.zeros((0, 3)))
+        with pytest.raises(ServingError):
+            IVFIndex(rng.normal(size=(5, 3)), nprobe=0)
+        with pytest.raises(ServingError):
+            IVFIndex(rng.normal(size=(5, 3)), n_cells=0)
+
+    def test_cells_capped_at_rows(self, rng):
+        ivf = IVFIndex(rng.normal(size=(4, 3)), n_cells=100, nprobe=100, seed=0)
+        assert ivf.n_cells == 4
+        indices, _ = ivf.query(rng.normal(size=3), 4)
+        assert set(indices.tolist()) == {0, 1, 2, 3}

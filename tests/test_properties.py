@@ -11,6 +11,7 @@ from repro.retrofit.hyperparams import (
     build_directed_relations,
     participation_counts,
 )
+from repro.serving.index import FlatIndex, IVFIndex, topk_descending
 from repro.tasks.imputation import one_hot
 from repro.text.embedding import WordEmbedding
 from repro.text.tokenizer import normalise_text
@@ -184,3 +185,77 @@ class TestRelationProperties:
                 total = gamma_node[node] * relation.out_degree[int(node)]
                 participation = weights.participation[node]
                 assert abs(total - gamma / (participation + 1)) < 1e-9
+
+
+class TestIndexProperties:
+    """Equivalence guards for the serving indexes, mirroring the naive-vs-
+    vectorised solver guard in tests/retrofit/test_retro.py."""
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_flat_index_equals_loop_cosine_reference(self, rows, cols, k, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, cols))
+        if rows > 1:
+            matrix[rows // 2] = 0.0  # include an all-zero row
+        query = rng.normal(size=cols)
+
+        indices, scores = FlatIndex(matrix).query(query, k)
+
+        reference = []
+        for row in matrix:
+            denom = np.linalg.norm(row) * (np.linalg.norm(query) + 1e-12)
+            if denom == 0:
+                denom = 1e-12
+            reference.append(float(row @ query / denom))
+        reference = np.array(reference)
+        expected = np.argsort(-reference, kind="stable")[: min(k, rows)]
+
+        assert np.allclose(scores, reference[indices], atol=1e-9)
+        # rankings agree wherever scores are not float-level ties
+        assert np.allclose(
+            reference[indices], reference[expected], atol=1e-9
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_exhaustive_ivf_equals_flat_topk(self, rows, cols, k, cells, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(rows, cols))
+        queries = rng.normal(size=(3, cols))
+        n_cells = min(cells, rows)
+
+        flat_indices, flat_scores = FlatIndex(matrix).query_batch(queries, k)
+        ivf = IVFIndex(matrix, n_cells=n_cells, nprobe=n_cells, seed=seed % 97)
+        ivf_indices, ivf_scores = ivf.query_batch(queries, k)
+
+        assert ivf_indices.shape == flat_indices.shape
+        assert np.allclose(flat_scores, ivf_scores, atol=1e-9)
+        # continuous random scores: ties have measure zero, so the full
+        # rankings must coincide row by row
+        assert np.array_equal(flat_indices, ivf_indices)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_topk_selection_equals_full_sort(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        assert np.array_equal(
+            topk_descending(scores, k),
+            np.argsort(-scores, kind="stable")[: min(k, n)],
+        )

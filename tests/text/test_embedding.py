@@ -104,3 +104,68 @@ class TestPersistence:
         path.write_text("", encoding="utf-8")
         with pytest.raises(EmbeddingError):
             WordEmbedding.load_text_format(path)
+
+
+class TestNearestRegression:
+    """The argpartition-served ``nearest`` must match the historical
+    full-argsort scan (same words, same order, scores to float precision).
+
+    One documented deviation: vectors with sub-epsilon (but nonzero) norm
+    are clamped to score ~0 instead of their noise-direction cosine — see
+    ``VectorIndex._score_rows``."""
+
+    @staticmethod
+    def legacy_nearest(embedding, vector, k):
+        """The pre-index implementation: full scan + full argsort."""
+        matrix = embedding.matrix()
+        norms = np.linalg.norm(matrix, axis=1) * (np.linalg.norm(vector) + 1e-12)
+        norms[norms == 0] = 1e-12
+        scores = matrix @ vector / norms
+        order = np.argsort(-scores)[:k]
+        words = embedding.vocabulary
+        return [(words[i], float(scores[i])) for i in order]
+
+    @staticmethod
+    def assert_same_results(actual, expected):
+        """Same words in the same order; scores equal to float precision
+        (the index uses a GEMM kernel, the legacy path a GEMV)."""
+        assert [word for word, _ in actual] == [word for word, _ in expected]
+        assert np.allclose(
+            [score for _, score in actual], [score for _, score in expected]
+        )
+
+    def test_matches_legacy_path_on_random_vocabulary(self):
+        rng = np.random.default_rng(42)
+        embedding = WordEmbedding(12)
+        for i in range(300):
+            embedding.add(f"word{i}", rng.normal(size=12))
+        embedding.add("null_vector", np.zeros(12))
+        for _ in range(10):
+            query = rng.normal(size=12)
+            self.assert_same_results(
+                embedding.nearest(query, k=15),
+                self.legacy_nearest(embedding, query, 15),
+            )
+
+    def test_matches_legacy_path_for_k_exceeding_vocabulary(self):
+        rng = np.random.default_rng(7)
+        embedding = WordEmbedding(4)
+        for i in range(5):
+            embedding.add(f"w{i}", rng.normal(size=4))
+        query = rng.normal(size=4)
+        self.assert_same_results(
+            embedding.nearest(query, k=50),
+            self.legacy_nearest(embedding, query, 50),
+        )
+
+    def test_index_cache_invalidated_by_add(self):
+        rng = np.random.default_rng(3)
+        embedding = WordEmbedding(6)
+        for i in range(10):
+            embedding.add(f"w{i}", rng.normal(size=6))
+        query = rng.normal(size=6)
+        before = embedding.nearest(query, k=3)
+        winner = np.asarray(query, dtype=np.float64) * 10.0
+        embedding.add("newcomer", winner)
+        after = embedding.nearest(query, k=3)
+        assert after != before and after[0][0] == "newcomer"
