@@ -1,26 +1,45 @@
-"""Quickstart: retrofit a small movie database and explore the vectors.
+"""Quickstart: the RETRO pipeline and the unified experiment engine.
 
 Run with::
 
     python examples/quickstart.py
 
-The script generates a small synthetic TMDB-shaped database (standing in for
-a real PostgreSQL instance), runs the RETRO pipeline end-to-end and shows
+The script walks through the two halves of the library:
 
-* how many text values received embeddings and how many were out of
-  vocabulary before retrofitting,
-* nearest-neighbour queries on the learned vectors,
-* how the vectors are written back into the database (the in-database
-  deployment the paper describes).
+1. the **core pipeline** — retrofit a small synthetic TMDB-shaped database
+   and query the learned vectors through a serving session,
+2. the **experiment engine** — every figure/table of the paper is a
+   registered ``ExperimentSpec`` executed through a shared ``RunContext``
+   that trains each embedding suite once and can persist it on disk.
+
+The same engine backs the command line interface::
+
+    python -m repro list
+    python -m repro run figure8 table2 --sizes quick --cache-dir .repro-cache
+    python -m repro run all --sizes quick
+
+Running several experiments in one invocation (or against a warm
+``--cache-dir``) reuses the trained PV/MF/RO/RN/DW suites instead of
+retraining them per figure.
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 from repro import RetroHyperparameters, RetroPipeline
 from repro.datasets import generate_tmdb
+from repro.experiments import (
+    ExperimentSizes,
+    RunContext,
+    default_registry,
+    run_experiment,
+)
 
 
-def main() -> None:
+def pipeline_tour() -> None:
+    """Train the RETRO pipeline once and query it through a serving session."""
     dataset = generate_tmdb(num_movies=150, seed=7, embedding_dimension=48)
     print("database summary:", dataset.summary())
 
@@ -38,31 +57,44 @@ def main() -> None:
           f"{result.report.iterations} iterations, "
           f"{result.report.runtime_seconds:.2f}s")
 
-    # nearest neighbours of a movie title among other movie titles
+    # similarity queries go through the serving layer (cached top-k indexes)
+    session = result.serving_session()
     some_title = next(iter(dataset.movie_language))
     print(f"\nnearest movie titles to {some_title!r}:")
     query = result.vector_for("movies.title", some_title)
-    for category, text, score in result.embeddings.nearest(
-        query, k=6, category="movies.title"
-    ):
+    for _, text, score in session.topk(query, k=6, category="movies.title"):
         print(f"  {score:+.3f}  {text}")
 
-    # nearest directors to the vector of the country 'usa'
-    usa_vector = result.vector_for("countries.name", "usa")
-    print("\ndirectors closest to the vector of 'usa':")
-    for category, text, score in result.embeddings.nearest(
-        usa_vector, k=5, category="persons.name"
-    ):
-        citizenship = dataset.director_citizenship.get(text, "unknown / actor")
-        print(f"  {score:+.3f}  {text:30s} ({citizenship})")
 
-    # in-database deployment: write the vectors back as a relation
-    pipeline.augment_database(result)
-    stored = dataset.database.table("text_value_embeddings")
-    print(f"\nstored {len(stored)} vectors in table 'text_value_embeddings'")
-    sample = stored.rows[0]
-    print("sample row:", {k: sample[k] for k in ("source_table", "source_column", "value")},
-          "vector dim:", len(sample["vector"]))
+def engine_tour() -> None:
+    """List the experiment catalogue and run one spec through the engine."""
+    registry = default_registry()
+    print("\nregistered experiments:")
+    for spec in registry.specs():
+        print(f"  {spec.name:<10} {spec.reference:<10} {spec.title}")
+
+    # one shared context = one artifact cache; point cache_dir at a real
+    # directory (e.g. ".repro-cache") to reuse trained suites across runs
+    with tempfile.TemporaryDirectory() as cache_dir:
+        context = RunContext(
+            sizes=ExperimentSizes.tiny(), cache_dir=Path(cache_dir)
+        )
+        result = run_experiment("table1", context=context)
+        print()
+        print(result.table.to_text())
+        print(f"\n[{result.experiment}] {result.seconds:.2f}s, "
+              f"config fingerprint {result.fingerprint}")
+        print(f"cache stats: {result.stats}")
+
+        # every RunResult serialises to JSON (and back)
+        out = Path(cache_dir) / "table1.json"
+        result.save(out)
+        print(f"wrote {out.name} ({out.stat().st_size} bytes)")
+
+
+def main() -> None:
+    pipeline_tour()
+    engine_tour()
 
 
 if __name__ == "__main__":

@@ -33,6 +33,14 @@ queries, a versioned on-disk :class:`EmbeddingStore`, and the
 
 See ``examples/serving_quickstart.py`` for the full train → save → load →
 query walk-through.
+
+The paper's evaluation is reproduced by a declarative experiment engine:
+every figure/table is an :class:`repro.experiments.ExperimentSpec` in a
+central registry, executed through a shared
+:class:`repro.experiments.RunContext` that trains each embedding suite once
+and can persist the artifacts on disk.  ``python -m repro list`` shows the
+catalogue; ``python -m repro run figure8 table2 --sizes quick`` runs it
+(see ``examples/quickstart.py``).
 """
 
 from repro.errors import (
@@ -73,7 +81,30 @@ from repro.serving import (
     VectorIndex,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Experiment-engine names resolved lazily (importing the experiments
+#: package pulls the whole harness stack; most library users never need it).
+_EXPERIMENT_EXPORTS = {
+    "ExperimentRegistry": "repro.experiments.registry",
+    "ExperimentSpec": "repro.experiments.registry",
+    "default_registry": "repro.experiments.registry",
+    "RunContext": "repro.experiments.engine",
+    "RunResult": "repro.experiments.engine",
+    "run_experiment": "repro.experiments.engine",
+    "run_experiments": "repro.experiments.engine",
+    "ExperimentSizes": "repro.experiments.runner",
+    "ResultTable": "repro.experiments.runner",
+}
+
+
+def __getattr__(name):
+    if name in _EXPERIMENT_EXPORTS:
+        import importlib
+
+        return getattr(importlib.import_module(_EXPERIMENT_EXPORTS[name]), name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",
@@ -122,4 +153,14 @@ __all__ = [
     "EmbeddingStore",
     "ServingSession",
     "LRUCache",
+    # experiment engine (lazy)
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "default_registry",
+    "RunContext",
+    "RunResult",
+    "run_experiment",
+    "run_experiments",
+    "ExperimentSizes",
+    "ResultTable",
 ]

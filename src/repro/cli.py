@@ -1,0 +1,135 @@
+"""The ``repro`` command line interface (``python -m repro``).
+
+One entry point replaces the per-module ``main()`` functions of the figure
+experiments:
+
+* ``repro list`` — every registered experiment with its paper reference,
+* ``repro run figure8 table2 --sizes quick`` — run experiments through one
+  shared :class:`~repro.experiments.engine.RunContext` (each embedding
+  suite trains at most once per configuration),
+* ``repro run all --cache-dir .repro-cache`` — run everything, persisting
+  trained suites for cross-process reuse,
+* ``--out DIR`` — additionally write one JSON
+  :class:`~repro.experiments.engine.RunResult` file per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.experiments.engine import RunContext, run_experiment
+from repro.experiments.registry import ExperimentRegistry, default_registry
+from repro.experiments.runner import ExperimentSizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the paper's experiments through the unified engine.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list all registered experiments")
+
+    run_parser = commands.add_parser(
+        "run", help="run one or more experiments (or 'all')"
+    )
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment names as shown by `repro list`, or 'all'",
+    )
+    run_parser.add_argument(
+        "--sizes",
+        choices=ExperimentSizes.PRESETS,
+        default="quick",
+        help="workload sizing preset (default: quick)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="artifact cache directory; trained suites are stored under "
+        "<cache-dir>/suites and reused by later invocations",
+    )
+    run_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory receiving one <experiment>.json RunResult per run",
+    )
+    run_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the result tables (summary line only)",
+    )
+    return parser
+
+
+def _command_list(registry: ExperimentRegistry) -> int:
+    width = max((len(name) for name in registry.names()), default=0)
+    for spec in registry.specs():
+        datasets = ",".join(spec.datasets) or "-"
+        print(f"{spec.name:<{width}}  {spec.reference:<10}  {spec.title}  [{datasets}]")
+    return 0
+
+
+def _resolve_names(registry: ExperimentRegistry, requested: list[str]) -> list[str]:
+    if "all" in requested:
+        if len(requested) > 1:
+            raise ReproError("'all' cannot be combined with explicit experiment names")
+        return registry.names()
+    seen: list[str] = []
+    for name in requested:
+        registry.get(name)  # raises with the registered names on a typo
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def _command_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
+    names = _resolve_names(registry, args.experiments)
+    context = RunContext(
+        sizes=ExperimentSizes.preset(args.sizes), cache_dir=args.cache_dir
+    )
+    total_seconds = 0.0
+    for name in names:
+        result = run_experiment(name, context=context, registry=registry)
+        total_seconds += result.seconds
+        if not args.quiet:
+            print(result.table.to_text())
+            print()
+        if args.out is not None:
+            path = result.save(Path(args.out) / f"{name}.json")
+            print(f"[repro] wrote {path}")
+        print(f"[repro] {name}: {result.seconds:.1f}s ({result.fingerprint})")
+    stats = context.stats
+    print(
+        f"[repro] ran {len(names)} experiment(s) in {total_seconds:.1f}s — "
+        f"suites trained {stats.suite_builds}, reused {stats.suite_memory_hits} "
+        f"from memory, {stats.suite_disk_hits} from disk"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    registry = default_registry()
+    try:
+        if args.command == "list":
+            return _command_list(registry)
+        return _command_run(args, registry)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

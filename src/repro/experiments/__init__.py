@@ -1,18 +1,62 @@
 """Experiment harnesses reproducing every table and figure of the paper.
 
-Each module exposes a ``run(...)`` function returning a
-:class:`repro.experiments.runner.ResultTable` whose rows mirror the numbers
-shown in the corresponding table/figure, plus a ``main()`` that prints it.
-The experiment index lives in DESIGN.md; measured-vs-paper numbers are
-recorded in EXPERIMENTS.md.
+Each experiment is a declarative :class:`ExperimentSpec` (name, paper
+reference, required datasets/methods, runner) registered in the central
+:class:`ExperimentRegistry` and executed through a
+:class:`~repro.experiments.engine.RunContext`, which memoises datasets,
+trained embedding suites and serving sessions — running every figure trains
+each suite once, and a ``cache_dir`` persists the suites across processes.
+
+Run them uniformly from the command line::
+
+    python -m repro list
+    python -m repro run figure8 table2 --sizes quick --cache-dir .repro-cache
+    python -m repro run all
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    result = run_experiment("figure8")          # RunResult
+    print(result.table.to_text())
+    result.save("figure8.json")                 # JSON round-trippable
+
+The per-module ``run(sizes)`` functions still exist as deprecated shims
+delegating to the engine.  Measured-vs-paper numbers are recorded in
+EXPERIMENTS.md.
 """
 
 from repro.experiments.runner import ResultTable, ExperimentSizes
 from repro.experiments.embedding_factory import EmbeddingSuite, build_embedding_suite
+from repro.experiments.registry import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    REGISTRY,
+    default_registry,
+    experiment,
+    register,
+)
+from repro.experiments.engine import (
+    RunContext,
+    RunResult,
+    config_fingerprint,
+    run_experiment,
+    run_experiments,
+)
 
 __all__ = [
     "ResultTable",
     "ExperimentSizes",
     "EmbeddingSuite",
     "build_embedding_suite",
+    "ExperimentRegistry",
+    "ExperimentSpec",
+    "REGISTRY",
+    "default_registry",
+    "experiment",
+    "register",
+    "RunContext",
+    "RunResult",
+    "config_fingerprint",
+    "run_experiment",
+    "run_experiments",
 ]

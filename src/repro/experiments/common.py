@@ -124,6 +124,24 @@ def binary_classification_trials(
     return stats
 
 
+def _imputation_split(
+    data: LabelledIndices, sizes: ExperimentSizes, trial: int, train_fraction: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """The (train, test) row positions of one imputation trial.
+
+    Single source of the split schedule: every imputer evaluated on the
+    same trial number sees exactly the same held-out values, so the
+    network rows and the k-NN baseline rows of Figure 12 stay comparable.
+    """
+    rng = np.random.default_rng(sizes.seed + 211 * trial)
+    order = rng.permutation(len(data))
+    split = max(2, int(len(order) * train_fraction))
+    train_idx, test_idx = order[:split], order[split:]
+    if test_idx.size == 0:
+        raise ExperimentError("not enough labelled values for an imputation split")
+    return train_idx, test_idx
+
+
 def imputation_trials(
     suite: EmbeddingSuite,
     embedding_name: str,
@@ -137,12 +155,7 @@ def imputation_trials(
     stats = TrialStatistics(embedding_name)
     trials = trials or sizes.trials
     for trial in range(trials):
-        rng = np.random.default_rng(sizes.seed + 211 * trial)
-        order = rng.permutation(len(data))
-        split = max(2, int(len(order) * train_fraction))
-        train_idx, test_idx = order[:split], order[split:]
-        if test_idx.size == 0:
-            raise ExperimentError("not enough labelled values for an imputation split")
+        train_idx, test_idx = _imputation_split(data, sizes, trial, train_fraction)
         task = CategoryImputationTask(
             hidden_units=sizes.imputation_hidden_units,
             epochs=max(100, sizes.epochs),
@@ -157,6 +170,42 @@ def imputation_trials(
             n_classes=data.n_classes,
         )
         stats.add(outcome.accuracy)
+    return stats
+
+
+def knn_imputation_trials(
+    suite: EmbeddingSuite,
+    embedding_name: str,
+    data: LabelledIndices,
+    sizes: ExperimentSizes,
+    k: int = 5,
+    trials: int | None = None,
+    train_fraction: float = 0.5,
+) -> TrialStatistics:
+    """Index-served k-NN imputation on the same splits as :func:`imputation_trials`.
+
+    A training-free baseline: each held-out value takes the majority label
+    of its ``k`` most similar labelled neighbours, answered by one batched
+    top-k query against a :class:`repro.serving.FlatIndex` (see
+    :func:`repro.experiments.task_data.knn_impute_labels`) instead of a raw
+    matrix scan.
+    """
+    from repro.experiments.task_data import knn_impute_labels
+
+    embedding_set = suite.get(embedding_name)
+    stats = TrialStatistics(f"KNN-{embedding_name}")
+    trials = trials or sizes.trials
+    for trial in range(trials):
+        train_idx, test_idx = _imputation_split(data, sizes, trial, train_fraction)
+        train = LabelledIndices(
+            indices=data.indices[train_idx],
+            labels=data.labels[train_idx],
+            label_names=data.label_names,
+        )
+        predicted = knn_impute_labels(
+            embedding_set, train, data.indices[test_idx], k=k
+        )
+        stats.add(float(np.mean(predicted == data.labels[test_idx])))
     return stats
 
 

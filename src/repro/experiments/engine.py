@@ -1,0 +1,448 @@
+"""The experiment engine: memoised artifact building + uniform execution.
+
+The paper's figures and tables share one expensive preamble — generate a
+dataset, build its graph, train the PV/MF/RO/RN/DW embedding suite.  The
+:class:`RunContext` memoises those artifacts:
+
+* datasets are generated once per (kind, scale),
+* embedding suites are trained once per configuration fingerprint
+  (dataset + sizes + methods + excluded columns/relations + hyperparameters
+  + DeepWalk settings) and — when a ``cache_dir`` is given — persisted into
+  an :class:`repro.serving.EmbeddingStore` for cross-process reuse,
+* serving sessions (and their vector indexes) are built once per
+  (suite, embedding) pair.
+
+Running ``figure8`` and ``table2`` back to back therefore trains each suite
+exactly once; a second process pointed at the same ``cache_dir`` trains
+nothing at all.
+
+:func:`run_experiment` executes one registered
+:class:`~repro.experiments.registry.ExperimentSpec` through a context and
+wraps the produced table in a :class:`RunResult` (table + wall-clock time +
+config fingerprint + cache statistics) that serialises to JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.experiments.common import (
+    build_suite,
+    default_deepwalk_config,
+    make_google_play,
+    make_tmdb,
+)
+from repro.experiments.embedding_factory import ALL_METHODS, EmbeddingSuite
+from repro.experiments.registry import ExperimentRegistry, default_registry
+from repro.experiments.runner import ExperimentSizes, ResultTable, json_value
+from repro.retrofit.hyperparams import RetroHyperparameters
+
+DATASET_KINDS = ("tmdb", "google_play")
+
+#: Subdirectory of a context's ``cache_dir`` holding suite artifacts.
+SUITE_CACHE_SUBDIR = "suites"
+
+#: In-memory suites kept per context.  Grid searches request one suite per
+#: grid point; without a bound every single-use suite (several dense
+#: matrices each) would stay resident for the whole run.  Shared suites
+#: survive eviction in practice because every hit re-freshens them, and an
+#: evicted suite is one disk load away when a ``cache_dir`` is set.
+SUITE_MEMORY_CAPACITY = 8
+
+
+def config_fingerprint(payload: Any) -> str:
+    """A stable 16-hex-digit digest of a JSON-serialisable config payload."""
+    canonical = json.dumps(json_value(payload), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class ContextStats:
+    """Build/hit counters of one :class:`RunContext`."""
+
+    dataset_builds: int = 0
+    dataset_hits: int = 0
+    suite_builds: int = 0
+    suite_memory_hits: int = 0
+    suite_disk_hits: int = 0
+    session_builds: int = 0
+    session_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dictionary."""
+        return dataclasses.asdict(self)
+
+
+class RunContext:
+    """Shared artifact cache for one engine run (or CLI invocation).
+
+    All experiment runners receive a context and request their datasets and
+    embedding suites through it instead of building them ad hoc; that is
+    what makes ``repro run all`` train each suite once.
+    """
+
+    def __init__(
+        self,
+        sizes: ExperimentSizes | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.sizes = sizes or ExperimentSizes.quick()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.stats = ContextStats()
+        self._datasets: dict[tuple, Any] = {}
+        # insertion/recency-ordered, bounded to SUITE_MEMORY_CAPACITY
+        self._suites: OrderedDict[str, EmbeddingSuite] = OrderedDict()
+        self._sessions: dict[tuple, Any] = {}
+        self._store = None
+        if self.cache_dir is not None:
+            from repro.serving.store import EmbeddingStore
+
+            self._store = EmbeddingStore(self.cache_dir / SUITE_CACHE_SUBDIR)
+
+    # ------------------------------------------------------------------ #
+    # datasets
+    # ------------------------------------------------------------------ #
+    def dataset(self, kind: str = "tmdb", num_movies: int | None = None):
+        """The memoised dataset of one kind (``tmdb`` or ``google_play``)."""
+        if kind not in DATASET_KINDS:
+            raise ExperimentError(
+                f"unknown dataset kind {kind!r}; expected one of {DATASET_KINDS}"
+            )
+        if kind == "tmdb":
+            key = (kind, num_movies or self.sizes.num_movies)
+        else:
+            if num_movies is not None:
+                raise ExperimentError("num_movies only applies to the tmdb dataset")
+            key = (kind, self.sizes.num_apps)
+        if key not in self._datasets:
+            self.stats.dataset_builds += 1
+            if kind == "tmdb":
+                self._datasets[key] = make_tmdb(self.sizes, num_movies=num_movies)
+            else:
+                self._datasets[key] = make_google_play(self.sizes)
+        else:
+            self.stats.dataset_hits += 1
+        return self._datasets[key]
+
+    def tmdb(self, num_movies: int | None = None):
+        """The memoised TMDB-shaped dataset."""
+        return self.dataset("tmdb", num_movies=num_movies)
+
+    def google_play(self):
+        """The memoised Play-Store-shaped dataset."""
+        return self.dataset("google_play")
+
+    # ------------------------------------------------------------------ #
+    # embedding suites
+    # ------------------------------------------------------------------ #
+    def _suite_payload(
+        self,
+        dataset: str,
+        methods: tuple[str, ...],
+        exclude_columns: tuple[str, ...],
+        exclude_relations: tuple[str, ...],
+        ro_params: RetroHyperparameters | None,
+        rn_params: RetroHyperparameters | None,
+    ) -> dict[str, Any]:
+        """The fingerprint source: everything that shapes a suite build."""
+        sizes = self.sizes
+        scale = (
+            {"num_movies": sizes.num_movies}
+            if dataset == "tmdb"
+            else {"num_apps": sizes.num_apps}
+        )
+        return {
+            "dataset": dataset,
+            "scale": scale,
+            "seed": sizes.seed,
+            "embedding_dimension": sizes.embedding_dimension,
+            "methods": sorted(methods),
+            "exclude_columns": sorted(exclude_columns),
+            "exclude_relations": sorted(exclude_relations),
+            "ro_params": dataclasses.asdict(ro_params) if ro_params else None,
+            "rn_params": dataclasses.asdict(rn_params) if rn_params else None,
+            "deepwalk": dataclasses.asdict(default_deepwalk_config(sizes)),
+        }
+
+    def suite(
+        self,
+        dataset: str = "tmdb",
+        methods: tuple[str, ...] = ALL_METHODS,
+        exclude_columns: tuple[str, ...] = (),
+        exclude_relations: tuple[str, ...] = (),
+        ro_params: RetroHyperparameters | None = None,
+        rn_params: RetroHyperparameters | None = None,
+        fresh: bool = False,
+    ) -> EmbeddingSuite:
+        """The trained embedding suite for one configuration.
+
+        Training happens at most once per configuration fingerprint: repeat
+        requests are answered from memory, and — with a ``cache_dir`` —
+        from the on-disk artifact store across processes.  ``fresh=True``
+        bypasses both caches (for runtime-measuring experiments that must
+        really train).
+        """
+        suite, _ = self.suite_with_fingerprint(
+            dataset=dataset,
+            methods=methods,
+            exclude_columns=exclude_columns,
+            exclude_relations=exclude_relations,
+            ro_params=ro_params,
+            rn_params=rn_params,
+            fresh=fresh,
+        )
+        return suite
+
+    def suite_with_fingerprint(
+        self,
+        dataset: str = "tmdb",
+        methods: tuple[str, ...] = ALL_METHODS,
+        exclude_columns: tuple[str, ...] = (),
+        exclude_relations: tuple[str, ...] = (),
+        ro_params: RetroHyperparameters | None = None,
+        rn_params: RetroHyperparameters | None = None,
+        fresh: bool = False,
+    ) -> tuple[EmbeddingSuite, str]:
+        """Like :meth:`suite`, additionally returning the config fingerprint."""
+        payload = self._suite_payload(
+            dataset, methods, exclude_columns, exclude_relations, ro_params, rn_params
+        )
+        fingerprint = config_fingerprint(payload)
+        if not fresh:
+            cached = self._suites.get(fingerprint)
+            if cached is not None:
+                self.stats.suite_memory_hits += 1
+                self._suites.move_to_end(fingerprint)
+                return cached, fingerprint
+            loaded = self._load_suite_artifact(fingerprint, methods, payload)
+            if loaded is not None:
+                self.stats.suite_disk_hits += 1
+                self._remember_suite(fingerprint, loaded)
+                return loaded, fingerprint
+        self.stats.suite_builds += 1
+        suite = build_suite(
+            self.dataset(dataset),
+            self.sizes,
+            methods=methods,
+            exclude_columns=exclude_columns,
+            exclude_relations=exclude_relations,
+            ro_params=ro_params,
+            rn_params=rn_params,
+        )
+        if not fresh:
+            self._remember_suite(fingerprint, suite)
+            self._save_suite_artifact(fingerprint, suite, payload)
+        return suite, fingerprint
+
+    def _remember_suite(self, fingerprint: str, suite: EmbeddingSuite) -> None:
+        self._suites[fingerprint] = suite
+        self._suites.move_to_end(fingerprint)
+        while len(self._suites) > SUITE_MEMORY_CAPACITY:
+            self._suites.popitem(last=False)
+
+    def _artifact_name(self, fingerprint: str) -> str:
+        return f"suite_{fingerprint}"
+
+    def _load_suite_artifact(
+        self,
+        fingerprint: str,
+        methods: tuple[str, ...],
+        payload: dict[str, Any],
+    ) -> EmbeddingSuite | None:
+        if self._store is None:
+            return None
+        name = self._artifact_name(fingerprint)
+        if not self._store.has_artifact(name):
+            return None
+        # sanity guards: a (vanishingly unlikely) fingerprint collision or a
+        # truncated artifact must cause a rebuild, not wrong embeddings —
+        # the artifact stores its full fingerprint source for comparison
+        if self._store.suite_config(name) != json_value(payload):
+            return None
+        suite = self._store.load_suite(name)
+        if not set(methods) <= set(suite.sets):
+            return None
+        return suite
+
+    def _save_suite_artifact(
+        self, fingerprint: str, suite: EmbeddingSuite, payload: dict[str, Any]
+    ) -> None:
+        if self._store is None:
+            return
+        self._store.save_suite(
+            self._artifact_name(fingerprint), suite, config=json_value(payload)
+        )
+
+    # ------------------------------------------------------------------ #
+    # serving sessions
+    # ------------------------------------------------------------------ #
+    def serving_session(
+        self,
+        embedding_name: str,
+        dataset: str = "tmdb",
+        cache_size: int = 1024,
+        **suite_kwargs: Any,
+    ):
+        """A memoised :class:`repro.serving.ServingSession` over one trained set.
+
+        The session (and the vector indexes it builds lazily) is shared by
+        every caller requesting the same (suite configuration, embedding)
+        pair, so an experiment's similarity lookups never rebuild an index
+        another trial already paid for.
+        """
+        suite, fingerprint = self.suite_with_fingerprint(dataset=dataset, **suite_kwargs)
+        key = (fingerprint, embedding_name, cache_size)
+        if key not in self._sessions:
+            self.stats.session_builds += 1
+            self._sessions[key] = suite.serving_session(
+                embedding_name, cache_size=cache_size
+            )
+        else:
+            self.stats.session_hits += 1
+        return self._sessions[key]
+
+
+@dataclass
+class RunResult:
+    """The uniform product of one experiment run."""
+
+    experiment: str
+    reference: str
+    table: ResultTable
+    seconds: float
+    fingerprint: str
+    sizes: ExperimentSizes
+    options: dict[str, Any] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation of this result."""
+        return {
+            "experiment": self.experiment,
+            "reference": self.reference,
+            "table": self.table.to_dict(),
+            "seconds": float(self.seconds),
+            "fingerprint": self.fingerprint,
+            "sizes": self.sizes.to_dict(),
+            "options": json_value(self.options),
+            "stats": dict(self.stats),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """This result serialised as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            return cls(
+                experiment=str(payload["experiment"]),
+                reference=str(payload.get("reference", "")),
+                table=ResultTable.from_dict(payload["table"]),
+                seconds=float(payload["seconds"]),
+                fingerprint=str(payload["fingerprint"]),
+                sizes=ExperimentSizes.from_dict(payload["sizes"]),
+                options=dict(payload.get("options", {})),
+                stats=dict(payload.get("stats", {})),
+            )
+        except (KeyError, TypeError) as error:
+            raise ExperimentError(f"malformed run result payload: {error}") from error
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ExperimentError(f"run result is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise ExperimentError("run result JSON must hold an object")
+        return cls.from_dict(payload)
+
+    def save(self, path: str | Path) -> Path:
+        """Write this result as ``<path>`` (JSON)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+
+def run_experiment(
+    name: str,
+    sizes: ExperimentSizes | None = None,
+    cache_dir: str | Path | None = None,
+    options: dict[str, Any] | None = None,
+    context: RunContext | None = None,
+    registry: ExperimentRegistry | None = None,
+) -> RunResult:
+    """Run one registered experiment and wrap its table in a :class:`RunResult`.
+
+    Pass an explicit ``context`` to share memoised artifacts across several
+    calls (that is how :func:`run_experiments` trains each suite once);
+    otherwise a fresh context is created from ``sizes``/``cache_dir``.
+    """
+    registry = registry or default_registry()
+    spec = registry.get(name)
+    if context is None:
+        context = RunContext(sizes=sizes, cache_dir=cache_dir)
+    elif sizes is not None or cache_dir is not None:
+        raise ExperimentError(
+            "pass either an explicit context or sizes/cache_dir, not both"
+        )
+    merged = spec.options(options)
+    started = time.perf_counter()
+    table = spec.runner(context, **merged)
+    seconds = time.perf_counter() - started
+    fingerprint = config_fingerprint(
+        {
+            "experiment": name,
+            "sizes": context.sizes.to_dict(),
+            "options": merged,
+        }
+    )
+    return RunResult(
+        experiment=name,
+        reference=spec.reference,
+        table=table,
+        seconds=seconds,
+        fingerprint=fingerprint,
+        sizes=context.sizes,
+        options=json_value(merged),
+        stats=context.stats.as_dict(),
+    )
+
+
+def run_experiments(
+    names: list[str] | tuple[str, ...],
+    sizes: ExperimentSizes | None = None,
+    cache_dir: str | Path | None = None,
+    context: RunContext | None = None,
+    registry: ExperimentRegistry | None = None,
+) -> list[RunResult]:
+    """Run several experiments through one shared :class:`RunContext`.
+
+    Validates every name up front (no partial run over a typo), then
+    executes in the given order; each result's ``stats`` snapshot reflects
+    the shared context after that experiment finished.
+    """
+    registry = registry or default_registry()
+    for name in names:
+        registry.get(name)
+    if context is None:
+        context = RunContext(sizes=sizes, cache_dir=cache_dir)
+    elif sizes is not None or cache_dir is not None:
+        raise ExperimentError(
+            "pass either an explicit context or sizes/cache_dir, not both"
+        )
+    return [
+        run_experiment(name, context=context, registry=registry) for name in names
+    ]

@@ -1,11 +1,15 @@
 """Figure 12: missing-value imputation — original language (a) and app category (b).
 
 Compares the embedding-based imputation (PV, MF, DW, RO, RN and +DW
-concatenations) against mode imputation (MODE) and the DataWig-style n-gram
-imputer (DTWG), which only sees the single denormalised spreadsheet.
+concatenations) against mode imputation (MODE), the DataWig-style n-gram
+imputer (DTWG), which only sees the single denormalised spreadsheet, and an
+index-served k-NN baseline (``KNN-<embedding>``) answered by batched top-k
+queries against the serving layer.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 
@@ -13,14 +17,16 @@ from repro.baselines.datawig import NGramImputer, denormalise_spreadsheet
 from repro.baselines.mode_imputation import ModeImputer
 from repro.experiments.common import (
     available_embeddings,
-    build_suite,
     imputation_trials,
-    make_google_play,
-    make_tmdb,
+    knn_imputation_trials,
 )
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.experiments.task_data import app_category_data, language_imputation_data
 from repro.tasks.sampling import TrialStatistics
+
+#: Embedding types additionally evaluated with the serving-side k-NN imputer.
+KNN_EMBEDDINGS = ("PV", "RN")
 
 
 def _baseline_trials(
@@ -56,13 +62,31 @@ def _baseline_trials(
     return mode_stats, datawig_stats
 
 
-def run_language_imputation(sizes: ExperimentSizes | None = None) -> ResultTable:
-    """Figure 12a: imputation of the movies' original language."""
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_tmdb(sizes)
-    suite = build_suite(
-        dataset, sizes, exclude_columns=("movies.original_language",)
+def _add_stats_row(table: ResultTable, stats: TrialStatistics) -> None:
+    table.add_row(
+        method=stats.name,
+        accuracy_mean=stats.mean,
+        accuracy_std=stats.std,
+        trials=stats.count,
     )
+
+
+@experiment(
+    name="figure12a",
+    title="Imputation of the original language",
+    reference="Figure 12a",
+    datasets=("tmdb",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description=(
+        "Language imputation vs MODE, DataWig-style and index-served k-NN "
+        "baselines; embeddings trained without movies.original_language."
+    ),
+)
+def run_figure12a(ctx) -> ResultTable:
+    """Figure 12a: imputation of the movies' original language."""
+    sizes = ctx.sizes
+    dataset = ctx.tmdb()
+    suite = ctx.suite("tmdb", exclude_columns=("movies.original_language",))
     data = language_imputation_data(suite.extraction, dataset)
 
     table = ResultTable(
@@ -77,21 +101,13 @@ def run_language_imputation(sizes: ExperimentSizes | None = None) -> ResultTable
         sizes=sizes,
         trials=sizes.trials,
     )
-    for stats in (mode_stats, datawig_stats):
-        table.add_row(
-            method=stats.name,
-            accuracy_mean=stats.mean,
-            accuracy_std=stats.std,
-            trials=stats.count,
-        )
+    _add_stats_row(table, mode_stats)
+    _add_stats_row(table, datawig_stats)
+    for name in KNN_EMBEDDINGS:
+        if name in suite.sets:
+            _add_stats_row(table, knn_imputation_trials(suite, name, data, sizes))
     for name in available_embeddings(suite):
-        stats = imputation_trials(suite, name, data, sizes)
-        table.add_row(
-            method=name,
-            accuracy_mean=stats.mean,
-            accuracy_std=stats.std,
-            trials=stats.count,
-        )
+        _add_stats_row(table, imputation_trials(suite, name, data, sizes))
     table.add_note(
         "expected (paper): RO/RN highest, above DataWig; MODE ~ PV decent "
         "because most movies are English; DW competitive and best combined"
@@ -99,12 +115,23 @@ def run_language_imputation(sizes: ExperimentSizes | None = None) -> ResultTable
     return table
 
 
-def run_app_category_imputation(sizes: ExperimentSizes | None = None) -> ResultTable:
+@experiment(
+    name="figure12b",
+    title="Imputation of app categories",
+    reference="Figure 12b",
+    datasets=("google_play",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description=(
+        "Play-Store category imputation vs MODE, DataWig-style and "
+        "index-served k-NN baselines."
+    ),
+)
+def run_figure12b(ctx) -> ResultTable:
     """Figure 12b: imputation of the Google Play app categories."""
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_google_play(sizes)
-    suite = build_suite(
-        dataset, sizes, exclude_columns=("categories.name", "genres.name")
+    sizes = ctx.sizes
+    dataset = ctx.google_play()
+    suite = ctx.suite(
+        "google_play", exclude_columns=("categories.name", "genres.name")
     )
     data = app_category_data(suite.extraction, dataset)
 
@@ -120,20 +147,19 @@ def run_app_category_imputation(sizes: ExperimentSizes | None = None) -> ResultT
         sizes=sizes,
         trials=sizes.trials,
     )
-    for stats in (mode_stats, datawig_stats):
-        table.add_row(
-            method=stats.name,
-            accuracy_mean=stats.mean,
-            accuracy_std=stats.std,
-            trials=stats.count,
-        )
+    _add_stats_row(table, mode_stats)
+    _add_stats_row(table, datawig_stats)
+    for name in KNN_EMBEDDINGS:
+        if name in suite.sets:
+            _add_stats_row(
+                table,
+                knn_imputation_trials(
+                    suite, name, data, sizes, train_fraction=0.6
+                ),
+            )
     for name in available_embeddings(suite):
-        stats = imputation_trials(suite, name, data, sizes, train_fraction=0.6)
-        table.add_row(
-            method=name,
-            accuracy_mean=stats.mean,
-            accuracy_std=stats.std,
-            trials=stats.count,
+        _add_stats_row(
+            table, imputation_trials(suite, name, data, sizes, train_fraction=0.6)
         )
     table.add_note(
         "expected (paper): RO/RN highest (they can use the reviews), DataWig "
@@ -142,10 +168,40 @@ def run_app_category_imputation(sizes: ExperimentSizes | None = None) -> ResultT
     return table
 
 
+def run_language_imputation(sizes: ExperimentSizes | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure12a``)."""
+    warnings.warn(
+        "figure12_imputation.run_language_imputation() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure12a') or "
+        "`repro run figure12a`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("figure12a", sizes=sizes).table
+
+
+def run_app_category_imputation(sizes: ExperimentSizes | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure12b``)."""
+    warnings.warn(
+        "figure12_imputation.run_app_category_imputation() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure12b') or "
+        "`repro run figure12b`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("figure12b", sizes=sizes).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run_language_imputation().to_text())
-    print()
-    print(run_app_category_imputation().to_text())
+    from repro.experiments.engine import run_experiments
+
+    for result in run_experiments(["figure12a", "figure12b"]):
+        print(result.table.to_text())
+        print()
 
 
 if __name__ == "__main__":  # pragma: no cover

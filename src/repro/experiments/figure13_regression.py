@@ -2,21 +2,31 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.experiments.common import available_embeddings, build_suite, make_tmdb
+from repro.experiments.common import available_embeddings
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.experiments.task_data import budget_regression_data
 from repro.tasks.regression import RegressionTask
 from repro.tasks.sampling import TrialStatistics
 
 
-def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+@experiment(
+    name="figure13",
+    title="Regression of the movie budget",
+    reference="Figure 13",
+    datasets=("tmdb",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description="Budget regression MAE per embedding type (Fig. 5b network).",
+)
+def run_figure13(ctx) -> ResultTable:
     """Train the budget regressor (Fig. 5b network) on every embedding type."""
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_tmdb(sizes)
-    suite = build_suite(dataset, sizes)
-    indices, targets = budget_regression_data(suite.extraction, dataset)
+    sizes = ctx.sizes
+    suite = ctx.suite("tmdb")
+    indices, targets = budget_regression_data(suite.extraction, ctx.tmdb())
 
     table = ResultTable(
         name="Figure 13: regression of the movie budget (MAE, million USD)",
@@ -56,8 +66,23 @@ def run(sizes: ExperimentSizes | None = None) -> ResultTable:
     return table
 
 
+def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure13``)."""
+    warnings.warn(
+        "figure13_regression.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure13') or `repro run figure13`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("figure13", sizes=sizes).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure13").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

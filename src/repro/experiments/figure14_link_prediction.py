@@ -2,38 +2,93 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.experiments.common import available_embeddings, build_suite, make_tmdb
+from repro.experiments.common import available_embeddings
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
-from repro.experiments.task_data import genre_link_pairs, genre_relation_names
+from repro.experiments.task_data import (
+    GENRE_CATEGORY,
+    genre_link_pairs,
+    genre_relation_names,
+)
 from repro.tasks.link_prediction import LinkPredictionTask
 from repro.tasks.sampling import TrialStatistics
 
+#: Shortlist size of the serving-side candidate-retrieval metric.
+RETRIEVAL_K = 3
 
-def run(sizes: ExperimentSizes | None = None, n_pairs: int | None = None) -> ResultTable:
+
+def _retrieval_hit_rate(ctx, embedding_name, excluded, pairs, suite) -> float:
+    """Fraction of positive pairs whose true genre is in the served top-k.
+
+    The genre shortlist is answered by the run context's shared
+    :class:`repro.serving.ServingSession` (batched index top-k over the
+    ``genres.name`` scope), not by a raw matrix scan — the candidate
+    -generation idiom of embedding-backed entity linkers.
+    """
+    session = ctx.serving_session(
+        embedding_name, dataset="tmdb", exclude_relations=excluded
+    )
+    positives = pairs.labels == 1
+    if not positives.any():
+        return float("nan")
+    sources = session.embeddings.matrix[pairs.source_indices[positives]]
+    shortlists = session.topk_batch(sources, k=RETRIEVAL_K, category=GENRE_CATEGORY)
+    records = suite.extraction.records
+    hits = 0
+    for shortlist, target in zip(shortlists, pairs.target_indices[positives]):
+        true_genre = records[int(target)].text
+        if any(text == true_genre for _, text, _ in shortlist):
+            hits += 1
+    return hits / int(positives.sum())
+
+
+@experiment(
+    name="figure14",
+    title="Link prediction for movie genres",
+    reference="Figure 14",
+    datasets=("tmdb",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description=(
+        "Two-tower edge classifier plus index-served genre retrieval; the "
+        "movie→genre relation is hidden during embedding training."
+    ),
+    n_pairs=None,
+)
+def run_figure14(ctx, n_pairs: int | None = None) -> ResultTable:
     """Train the edge classifier (Fig. 5c network) on every embedding type.
 
     The embeddings are trained *without* the movie→genre relation, then a
     two-tower network predicts whether a (movie, genre) edge exists, using an
-    equal number of held-out positive pairs and sampled negatives.
+    equal number of held-out positive pairs and sampled negatives.  The
+    ``retrieval_hit{k}`` column reports how often the true genre appears in
+    the serving session's top-``k`` genre shortlist for a positive movie.
     """
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_tmdb(sizes)
+    sizes = ctx.sizes
+    dataset = ctx.tmdb()
     excluded = genre_relation_names(dataset.database)
-    suite = build_suite(dataset, sizes, exclude_relations=excluded)
+    suite = ctx.suite("tmdb", exclude_relations=excluded)
     n_pairs = n_pairs or max(300, 2 * sizes.train_samples)
 
     table = ResultTable(
         name="Figure 14: link prediction for movie genres",
-        columns=["embedding", "accuracy_mean", "accuracy_std", "trials"],
+        columns=[
+            "embedding", "accuracy_mean", "accuracy_std", "trials",
+            f"retrieval_hit{RETRIEVAL_K}",
+        ],
     )
     for name in available_embeddings(suite):
         embedding_set = suite.get(name)
         stats = TrialStatistics(name)
+        retrieval_pairs = None
         for trial in range(sizes.trials):
             rng = np.random.default_rng(sizes.seed + 501 * trial)
             pairs = genre_link_pairs(suite.extraction, dataset, n_pairs, rng)
+            if retrieval_pairs is None:
+                retrieval_pairs = pairs
             order = rng.permutation(len(pairs))
             split = max(2, len(order) // 2)
             train_idx, test_idx = order[:split], order[split:]
@@ -53,11 +108,17 @@ def run(sizes: ExperimentSizes | None = None, n_pairs: int | None = None) -> Res
                 pairs.labels[test_idx],
             )
             stats.add(outcome.accuracy)
+        hit_rate = (
+            _retrieval_hit_rate(ctx, name, excluded, retrieval_pairs, suite)
+            if retrieval_pairs is not None
+            else float("nan")
+        )
         table.add_row(
             embedding=name,
             accuracy_mean=stats.mean,
             accuracy_std=stats.std,
             trials=stats.count,
+            **{f"retrieval_hit{RETRIEVAL_K}": hit_rate},
         )
     table.add_note(
         "expected (paper): DeepWalk fails (genre nodes are structurally "
@@ -68,8 +129,23 @@ def run(sizes: ExperimentSizes | None = None, n_pairs: int | None = None) -> Res
     return table
 
 
+def run(sizes: ExperimentSizes | None = None, n_pairs: int | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure14``)."""
+    warnings.warn(
+        "figure14_link_prediction.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure14') or `repro run figure14`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("figure14", sizes=sizes, options={"n_pairs": n_pairs}).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure14").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

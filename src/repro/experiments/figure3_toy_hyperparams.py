@@ -9,9 +9,12 @@ summarises the visual effect numerically).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.datasets.toy import build_toy_movie_database
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.retrofit.extraction import extract_text_values
 from repro.retrofit.hyperparams import RetroHyperparameters
@@ -27,9 +30,20 @@ PANELS = (
 )
 
 
-def run(sizes: ExperimentSizes | None = None, iterations: int = 20) -> ResultTable:
-    """Run the four hyperparameter sweeps of Figure 3."""
-    del sizes  # the toy example has a fixed size
+@experiment(
+    name="figure3",
+    title="Toy hyperparameter sweeps (2-d embeddings)",
+    reference="Figure 3",
+    datasets=("toy",),
+    methods=("RO",),
+    description="Four α/β/γ/δ sweeps on the 5-value toy movie database.",
+    iterations=20,
+)
+def run_figure3(ctx, iterations: int = 20) -> ResultTable:
+    """Run the four hyperparameter sweeps of Figure 3.
+
+    The toy example has a fixed size; ``ctx.sizes`` is intentionally unused.
+    """
     toy = build_toy_movie_database()
     extraction = extract_text_values(toy.database)
     tokenizer = Tokenizer(toy.embedding)
@@ -80,8 +94,25 @@ def run(sizes: ExperimentSizes | None = None, iterations: int = 20) -> ResultTab
     return table
 
 
+def run(sizes: ExperimentSizes | None = None, iterations: int = 20) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure3``)."""
+    warnings.warn(
+        "figure3_toy_hyperparams.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure3') or `repro run figure3`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment(
+        "figure3", sizes=sizes, options={"iterations": iterations}
+    ).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure3").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.datasets.tmdb import build_movie_embedding_space, generate_tmdb
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.retrofit.extraction import extract_text_values
 from repro.retrofit.hyperparams import RetroHyperparameters
@@ -13,12 +15,27 @@ from repro.retrofit.retro import RetroSolver
 from repro.text.tokenizer import Tokenizer
 
 
-def run(
-    sizes: ExperimentSizes | None = None,
-    movie_counts: tuple[int, ...] = (50, 100, 200, 400),
+@experiment(
+    name="figure4",
+    title="Retrofitting runtime vs database size",
+    reference="Figure 4",
+    datasets=("tmdb",),
+    methods=("RO", "RN"),
+    description=(
+        "RO and RN solver wall-clock on growing TMDB databases; always "
+        "trains fresh (runtime measurement, never cache-served)."
+    ),
+    movie_counts=(50, 100, 200, 400),
+)
+def run_figure4(
+    ctx, movie_counts: tuple[int, ...] = (50, 100, 200, 400)
 ) -> ResultTable:
-    """Measure RO and RN runtime for TMDB databases of increasing size."""
-    sizes = sizes or ExperimentSizes.quick()
+    """Measure RO and RN runtime for TMDB databases of increasing size.
+
+    Builds its own solver runs on purpose — serving a runtime figure from
+    the artifact cache would be meaningless.
+    """
+    sizes = ctx.sizes
     embedding = build_movie_embedding_space(
         dimension=sizes.embedding_dimension, seed=sizes.seed
     ).build()
@@ -60,8 +77,28 @@ def run(
     return table
 
 
+def run(
+    sizes: ExperimentSizes | None = None,
+    movie_counts: tuple[int, ...] = (50, 100, 200, 400),
+) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure4``)."""
+    warnings.warn(
+        "figure4_scaling.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure4') or `repro run figure4`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment(
+        "figure4", sizes=sizes, options={"movie_counts": movie_counts}
+    ).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure4").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

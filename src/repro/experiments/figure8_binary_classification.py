@@ -2,29 +2,36 @@
 
 from __future__ import annotations
 
+import warnings
+
 from repro.experiments.common import (
     available_embeddings,
     binary_classification_trials,
-    build_suite,
-    make_tmdb,
 )
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.experiments.task_data import director_classification_data
 
 
-def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+@experiment(
+    name="figure8",
+    title="Binary classification of US-American directors",
+    reference="Figure 8",
+    datasets=("tmdb",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description="Director-citizenship classifier accuracy per embedding type.",
+)
+def run_figure8(ctx) -> ResultTable:
     """Train the director-citizenship classifier on every embedding type."""
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_tmdb(sizes)
-    suite = build_suite(dataset, sizes)
-    data = director_classification_data(suite.extraction, dataset)
+    suite = ctx.suite("tmdb")
+    data = director_classification_data(suite.extraction, ctx.tmdb())
 
     table = ResultTable(
         name="Figure 8: binary classification of US-American directors",
         columns=["embedding", "accuracy_mean", "accuracy_std", "trials"],
     )
     for name in available_embeddings(suite):
-        stats = binary_classification_trials(suite, name, data, sizes)
+        stats = binary_classification_trials(suite, name, data, ctx.sizes)
         table.add_row(
             embedding=name,
             accuracy_mean=stats.mean,
@@ -38,8 +45,23 @@ def run(sizes: ExperimentSizes | None = None) -> ResultTable:
     return table
 
 
+def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure8``)."""
+    warnings.warn(
+        "figure8_binary_classification.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure8') or `repro run figure8`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("figure8", sizes=sizes).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure8").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

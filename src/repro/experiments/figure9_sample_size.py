@@ -2,27 +2,38 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import (
-    binary_classification_trials,
-    build_suite,
-    make_tmdb,
-)
+import warnings
+
+from repro.experiments.common import binary_classification_trials
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.experiments.task_data import director_classification_data
 
 DEFAULT_EMBEDDINGS = ("PV", "MF", "DW", "RO", "RN")
 
 
-def run(
-    sizes: ExperimentSizes | None = None,
+@experiment(
+    name="figure9",
+    title="Accuracy vs training sample size",
+    reference="Figure 9",
+    datasets=("tmdb",),
+    methods=("PV", "MF", "RO", "RN", "DW"),
+    description="Director classifier accuracy as the training set grows.",
+    sample_sizes=(40, 80, 160),
+    embeddings=DEFAULT_EMBEDDINGS,
+)
+def run_figure9(
+    ctx,
     sample_sizes: tuple[int, ...] = (40, 80, 160),
     embeddings: tuple[str, ...] = DEFAULT_EMBEDDINGS,
 ) -> ResultTable:
-    """Train the director classifier with varying numbers of training samples."""
-    sizes = sizes or ExperimentSizes.quick()
-    dataset = make_tmdb(sizes)
-    suite = build_suite(dataset, sizes)
-    data = director_classification_data(suite.extraction, dataset)
+    """Train the director classifier with varying numbers of training samples.
+
+    Reuses the shared TMDB suite from the run context, so running this
+    after ``figure8`` trains nothing new.
+    """
+    suite = ctx.suite("tmdb")
+    data = director_classification_data(suite.extraction, ctx.tmdb())
 
     table = ResultTable(
         name="Figure 9: accuracy vs training sample size",
@@ -33,8 +44,8 @@ def run(
             continue
         for n_train in sample_sizes:
             stats = binary_classification_trials(
-                suite, name, data, sizes,
-                n_train=n_train, n_test=sizes.test_samples,
+                suite, name, data, ctx.sizes,
+                n_train=n_train, n_test=ctx.sizes.test_samples,
             )
             table.add_row(
                 embedding=name,
@@ -49,8 +60,31 @@ def run(
     return table
 
 
+def run(
+    sizes: ExperimentSizes | None = None,
+    sample_sizes: tuple[int, ...] = (40, 80, 160),
+    embeddings: tuple[str, ...] = DEFAULT_EMBEDDINGS,
+) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure9``)."""
+    warnings.warn(
+        "figure9_sample_size.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('figure9') or `repro run figure9`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment(
+        "figure9",
+        sizes=sizes,
+        options={"sample_sizes": sample_sizes, "embeddings": embeddings},
+    ).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("figure9").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

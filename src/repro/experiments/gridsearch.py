@@ -6,19 +6,24 @@ concatenated DeepWalk embeddings, on two tasks:
 
 * binary classification of US-American directors (Figures 6 and 7),
 * imputation of the movies' original language (Figures 10 and 11).
+
+Each (task, solver) combination is a registered experiment (``figure6``,
+``figure7``, ``figure10``, ``figure11``) sharing one runner; every grid
+point's suite build goes through the run context's artifact cache, so
+re-running a sweep against a warm ``--cache-dir`` trains nothing.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.errors import ExperimentError
 from repro.experiments.common import (
     binary_classification_trials,
-    build_suite,
     imputation_trials,
-    make_tmdb,
 )
+from repro.experiments.registry import ExperimentSpec, register
 from repro.experiments.runner import ExperimentSizes, ResultTable
 from repro.experiments.task_data import (
     director_classification_data,
@@ -31,6 +36,13 @@ DEFAULT_GRID: dict[str, tuple[float, ...]] = {
     "beta": (0.0, 1.0),
     "gamma": (1.0, 3.0),
     "delta": (0.0, 1.0, 3.0),
+}
+
+_FIGURE_BY_CONFIG = {
+    ("binary", "RO"): "Figure 6",
+    ("binary", "RN"): "Figure 7",
+    ("language", "RO"): "Figure 10",
+    ("language", "RN"): "Figure 11",
 }
 
 
@@ -48,17 +60,26 @@ class GridSearchSpec:
         if self.solver not in ("RO", "RN"):
             raise ExperimentError("solver must be 'RO' or 'RN'")
 
+    @property
+    def experiment_name(self) -> str:
+        """The registry name of this configuration (e.g. ``figure7``)."""
+        return _FIGURE_BY_CONFIG[(self.task, self.solver)].replace(" ", "").lower()
 
-def run(
-    spec: GridSearchSpec | None = None,
-    sizes: ExperimentSizes | None = None,
+
+def run_gridsearch(
+    ctx,
+    task: str = "binary",
+    solver: str = "RN",
+    combine_with_deepwalk: bool = False,
     grid: dict[str, tuple[float, ...]] | None = None,
 ) -> ResultTable:
     """Run one hyperparameter grid search and report the accuracy per setting."""
-    spec = spec or GridSearchSpec()
-    sizes = sizes or ExperimentSizes.quick()
+    spec = GridSearchSpec(
+        task=task, solver=solver, combine_with_deepwalk=combine_with_deepwalk
+    )
+    sizes = ctx.sizes
     grid = grid or DEFAULT_GRID
-    dataset = make_tmdb(sizes)
+    dataset = ctx.tmdb()
     exclude_columns: tuple[str, ...] = ()
     if spec.task == "language":
         exclude_columns = ("movies.original_language",)
@@ -68,12 +89,7 @@ def run(
         f"{spec.solver}+DW" if spec.combine_with_deepwalk else spec.solver
     )
 
-    figure = {
-        ("binary", "RO"): "Figure 6",
-        ("binary", "RN"): "Figure 7",
-        ("language", "RO"): "Figure 10",
-        ("language", "RN"): "Figure 11",
-    }[(spec.task, spec.solver)]
+    figure = _FIGURE_BY_CONFIG[(spec.task, spec.solver)]
     suffix = " (+DeepWalk)" if spec.combine_with_deepwalk else ""
     table = ResultTable(
         name=f"{figure}: grid search, {spec.task} task, {spec.solver}{suffix}",
@@ -87,9 +103,8 @@ def run(
                     params = RetroHyperparameters(
                         alpha=alpha, beta=beta, gamma=gamma, delta=delta
                     )
-                    suite = build_suite(
-                        dataset,
-                        sizes,
+                    suite = ctx.suite(
+                        "tmdb",
                         methods=methods,
                         exclude_columns=exclude_columns,
                         ro_params=params,
@@ -116,6 +131,56 @@ def run(
     return table
 
 
+for _task, _solver in _FIGURE_BY_CONFIG:
+    _figure = _FIGURE_BY_CONFIG[(_task, _solver)]
+    register(
+        ExperimentSpec(
+            name=_figure.replace(" ", "").lower(),
+            title=f"Grid search, {_task} task, {_solver} solver",
+            reference=_figure,
+            runner=run_gridsearch,
+            datasets=("tmdb",),
+            methods=(_solver, "DW"),
+            default_options={
+                "task": _task,
+                "solver": _solver,
+                "combine_with_deepwalk": False,
+                "grid": None,
+            },
+            description=(
+                f"α/β/γ/δ sweep of the {_solver} solver on the {_task} task; "
+                "pass combine_with_deepwalk=true for the +DW variant."
+            ),
+        )
+    )
+
+
+def run(
+    spec: GridSearchSpec | None = None,
+    sizes: ExperimentSizes | None = None,
+    grid: dict[str, tuple[float, ...]] | None = None,
+) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``figure6``…``figure11``)."""
+    warnings.warn(
+        "gridsearch.run() is deprecated; use repro.experiments.engine."
+        "run_experiment('figure6'|'figure7'|'figure10'|'figure11') or the "
+        "`repro run` CLI",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    spec = spec or GridSearchSpec()
+    return run_experiment(
+        spec.experiment_name,
+        sizes=sizes,
+        options={
+            "combine_with_deepwalk": spec.combine_with_deepwalk,
+            "grid": grid,
+        },
+    ).table
+
+
 def best_configuration(table: ResultTable) -> dict[str, float]:
     """The grid point with the highest mean accuracy."""
     if not table.rows:
@@ -131,8 +196,11 @@ def best_configuration(table: ResultTable) -> dict[str, float]:
 
 
 def main() -> None:  # pragma: no cover - console entry point
-    for solver in ("RO", "RN"):
-        print(run(GridSearchSpec(task="binary", solver=solver)).to_text())
+    from repro.experiments.engine import run_experiments
+
+    for result in run_experiments(["figure6", "figure7"]):
+        print(result.table.to_text())
+        print()
 
 
 if __name__ == "__main__":  # pragma: no cover

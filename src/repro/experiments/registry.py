@@ -1,0 +1,175 @@
+"""The declarative experiment registry.
+
+Every table and figure of the paper is described by an
+:class:`ExperimentSpec` — its name, the paper reference, the datasets and
+embedding methods it needs, and a runner callable — registered in an
+:class:`ExperimentRegistry`.  The engine (:mod:`repro.experiments.engine`)
+executes specs through a shared :class:`~repro.experiments.engine.RunContext`
+so that expensive artifacts (datasets, embedding suites, serving sessions)
+are built once per run instead of once per figure, and the ``repro`` CLI
+(``python -m repro``) lists and runs them uniformly.
+
+Runner contract: ``runner(ctx, **options) -> ResultTable`` where ``ctx`` is
+the :class:`~repro.experiments.engine.RunContext` and ``options`` are the
+spec's :attr:`ExperimentSpec.default_options` merged with any caller
+overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ResultTable
+
+#: Module paths imported by :func:`load_builtin_specs`; importing a module
+#: registers its spec(s) in :data:`REGISTRY`.
+BUILTIN_SPEC_MODULES = (
+    "repro.experiments.figure3_toy_hyperparams",
+    "repro.experiments.figure4_scaling",
+    "repro.experiments.gridsearch",
+    "repro.experiments.figure8_binary_classification",
+    "repro.experiments.figure9_sample_size",
+    "repro.experiments.figure12_imputation",
+    "repro.experiments.figure13_regression",
+    "repro.experiments.figure14_link_prediction",
+    "repro.experiments.table1_datasets",
+    "repro.experiments.table2_runtime",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative description of one reproducible experiment."""
+
+    #: Registry key, e.g. ``"figure8"`` — what ``repro run`` accepts.
+    name: str
+    #: Human-readable title shown by ``repro list``.
+    title: str
+    #: Paper reference, e.g. ``"Figure 8"`` or ``"Table 2"``.
+    reference: str
+    #: ``runner(ctx, **options) -> ResultTable``.
+    runner: Callable[..., ResultTable]
+    #: Datasets the experiment touches (``"tmdb"``, ``"google_play"``, ``"toy"``).
+    datasets: tuple[str, ...] = ()
+    #: Embedding methods trained for it (empty when none are).
+    methods: tuple[str, ...] = ()
+    #: Default runner options; overridable per run.
+    default_options: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ExperimentError(
+                f"experiment name {self.name!r} must be a non-empty "
+                "alphanumeric/underscore identifier"
+            )
+        if not callable(self.runner):
+            raise ExperimentError(f"experiment {self.name!r} needs a callable runner")
+
+    def options(self, overrides: dict[str, Any] | None = None) -> dict[str, Any]:
+        """The default options merged with ``overrides`` (``None`` values
+        in ``overrides`` keep the default)."""
+        merged = dict(self.default_options)
+        for key, value in (overrides or {}).items():
+            if value is not None or key not in merged:
+                merged[key] = value
+        return merged
+
+
+class ExperimentRegistry:
+    """A named collection of :class:`ExperimentSpec` objects."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        """Add ``spec``; a second spec under the same name is an error."""
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            if existing is spec:
+                return spec
+            raise ExperimentError(
+                f"experiment {spec.name!r} is already registered "
+                f"({existing.reference}: {existing.title})"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ExperimentSpec:
+        """The spec registered under ``name``."""
+        if name not in self._specs:
+            raise ExperimentError(
+                f"unknown experiment {name!r}; registered: {self.names()}"
+            )
+        return self._specs[name]
+
+    def names(self) -> list[str]:
+        """All registered experiment names, in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> list[ExperimentSpec]:
+        """All registered specs, in registration order."""
+        return list(self._specs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[ExperimentSpec]:
+        return iter(self._specs.values())
+
+
+#: The process-wide registry that the builtin experiment modules populate.
+REGISTRY = ExperimentRegistry()
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register ``spec`` in the global :data:`REGISTRY` (module-level helper)."""
+    return REGISTRY.register(spec)
+
+
+def experiment(
+    name: str,
+    title: str,
+    reference: str,
+    datasets: tuple[str, ...] = (),
+    methods: tuple[str, ...] = (),
+    description: str = "",
+    **default_options: Any,
+) -> Callable[[Callable[..., ResultTable]], Callable[..., ResultTable]]:
+    """Decorator registering the decorated runner as an experiment spec."""
+
+    def decorate(runner: Callable[..., ResultTable]) -> Callable[..., ResultTable]:
+        register(
+            ExperimentSpec(
+                name=name,
+                title=title,
+                reference=reference,
+                runner=runner,
+                datasets=datasets,
+                methods=methods,
+                default_options=dict(default_options),
+                description=description,
+            )
+        )
+        return runner
+
+    return decorate
+
+
+def load_builtin_specs() -> None:
+    """Import every builtin experiment module (registration side effect)."""
+    import importlib
+
+    for module in BUILTIN_SPEC_MODULES:
+        importlib.import_module(module)
+
+
+def default_registry() -> ExperimentRegistry:
+    """The global registry with all builtin specs loaded."""
+    load_builtin_specs()
+    return REGISTRY

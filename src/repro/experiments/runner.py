@@ -2,10 +2,36 @@
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.errors import ExperimentError
+
+
+def json_value(value: Any) -> Any:
+    """``value`` converted to a plain JSON-serialisable Python object.
+
+    Numpy scalars become Python scalars, arrays and tuples become lists,
+    NaN becomes ``None`` (the JSON spec has no NaN literal).
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        return None if math.isnan(value) else value
+    if isinstance(value, np.ndarray):
+        return [json_value(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [json_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): json_value(item) for key, item in value.items()}
+    return value
 
 
 @dataclass
@@ -48,7 +74,18 @@ class ResultTable:
 
     @staticmethod
     def _format(value: Any) -> str:
-        if isinstance(value, float):
+        if value is None:
+            return "-"
+        if isinstance(value, (bool, np.bool_)):
+            return str(bool(value))
+        if isinstance(value, (int, np.integer)):
+            # integers render as integers (thousands-separated), never
+            # through the float branch's decimal formatting
+            return f"{int(value):,d}"
+        if isinstance(value, (float, np.floating)):
+            value = float(value)
+            if math.isnan(value):
+                return "-"
             if abs(value) >= 1000:
                 return f"{value:,.1f}"
             return f"{value:.4f}"
@@ -70,6 +107,33 @@ class ResultTable:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "columns": list(self.columns),
+            "rows": [
+                {column: json_value(row[column]) for column in self.columns}
+                for row in self.rows
+            ],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ResultTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        try:
+            table = cls(
+                name=str(payload["name"]),
+                columns=[str(column) for column in payload["columns"]],
+                notes=[str(note) for note in payload.get("notes", [])],
+            )
+            for row in payload.get("rows", []):
+                table.add_row(**row)
+        except (KeyError, TypeError) as error:
+            raise ExperimentError(f"malformed result table payload: {error}") from error
+        return table
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.to_text()
@@ -128,3 +192,58 @@ class ExperimentSizes:
             embedding_dimension=96,
             deepwalk_dimension=96,
         )
+
+    @classmethod
+    def tiny(cls) -> "ExperimentSizes":
+        """Miniature sizes for smoke runs (seconds, not minutes)."""
+        return cls(
+            num_movies=40,
+            num_apps=40,
+            trials=1,
+            train_samples=30,
+            test_samples=30,
+            epochs=10,
+            hidden_units=(16,),
+            imputation_hidden_units=(16,),
+            embedding_dimension=16,
+            deepwalk_dimension=8,
+        )
+
+    #: Preset names accepted by :meth:`preset` (and the ``repro`` CLI).
+    PRESETS = ("tiny", "quick", "paper")
+
+    @classmethod
+    def preset(cls, name: str) -> "ExperimentSizes":
+        """The sizing preset called ``name`` (``tiny``, ``quick``, ``paper``)."""
+        factories = {
+            "tiny": cls.tiny,
+            "quick": cls.quick,
+            "paper": cls.paper_scale,
+        }
+        if name not in factories:
+            raise ExperimentError(
+                f"unknown sizing preset {name!r}; expected one of {cls.PRESETS}"
+            )
+        return factories[name]()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable representation of this sizing."""
+        payload = dataclasses.asdict(self)
+        payload["hidden_units"] = list(self.hidden_units)
+        payload["imputation_hidden_units"] = list(self.imputation_hidden_units)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ExperimentSizes":
+        """Rebuild a sizing from :meth:`to_dict` output."""
+        try:
+            values = dict(payload)
+            values["hidden_units"] = tuple(values["hidden_units"])
+            values["imputation_hidden_units"] = tuple(
+                values["imputation_hidden_units"]
+            )
+            return cls(**values)
+        except (KeyError, TypeError) as error:
+            raise ExperimentError(
+                f"malformed experiment sizing payload: {error}"
+            ) from error

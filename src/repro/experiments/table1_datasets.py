@@ -2,18 +2,26 @@
 
 from __future__ import annotations
 
-from repro.experiments.common import make_google_play, make_tmdb
+import warnings
+
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 
 
-def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+@experiment(
+    name="table1",
+    title="Dataset properties",
+    reference="Table 1",
+    datasets=("tmdb", "google_play"),
+    description="Tables, link tables, unique text values and rows per dataset.",
+)
+def run_table1(ctx) -> ResultTable:
     """Reproduce Table 1 for the synthetic TMDB and Google Play databases."""
-    sizes = sizes or ExperimentSizes.quick()
     table = ResultTable(
         name="Table 1: dataset properties",
         columns=["dataset", "tables", "link_tables", "unique_text_values", "rows"],
     )
-    for dataset in (make_tmdb(sizes), make_google_play(sizes)):
+    for dataset in (ctx.tmdb(), ctx.google_play()):
         summary = dataset.summary()
         table.add_row(
             dataset=summary["name"],
@@ -30,8 +38,23 @@ def run(sizes: ExperimentSizes | None = None) -> ResultTable:
     return table
 
 
+def run(sizes: ExperimentSizes | None = None) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``table1``)."""
+    warnings.warn(
+        "table1_datasets.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('table1') or `repro run table1`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment("table1", sizes=sizes).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("table1").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,28 +2,54 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.experiments.common import build_suite, make_google_play, make_tmdb
+from repro.experiments.registry import experiment
 from repro.experiments.runner import ExperimentSizes, ResultTable
 
 METHODS = ("MF", "DW", "RO", "RN")
 
 
-def run(sizes: ExperimentSizes | None = None, repetitions: int = 3) -> ResultTable:
-    """Measure single-thread training time of each embedding method."""
-    sizes = sizes or ExperimentSizes.quick()
+@experiment(
+    name="table2",
+    title="Runtime of embedding methods",
+    reference="Table 2",
+    datasets=("tmdb", "google_play"),
+    methods=METHODS,
+    description=(
+        "Single-thread training time per method; with repetitions=1 the "
+        "runtimes recorded by the shared suite build are reported (no "
+        "retraining), repetitions>1 forces fresh timed builds."
+    ),
+    repetitions=1,
+)
+def run_table2(ctx, repetitions: int = 1) -> ResultTable:
+    """Measure single-thread training time of each embedding method.
+
+    With ``repetitions=1`` (the engine default) the numbers come from the
+    run context's shared suite builds — the same training that ``figure8``
+    and friends consume, so running ``figure8 table2`` together trains each
+    suite exactly once.  ``repetitions > 1`` bypasses the artifact cache
+    and times that many fresh builds per dataset.
+    """
+    sizes = ctx.sizes
     table = ResultTable(
         name="Table 2: runtime of embedding methods (seconds)",
         columns=["dataset", "method", "runtime_mean", "runtime_std", "repetitions"],
     )
-    datasets = (("TMDB", make_tmdb(sizes)), ("GooglePlay", make_google_play(sizes)))
-    for label, dataset in datasets:
+    for label, kind in (("TMDB", "tmdb"), ("GooglePlay", "google_play")):
         runtimes: dict[str, list[float]] = {method: [] for method in METHODS}
-        for _ in range(repetitions):
-            suite = build_suite(dataset, sizes, methods=METHODS)
+        if repetitions <= 1:
+            suite = ctx.suite(kind)
             for method in METHODS:
                 runtimes[method].append(suite.runtimes[method])
+        else:
+            for _ in range(repetitions):
+                suite = ctx.suite(kind, methods=METHODS, fresh=True)
+                for method in METHODS:
+                    runtimes[method].append(suite.runtimes[method])
         for method in METHODS:
             values = np.array(runtimes[method])
             table.add_row(
@@ -31,7 +57,7 @@ def run(sizes: ExperimentSizes | None = None, repetitions: int = 3) -> ResultTab
                 method=method,
                 runtime_mean=float(values.mean()),
                 runtime_std=float(values.std()),
-                repetitions=repetitions,
+                repetitions=len(values),
             )
     table.add_note(
         "paper (TMDB subset, seconds): MF 7.4, DW 548.7, RO 418.1, RN 27.2 — "
@@ -40,8 +66,25 @@ def run(sizes: ExperimentSizes | None = None, repetitions: int = 3) -> ResultTab
     return table
 
 
+def run(sizes: ExperimentSizes | None = None, repetitions: int = 3) -> ResultTable:
+    """Deprecated shim: delegates to the experiment engine (``table2``)."""
+    warnings.warn(
+        "table2_runtime.run() is deprecated; use "
+        "repro.experiments.engine.run_experiment('table2') or `repro run table2`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.experiments.engine import run_experiment
+
+    return run_experiment(
+        "table2", sizes=sizes, options={"repetitions": repetitions}
+    ).table
+
+
 def main() -> None:  # pragma: no cover - console entry point
-    print(run().to_text())
+    from repro.experiments.engine import run_experiment
+
+    print(run_experiment("table2").table.to_text())
 
 
 if __name__ == "__main__":  # pragma: no cover

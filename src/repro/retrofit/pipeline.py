@@ -54,6 +54,25 @@ class RetroResult:
         """Dimensionality of the retrofitted vectors."""
         return self.embeddings.dimension
 
+    def serving_session(self, cache_size: int = 1024, combined: bool = False):
+        """A :class:`repro.serving.ServingSession` over the learned vectors.
+
+        ``combined=True`` serves the ``X+DW`` concatenation when the
+        pipeline trained node embeddings; otherwise the retrofitted set.
+        """
+        from repro.errors import ServingError
+        from repro.serving.session import ServingSession
+
+        embeddings = self.embeddings
+        if combined:
+            if self.combined is None:
+                raise ServingError(
+                    "this result holds no combined embeddings; run the "
+                    "pipeline with include_node_embeddings=True"
+                )
+            embeddings = self.combined
+        return ServingSession(embeddings, cache_size=cache_size)
+
     # ------------------------------------------------------------------ #
     # persistence (serving without recomputation)
     # ------------------------------------------------------------------ #

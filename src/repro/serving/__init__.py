@@ -13,6 +13,9 @@ from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descendin
 from repro.serving.session import ServingSession, default_index_factory
 from repro.serving.store import (
     EmbeddingStore,
+    KIND_EMBEDDING_SET,
+    KIND_EMBEDDING_SUITE,
+    KIND_RETRO_RESULT,
     STORE_FORMAT,
     STORE_VERSION,
     extraction_from_dict,
@@ -20,6 +23,9 @@ from repro.serving.store import (
 )
 
 __all__ = [
+    "KIND_EMBEDDING_SET",
+    "KIND_EMBEDDING_SUITE",
+    "KIND_RETRO_RESULT",
     "CacheStats",
     "LRUCache",
     "VectorIndex",

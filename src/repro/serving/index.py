@@ -225,18 +225,80 @@ class IVFIndex(VectorIndex):
         # and stored cell membership agree
         assignment = np.argmax(unit @ centroids.T, axis=1)
         self.centroids = centroids
+        self._finalise(assignment)
+
+    def _finalise(self, assignment: np.ndarray) -> None:
+        """Build the per-cell search structures from a row→cell assignment."""
+        self._assignment = np.asarray(assignment, dtype=np.int64)
         # contiguous per-cell copies: every probe becomes one dense matmul
         self._cell_ids: list[np.ndarray] = []
         self._cell_matrices: list[np.ndarray] = []
         self._cell_norms: list[np.ndarray] = []
         for cell in range(self.n_cells):
-            members = np.nonzero(assignment == cell)[0].astype(np.int64)
+            members = np.nonzero(self._assignment == cell)[0].astype(np.int64)
             self._cell_ids.append(members)
             self._cell_matrices.append(np.ascontiguousarray(self.matrix[members]))
             self._cell_norms.append(self._row_norms[members])
         self._empty_cells = np.array(
             [ids.size == 0 for ids in self._cell_ids], dtype=bool
         )
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """The trained row→cell assignment, shape ``(n_rows,)``.
+
+        Together with :attr:`centroids` this is the complete trained state:
+        :meth:`from_state` rebuilds an identical index without re-running
+        k-means (the basis of on-disk index persistence).
+        """
+        return self._assignment
+
+    @classmethod
+    def from_state(
+        cls,
+        matrix: np.ndarray,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        metric: str = "cosine",
+        nprobe: int = 8,
+    ) -> "IVFIndex":
+        """Rebuild an index from persisted ``centroids`` + ``assignments``.
+
+        Skips the k-means training pass entirely; the reconstructed index
+        answers every query exactly like the one that was saved.
+        """
+        index = cls.__new__(cls)
+        VectorIndex.__init__(index, matrix, metric)
+        if index.n_rows == 0:
+            raise ServingError("cannot restore an IVF index over an empty matrix")
+        centroids = np.asarray(centroids, dtype=np.float64)
+        assignments = np.asarray(assignments, dtype=np.int64)
+        if centroids.ndim != 2 or centroids.shape[1] != index.dimension:
+            raise ServingError(
+                f"centroids have shape {centroids.shape}, expected "
+                f"(n_cells, {index.dimension})"
+            )
+        if centroids.shape[0] == 0:
+            raise ServingError("restored index needs at least one centroid")
+        if assignments.shape != (index.n_rows,):
+            raise ServingError(
+                f"assignments have shape {assignments.shape}, expected "
+                f"({index.n_rows},)"
+            )
+        if assignments.size and (
+            assignments.min() < 0 or assignments.max() >= centroids.shape[0]
+        ):
+            raise ServingError(
+                "assignments reference cells outside "
+                f"0..{centroids.shape[0] - 1}"
+            )
+        if nprobe <= 0:
+            raise ServingError("nprobe must be positive")
+        index.n_cells = int(centroids.shape[0])
+        index.nprobe = int(nprobe)
+        index.centroids = centroids
+        index._finalise(assignments)
+        return index
 
     def cell_sizes(self) -> list[int]:
         """Number of vectors stored in each cell."""

@@ -77,15 +77,36 @@ class ServingSession:
 
         ``path`` is an :class:`EmbeddingStore` directory; ``name`` the
         artifact.  A ``retro_result`` artifact serves its retrofitted
-        embeddings, an ``embedding_set`` artifact is served as-is.
+        embeddings, an ``embedding_set`` artifact is served as-is.  If the
+        artifact carries a persisted index (see :meth:`save`), the
+        full-scope index is restored from its stored k-means state instead
+        of being retrained on first query.
         """
         store = EmbeddingStore(path)
         kind = store.artifact_kind(name)
+        index = None
         if kind == "retro_result":
             embeddings = store.load_result(name).embeddings
         else:
-            embeddings = store.load_embedding_set(name)
-        return cls(embeddings, index_factory=index_factory, cache_size=cache_size)
+            embeddings, index = store.load_embedding_set_with_index(name)
+        session = cls(embeddings, index_factory=index_factory, cache_size=cache_size)
+        if index is not None:
+            session._indexed_matrix = embeddings.matrix
+            session._scope_rows[None] = embeddings.scope_rows(None)
+            session._indexes[None] = index
+        return session
+
+    def save(self, path: str | Path, name: str, include_index: bool = True) -> Path:
+        """Persist the served embeddings (and the full-scope index state).
+
+        With ``include_index`` the session's ``category=None`` index is
+        built (if it was not already) and stored alongside the vectors, so
+        a later :meth:`from_store` skips index construction — for an IVF
+        index that means skipping the whole k-means training pass.
+        """
+        store = EmbeddingStore(path)
+        index = self.index_for(None) if include_index else None
+        return store.save_embedding_set(name, self.embeddings, index=index)
 
     # ------------------------------------------------------------------ #
     # vocabulary access

@@ -46,6 +46,10 @@ STORE_VERSION = 1
 
 KIND_EMBEDDING_SET = "embedding_set"
 KIND_RETRO_RESULT = "retro_result"
+KIND_EMBEDDING_SUITE = "embedding_suite"
+
+#: npz key prefix under which an embedding suite's per-set matrices live.
+_SUITE_SET_PREFIX = "set::"
 
 
 # --------------------------------------------------------------------------- #
@@ -308,21 +312,60 @@ class EmbeddingStore:
     # embedding sets
     # ------------------------------------------------------------------ #
     def save_embedding_set(
-        self, name: str, embeddings: TextValueEmbeddingSet
+        self, name: str, embeddings: TextValueEmbeddingSet, index=None
     ) -> Path:
-        """Persist one :class:`TextValueEmbeddingSet` as artifact ``name``."""
-        header = {
+        """Persist one :class:`TextValueEmbeddingSet` as artifact ``name``.
+
+        ``index`` optionally persists a trained :class:`repro.serving.VectorIndex`
+        over the full matrix alongside the vectors.  For an
+        :class:`repro.serving.IVFIndex` the k-means centroids and cell
+        assignments are stored, so :meth:`ServingSession.from_store` serves
+        the artifact without re-running the clustering; a
+        :class:`repro.serving.FlatIndex` only records its metric.
+        """
+        header: dict[str, Any] = {
             "set_name": embeddings.name,
             "dimension": embeddings.dimension,
             "n_values": len(embeddings),
             "extraction": extraction_to_dict(embeddings.extraction),
         }
-        return self._write(
-            name, KIND_EMBEDDING_SET, header, {"matrix": embeddings.matrix}
-        )
+        arrays: dict[str, np.ndarray] = {"matrix": embeddings.matrix}
+        if index is not None:
+            from repro.serving.index import FlatIndex, IVFIndex
+
+            if index.matrix.shape != embeddings.matrix.shape:
+                raise StoreFormatError(
+                    f"index covers a {index.matrix.shape} matrix but the "
+                    f"embedding set is {embeddings.matrix.shape}; persisted "
+                    "indexes must span the full set"
+                )
+            if isinstance(index, IVFIndex):
+                header["index"] = {
+                    "type": "ivf",
+                    "metric": index.metric,
+                    "nprobe": index.nprobe,
+                    "n_cells": index.n_cells,
+                }
+                arrays["index_centroids"] = index.centroids
+                arrays["index_assignments"] = index.assignments
+            elif isinstance(index, FlatIndex):
+                header["index"] = {"type": "flat", "metric": index.metric}
+            else:
+                raise StoreFormatError(
+                    f"cannot persist index of type {type(index).__name__}"
+                )
+        return self._write(name, KIND_EMBEDDING_SET, header, arrays)
 
     def load_embedding_set(self, name: str) -> TextValueEmbeddingSet:
         """Reload an embedding set saved by :meth:`save_embedding_set`."""
+        return self.load_embedding_set_with_index(name)[0]
+
+    def load_embedding_set_with_index(self, name: str):
+        """Reload an embedding set plus its persisted index (or ``None``).
+
+        The returned index is rebuilt from stored state — an IVF index skips
+        its k-means training pass entirely.
+        """
         header, arrays = self._read(name, KIND_EMBEDDING_SET)
         extraction = extraction_from_dict(header.get("extraction", {}))
         matrix = arrays.get("matrix")
@@ -333,10 +376,55 @@ class EmbeddingStore:
                 f"artifact {name!r}: matrix has {matrix.shape[0]} rows but the "
                 f"extraction lists {len(extraction)} text values"
             )
-        return TextValueEmbeddingSet(
+        embeddings = TextValueEmbeddingSet(
             extraction=extraction,
             matrix=matrix,
             name=str(header.get("set_name", name)),
+        )
+        return embeddings, self._restore_index(name, header, arrays, matrix)
+
+    @staticmethod
+    def _restore_index(
+        name: str, header: dict[str, Any], arrays: dict[str, np.ndarray], matrix
+    ):
+        """Rebuild the persisted index of an embedding-set artifact."""
+        meta = header.get("index")
+        if meta is None:
+            return None
+        if not isinstance(meta, dict):
+            raise StoreFormatError(f"artifact {name!r} has malformed index metadata")
+        from repro.errors import ServingError
+        from repro.serving.index import FlatIndex, IVFIndex
+
+        kind = meta.get("type")
+        try:
+            if kind == "flat":
+                return FlatIndex(matrix, metric=str(meta.get("metric", "cosine")))
+            if kind == "ivf":
+                centroids = arrays.get("index_centroids")
+                assignments = arrays.get("index_assignments")
+                if centroids is None or assignments is None:
+                    raise StoreFormatError(
+                        f"artifact {name!r} declares an IVF index but lacks "
+                        "its centroid/assignment arrays"
+                    )
+                return IVFIndex.from_state(
+                    matrix,
+                    centroids,
+                    assignments,
+                    metric=str(meta.get("metric", "cosine")),
+                    nprobe=int(meta.get("nprobe", 8)),
+                )
+        except ServingError as error:
+            raise StoreFormatError(
+                f"artifact {name!r} holds an inconsistent persisted index: {error}"
+            ) from error
+        except (TypeError, ValueError) as error:
+            raise StoreFormatError(
+                f"artifact {name!r} has malformed index metadata: {error}"
+            ) from error
+        raise StoreFormatError(
+            f"artifact {name!r} declares an unknown index type {kind!r}"
         )
 
     # ------------------------------------------------------------------ #
@@ -480,3 +568,87 @@ class EmbeddingStore:
             combined=combined,
             hyperparams=params,
         )
+
+    # ------------------------------------------------------------------ #
+    # embedding suites (the experiment engine's artifact cache)
+    # ------------------------------------------------------------------ #
+    def save_suite(self, name: str, suite, config: dict[str, Any] | None = None) -> Path:
+        """Persist a whole :class:`repro.experiments.EmbeddingSuite`.
+
+        One artifact holds every trained set's matrix, the base
+        initialisation, the recorded per-method runtimes and an arbitrary
+        ``config`` payload (the experiment engine stores the build
+        fingerprint source there, so a cache hit can verify what it loads).
+        """
+        header: dict[str, Any] = {
+            "set_names": list(suite.sets),
+            "runtimes": {key: float(value) for key, value in suite.runtimes.items()},
+            "preprocessing_seconds": float(suite.preprocessing_seconds),
+            "base_coverage": float(suite.base.coverage),
+            "extraction": extraction_to_dict(suite.extraction),
+            "config": config or {},
+        }
+        arrays: dict[str, np.ndarray] = {
+            "base_matrix": suite.base.matrix,
+            "oov_mask": suite.base.oov_mask.astype(np.bool_),
+        }
+        for set_name, embedding_set in suite.sets.items():
+            arrays[f"{_SUITE_SET_PREFIX}{set_name}"] = embedding_set.matrix
+        return self._write(name, KIND_EMBEDDING_SUITE, header, arrays)
+
+    def load_suite(self, name: str):
+        """Reload a suite saved by :meth:`save_suite` (no solver rerun)."""
+        from repro.experiments.embedding_factory import EmbeddingSuite
+
+        header, arrays = self._read(name, KIND_EMBEDDING_SUITE)
+        extraction = extraction_from_dict(header.get("extraction", {}))
+        expected_rows = len(extraction)
+        for key in ("base_matrix", "oov_mask"):
+            if key not in arrays:
+                raise StoreFormatError(f"suite artifact {name!r} lacks {key!r}")
+        for key, array in arrays.items():
+            expected_ndim = 1 if key == "oov_mask" else 2
+            if array.ndim != expected_ndim or array.shape[0] != expected_rows:
+                raise StoreFormatError(
+                    f"suite artifact {name!r}: array {key!r} has shape "
+                    f"{array.shape}, expected {expected_rows} rows"
+                )
+        base = InitialisedMatrix(
+            matrix=arrays["base_matrix"],
+            oov_mask=arrays["oov_mask"].astype(bool),
+            coverage=float(header.get("base_coverage", 0.0)),
+        )
+        suite = EmbeddingSuite(
+            extraction=extraction,
+            base=base,
+            preprocessing_seconds=float(header.get("preprocessing_seconds", 0.0)),
+        )
+        set_names = header.get("set_names")
+        if not isinstance(set_names, list):
+            raise StoreFormatError(f"suite artifact {name!r} lacks its set names")
+        for set_name in set_names:
+            key = f"{_SUITE_SET_PREFIX}{set_name}"
+            if key not in arrays:
+                raise StoreFormatError(
+                    f"suite artifact {name!r} lists set {set_name!r} but the "
+                    "matrix archive does not contain it"
+                )
+            suite.sets[str(set_name)] = TextValueEmbeddingSet(
+                extraction=extraction,
+                matrix=arrays[key],
+                name=str(set_name),
+            )
+        runtimes = header.get("runtimes", {})
+        if not isinstance(runtimes, dict):
+            raise StoreFormatError(f"suite artifact {name!r} has malformed runtimes")
+        suite.runtimes = {str(key): float(value) for key, value in runtimes.items()}
+        return suite
+
+    def suite_config(self, name: str) -> dict[str, Any]:
+        """The ``config`` payload stored with a suite artifact."""
+        header = self._read_header(name)
+        self._validate_header(name, header, KIND_EMBEDDING_SUITE)
+        config = header.get("config", {})
+        if not isinstance(config, dict):
+            raise StoreFormatError(f"suite artifact {name!r} has malformed config")
+        return config

@@ -1,0 +1,282 @@
+"""Tests of the declarative experiment registry, the engine and the CLI.
+
+The heavy assertions run at ``ExperimentSizes.tiny()`` so that the whole
+module stays in smoke-test territory; the acceptance property — one suite
+training shared by several experiments, and cross-process reuse through the
+on-disk artifact cache — is asserted via the context's build/hit counters.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.engine import (
+    RunContext,
+    RunResult,
+    config_fingerprint,
+    run_experiment,
+    run_experiments,
+)
+from repro.experiments.registry import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    default_registry,
+)
+from repro.experiments.runner import ExperimentSizes, ResultTable
+
+TINY = ExperimentSizes.tiny()
+
+
+def _demo_spec(name="demo", **kwargs):
+    def runner(ctx, greeting="hi"):
+        table = ResultTable(name, ["greeting"])
+        table.add_row(greeting=greeting)
+        return table
+
+    defaults = {"title": "Demo", "reference": "Figure 0", "runner": runner}
+    defaults.update(kwargs)
+    return ExperimentSpec(name=name, **defaults)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = ExperimentRegistry()
+        spec = registry.register(_demo_spec())
+        assert registry.get("demo") is spec
+        assert "demo" in registry
+        assert registry.names() == ["demo"]
+
+    def test_duplicate_name_collides(self):
+        registry = ExperimentRegistry()
+        registry.register(_demo_spec())
+        with pytest.raises(ExperimentError, match="already registered"):
+            registry.register(_demo_spec())
+
+    def test_same_spec_reregistration_is_idempotent(self):
+        registry = ExperimentRegistry()
+        spec = registry.register(_demo_spec())
+        assert registry.register(spec) is spec
+        assert len(registry) == 1
+
+    def test_unknown_name_lists_registered(self):
+        registry = ExperimentRegistry()
+        registry.register(_demo_spec())
+        with pytest.raises(ExperimentError, match="demo"):
+            registry.get("nope")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ExperimentError):
+            _demo_spec(name="has space")
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(name="x", title="t", reference="r", runner="not callable")
+
+    def test_option_merging_keeps_defaults_for_none(self):
+        spec = _demo_spec(default_options={"greeting": "hi", "k": 3})
+        assert spec.options() == {"greeting": "hi", "k": 3}
+        assert spec.options({"greeting": "yo"}) == {"greeting": "yo", "k": 3}
+        assert spec.options({"greeting": None}) == {"greeting": "hi", "k": 3}
+        assert spec.options({"new": None}) == {"greeting": "hi", "k": 3, "new": None}
+
+    def test_default_registry_holds_all_paper_experiments(self):
+        names = set(default_registry().names())
+        expected = {
+            "figure3", "figure4", "figure6", "figure7", "figure8", "figure9",
+            "figure10", "figure11", "figure12a", "figure12b", "figure13",
+            "figure14", "table1", "table2",
+        }
+        assert expected <= names
+
+
+class TestEngineBasics:
+    def test_run_experiment_with_custom_registry(self):
+        registry = ExperimentRegistry()
+        registry.register(_demo_spec(default_options={"greeting": "hi"}))
+        result = run_experiment(
+            "demo", sizes=TINY, options={"greeting": "yo"}, registry=registry
+        )
+        assert result.experiment == "demo"
+        assert result.table.rows == [{"greeting": "yo"}]
+        assert result.options == {"greeting": "yo"}
+        assert result.seconds >= 0.0
+        assert len(result.fingerprint) == 16
+
+    def test_context_and_sizes_are_mutually_exclusive(self):
+        registry = ExperimentRegistry()
+        registry.register(_demo_spec())
+        with pytest.raises(ExperimentError):
+            run_experiment(
+                "demo", sizes=TINY, context=RunContext(TINY), registry=registry
+            )
+
+    def test_run_experiments_validates_names_up_front(self):
+        registry = ExperimentRegistry()
+        calls = []
+
+        def runner(ctx):
+            calls.append(1)
+            return ResultTable("demo", ["a"])
+
+        registry.register(
+            ExperimentSpec(name="demo", title="t", reference="r", runner=runner)
+        )
+        with pytest.raises(ExperimentError):
+            run_experiments(["demo", "typo"], sizes=TINY, registry=registry)
+        assert calls == []
+
+    def test_fingerprint_tracks_sizes_and_options(self):
+        payload = {"experiment": "x", "options": {"k": 1}}
+        assert config_fingerprint(payload) == config_fingerprint(dict(payload))
+        assert config_fingerprint(payload) != config_fingerprint(
+            {"experiment": "x", "options": {"k": 2}}
+        )
+
+    def test_dataset_memoisation(self):
+        ctx = RunContext(sizes=TINY)
+        first = ctx.tmdb()
+        assert ctx.tmdb() is first
+        assert ctx.stats.dataset_builds == 1
+        assert ctx.stats.dataset_hits == 1
+        with pytest.raises(ExperimentError):
+            ctx.dataset("bogus")
+
+
+class TestSuiteCache:
+    def test_suite_trained_once_across_figure8_and_table2(self):
+        """The acceptance property: figure8 + table2 share one TMDB training."""
+        ctx = RunContext(sizes=TINY)
+        results = run_experiments(["figure8", "table2"], context=ctx)
+        assert [r.experiment for r in results] == ["figure8", "table2"]
+        # exactly one suite per dataset: TMDB (trained by figure8, reused by
+        # table2) and GooglePlay (trained by table2)
+        assert ctx.stats.suite_builds == 2
+        assert ctx.stats.suite_memory_hits >= 1
+        # table2 reports the runtimes recorded by the shared build
+        table2 = results[1].table
+        assert {row["method"] for row in table2.rows} == {"MF", "DW", "RO", "RN"}
+        assert all(row["runtime_mean"] >= 0.0 for row in table2.rows)
+
+    def test_disk_cache_reuses_suite_across_contexts(self, tmp_path):
+        first = RunContext(sizes=TINY, cache_dir=tmp_path)
+        table_a = run_experiment("figure8", context=first).table
+        assert first.stats.suite_builds == 1
+        assert first.stats.suite_disk_hits == 0
+
+        second = RunContext(sizes=TINY, cache_dir=tmp_path)
+        table_b = run_experiment("figure8", context=second).table
+        assert second.stats.suite_builds == 0
+        assert second.stats.suite_disk_hits == 1
+        # identical artifacts + identical trial seeds => identical numbers
+        assert table_a.rows == table_b.rows
+
+    def test_disk_cache_distinguishes_configurations(self, tmp_path):
+        ctx = RunContext(sizes=TINY, cache_dir=tmp_path)
+        plain = ctx.suite("tmdb", methods=("PV",))
+        excluded = ctx.suite(
+            "tmdb", methods=("PV",), exclude_columns=("movies.original_language",)
+        )
+        assert ctx.stats.suite_builds == 2
+        assert len(plain.extraction) != len(excluded.extraction)
+
+    def test_fresh_build_bypasses_caches(self):
+        ctx = RunContext(sizes=TINY)
+        ctx.suite("tmdb", methods=("PV",))
+        ctx.suite("tmdb", methods=("PV",), fresh=True)
+        assert ctx.stats.suite_builds == 2
+        assert ctx.stats.suite_memory_hits == 0
+
+    def test_memory_cache_is_bounded(self, monkeypatch):
+        import repro.experiments.engine as engine_module
+
+        monkeypatch.setattr(engine_module, "SUITE_MEMORY_CAPACITY", 2)
+        ctx = RunContext(sizes=TINY)
+        excludes = ((), ("movies.original_language",), ("movies.title",))
+        for exclude in excludes:
+            ctx.suite("tmdb", methods=("PV",), exclude_columns=exclude)
+        assert ctx.stats.suite_builds == 3
+        assert len(ctx._suites) == 2  # oldest grid-point suite evicted
+
+    def test_disk_cache_rejects_mismatched_config(self, tmp_path):
+        ctx = RunContext(sizes=TINY, cache_dir=tmp_path)
+        _, fingerprint = ctx.suite_with_fingerprint("tmdb", methods=("PV",))
+        payload = ctx._suite_payload("tmdb", ("PV",), (), (), None, None)
+        assert ctx._load_suite_artifact(fingerprint, ("PV",), payload) is not None
+        # a fingerprint collision (different payload, same digest) must rebuild
+        assert ctx._load_suite_artifact(fingerprint, ("PV",), {"other": 1}) is None
+
+    def test_serving_session_memoised(self):
+        ctx = RunContext(sizes=TINY)
+        session = ctx.serving_session("PV", dataset="tmdb", methods=("PV",))
+        again = ctx.serving_session("PV", dataset="tmdb", methods=("PV",))
+        assert session is again
+        assert ctx.stats.session_builds == 1
+        assert ctx.stats.session_hits == 1
+
+
+class TestRunResultSerialisation:
+    def test_json_roundtrip(self):
+        ctx = RunContext(sizes=TINY)
+        result = run_experiment("table1", context=ctx)
+        rebuilt = RunResult.from_json(result.to_json())
+        assert rebuilt.experiment == result.experiment
+        assert rebuilt.reference == result.reference
+        assert rebuilt.fingerprint == result.fingerprint
+        assert rebuilt.sizes == result.sizes
+        assert rebuilt.table.columns == result.table.columns
+        assert rebuilt.table.rows == [
+            {k: v for k, v in row.items()} for row in result.table.to_dict()["rows"]
+        ]
+        assert rebuilt.stats == result.stats
+
+    def test_save_writes_json_file(self, tmp_path):
+        ctx = RunContext(sizes=TINY)
+        result = run_experiment("table1", context=ctx)
+        path = result.save(tmp_path / "out" / "table1.json")
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "table1"
+        assert RunResult.from_dict(payload).table.rows
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(ExperimentError):
+            RunResult.from_json("not json")
+        with pytest.raises(ExperimentError):
+            RunResult.from_json("[1, 2]")
+        with pytest.raises(ExperimentError):
+            RunResult.from_dict({"experiment": "x"})
+
+
+class TestCLI:
+    def test_list_shows_all_specs(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure8", "table2", "figure12a"):
+            assert name in out
+
+    def test_run_unknown_experiment_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "bogus", "--sizes", "tiny"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_all_cannot_be_combined(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "all", "figure8"]) == 2
+
+    def test_run_writes_results_and_caches(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "table1", "table1",
+            "--sizes", "tiny",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(tmp_path / "results"),
+            "--quiet",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran 1 experiment(s)" in out  # deduplicated
+        payload = json.loads((tmp_path / "results" / "table1.json").read_text())
+        assert payload["experiment"] == "table1"

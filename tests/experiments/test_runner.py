@@ -44,12 +44,64 @@ class TestResultTable:
         table.add_row(value=1234567.0)
         assert "1,234,567.0" in table.to_text()
 
+    def test_to_text_renders_ints_as_ints(self):
+        import numpy as np
+
+        table = ResultTable("demo", ["count", "flag"])
+        table.add_row(count=1234567, flag=True)
+        table.add_row(count=np.int64(42), flag=np.bool_(False))
+        text = table.to_text()
+        assert "1,234,567" in text and "1,234,567.0" not in text
+        assert "42" in text
+        assert "True" in text and "False" in text
+
+    def test_to_text_handles_none_and_nan(self):
+        import numpy as np
+
+        table = ResultTable("demo", ["a", "b"])
+        table.add_row(a=None, b=float("nan"))
+        table.add_row(a=np.nan, b=0.5)
+        text = table.to_text()  # must not crash
+        assert "-" in text and "0.5000" in text
+        assert "nan" not in text.lower().replace("name", "")
+
     def test_to_text_without_rows(self):
         table = ResultTable("empty", ["a"])
         assert "empty" in table.to_text()
 
+    def test_dict_roundtrip_converts_numpy_scalars(self):
+        import json
+
+        import numpy as np
+
+        table = ResultTable("demo", ["method", "accuracy", "n"])
+        table.add_row(method="RN", accuracy=np.float64(0.75), n=np.int64(3))
+        table.add_note("a note")
+        payload = json.loads(json.dumps(table.to_dict()))
+        rebuilt = ResultTable.from_dict(payload)
+        assert rebuilt.name == table.name
+        assert rebuilt.columns == table.columns
+        assert rebuilt.rows == [{"method": "RN", "accuracy": 0.75, "n": 3}]
+        assert rebuilt.notes == ["a note"]
+        assert isinstance(rebuilt.rows[0]["n"], int)
+
+    def test_from_dict_rejects_malformed_payload(self):
+        with pytest.raises(ExperimentError):
+            ResultTable.from_dict({"columns": ["a"]})
+
 
 class TestExperimentSizes:
+    def test_presets(self):
+        assert ExperimentSizes.preset("quick") == ExperimentSizes.quick()
+        assert ExperimentSizes.preset("paper") == ExperimentSizes.paper_scale()
+        assert ExperimentSizes.preset("tiny").num_movies < ExperimentSizes.quick().num_movies
+        with pytest.raises(ExperimentError):
+            ExperimentSizes.preset("bogus")
+
+    def test_dict_roundtrip(self):
+        sizes = ExperimentSizes.quick()
+        assert ExperimentSizes.from_dict(sizes.to_dict()) == sizes
+
     def test_quick_is_smaller_than_paper_scale(self):
         quick = ExperimentSizes.quick()
         paper = ExperimentSizes.paper_scale()

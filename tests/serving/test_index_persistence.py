@@ -1,0 +1,134 @@
+"""Persistence of trained index state (IVF centroids + assignments).
+
+A :class:`ServingSession` opened over an artifact that carries a persisted
+index must answer queries identically to the session that saved it — and
+must not re-run the k-means training pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError, StoreFormatError
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.serving.index import FlatIndex, IVFIndex
+from repro.serving.session import ServingSession
+from repro.serving.store import EmbeddingStore
+
+
+@pytest.fixture()
+def embeddings(tmdb_extraction, tmdb_base):
+    return TextValueEmbeddingSet(tmdb_extraction, tmdb_base.matrix.copy(), name="PV")
+
+
+class TestIVFStateRoundtrip:
+    def test_from_state_reproduces_queries(self, rng):
+        matrix = rng.normal(size=(400, 16))
+        trained = IVFIndex(matrix, n_cells=12, nprobe=4, seed=3)
+        restored = IVFIndex.from_state(
+            matrix, trained.centroids, trained.assignments, nprobe=4
+        )
+        queries = rng.normal(size=(7, 16))
+        got_ids, got_scores = restored.query_batch(queries, 5)
+        want_ids, want_scores = trained.query_batch(queries, 5)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_allclose(got_scores, want_scores)
+        assert restored.cell_sizes() == trained.cell_sizes()
+
+    def test_from_state_validates(self, rng):
+        matrix = rng.normal(size=(20, 4))
+        trained = IVFIndex(matrix, n_cells=4, nprobe=2)
+        with pytest.raises(ServingError):
+            IVFIndex.from_state(matrix, trained.centroids[:, :2], trained.assignments)
+        with pytest.raises(ServingError):
+            IVFIndex.from_state(matrix, trained.centroids, trained.assignments[:-1])
+        bad = trained.assignments.copy()
+        bad[0] = 99
+        with pytest.raises(ServingError):
+            IVFIndex.from_state(matrix, trained.centroids, bad)
+        with pytest.raises(ServingError):
+            IVFIndex.from_state(
+                matrix, trained.centroids, trained.assignments, nprobe=0
+            )
+
+
+class TestStoreIndexPersistence:
+    def test_ivf_roundtrip_skips_kmeans(self, embeddings, tmp_path, monkeypatch):
+        index = IVFIndex(embeddings.matrix, n_cells=8, nprobe=8, seed=1)
+        store = EmbeddingStore(tmp_path)
+        store.save_embedding_set("served", embeddings, index=index)
+
+        # restoring must never re-run the k-means training pass
+        def boom(self, iterations, seed):  # pragma: no cover - guard
+            raise AssertionError("IVF k-means re-ran on load")
+
+        monkeypatch.setattr(IVFIndex, "_train", boom)
+        loaded_set, loaded_index = store.load_embedding_set_with_index("served")
+        assert isinstance(loaded_index, IVFIndex)
+        assert loaded_index.nprobe == index.nprobe
+        np.testing.assert_array_equal(loaded_index.assignments, index.assignments)
+        query = embeddings.matrix[3]
+        got_ids, got_scores = loaded_index.query(query, 5)
+        want_ids, want_scores = index.query(query, 5)
+        np.testing.assert_array_equal(got_ids, want_ids)
+        np.testing.assert_allclose(got_scores, want_scores)
+
+    def test_flat_index_metadata_roundtrip(self, embeddings, tmp_path):
+        index = FlatIndex(embeddings.matrix, metric="dot")
+        store = EmbeddingStore(tmp_path)
+        store.save_embedding_set("served", embeddings, index=index)
+        _, loaded = store.load_embedding_set_with_index("served")
+        assert isinstance(loaded, FlatIndex)
+        assert loaded.metric == "dot"
+
+    def test_artifact_without_index_loads_none(self, embeddings, tmp_path):
+        store = EmbeddingStore(tmp_path)
+        store.save_embedding_set("plain", embeddings)
+        loaded_set, loaded_index = store.load_embedding_set_with_index("plain")
+        assert loaded_index is None
+        np.testing.assert_array_equal(loaded_set.matrix, embeddings.matrix)
+
+    def test_mismatched_index_rejected_on_save(self, embeddings, tmp_path):
+        half = FlatIndex(embeddings.matrix[: len(embeddings) // 2])
+        with pytest.raises(StoreFormatError):
+            EmbeddingStore(tmp_path).save_embedding_set(
+                "served", embeddings, index=half
+            )
+
+    def test_corrupt_index_metadata_raises(self, embeddings, tmp_path):
+        import json
+
+        index = IVFIndex(embeddings.matrix, n_cells=6, nprobe=3)
+        store = EmbeddingStore(tmp_path)
+        header_path = store.save_embedding_set("served", embeddings, index=index)
+        header = json.loads(header_path.read_text())
+        header["index"]["type"] = "bogus"
+        header_path.write_text(json.dumps(header))
+        with pytest.raises(StoreFormatError):
+            store.load_embedding_set_with_index("served")
+
+
+class TestServingSessionPersistence:
+    def test_session_save_and_reload(self, embeddings, tmp_path, monkeypatch):
+        session = ServingSession(
+            embeddings,
+            index_factory=lambda matrix: IVFIndex(
+                matrix, n_cells=8, nprobe=8, seed=2
+            ),
+        )
+        query = embeddings.matrix[5]
+        before = session.topk(query, k=4)
+        session.save(tmp_path, "session")
+
+        def boom(self, iterations, seed):  # pragma: no cover - guard
+            raise AssertionError("IVF k-means re-ran on load")
+
+        monkeypatch.setattr(IVFIndex, "_train", boom)
+        reloaded = ServingSession.from_store(tmp_path, "session")
+        assert isinstance(reloaded.index_for(None), IVFIndex)
+        assert reloaded.topk(query, k=4) == before
+
+    def test_session_save_without_index(self, embeddings, tmp_path):
+        session = ServingSession(embeddings)
+        session.save(tmp_path, "session", include_index=False)
+        reloaded = ServingSession.from_store(tmp_path, "session")
+        assert reloaded.topk(embeddings.matrix[0], k=3)
