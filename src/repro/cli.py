@@ -9,8 +9,13 @@ experiments:
   suite trains at most once per configuration),
 * ``repro run all --cache-dir .repro-cache`` — run everything, persisting
   trained suites for cross-process reuse,
+* ``repro run all --jobs 4 --cache-dir .repro-cache`` — run independent
+  experiments in worker processes sharing the on-disk suite cache (a
+  per-fingerprint file lock keeps every suite trained exactly once),
 * ``--out DIR`` — additionally write one JSON
-  :class:`~repro.experiments.engine.RunResult` file per experiment.
+  :class:`~repro.experiments.engine.RunResult` file per experiment,
+* ``repro bench`` — the perf harness: hot-path microbenchmarks plus a
+  quick end-to-end table2, written as a machine-diffable ``BENCH_<rev>.json``.
 """
 
 from __future__ import annotations
@@ -20,7 +25,11 @@ import sys
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.experiments.engine import RunContext, run_experiment
+from repro.experiments.engine import (
+    RunContext,
+    run_experiment,
+    run_experiments_parallel,
+)
 from repro.experiments.registry import ExperimentRegistry, default_registry
 from repro.experiments.runner import ExperimentSizes
 
@@ -68,6 +77,66 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the result tables (summary line only)",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent experiments in N worker processes sharing "
+        "the --cache-dir suite cache (default: 1, serial in-process)",
+    )
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the hot-path microbenchmarks and write BENCH_<rev>.json",
+    )
+    bench_parser.add_argument(
+        "--sizes",
+        choices=ExperimentSizes.PRESETS,
+        default="quick",
+        help="workload sizing preset (default: quick)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="best-of repetitions per microbenchmark (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for the output file (default: git short rev)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path or directory (default: ./BENCH_<rev>.json)",
+    )
+    bench_parser.add_argument(
+        "--no-naive",
+        action="store_true",
+        help="skip the slow naive-SGNS reference timing",
+    )
+    bench_parser.add_argument(
+        "--no-e2e",
+        action="store_true",
+        help="skip the end-to-end table2 run",
+    )
+    bench_parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="fail (exit 3) if any microbenchmark is >--threshold times "
+        "slower than this committed BENCH_*.json baseline",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="regression factor used by --check (default: 3.0)",
+    )
     return parser
 
 
@@ -92,8 +161,41 @@ def _resolve_names(registry: ExperimentRegistry, requested: list[str]) -> list[s
     return seen
 
 
+def _emit_result(result, args: argparse.Namespace) -> None:
+    if not args.quiet:
+        print(result.table.to_text())
+        print()
+    if args.out is not None:
+        path = result.save(Path(args.out) / f"{result.experiment}.json")
+        print(f"[repro] wrote {path}")
+    print(f"[repro] {result.experiment}: {result.seconds:.1f}s ({result.fingerprint})")
+
+
 def _command_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     names = _resolve_names(registry, args.experiments)
+    if args.jobs < 1:
+        raise ReproError("--jobs must be at least 1")
+    if args.jobs > 1:
+        import time as _time
+
+        started = _time.perf_counter()
+        results = run_experiments_parallel(
+            names,
+            sizes=ExperimentSizes.preset(args.sizes),
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+        )
+        wall = _time.perf_counter() - started
+        for result in results:
+            _emit_result(result, args)
+        builds = sum(r.stats.get("suite_builds", 0) for r in results)
+        disk_hits = sum(r.stats.get("suite_disk_hits", 0) for r in results)
+        print(
+            f"[repro] ran {len(names)} experiment(s) in {wall:.1f}s wall "
+            f"({args.jobs} jobs) — suites trained {builds}, "
+            f"reused {disk_hits} from disk"
+        )
+        return 0
     context = RunContext(
         sizes=ExperimentSizes.preset(args.sizes), cache_dir=args.cache_dir
     )
@@ -101,19 +203,51 @@ def _command_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     for name in names:
         result = run_experiment(name, context=context, registry=registry)
         total_seconds += result.seconds
-        if not args.quiet:
-            print(result.table.to_text())
-            print()
-        if args.out is not None:
-            path = result.save(Path(args.out) / f"{name}.json")
-            print(f"[repro] wrote {path}")
-        print(f"[repro] {name}: {result.seconds:.1f}s ({result.fingerprint})")
+        _emit_result(result, args)
     stats = context.stats
     print(
         f"[repro] ran {len(names)} experiment(s) in {total_seconds:.1f}s — "
         f"suites trained {stats.suite_builds}, reused {stats.suite_memory_hits} "
         f"from memory, {stats.suite_disk_hits} from disk"
     )
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        compare_against_baseline,
+        current_revision,
+        load_bench,
+        run_bench,
+        save_bench,
+    )
+
+    payload = run_bench(
+        sizes_name=args.sizes,
+        repeats=args.repeats,
+        include_naive=not args.no_naive,
+        include_end_to_end=not args.no_e2e,
+        rev=args.rev or current_revision(),
+    )
+    path = save_bench(payload, args.out)
+    print(f"[repro] wrote {path}")
+    for name, numbers in payload["benchmarks"].items():
+        seconds = numbers.get("seconds")
+        line = f"[repro] {name}: " + (
+            f"{seconds:.4f}s" if isinstance(seconds, (int, float)) else "-"
+        )
+        if "speedup_vs_naive" in numbers and numbers["speedup_vs_naive"]:
+            line += f" ({numbers['speedup_vs_naive']:.1f}x vs naive)"
+        print(line)
+    if args.check is not None:
+        regressions = compare_against_baseline(
+            payload, load_bench(args.check), threshold=args.threshold
+        )
+        if regressions:
+            for regression in regressions:
+                print(f"[repro] REGRESSION {regression}", file=sys.stderr)
+            return 3
+        print(f"[repro] no regressions versus {args.check}")
     return 0
 
 
@@ -125,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if args.command == "list":
             return _command_list(registry)
+        if args.command == "bench":
+            return _command_bench(args)
         return _command_run(args, registry)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

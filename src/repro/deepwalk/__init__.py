@@ -6,10 +6,12 @@ It runs Skip-Gram with negative sampling over random walks on the database
 graph produced by :func:`repro.graph.build_graph`.
 """
 
+from repro.deepwalk.alias import AliasTable
 from repro.deepwalk.skipgram import SkipGramModel, SkipGramConfig
 from repro.deepwalk.deepwalk import DeepWalk, DeepWalkConfig, NodeEmbeddingResult
 
 __all__ = [
+    "AliasTable",
     "SkipGramModel",
     "SkipGramConfig",
     "DeepWalk",

@@ -49,7 +49,12 @@ class DeepWalk:
         self.config = config or DeepWalkConfig()
 
     def train_on_graph(self, graph: PropertyGraph) -> SkipGramModel:
-        """Generate walks on ``graph`` and train the Skip-Gram model."""
+        """Generate walks on ``graph`` and train the Skip-Gram model.
+
+        The fast path end-to-end: walks are generated as one batched
+        integer matrix and consumed by the Skip-Gram trainer directly —
+        node ids are never materialised as string sentences.
+        """
         if len(graph) == 0:
             raise TrainingError("cannot run DeepWalk on an empty graph")
         generator = RandomWalkGenerator(
@@ -58,8 +63,8 @@ class DeepWalk:
             walks_per_node=self.config.walks_per_node,
             seed=self.config.seed,
         )
-        corpus = generator.corpus()
-        skipgram = SkipGramModel(
+        corpus = generator.walk_corpus()
+        skipgram = SkipGramModel.from_corpus(
             corpus,
             SkipGramConfig(
                 dimension=self.config.dimension,

@@ -1,0 +1,333 @@
+"""The perf-tracking harness behind ``python -m repro bench``.
+
+One invocation runs the hot-path microbenchmarks — batched walk
+generation, one SGNS epoch (fast and naive reference), the RO/RN solvers,
+batched index top-k — plus a quick-size end-to-end ``table2``, and writes
+everything into a single ``BENCH_<rev>.json``: timings, throughput and the
+fast-vs-naive speedup.  The file is machine-diffable across PRs, so the
+runtime trajectory of the reproduction is tracked instead of anecdotal.
+
+``compare_against_baseline`` implements the CI regression gate: any
+microbenchmark slower than ``threshold`` times its committed baseline
+fails the run.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentSizes
+
+#: Benchmark schema version (bump when keys change meaning).
+BENCH_VERSION = 1
+
+
+def current_revision(default: str = "worktree") -> str:
+    """The short git revision of the working tree, or ``default``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or default
+    except (OSError, subprocess.SubprocessError):
+        return default
+
+
+def _time_best(func: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall-clock seconds of ``func`` plus its result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _bench_graph(sizes: ExperimentSizes):
+    """The (extraction, graph, deepwalk config) triple all graph benches share."""
+    from repro.experiments.common import default_deepwalk_config, make_tmdb
+    from repro.graph.builder import build_graph
+    from repro.retrofit.extraction import extract_text_values
+
+    dataset = make_tmdb(sizes)
+    extraction = extract_text_values(dataset.database)
+    graph = build_graph(extraction)
+    return extraction, graph, default_deepwalk_config(sizes)
+
+
+def bench_walk_generation(sizes: ExperimentSizes, repeats: int = 3) -> dict[str, Any]:
+    """Batched random-walk matrix generation on the TMDB graph."""
+    from repro.graph.random_walk import RandomWalkGenerator
+
+    _, graph, config = _bench_graph(sizes)
+    generator = RandomWalkGenerator(
+        graph,
+        walk_length=config.walk_length,
+        walks_per_node=config.walks_per_node,
+        seed=config.seed,
+    )
+    seconds, corpus = _time_best(generator.walk_corpus, repeats)
+    tokens = int(corpus.lengths().sum())
+    return {
+        "seconds": seconds,
+        "n_walks": corpus.n_walks,
+        "n_tokens": tokens,
+        "walks_per_second": corpus.n_walks / seconds if seconds > 0 else None,
+        "tokens_per_second": tokens / seconds if seconds > 0 else None,
+    }
+
+
+def bench_sgns_epoch(
+    sizes: ExperimentSizes, repeats: int = 3, include_naive: bool = True
+) -> dict[str, Any]:
+    """One SGNS training epoch over the TMDB walk corpus, fast vs naive."""
+    from repro.deepwalk.skipgram import SkipGramConfig, SkipGramModel
+    from repro.graph.random_walk import RandomWalkGenerator
+
+    _, graph, config = _bench_graph(sizes)
+    corpus = RandomWalkGenerator(
+        graph,
+        walk_length=config.walk_length,
+        walks_per_node=config.walks_per_node,
+        seed=config.seed,
+    ).walk_corpus()
+    sgns_config = SkipGramConfig(
+        dimension=config.dimension,
+        window=config.window,
+        negative_samples=config.negative_samples,
+        epochs=1,
+        learning_rate=config.learning_rate,
+        seed=config.seed,
+    )
+
+    def fast_epoch():
+        return SkipGramModel.from_corpus(corpus, sgns_config).train()
+
+    seconds, model = _time_best(fast_epoch, repeats)
+    n_tokens = int(corpus.lengths().sum())
+    result: dict[str, Any] = {
+        "seconds": seconds,
+        "n_tokens": n_tokens,
+        "tokens_per_second": n_tokens / seconds if seconds > 0 else None,
+        "final_loss": model.loss_history[-1] if model.loss_history else None,
+    }
+    if include_naive:
+        naive_seconds, naive_model = _time_best(
+            lambda: SkipGramModel.from_corpus(corpus, sgns_config).train_naive(), 1
+        )
+        result["naive_seconds"] = naive_seconds
+        result["naive_final_loss"] = (
+            naive_model.loss_history[-1] if naive_model.loss_history else None
+        )
+        result["speedup_vs_naive"] = (
+            naive_seconds / seconds if seconds > 0 else None
+        )
+    return result
+
+
+def bench_retro_solvers(sizes: ExperimentSizes, repeats: int = 3) -> dict[str, Any]:
+    """The RO (optimisation) and RN (series) relational-retrofitting solves."""
+    from repro.experiments.common import make_tmdb
+    from repro.retrofit.extraction import extract_text_values
+    from repro.retrofit.hyperparams import RetroHyperparameters
+    from repro.retrofit.initialization import initialise_vectors
+    from repro.retrofit.retro import RetroSolver
+    from repro.text.tokenizer import Tokenizer
+
+    dataset = make_tmdb(sizes)
+    extraction = extract_text_values(dataset.database)
+    base = initialise_vectors(extraction, dataset.embedding, Tokenizer(dataset.embedding))
+    ro_seconds, _ = _time_best(
+        lambda: RetroSolver(
+            extraction, base.matrix, RetroHyperparameters.paper_ro_default()
+        ).solve_optimization(iterations=10),
+        repeats,
+    )
+    rn_seconds, _ = _time_best(
+        lambda: RetroSolver(
+            extraction, base.matrix, RetroHyperparameters.paper_rn_default()
+        ).solve_series(iterations=5),
+        repeats,
+    )
+    return {
+        "ro_solve": {"seconds": ro_seconds, "iterations": 10},
+        "rn_solve": {"seconds": rn_seconds, "iterations": 5},
+        "n_values": len(extraction),
+    }
+
+
+def bench_index_topk(
+    sizes: ExperimentSizes,
+    repeats: int = 3,
+    n_rows: int = 8192,
+    n_queries: int = 256,
+    k: int = 10,
+) -> dict[str, Any]:
+    """Batched top-k latency of the exact and IVF serving indexes."""
+    from repro.serving.index import FlatIndex, IVFIndex
+
+    rng = np.random.default_rng(sizes.seed)
+    matrix = rng.standard_normal((n_rows, sizes.embedding_dimension))
+    queries = rng.standard_normal((n_queries, sizes.embedding_dimension))
+    flat = FlatIndex(matrix)
+    ivf = IVFIndex(matrix, nprobe=8, seed=sizes.seed)
+    flat_seconds, _ = _time_best(lambda: flat.query_batch(queries, k), repeats)
+    ivf_seconds, _ = _time_best(lambda: ivf.query_batch(queries, k), repeats)
+    return {
+        "n_rows": n_rows,
+        "n_queries": n_queries,
+        "k": k,
+        "flat": {
+            "seconds": flat_seconds,
+            "queries_per_second": n_queries / flat_seconds if flat_seconds > 0 else None,
+        },
+        "ivf": {
+            "seconds": ivf_seconds,
+            "queries_per_second": n_queries / ivf_seconds if ivf_seconds > 0 else None,
+        },
+    }
+
+
+def bench_table2_end_to_end(sizes: ExperimentSizes) -> dict[str, Any]:
+    """A fresh end-to-end ``table2`` run (suite training included)."""
+    from repro.experiments.engine import run_experiment
+
+    started = time.perf_counter()
+    result = run_experiment("table2", sizes=sizes)
+    seconds = time.perf_counter() - started
+    methods: dict[str, float] = {}
+    for row in result.table.rows:
+        methods[f"{row['dataset']}/{row['method']}"] = float(row["runtime_mean"])
+    return {"seconds": seconds, "method_runtimes": methods}
+
+
+#: The microbenchmark suite: name -> callable(sizes, repeats) -> payload.
+MICROBENCHMARKS: dict[str, Callable[[ExperimentSizes, int], dict[str, Any]]] = {
+    "walk_generation": bench_walk_generation,
+    "sgns_epoch": bench_sgns_epoch,
+    "retro_solvers": bench_retro_solvers,
+    "index_topk": bench_index_topk,
+}
+
+
+def run_bench(
+    sizes_name: str = "quick",
+    repeats: int = 3,
+    include_naive: bool = True,
+    include_end_to_end: bool = True,
+    rev: str | None = None,
+) -> dict[str, Any]:
+    """Run the full perf harness and return the ``BENCH_*.json`` payload."""
+    sizes = ExperimentSizes.preset(sizes_name)
+    payload: dict[str, Any] = {
+        "bench_version": BENCH_VERSION,
+        "rev": rev or current_revision(),
+        "sizes": sizes_name,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {},
+    }
+    for name, runner in MICROBENCHMARKS.items():
+        # pass options by capability, not by benchmark name
+        accepted = inspect.signature(runner).parameters
+        options = {"include_naive": include_naive} if "include_naive" in accepted else {}
+        payload["benchmarks"][name] = runner(sizes, repeats, **options)
+    if include_end_to_end:
+        payload["benchmarks"]["table2_end_to_end"] = bench_table2_end_to_end(sizes)
+    return payload
+
+
+def _collect_seconds(payload: dict[str, Any]) -> dict[str, float]:
+    """Flatten every ``seconds`` timing of a bench payload to dotted keys."""
+    timings: dict[str, float] = {}
+
+    def walk(prefix: str, node: Any) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                path = f"{prefix}.{key}" if prefix else key
+                if key == "seconds" and isinstance(value, (int, float)):
+                    timings[prefix] = float(value)
+                else:
+                    walk(path, value)
+
+    walk("", payload.get("benchmarks", {}))
+    return timings
+
+
+#: Baseline timings under this many seconds are tracked but not gated:
+#: at millisecond scale, scheduler jitter between the baseline machine
+#: and a shared CI runner dwarfs any real regression.
+GATE_MIN_BASELINE_SECONDS = 0.02
+
+
+def compare_against_baseline(
+    payload: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = 3.0,
+    min_seconds: float = GATE_MIN_BASELINE_SECONDS,
+) -> list[str]:
+    """Regressions of ``payload`` versus ``baseline`` (empty list = pass).
+
+    A microbenchmark regresses when its ``seconds`` exceeds ``threshold``
+    times the baseline's.  The end-to-end timing is excluded — it is
+    tracked, not gated, because it includes dataset generation noise —
+    and so are baselines below ``min_seconds``, where machine jitter
+    outweighs real regressions.
+    """
+    current = _collect_seconds(payload)
+    reference = _collect_seconds(baseline)
+    regressions: list[str] = []
+    for key, base_seconds in sorted(reference.items()):
+        if key.startswith("table2_end_to_end") or "naive" in key:
+            continue
+        now = current.get(key)
+        if now is None or base_seconds < min_seconds:
+            continue
+        if now > threshold * base_seconds:
+            regressions.append(
+                f"{key}: {now:.4f}s vs baseline {base_seconds:.4f}s "
+                f"(> {threshold:.1f}x)"
+            )
+    return regressions
+
+
+def save_bench(payload: dict[str, Any], out: str | Path | None = None) -> Path:
+    """Write the payload as ``BENCH_<rev>.json``.
+
+    ``out`` may be a ``.json`` file path or a directory (anything else);
+    in a directory the file is named ``BENCH_<rev>.json``.
+    """
+    if out is None:
+        out = Path(f"BENCH_{payload['rev']}.json")
+    out = Path(out)
+    if out.suffix != ".json":
+        out = out / f"BENCH_{payload['rev']}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return out
+
+
+def load_bench(path: str | Path) -> dict[str, Any]:
+    """Read a ``BENCH_*.json`` payload, validating the schema marker."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ExperimentError(f"unreadable bench file {path}: {error}") from error
+    if not isinstance(payload, dict) or "benchmarks" not in payload:
+        raise ExperimentError(f"{path} is not a BENCH_*.json payload")
+    return payload

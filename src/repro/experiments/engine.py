@@ -216,30 +216,44 @@ class RunContext:
             dataset, methods, exclude_columns, exclude_relations, ro_params, rn_params
         )
         fingerprint = config_fingerprint(payload)
-        if not fresh:
-            cached = self._suites.get(fingerprint)
-            if cached is not None:
-                self.stats.suite_memory_hits += 1
-                self._suites.move_to_end(fingerprint)
-                return cached, fingerprint
-            loaded = self._load_suite_artifact(fingerprint, methods, payload)
-            if loaded is not None:
-                self.stats.suite_disk_hits += 1
-                self._remember_suite(fingerprint, loaded)
-                return loaded, fingerprint
-        self.stats.suite_builds += 1
-        suite = build_suite(
-            self.dataset(dataset),
-            self.sizes,
-            methods=methods,
-            exclude_columns=exclude_columns,
-            exclude_relations=exclude_relations,
-            ro_params=ro_params,
-            rn_params=rn_params,
-        )
-        if not fresh:
-            self._remember_suite(fingerprint, suite)
-            self._save_suite_artifact(fingerprint, suite, payload)
+
+        def build() -> EmbeddingSuite:
+            self.stats.suite_builds += 1
+            return build_suite(
+                self.dataset(dataset),
+                self.sizes,
+                methods=methods,
+                exclude_columns=exclude_columns,
+                exclude_relations=exclude_relations,
+                ro_params=ro_params,
+                rn_params=rn_params,
+            )
+
+        if fresh:
+            return build(), fingerprint
+        cached = self._suites.get(fingerprint)
+        if cached is not None:
+            self.stats.suite_memory_hits += 1
+            self._suites.move_to_end(fingerprint)
+            return cached, fingerprint
+        if self._store is not None:
+            # cross-process critical section: while the per-fingerprint
+            # lock is held, either another worker's committed artifact is
+            # loaded, or this process trains and commits it — two workers
+            # pointed at one cache dir never train the same suite
+            from repro.util.locks import FileLock
+
+            with FileLock(self._suite_lock_path(fingerprint)):
+                loaded = self._load_suite_artifact(fingerprint, methods, payload)
+                if loaded is not None:
+                    self.stats.suite_disk_hits += 1
+                    self._remember_suite(fingerprint, loaded)
+                    return loaded, fingerprint
+                suite = build()
+                self._save_suite_artifact(fingerprint, suite, payload)
+        else:
+            suite = build()
+        self._remember_suite(fingerprint, suite)
         return suite, fingerprint
 
     def _remember_suite(self, fingerprint: str, suite: EmbeddingSuite) -> None:
@@ -250,6 +264,11 @@ class RunContext:
 
     def _artifact_name(self, fingerprint: str) -> str:
         return f"suite_{fingerprint}"
+
+    def _suite_lock_path(self, fingerprint: str) -> Path:
+        """The lock file guarding one suite fingerprint's build+save."""
+        assert self.cache_dir is not None
+        return self.cache_dir / SUITE_CACHE_SUBDIR / "locks" / f"{fingerprint}.lock"
 
     def _load_suite_artifact(
         self,
@@ -446,3 +465,72 @@ def run_experiments(
     return [
         run_experiment(name, context=context, registry=registry) for name in names
     ]
+
+
+def _parallel_worker(
+    name: str,
+    sizes_payload: dict[str, Any],
+    cache_dir: str | None,
+    options: dict[str, Any] | None,
+) -> dict[str, Any]:
+    """Executed in a worker process: one experiment, one fresh context.
+
+    Runs against the default registry (spec runners are module-level
+    functions, so nothing needs to cross the process boundary but the
+    experiment name) and returns the result as a plain dictionary.
+    """
+    result = run_experiment(
+        name,
+        sizes=ExperimentSizes.from_dict(sizes_payload),
+        cache_dir=cache_dir,
+        options=options,
+    )
+    return result.to_dict()
+
+
+def run_experiments_parallel(
+    names: list[str] | tuple[str, ...],
+    sizes: ExperimentSizes | None = None,
+    cache_dir: str | Path | None = None,
+    jobs: int = 2,
+) -> list[RunResult]:
+    """Run registered experiments in ``jobs`` worker processes.
+
+    Every worker executes whole experiments through its own
+    :class:`RunContext`; with a ``cache_dir`` all workers share the
+    on-disk suite cache, and the per-fingerprint file lock inside
+    :meth:`RunContext.suite_with_fingerprint` guarantees each suite
+    configuration is trained by exactly one worker (the others block
+    briefly and load the committed artifact).  All training is seeded, so
+    the produced tables are identical to a serial run.
+
+    Only default-registry experiments can run in parallel — custom
+    registries would not exist in the worker processes.
+    """
+    if jobs < 1:
+        raise ExperimentError("jobs must be at least 1")
+    registry = default_registry()
+    for name in names:
+        registry.get(name)
+    sizes = sizes or ExperimentSizes.quick()
+    if jobs == 1 or len(names) <= 1:
+        return [
+            RunResult.from_dict(
+                _parallel_worker(
+                    name,
+                    sizes.to_dict(),
+                    str(cache_dir) if cache_dir is not None else None,
+                    None,
+                )
+            )
+            for name in names
+        ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    cache = str(cache_dir) if cache_dir is not None else None
+    with ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        futures = [
+            pool.submit(_parallel_worker, name, sizes.to_dict(), cache, None)
+            for name in names
+        ]
+        return [RunResult.from_dict(future.result()) for future in futures]

@@ -8,7 +8,7 @@ values to their column node, and one edge set per relation group.  DeepWalk
 
 from repro.graph.property_graph import PropertyGraph, Node, Edge
 from repro.graph.builder import build_graph
-from repro.graph.random_walk import RandomWalkGenerator
+from repro.graph.random_walk import RandomWalkGenerator, WalkCorpus
 
 __all__ = [
     "PropertyGraph",
@@ -16,4 +16,5 @@ __all__ = [
     "Edge",
     "build_graph",
     "RandomWalkGenerator",
+    "WalkCorpus",
 ]

@@ -1,0 +1,5 @@
+"""Small shared utilities (cross-process file locks)."""
+
+from repro.util.locks import FileLock, LockTimeoutError
+
+__all__ = ["FileLock", "LockTimeoutError"]

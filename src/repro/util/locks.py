@@ -1,0 +1,145 @@
+"""Cross-process file locks for shared on-disk caches.
+
+The parallel experiment engine runs independent specs in worker processes
+that share one suite cache directory.  A per-fingerprint :class:`FileLock`
+around "check cache, else build and save" makes that critical section
+atomic across processes: two workers can never train the same suite, the
+second one blocks until the first has committed its artifact and then
+loads it from disk.
+
+POSIX ``fcntl.flock`` is used where available (locks die with the process,
+so a crashed worker never wedges the cache); an ``O_EXCL`` lock-file spin
+loop is the portable fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from types import TracebackType
+
+from repro.errors import ReproError
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Seconds between acquisition attempts of the fallback spin lock.
+_SPIN_INTERVAL = 0.05
+
+
+class LockTimeoutError(ReproError):
+    """Raised when a lock cannot be acquired within its timeout."""
+
+
+class FileLock:
+    """An exclusive advisory lock on ``path`` (a dedicated lock file).
+
+    Usable as a context manager and re-entrant within one instance is an
+    error (double ``acquire`` raises) — each protected section should use
+    its own instance.  With ``fcntl`` the lock is released by the kernel
+    when the process dies; the fallback lock file carries the owner pid
+    and a stale file older than ``stale_seconds`` is broken.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        timeout: float | None = None,
+        stale_seconds: float = 600.0,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_seconds = stale_seconds
+        self._fd: int | None = None
+
+    @property
+    def locked(self) -> bool:
+        """Whether this instance currently holds the lock."""
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        """Block until the lock is held (or :class:`LockTimeoutError`)."""
+        if self._fd is not None:
+            raise ReproError(f"lock {self.path} is already held by this instance")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            self._acquire_flock()
+        else:  # pragma: no cover - non-POSIX fallback
+            self._acquire_excl()
+        return self
+
+    def _acquire_flock(self) -> None:
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            while True:
+                try:
+                    flags = fcntl.LOCK_EX if deadline is None else (
+                        fcntl.LOCK_EX | fcntl.LOCK_NB
+                    )
+                    fcntl.flock(fd, flags)
+                    break
+                except OSError:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise LockTimeoutError(
+                            f"could not acquire lock {self.path} within "
+                            f"{self.timeout}s"
+                        ) from None
+                    time.sleep(_SPIN_INTERVAL)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def _acquire_excl(self) -> None:  # pragma: no cover - non-POSIX fallback
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                self._fd = fd
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > self.stale_seconds:
+                        self.path.unlink()
+                        continue
+                except OSError:
+                    continue  # holder released between open and stat
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise LockTimeoutError(
+                        f"could not acquire lock {self.path} within {self.timeout}s"
+                    ) from None
+                time.sleep(_SPIN_INTERVAL)
+
+    def release(self) -> None:
+        """Release the lock (idempotent)."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self.release()

@@ -1,0 +1,126 @@
+"""Tests for the perf harness (``repro bench``)."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import bench
+from repro.experiments.runner import ExperimentSizes
+
+TINY = ExperimentSizes.tiny()
+
+
+class TestMicrobenchmarks:
+    def test_walk_generation_payload(self):
+        payload = bench.bench_walk_generation(TINY, repeats=1)
+        assert payload["seconds"] > 0
+        assert payload["n_walks"] > 0
+        assert payload["walks_per_second"] > 0
+
+    def test_sgns_epoch_payload_with_naive_speedup(self):
+        payload = bench.bench_sgns_epoch(TINY, repeats=1, include_naive=True)
+        assert payload["seconds"] > 0
+        assert payload["naive_seconds"] > 0
+        assert payload["speedup_vs_naive"] == pytest.approx(
+            payload["naive_seconds"] / payload["seconds"]
+        )
+
+    def test_index_topk_payload(self):
+        payload = bench.bench_index_topk(TINY, repeats=1, n_rows=512, n_queries=16)
+        assert payload["flat"]["seconds"] > 0
+        assert payload["ivf"]["seconds"] > 0
+
+
+class TestRunBench:
+    def test_full_payload_is_json_serialisable(self, tmp_path):
+        payload = bench.run_bench(
+            sizes_name="tiny",
+            repeats=1,
+            include_naive=False,
+            include_end_to_end=False,
+            rev="test",
+        )
+        assert payload["rev"] == "test"
+        assert set(bench.MICROBENCHMARKS) <= set(payload["benchmarks"])
+        path = bench.save_bench(payload, tmp_path / "BENCH_test.json")
+        rebuilt = bench.load_bench(path)
+        assert rebuilt == json.loads(json.dumps(payload))
+
+    def test_save_into_directory_uses_rev_name(self, tmp_path):
+        payload = {"rev": "abc", "benchmarks": {}}
+        path = bench.save_bench(payload, tmp_path)
+        assert path.name == "BENCH_abc.json"
+
+    def test_load_rejects_non_bench_payloads(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        with pytest.raises(ExperimentError):
+            bench.load_bench(bad)
+        with pytest.raises(ExperimentError):
+            bench.load_bench(tmp_path / "missing.json")
+
+
+class TestRegressionGate:
+    @staticmethod
+    def _payload(walk_seconds: float, naive_seconds: float = 1.0):
+        return {
+            "rev": "x",
+            "benchmarks": {
+                "walk_generation": {"seconds": walk_seconds},
+                "sgns_epoch": {
+                    "seconds": 0.1,
+                    "naive_seconds": naive_seconds,
+                },
+                "table2_end_to_end": {"seconds": 100.0},
+            },
+        }
+
+    def test_no_regression_within_threshold(self):
+        current = self._payload(0.2)
+        baseline = self._payload(0.1)
+        assert bench.compare_against_baseline(current, baseline, threshold=3.0) == []
+
+    def test_regression_beyond_threshold_reported(self):
+        current = self._payload(0.5)
+        baseline = self._payload(0.1)
+        regressions = bench.compare_against_baseline(current, baseline, threshold=3.0)
+        assert len(regressions) == 1
+        assert "walk_generation" in regressions[0]
+
+    def test_end_to_end_and_naive_timings_not_gated(self):
+        current = self._payload(0.1, naive_seconds=99.0)
+        current["benchmarks"]["table2_end_to_end"]["seconds"] = 9999.0
+        baseline = self._payload(0.1, naive_seconds=1.0)
+        assert bench.compare_against_baseline(current, baseline, threshold=3.0) == []
+
+    def test_sub_floor_baselines_not_gated(self):
+        """Millisecond-scale baselines are tracked, never gated."""
+        baseline = self._payload(0.001)
+        current = self._payload(1.0)  # 1000x "regression" on a 1ms timing
+        assert bench.compare_against_baseline(current, baseline) == []
+        # but an explicit floor of zero gates it
+        assert len(
+            bench.compare_against_baseline(current, baseline, min_seconds=0.0)
+        ) == 1
+
+    def test_missing_key_in_current_is_ignored(self):
+        baseline = self._payload(0.1)
+        current = {"rev": "y", "benchmarks": {}}
+        assert bench.compare_against_baseline(current, baseline) == []
+
+    def test_collect_seconds_flattens_nested_payloads(self):
+        payload = {
+            "benchmarks": {
+                "index_topk": {
+                    "flat": {"seconds": 0.5},
+                    "ivf": {"seconds": 0.1},
+                    "k": 10,
+                }
+            }
+        }
+        timings = bench._collect_seconds(payload)
+        assert timings == {
+            "index_topk.flat": 0.5,
+            "index_topk.ivf": 0.1,
+        }

@@ -1,0 +1,93 @@
+"""Tests for the cross-process file lock."""
+
+import multiprocessing
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError
+from repro.util.locks import FileLock, LockTimeoutError
+
+
+class TestFileLockBasics:
+    def test_acquire_release_cycle(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        assert not lock.locked
+        with lock:
+            assert lock.locked
+            assert (tmp_path / "a.lock").exists()
+        assert not lock.locked
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        lock.acquire()
+        lock.release()
+        lock.release()
+        assert not lock.locked
+
+    def test_double_acquire_on_one_instance_raises(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            with pytest.raises(ReproError, match="already held"):
+                lock.acquire()
+
+    def test_creates_parent_directories(self, tmp_path):
+        with FileLock(tmp_path / "deep" / "nested" / "a.lock"):
+            assert (tmp_path / "deep" / "nested" / "a.lock").exists()
+
+    def test_reacquire_after_release(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            pass
+        with lock:
+            assert lock.locked
+
+    def test_timeout_when_held_elsewhere(self, tmp_path):
+        holder = FileLock(tmp_path / "a.lock")
+        holder.acquire()
+        try:
+            waiter = FileLock(tmp_path / "a.lock", timeout=0.2)
+            started = time.monotonic()
+            with pytest.raises(LockTimeoutError):
+                waiter.acquire()
+            assert time.monotonic() - started >= 0.15
+        finally:
+            holder.release()
+
+    def test_second_instance_can_lock_after_release(self, tmp_path):
+        first = FileLock(tmp_path / "a.lock")
+        first.acquire()
+        first.release()
+        second = FileLock(tmp_path / "a.lock", timeout=0.5)
+        with second:
+            assert second.locked
+
+
+def _locked_append(path_str: str, log_str: str, hold_seconds: float) -> None:
+    """Worker: append one line to the log while holding the lock."""
+    with FileLock(Path(path_str)):
+        log = Path(log_str)
+        content = log.read_text() if log.exists() else ""
+        time.sleep(hold_seconds)  # widen the race window
+        log.write_text(content + "x\n")
+
+
+class TestFileLockAcrossProcesses:
+    def test_mutual_exclusion_across_processes(self, tmp_path):
+        """Read-modify-write under the lock never loses an update."""
+        lock_path = str(tmp_path / "shared.lock")
+        log_path = str(tmp_path / "log.txt")
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(
+                target=_locked_append, args=(lock_path, log_path, 0.05)
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+            assert worker.exitcode == 0
+        assert Path(log_path).read_text() == "x\n" * 4
