@@ -1,0 +1,115 @@
+"""Quickstart: serve a trained model and keep it fresh under live writes.
+
+The end-to-end delta pipeline in one script:
+
+1. train once, persist to an :class:`~repro.serving.EmbeddingStore`,
+2. reopen it as a :class:`~repro.serving.ServingSession` (the IVF index is
+   restored from its saved k-means state — nothing retrains),
+3. apply a :class:`~repro.db.DatabaseDelta` of live writes through
+   :meth:`~repro.retrofit.IncrementalRetrofitter.apply` — only the blast
+   radius of the change is re-solved, warm-started from the served state,
+4. fold the update into the live session
+   (:meth:`~repro.serving.ServingSession.apply_update`: in-place index
+   update, version bump, selective cache invalidation) and query the new
+   rows immediately,
+5. append the update as a versioned delta record and compact the store.
+
+Run with::
+
+    python examples/incremental_update_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import RetroHyperparameters, RetroPipeline
+from repro.datasets import generate_tmdb
+from repro.db import DatabaseDelta
+from repro.serving import EmbeddingStore, ServingSession, default_index_factory
+
+
+def main() -> None:
+    dataset = generate_tmdb(num_movies=200, seed=1, embedding_dimension=48)
+    database = dataset.database
+    pipeline = RetroPipeline(
+        database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+        method="series",
+    )
+    result = pipeline.run(iterations=200)
+    print(f"trained {len(result.extraction)} text-value vectors")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_dir = Path(tmp) / "store"
+
+        # --- 1+2: persist, then serve from disk ------------------------- #
+        session = ServingSession(
+            result.embeddings,
+            index_factory=default_index_factory(ivf_threshold=256),
+        )
+        session.index_for(None)  # build the IVF index once
+        session.save(store_dir, "movies")
+        session = ServingSession.from_store(
+            store_dir, "movies",
+            index_factory=default_index_factory(ivf_threshold=256),
+        )
+        print(f"serving version {session.version} from {store_dir.name}/")
+
+        # --- 3: live writes arrive as one delta ------------------------- #
+        delta = (
+            DatabaseDelta()
+            .insert("persons", {"id": 90_001, "name": "nova directorsson"})
+            .insert("movies", {
+                "id": 90_001, "title": "midnight quantum heist",
+                "original_language": "english",
+                "overview": "a daring heist across the galaxy",
+                "budget": 9.5e7, "revenue": 3.0e8, "popularity": 9.5,
+                "release_year": 2026, "collection_id": None,
+            })
+            .insert("movie_directors", {
+                "id": 90_001, "movie_id": 90_001, "person_id": 90_001,
+            })
+            .insert("movie_countries", {
+                "id": 90_001, "movie_id": 90_001, "country_id": 1,
+            })
+            .update("movies", 5, overview="a fresh look at a space adventure")
+        )
+        retrofitter = pipeline.incremental_retrofitter(result)
+        started = time.perf_counter()
+        update = retrofitter.apply(database, delta)
+        elapsed = (time.perf_counter() - started) * 1000.0
+        print(
+            f"incremental retrofit: {update.report.n_active} of "
+            f"{len(update.embeddings)} rows re-solved in {elapsed:.1f} ms "
+            f"({update.report.mode})"
+        )
+
+        # --- 4: the live session follows, no index rebuild -------------- #
+        stats = session.apply_update(update)
+        print(
+            f"serving update: +{stats.rows_added} rows, "
+            f"-{stats.rows_removed}, {stats.rows_changed} changed, "
+            f"index in place: {stats.index_updated_in_place}, "
+            f"now version {session.version}"
+        )
+        vector = session.vector_for("movies.title", "midnight quantum heist")
+        for category, text, score in session.topk(vector, 4):
+            print(f"  {score:+.3f}  {category}: {text[:60]}")
+
+        # --- 5: durable delta record + compaction ----------------------- #
+        store = EmbeddingStore(store_dir)
+        store.append_embedding_set_delta("movies", update)
+        print(f"delta records: {store.list_embedding_set_deltas('movies')}")
+        reopened = ServingSession.from_store(store_dir, "movies")
+        assert reopened.version == store.latest_version("movies")
+        assert reopened.topk(vector, 1)[0][1] == "midnight quantum heist"
+        compacted_to = store.compact_embedding_set("movies")
+        print(f"compacted store to version {compacted_to}")
+
+
+if __name__ == "__main__":
+    main()

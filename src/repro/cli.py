@@ -15,7 +15,11 @@ experiments:
 * ``--out DIR`` — additionally write one JSON
   :class:`~repro.experiments.engine.RunResult` file per experiment,
 * ``repro bench`` — the perf harness: hot-path microbenchmarks plus a
-  quick end-to-end table2, written as a machine-diffable ``BENCH_<rev>.json``.
+  quick end-to-end table2, written as a machine-diffable ``BENCH_<rev>.json``,
+* ``repro update`` — the incremental-update benchmark: a synthetic delta
+  stream applied through the whole pipeline (extraction delta → warm-start
+  subset solve → in-place serving-index update), reported against a cold
+  re-extract + re-solve.
 """
 
 from __future__ import annotations
@@ -84,6 +88,62 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run independent experiments in N worker processes sharing "
         "the --cache-dir suite cache (default: 1, serial in-process)",
+    )
+
+    update_parser = commands.add_parser(
+        "update",
+        help="benchmark the incremental-update pipeline on a synthetic "
+        "delta stream (cached suite + live writes)",
+    )
+    update_parser.add_argument(
+        "--sizes",
+        choices=ExperimentSizes.PRESETS,
+        default="quick",
+        help="workload sizing preset (default: quick)",
+    )
+    update_parser.add_argument(
+        "--method",
+        choices=("RN", "RO"),
+        default="RN",
+        help="retrofitting solver maintained incrementally (default: RN)",
+    )
+    update_parser.add_argument(
+        "--deltas",
+        type=int,
+        default=3,
+        help="number of delta batches in the stream (default: 3)",
+    )
+    update_parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.01,
+        help="movies inserted per delta, as a fraction of the table "
+        "(default: 0.01)",
+    )
+    update_parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="also update an overview and delete a review per delta "
+        "(larger certified blast radius)",
+    )
+    update_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="reuse the engine's suite cache for the trained starting point",
+    )
+    update_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the benchmark payload as JSON",
+    )
+    update_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="delta-stream seed (default: the sizing preset's seed)",
     )
 
     bench_parser = commands.add_parser(
@@ -213,6 +273,41 @@ def _command_run(args: argparse.Namespace, registry: ExperimentRegistry) -> int:
     return 0
 
 
+def _command_update(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.engine import RunContext
+    from repro.experiments.update_bench import run_update_benchmark
+
+    context = None
+    if args.cache_dir is not None:
+        context = RunContext(
+            sizes=ExperimentSizes.preset(args.sizes), cache_dir=args.cache_dir
+        )
+    table, payload = run_update_benchmark(
+        sizes=ExperimentSizes.preset(args.sizes),
+        method=args.method,
+        n_deltas=args.deltas,
+        delta_fraction=args.fraction,
+        seed=args.seed,
+        context=context,
+        churn=args.churn,
+    )
+    print(table.to_text())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"[repro] wrote {args.out}")
+    print(
+        f"[repro] mean update {payload['seconds'] * 1000:.1f} ms, cold rebuild "
+        f"{payload['cold_rebuild_seconds'] * 1000:.1f} ms "
+        f"({payload['speedup_vs_cold']:.1f}x)"
+    )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         compare_against_baseline,
@@ -261,6 +356,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_list(registry)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "update":
+            return _command_update(args)
         return _command_run(args, registry)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -12,6 +12,7 @@ from repro.db.types import ColumnType, coerce_value, infer_column_type
 from repro.db.schema import Column, ForeignKey, TableSchema
 from repro.db.table import Table
 from repro.db.database import Database
+from repro.db.delta import DatabaseDelta, RowDelete, RowInsert, RowUpdate
 from repro.db.csv_io import read_csv_table, write_csv_table
 from repro.db.query import Predicate, select, inner_join, group_by, aggregate
 
@@ -24,6 +25,10 @@ __all__ = [
     "TableSchema",
     "Table",
     "Database",
+    "DatabaseDelta",
+    "RowInsert",
+    "RowUpdate",
+    "RowDelete",
     "read_csv_table",
     "write_csv_table",
     "Predicate",

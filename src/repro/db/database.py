@@ -54,8 +54,21 @@ class RelationshipSpec:
 
     @property
     def name(self) -> str:
-        """Canonical relation-group label, e.g. ``movies.title->persons.name``."""
-        suffix = f"[{self.kind}]"
+        """Canonical relation-group label, e.g.
+        ``movies.title->persons.name[m2m:movie_directors]``.
+
+        The suffix carries the distinguishing join metadata: two link
+        tables between the same text columns (``movie_directors`` and
+        ``movie_actors``) or two foreign keys into the same table must
+        yield distinct relation groups — the incremental delta pipeline
+        addresses groups by name.
+        """
+        if self.kind == "fk" and self.fk_column is not None:
+            suffix = f"[fk:{self.fk_column}]"
+        elif self.kind == "m2m" and self.via is not None:
+            suffix = f"[m2m:{self.via}]"
+        else:
+            suffix = f"[{self.kind}]"
         return f"{self.source}->{self.target}{suffix}"
 
 
@@ -135,6 +148,100 @@ class Database:
             self.insert(table_name, row)
             count += 1
         return count
+
+    def update_rows(
+        self, table_name: str, predicate, updates: dict[str, Any]
+    ) -> int:
+        """Update matching rows of one table (see :meth:`Table.update_where`).
+
+        Updated foreign-key columns are validated against their referenced
+        tables first, exactly like inserts, and updating a column other
+        rows reference is refused while it would leave a reference
+        dangling — an update can never break referential integrity in
+        either direction.
+        """
+        table = self.table(table_name)
+        fk_updates = {
+            fk.column: updates[fk.column]
+            for fk in table.schema.foreign_keys
+            if fk.column in updates
+        }
+        if fk_updates:
+            self._check_foreign_keys(table, fk_updates)
+        inbound = [
+            (other, fk)
+            for other in self._tables.values()
+            for fk in other.schema.foreign_keys
+            if fk.ref_table == table_name and fk.ref_column in updates
+        ]
+        if inbound:
+            changing = table.select_rows(predicate)
+            changing_ids = {id(row) for row in changing}
+            for other, fk in inbound:
+                old_values = {row[fk.ref_column] for row in changing} - {None}
+                if not old_values:
+                    continue
+                provided_after = {
+                    row[fk.ref_column]
+                    for row in table
+                    if id(row) not in changing_ids
+                    and row[fk.ref_column] is not None
+                } | {updates[fk.ref_column]}
+                dangling = old_values - provided_after
+                if not dangling:
+                    continue
+                for row in other:
+                    if row.get(fk.column) in dangling:
+                        raise IntegrityError(
+                            f"cannot update {table_name!r}.{fk.ref_column!r}: "
+                            f"value {row[fk.column]!r} is referenced by "
+                            f"{other.name!r}.{fk.column!r}"
+                        )
+        return table.update_where(predicate, updates)
+
+    def delete_rows(self, table_name: str, predicate) -> int:
+        """Delete matching rows after checking nothing references them.
+
+        For every to-be-deleted row, any foreign key in another table that
+        points at one of the row's referenced values raises
+        :class:`IntegrityError` — delete the referencing rows first.
+        """
+        table = self.table(table_name)
+        doomed = table.select_rows(predicate)
+        if not doomed:
+            return 0
+        doomed_ids = {id(row) for row in doomed}
+        # collect inbound references — including self-referential ones
+        inbound = [
+            (other, fk)
+            for other in self._tables.values()
+            for fk in other.schema.foreign_keys
+            if fk.ref_table == table_name
+        ]
+        for other, fk in inbound:
+            doomed_keys = {row[fk.ref_column] for row in doomed} - {None}
+            if not doomed_keys:
+                continue
+            # a referenced value only dangles when no *surviving* row still
+            # provides it (ref columns need not be unique)
+            surviving = {
+                row[fk.ref_column]
+                for row in table
+                if id(row) not in doomed_ids and row[fk.ref_column] is not None
+            }
+            dangling = doomed_keys - surviving
+            if not dangling:
+                continue
+            for row in other:
+                if id(row) in doomed_ids:
+                    continue  # a doomed row may reference another doomed row
+                if row.get(fk.column) in dangling:
+                    raise IntegrityError(
+                        f"cannot delete from {table_name!r}: row with "
+                        f"{fk.ref_column}={row[fk.column]!r} is referenced by "
+                        f"{other.name!r}.{fk.column!r}"
+                    )
+        return table.delete_where(predicate)
 
     def _check_foreign_keys(self, table: Table, row: dict[str, Any]) -> None:
         for fk in table.schema.foreign_keys:

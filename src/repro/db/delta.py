@@ -1,0 +1,141 @@
+"""First-class database change sets (the substrate of the delta pipeline).
+
+A :class:`DatabaseDelta` is an ordered batch of row-level operations —
+inserts, primary-key-addressed updates and deletes — against an existing
+:class:`repro.db.Database`.  It is the unit of change that flows through
+every layer of the incremental maintenance stack:
+
+* ``DatabaseDelta.apply_to(database)`` mutates the database,
+* :func:`repro.retrofit.extraction.derive_extraction_delta` translates the
+  row-level delta into a value-level
+  :class:`~repro.retrofit.extraction.ExtractionDelta` by re-deriving only
+  the touched tables and relations,
+* :meth:`repro.retrofit.incremental.IncrementalRetrofitter.apply` retrofits
+  only the affected vectors,
+* :meth:`repro.serving.ServingSession.apply_update` folds the result into
+  the live serving indexes without a rebuild.
+
+Operations are applied in a fixed order (inserts → updates → deletes) so a
+delta can both add a parent row and reference it from a child insert; the
+caller orders deletes child-before-parent (the database raises
+:class:`repro.errors.IntegrityError` otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.db.database import Database
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RowInsert:
+    """Insert ``row`` into ``table``."""
+
+    table: str
+    row: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class RowUpdate:
+    """Set ``changes`` on the row of ``table`` whose primary key is ``key``."""
+
+    table: str
+    key: Any
+    changes: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class RowDelete:
+    """Delete the row of ``table`` whose primary key is ``key``."""
+
+    table: str
+    key: Any
+
+
+@dataclass
+class DatabaseDelta:
+    """An ordered batch of row-level changes against one database."""
+
+    inserts: list[RowInsert] = field(default_factory=list)
+    updates: list[RowUpdate] = field(default_factory=list)
+    deletes: list[RowDelete] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.inserts) + len(self.updates) + len(self.deletes)
+
+    def is_empty(self) -> bool:
+        """Whether the delta holds no operations at all."""
+        return len(self) == 0
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    def insert(self, table: str, row: dict[str, Any]) -> "DatabaseDelta":
+        """Queue an insert; returns ``self`` for chaining."""
+        self.inserts.append(RowInsert(table, dict(row)))
+        return self
+
+    def update(self, table: str, key: Any, **changes: Any) -> "DatabaseDelta":
+        """Queue a primary-key-addressed update; returns ``self``."""
+        self.updates.append(RowUpdate(table, key, dict(changes)))
+        return self
+
+    def delete(self, table: str, key: Any) -> "DatabaseDelta":
+        """Queue a primary-key-addressed delete; returns ``self``."""
+        self.deletes.append(RowDelete(table, key))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def touched_tables(self) -> set[str]:
+        """Names of every table this delta writes to."""
+        return (
+            {op.table for op in self.inserts}
+            | {op.table for op in self.updates}
+            | {op.table for op in self.deletes}
+        )
+
+    def summary(self) -> dict[str, int]:
+        """Operation counts, for logging and benchmark payloads."""
+        return {
+            "inserts": len(self.inserts),
+            "updates": len(self.updates),
+            "deletes": len(self.deletes),
+        }
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def apply_to(self, database: Database) -> None:
+        """Apply all operations to ``database`` (inserts → updates → deletes).
+
+        Every operation goes through the database's validating entry points,
+        so schema violations, foreign-key misses and dangling references
+        fail exactly as ad-hoc mutations would.
+        """
+        for op in self.inserts:
+            database.insert(op.table, op.row)
+        for op in self.updates:
+            pk = database.table(op.table).schema.primary_key
+            if pk is None:
+                raise SchemaError(
+                    f"cannot address an update in {op.table!r}: no primary key"
+                )
+            key = op.key
+            database.update_rows(
+                op.table, lambda row, key=key, pk=pk: row[pk] == key, op.changes
+            )
+        for op in self.deletes:
+            pk = database.table(op.table).schema.primary_key
+            if pk is None:
+                raise SchemaError(
+                    f"cannot address a delete in {op.table!r}: no primary key"
+                )
+            key = op.key
+            database.delete_rows(
+                op.table, lambda row, key=key, pk=pk: row[pk] == key
+            )

@@ -130,6 +130,31 @@ class Table:
                 changed += 1
         return changed
 
+    def delete_where(self, predicate) -> int:
+        """Delete all rows matching ``predicate``; returns the number removed.
+
+        Keeps the primary-key and unique-value indexes consistent.
+        Referential integrity is checked at the :class:`repro.db.Database`
+        level (this table cannot see who references it).
+        """
+        kept: list[dict[str, Any]] = []
+        removed = 0
+        for row in self._rows:
+            if predicate(row):
+                removed += 1
+                for column_name, seen in self._unique_indexes.items():
+                    seen.discard(row[column_name])
+            else:
+                kept.append(row)
+        if removed:
+            self._rows = kept
+            if self.schema.primary_key is not None:
+                self._pk_index = {
+                    row[self.schema.primary_key]: position
+                    for position, row in enumerate(self._rows)
+                }
+        return removed
+
     # ------------------------------------------------------------------ #
     # lookup
     # ------------------------------------------------------------------ #

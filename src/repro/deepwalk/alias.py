@@ -10,6 +10,10 @@ table lookups: O(1), fully vectorisable over millions of draws at once.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import TrainingError
@@ -63,3 +67,55 @@ class AliasTable:
         buckets = rng.integers(0, len(self), size=size)
         accept = rng.random(size=size) < self._prob[buckets]
         return np.where(accept, buckets, self._alias[buckets])
+
+
+# --------------------------------------------------------------------------- #
+# shared-table cache
+# --------------------------------------------------------------------------- #
+@dataclass
+class AliasCacheStats:
+    """Build/reuse counters of the shared alias-table cache."""
+
+    builds: int = 0
+    reuses: int = 0
+
+
+#: Counters of :func:`shared_alias_table`; tests assert reuse through them.
+ALIAS_CACHE_STATS = AliasCacheStats()
+
+#: Distinct noise distributions kept alive at once.  A grid search touches
+#: one distribution per corpus, not per grid point, so a handful suffices.
+_SHARED_CAPACITY = 16
+
+_shared_tables: "OrderedDict[tuple[int, str], AliasTable]" = OrderedDict()
+
+
+def shared_alias_table(weights: np.ndarray) -> AliasTable:
+    """An :class:`AliasTable` for ``weights``, reused across identical calls.
+
+    An alias table is immutable (sampling draws from the caller's rng), so
+    every consumer of the same noise distribution can share one table.
+    DeepWalk training reuses it across epochs, and a grid search whose
+    points share a corpus — identical unigram^0.75 weights — skips the
+    O(vocab) construction for every point after the first.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    key = (weights.shape[0], hashlib.sha1(weights.tobytes()).hexdigest())
+    table = _shared_tables.get(key)
+    if table is not None:
+        _shared_tables.move_to_end(key)
+        ALIAS_CACHE_STATS.reuses += 1
+        return table
+    table = AliasTable(weights)
+    ALIAS_CACHE_STATS.builds += 1
+    _shared_tables[key] = table
+    while len(_shared_tables) > _SHARED_CAPACITY:
+        _shared_tables.popitem(last=False)
+    return table
+
+
+def reset_alias_cache() -> None:
+    """Empty the shared cache and zero the counters (test isolation)."""
+    _shared_tables.clear()
+    ALIAS_CACHE_STATS.builds = 0
+    ALIAS_CACHE_STATS.reuses = 0

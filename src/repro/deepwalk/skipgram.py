@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.deepwalk.alias import AliasTable
+from repro.deepwalk.alias import shared_alias_table
 from repro.errors import TrainingError
 from repro.graph.random_walk import PAD, WalkCorpus
 
@@ -125,7 +125,9 @@ class SkipGramModel:
         self._output_vectors = np.zeros((vocab_size, config.dimension))
         noise = self._counts**0.75
         self._noise_distribution = noise / noise.sum()
-        self._noise_alias = AliasTable(noise)
+        # shared across epochs by construction, and across models trained
+        # on the same corpus (grid-search points) through the cache
+        self._noise_alias = shared_alias_table(noise)
         self._rng = rng
         self.loss_history: list[float] = []
 

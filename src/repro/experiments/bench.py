@@ -202,6 +202,32 @@ def bench_index_topk(
     }
 
 
+def bench_incremental_update(sizes: ExperimentSizes, repeats: int = 3) -> dict[str, Any]:
+    """End-to-end incremental-update latency (delta pipeline vs cold rebuild).
+
+    ``seconds`` is the mean per-delta latency of the incremental path —
+    that is what the regression gate tracks; the cold-rebuild reference
+    is reported as ``cold_rebuild_seconds`` (a different key on purpose,
+    so the gate never fails on the comparison baseline's noise).
+    """
+    from repro.experiments.update_bench import run_update_benchmark
+
+    # churn=True exercises the full pipeline (inserts + a text-value
+    # update + a delete per delta) and keeps the timing above the gate's
+    # jitter floor at tiny sizes
+    _, payload = run_update_benchmark(
+        sizes=sizes, method="RN", n_deltas=max(2, repeats), churn=True
+    )
+    return {
+        "seconds": payload["seconds"],
+        "cold_rebuild_seconds": payload["cold_rebuild_seconds"],
+        "speedup_vs_cold": payload["speedup_vs_cold"],
+        "n_values": payload["n_values"],
+        "movies_per_delta": payload["movies_per_delta"],
+        "max_cosine_distance_vs_cold": payload.get("max_cosine_distance_vs_cold"),
+    }
+
+
 def bench_table2_end_to_end(sizes: ExperimentSizes) -> dict[str, Any]:
     """A fresh end-to-end ``table2`` run (suite training included)."""
     from repro.experiments.engine import run_experiment
@@ -221,6 +247,7 @@ MICROBENCHMARKS: dict[str, Callable[[ExperimentSizes, int], dict[str, Any]]] = {
     "sgns_epoch": bench_sgns_epoch,
     "retro_solvers": bench_retro_solvers,
     "index_topk": bench_index_topk,
+    "incremental_update": bench_incremental_update,
 }
 
 

@@ -281,12 +281,18 @@ class RunContext:
         name = self._artifact_name(fingerprint)
         if not self._store.has_artifact(name):
             return None
-        # sanity guards: a (vanishingly unlikely) fingerprint collision or a
-        # truncated artifact must cause a rebuild, not wrong embeddings —
-        # the artifact stores its full fingerprint source for comparison
-        if self._store.suite_config(name) != json_value(payload):
+        # sanity guards: a (vanishingly unlikely) fingerprint collision, a
+        # truncated artifact or one written by an older store format must
+        # cause a rebuild, not wrong embeddings or a crashed run — the
+        # artifact stores its full fingerprint source for comparison
+        from repro.errors import StoreFormatError
+
+        try:
+            if self._store.suite_config(name) != json_value(payload):
+                return None
+            suite = self._store.load_suite(name)
+        except StoreFormatError:
             return None
-        suite = self._store.load_suite(name)
         if not set(methods) <= set(suite.sets):
             return None
         return suite

@@ -1,0 +1,342 @@
+"""End-to-end incremental-update benchmark (``repro update``).
+
+Simulates a serving system under live writes: a trained suite (reused from
+the engine's artifact cache when available) is settled to its converged
+fixed point and served through a :class:`~repro.serving.ServingSession`;
+a synthetic stream of row-level :class:`~repro.db.DatabaseDelta` batches —
+movie inserts with their link rows and reviews, text-value updates, review
+deletions — is then applied through the whole delta pipeline:
+
+``DatabaseDelta`` → :func:`~repro.retrofit.extraction.derive_extraction_delta`
+→ :meth:`~repro.retrofit.extraction.ExtractionResult.apply_delta` →
+warm-start affected-subset solve → :meth:`ServingSession.apply_update`.
+
+The harness reports per-delta latency split by stage, compares the final
+state against a cold re-extract + re-solve (the acceptance gate: ≥5×
+faster, vectors within 1e-3 cosine distance), and doubles as the
+``incremental_update`` microbenchmark of ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.datasets import vocabulary as vocab
+from repro.db.database import Database
+from repro.db.delta import DatabaseDelta
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentSizes, ResultTable
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.retrofit.extraction import extract_text_values
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.incremental import (
+    IncrementalRetrofitter,
+    full_and_incremental_agree,
+    max_cosine_distance,
+)
+from repro.retrofit.initialization import initialise_vectors
+from repro.retrofit.retro import RetroSolver
+from repro.serving.session import ServingSession, default_index_factory
+from repro.text.tokenizer import Tokenizer
+
+#: Solver method name per embedding type.
+_METHOD_NAMES = {"RN": "series", "RO": "optimization"}
+
+#: Iteration cap used to settle both paths to their fixed points; the
+#: per-iteration tolerance (solver default 1e-5) stops them much earlier.
+SETTLE_ITERATIONS = 300
+
+
+def _max_id(table) -> int:
+    return max((row["id"] for row in table), default=0)
+
+
+def synthesize_tmdb_delta(
+    database: Database,
+    rng: np.random.Generator,
+    n_movies: int,
+    include_update: bool = True,
+    include_delete: bool = True,
+) -> DatabaseDelta:
+    """A realistic write batch against a TMDB-shaped database.
+
+    ``n_movies`` new movies (fresh titles/overviews built from the shared
+    vocabulary pools, links to existing persons/countries/keywords, one
+    review each, and one brand-new director), plus optionally one
+    text-value update of an existing overview and one review deletion.
+    """
+    delta = DatabaseDelta()
+    movies = database.table("movies")
+    persons = database.table("persons")
+    reviews = database.table("reviews")
+    next_movie = _max_id(movies) + 1
+    next_person = _max_id(persons) + 1
+    next_review = _max_id(reviews) + 1
+    link_next = {
+        name: _max_id(database.table(name)) + 1
+        for name in ("movie_directors", "movie_countries", "movie_keywords")
+    }
+    used_titles = set(movies.distinct_values("title"))
+    used_names = set(persons.distinct_values("name"))
+    person_ids = [row["id"] for row in persons]
+    n_countries = len(database.table("countries"))
+    n_keywords = len(database.table("keywords"))
+    genre_names = list(vocab.MOVIE_GENRES)
+    languages = sorted({country.language for country in vocab.COUNTRIES})
+
+    def pick(pool):
+        return pool[int(rng.integers(0, len(pool)))]
+
+    # one brand-new director joins with the batch
+    country = vocab.COUNTRIES[int(rng.integers(0, len(vocab.COUNTRIES)))]
+    name = f"{pick(country.first_names)} {pick(country.last_names)}"
+    while name in used_names:
+        name = f"{name} {pick(country.last_names)}"
+    used_names.add(name)
+    new_person_id = next_person
+    delta.insert("persons", {"id": new_person_id, "name": name})
+
+    for offset in range(max(1, n_movies)):
+        movie_id = next_movie + offset
+        genre = pick(genre_names)
+        words = [pick(vocab.MOVIE_GENRES[genre]), pick(vocab.TITLE_FILLER_WORDS)]
+        title = " ".join(words)
+        while title in used_titles:
+            title = f"{title} {pick(vocab.TITLE_FILLER_WORDS)}"
+        used_titles.add(title)
+        overview_words = [
+            pick(vocab.MOVIE_GENRES[genre]) for _ in range(6)
+        ] + [pick(vocab.TITLE_FILLER_WORDS), country.demonym]
+        delta.insert("movies", {
+            "id": movie_id,
+            "title": title,
+            "original_language": pick(languages),
+            "overview": " ".join(overview_words),
+            "budget": float(rng.uniform(1e6, 9e7)),
+            "revenue": float(rng.uniform(1e6, 3e8)),
+            "popularity": float(rng.lognormal(1.2, 0.6)),
+            "release_year": 2026,
+            "collection_id": None,
+        })
+        director = new_person_id if offset == 0 else int(pick(person_ids))
+        delta.insert("movie_directors", {
+            "id": link_next["movie_directors"], "movie_id": movie_id,
+            "person_id": director,
+        })
+        link_next["movie_directors"] += 1
+        delta.insert("movie_countries", {
+            "id": link_next["movie_countries"], "movie_id": movie_id,
+            "country_id": int(rng.integers(1, n_countries + 1)),
+        })
+        link_next["movie_countries"] += 1
+        delta.insert("movie_keywords", {
+            "id": link_next["movie_keywords"], "movie_id": movie_id,
+            "keyword_id": int(rng.integers(1, n_keywords + 1)),
+        })
+        link_next["movie_keywords"] += 1
+        sentiment = (
+            vocab.POSITIVE_WORDS if rng.random() < 0.6 else vocab.NEGATIVE_WORDS
+        )
+        review_words = [pick(sentiment) for _ in range(5)] + [
+            pick(vocab.MOVIE_GENRES[genre]) for _ in range(3)
+        ]
+        delta.insert("reviews", {
+            "id": next_review, "movie_id": movie_id,
+            "text": " ".join(review_words),
+        })
+        next_review += 1
+
+    if include_update and len(movies):
+        victim = movies.rows[int(rng.integers(0, len(movies)))]
+        genre = pick(genre_names)
+        new_overview = " ".join(
+            [pick(vocab.MOVIE_GENRES[genre]) for _ in range(7)]
+            + [pick(vocab.TITLE_FILLER_WORDS)]
+        )
+        delta.update("movies", victim["id"], overview=new_overview)
+    if include_delete and len(reviews):
+        victim = reviews.rows[int(rng.integers(0, len(reviews)))]
+        delta.delete("reviews", victim["id"])
+    return delta
+
+
+def run_update_benchmark(
+    sizes: ExperimentSizes | None = None,
+    method: str = "RN",
+    n_deltas: int = 3,
+    delta_fraction: float = 0.01,
+    seed: int | None = None,
+    context=None,
+    measure_agreement: bool = True,
+    influence_threshold: float | None = None,
+    churn: bool = False,
+) -> tuple[ResultTable, dict[str, Any]]:
+    """Run the end-to-end update benchmark; returns (table, JSON payload).
+
+    The default stream is append-only — 1 % of the movie count inserted
+    per delta with link rows, reviews and a new person — which is the
+    acceptance scenario the ≥5×-vs-cold gate measures.  ``churn=True``
+    additionally updates an existing overview and deletes a review per
+    delta; value removals shift relation-wide centroid terms, so the
+    certified blast radius (and therefore the update cost) grows
+    accordingly.
+
+    ``context`` is an optional :class:`repro.experiments.engine.RunContext`
+    whose suite cache supplies the trained starting point (a cache hit
+    skips extraction, tokenisation and the initial solve almost entirely).
+    The returned payload is what ``repro update --out`` writes and what
+    the ``incremental_update`` microbenchmark of ``repro bench`` embeds.
+
+    Note: the benchmark mutates the (memoised) dataset's database — do not
+    share its context with experiment runs.
+    """
+    if method not in _METHOD_NAMES:
+        raise ExperimentError(
+            f"unknown update-benchmark method {method!r}; expected RN or RO"
+        )
+    from repro.experiments.engine import RunContext
+
+    sizes = sizes or ExperimentSizes.quick()
+    ctx = context or RunContext(sizes=sizes)
+    solver_method = _METHOD_NAMES[method]
+    hyperparams = (
+        RetroHyperparameters.paper_rn_default()
+        if method == "RN"
+        else RetroHyperparameters.paper_ro_default()
+    )
+    rng = np.random.default_rng(sizes.seed if seed is None else seed)
+
+    # ---- starting point: cached suite, settled to its fixed point ------ #
+    started = time.perf_counter()
+    dataset = ctx.tmdb()
+    suite = ctx.suite("tmdb", methods=("PV", method))
+    tokenizer = Tokenizer(dataset.embedding)
+    solver = RetroSolver(suite.extraction, suite.base.matrix, hyperparams)
+    matrix, settle_report = solver.solve(
+        method=solver_method,
+        iterations=SETTLE_ITERATIONS,
+        W_init=suite.get(method).matrix,
+    )
+    embeddings = TextValueEmbeddingSet(
+        suite.extraction.copy(), matrix, name=method
+    )
+    session = ServingSession(embeddings, index_factory=default_index_factory())
+    session.index_for(None)
+    retrofitter = IncrementalRetrofitter(
+        embeddings,
+        tokenizer,
+        hyperparams=hyperparams,
+        method=solver_method,
+        base_matrix=suite.base.matrix,
+        influence_threshold=influence_threshold,
+    )
+    setup_seconds = time.perf_counter() - started
+
+    database = dataset.database
+    movies_per_delta = max(1, int(round(len(database.table("movies")) * delta_fraction)))
+
+    table = ResultTable(
+        name=f"incremental updates ({method}, {movies_per_delta} movies/delta)",
+        columns=[
+            "delta", "values_added", "values_removed", "active_rows",
+            "solve_iters", "retrofit_ms", "serve_ms", "total_ms",
+        ],
+    )
+    deltas_payload: list[dict[str, Any]] = []
+    update_seconds: list[float] = []
+    last_update = None
+    for step in range(max(1, n_deltas)):
+        delta = synthesize_tmdb_delta(
+            database, rng, movies_per_delta,
+            include_update=churn, include_delete=churn,
+        )
+        started = time.perf_counter()
+        update = retrofitter.apply(
+            database, delta, iterations=SETTLE_ITERATIONS
+        )
+        retrofit_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        update_stats = session.apply_update(update)
+        serve_seconds = time.perf_counter() - started
+        total = retrofit_seconds + serve_seconds
+        update_seconds.append(total)
+        last_update = update
+        summary = update.extraction_delta.summary()
+        table.add_row(
+            delta=step,
+            values_added=summary["values_added"],
+            values_removed=summary["values_removed"],
+            active_rows=update.report.n_active,
+            solve_iters=update.report.iterations,
+            retrofit_ms=retrofit_seconds * 1000.0,
+            serve_ms=serve_seconds * 1000.0,
+            total_ms=total * 1000.0,
+        )
+        deltas_payload.append({
+            "operations": delta.summary(),
+            "extraction_delta": summary,
+            "active_rows": update.report.n_active,
+            "solve_iterations": update.report.iterations,
+            "retrofit_seconds": retrofit_seconds,
+            "serve_seconds": serve_seconds,
+            "seconds": total,
+            "stage_seconds": dict(update.timings),
+            "serving": {
+                "rows_added": update_stats.rows_added,
+                "rows_removed": update_stats.rows_removed,
+                "rows_changed": update_stats.rows_changed,
+                "index_updated_in_place": update_stats.index_updated_in_place,
+                "cache_entries_kept": update_stats.cache_entries_kept,
+            },
+        })
+
+    # ---- the cold path the incremental one is measured against --------- #
+    started = time.perf_counter()
+    cold_extraction = extract_text_values(database)
+    cold_base = initialise_vectors(cold_extraction, dataset.embedding, tokenizer)
+    cold_solver = RetroSolver(cold_extraction, cold_base.matrix, hyperparams)
+    cold_matrix, cold_report = cold_solver.solve(
+        method=solver_method, iterations=SETTLE_ITERATIONS
+    )
+    cold_index = default_index_factory()(cold_matrix)
+    cold_seconds = time.perf_counter() - started
+    del cold_index
+    if last_update is not None:
+        last_update.report.cold_runtime_seconds = cold_report.runtime_seconds
+
+    mean_update = float(np.mean(update_seconds))
+    speedup = cold_seconds / mean_update if mean_update > 0 else float("inf")
+
+    payload: dict[str, Any] = {
+        "method": method,
+        "n_values": len(retrofitter.embeddings),
+        "movies_per_delta": movies_per_delta,
+        "n_deltas": len(update_seconds),
+        "setup_seconds": setup_seconds,
+        "settle_iterations": settle_report.iterations,
+        "seconds": mean_update,
+        "update_seconds": update_seconds,
+        "cold_rebuild_seconds": cold_seconds,
+        "speedup_vs_cold": speedup,
+        "deltas": deltas_payload,
+    }
+    table.add_note(
+        f"mean update {mean_update * 1000.0:.1f} ms vs cold re-extract + "
+        f"re-solve {cold_seconds * 1000.0:.1f} ms — {speedup:.1f}x"
+    )
+    if measure_agreement:
+        cold_set = TextValueEmbeddingSet(cold_extraction, cold_matrix, method)
+        worst = max_cosine_distance(cold_set, retrofitter.embeddings)
+        agree = full_and_incremental_agree(
+            cold_set, retrofitter.embeddings, tolerance=0.01
+        )
+        payload["max_cosine_distance_vs_cold"] = worst
+        payload["agrees_with_cold"] = bool(agree)
+        table.add_note(
+            f"max cosine distance to the cold solution: {worst:.2e} "
+            f"(agreement: {agree})"
+        )
+    return table, payload

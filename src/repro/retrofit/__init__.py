@@ -9,9 +9,13 @@ series variant *RN*).
 """
 
 from repro.retrofit.extraction import (
+    DeltaMap,
+    ExtractionDelta,
     ExtractionResult,
+    RelationDelta,
     RelationGroup,
     TextValueRecord,
+    derive_extraction_delta,
     extract_text_values,
 )
 from repro.retrofit.initialization import initialise_vectors
@@ -24,14 +28,23 @@ from repro.retrofit.combine import (
     concatenate_embeddings,
     normalise_rows,
 )
-from repro.retrofit.incremental import IncrementalRetrofitter
+from repro.retrofit.incremental import (
+    IncrementalRetrofitter,
+    IncrementalUpdateResult,
+    full_and_incremental_agree,
+    max_cosine_distance,
+)
 from repro.retrofit.pipeline import RetroPipeline, RetroResult
 
 __all__ = [
     "ExtractionResult",
+    "ExtractionDelta",
+    "RelationDelta",
+    "DeltaMap",
     "RelationGroup",
     "TextValueRecord",
     "extract_text_values",
+    "derive_extraction_delta",
     "initialise_vectors",
     "RetroHyperparameters",
     "DerivedWeights",
@@ -44,6 +57,9 @@ __all__ = [
     "concatenate_embeddings",
     "normalise_rows",
     "IncrementalRetrofitter",
+    "IncrementalUpdateResult",
+    "full_and_incremental_agree",
+    "max_cosine_distance",
     "RetroPipeline",
     "RetroResult",
 ]

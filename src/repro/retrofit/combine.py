@@ -131,6 +131,18 @@ class TextValueEmbeddingSet:
             )
         return self._scope_indexes[category]
 
+    def cached_index(self, category: str | None = None):
+        """The already-built index of one scope, or ``None``.
+
+        Unlike :meth:`index_for` this never builds anything; callers that
+        must not mutate a shared index (e.g.
+        :meth:`repro.serving.ServingSession.apply_update`) use it to tell
+        a set-owned index from a session-owned one.
+        """
+        if self._indexed_matrix is not self.matrix:
+            return None
+        return self._scope_indexes.get(category)
+
     def nearest(
         self, vector: np.ndarray, k: int = 10, category: str | None = None
     ) -> list[tuple[str, str, float]]:

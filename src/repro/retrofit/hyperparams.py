@@ -89,7 +89,8 @@ class DirectedRelation:
     target_rows: np.ndarray
     source_indices: np.ndarray = field(init=False)
     target_indices: np.ndarray = field(init=False)
-    out_degree: dict[int, int] = field(init=False)
+    #: Out-degree of every node in :attr:`source_indices`, aligned with it.
+    out_degree_counts: np.ndarray = field(init=False)
 
     def __post_init__(self) -> None:
         self.source_rows = np.asarray(self.source_rows, dtype=np.int64)
@@ -98,12 +99,24 @@ class DirectedRelation:
             raise RetrofitError(
                 f"relation {self.name}: source/target index arrays differ in length"
             )
-        self.source_indices = np.unique(self.source_rows)
+        self.source_indices, self.out_degree_counts = np.unique(
+            self.source_rows, return_counts=True
+        )
         self.target_indices = np.unique(self.target_rows)
-        degrees: dict[int, int] = {}
-        for src in self.source_rows:
-            degrees[int(src)] = degrees.get(int(src), 0) + 1
-        self.out_degree = degrees
+
+    @property
+    def out_degree(self) -> dict[int, int]:
+        """``od_r(i)`` per source node (built on demand; prefer the arrays)."""
+        return {
+            int(node): int(count)
+            for node, count in zip(self.source_indices, self.out_degree_counts)
+        }
+
+    def out_degree_vector(self, n_values: int) -> np.ndarray:
+        """``od_r`` as a dense vector of length ``n_values``."""
+        degree = np.zeros(n_values, dtype=np.float64)
+        degree[self.source_indices] = self.out_degree_counts
+        return degree
 
     def __len__(self) -> int:
         return len(self.source_rows)
@@ -191,9 +204,10 @@ class DerivedWeights:
         max_participation = int(denominator.max()) if n else 1
         for relation in self.directed:
             gamma = np.zeros(n, dtype=np.float64)
-            if hp.gamma > 0:
-                for node, degree in relation.out_degree.items():
-                    gamma[node] = hp.gamma / (degree * denominator[node])
+            if hp.gamma > 0 and relation.source_indices.size:
+                gamma[relation.source_indices] = hp.gamma / (
+                    relation.out_degree_counts * denominator[relation.source_indices]
+                )
             self.gamma_node.append(gamma)
 
             # Eq. 13: mr(r) is the maximal |R_i|+1 of any participant of r,
@@ -209,9 +223,10 @@ class DerivedWeights:
             # Eq. 14 (series solver, centroid interpretation): the subtracted
             # term equals delta/(|R_i|+1) times the centroid of all targets.
             delta_rn = np.zeros(n, dtype=np.float64)
-            if hp.delta > 0 and relation.n_targets:
-                for node in relation.source_indices:
-                    delta_rn[node] = hp.delta / (relation.n_targets * denominator[node])
+            if hp.delta > 0 and relation.n_targets and relation.source_indices.size:
+                delta_rn[relation.source_indices] = hp.delta / (
+                    relation.n_targets * denominator[relation.source_indices]
+                )
             self.delta_rn_node.append(delta_rn)
 
     def gamma_pair_weights(self, relation_index: int) -> np.ndarray:
@@ -224,22 +239,24 @@ def check_convexity(
     hyperparams: RetroHyperparameters,
     directed: list[DirectedRelation],
     n_values: int,
+    weights: "DerivedWeights | None" = None,
 ) -> tuple[bool, float]:
     """Check the convexity condition of Eq. 7 / Eq. 24.
 
     Returns ``(is_convex, margin)`` where ``margin`` is
     ``α − max_i 4·Σ_r Σ_{j:(i,j)∈E˜r} δ^r_i`` — non-negative margins mean the
-    optimisation objective is convex for this configuration.
+    optimisation objective is convex for this configuration.  Pass the
+    already-derived ``weights`` to avoid deriving them a second time.
     """
-    weights = DerivedWeights(hyperparams, n_values, directed)
+    if weights is None:
+        weights = DerivedWeights(hyperparams, n_values, directed)
     penalty = np.zeros(n_values, dtype=np.float64)
     for relation, delta in zip(directed, weights.delta_ro):
-        if delta == 0.0:
+        if delta == 0.0 or not relation.source_indices.size:
             continue
         # |E˜r(i)| = n_targets(r) - od_r(i) for source nodes of r.
-        for node in relation.source_indices:
-            complement = relation.n_targets - relation.out_degree[int(node)]
-            penalty[int(node)] += 4.0 * delta * complement
+        complement = relation.n_targets - relation.out_degree_counts
+        np.add.at(penalty, relation.source_indices, 4.0 * delta * complement)
     worst = float(penalty.max()) if n_values else 0.0
     margin = hyperparams.alpha - worst
     return margin >= 0.0, margin

@@ -192,6 +192,7 @@ class RetroPipeline:
             method=self.method,
             exclude_columns=self.exclude_columns,
             exclude_relations=self.exclude_relations,
+            base_matrix=result.base.matrix,
         )
 
     # ------------------------------------------------------------------ #

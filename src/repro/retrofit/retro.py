@@ -41,7 +41,15 @@ _EPSILON = 1e-12
 
 @dataclass
 class SolverReport:
-    """Bookkeeping of one retrofitting run."""
+    """Bookkeeping of one retrofitting run.
+
+    ``mode`` records how the solve was started: ``"cold"`` (from ``W0``),
+    ``"warm"`` (from a caller-provided ``W_init``), ``"subset"`` (only
+    ``n_active`` rows iterated) or ``"warm+subset"`` — the incremental
+    maintenance path.  ``cold_runtime_seconds`` can be filled in by callers
+    that also measured a cold solve; :attr:`speedup_vs_cold` then reports
+    the incremental speedup.
+    """
 
     method: str
     iterations: int
@@ -50,6 +58,16 @@ class SolverReport:
     convexity_margin: float | None = None
     shift_history: list[float] = field(default_factory=list)
     loss_history: list[float] = field(default_factory=list)
+    mode: str = "cold"
+    n_active: int | None = None
+    cold_runtime_seconds: float | None = None
+
+    @property
+    def speedup_vs_cold(self) -> float | None:
+        """``cold_runtime_seconds / runtime_seconds`` when both are known."""
+        if self.cold_runtime_seconds is None or self.runtime_seconds <= 0:
+            return None
+        return self.cold_runtime_seconds / self.runtime_seconds
 
 
 class RetroSolver:
@@ -79,7 +97,7 @@ class RetroSolver:
         self.weights = DerivedWeights(self.hyperparams, self.n_values, self.directed)
         self.centroids = category_centroids(self.base_matrix, extraction.categories)
         self.is_convex, self.convexity_margin = check_convexity(
-            self.hyperparams, self.directed, self.n_values
+            self.hyperparams, self.directed, self.n_values, weights=self.weights
         )
         if enforce_convexity and not self.is_convex:
             raise ConvexityError(
@@ -88,7 +106,7 @@ class RetroSolver:
             )
         self._gamma_matrix_symmetric: sparse.csr_matrix | None = None
         self._gamma_matrix_directed: sparse.csr_matrix | None = None
-        self._adjacency: list[sparse.csr_matrix] = []
+        self._adjacency: list[sparse.csr_matrix | None] = []
         self._source_indicator: list[np.ndarray] = []
         self._out_degree_vec: list[np.ndarray] = []
         self._build_sparse_structures()
@@ -116,18 +134,13 @@ class RetroSolver:
             sym_vals.append(gamma_here + gamma_inverse)
             dir_vals.append(gamma_here)
 
-            ones = np.ones(len(relation), dtype=np.float64)
-            adjacency = sparse.csr_matrix(
-                (ones, (relation.source_rows, relation.target_rows)), shape=(n, n)
-            )
-            self._adjacency.append(adjacency)
+            # per-relation adjacency matrices are built lazily (see
+            # _relation_adjacency): only the RO delta term needs them
+            self._adjacency.append(None)
             indicator = np.zeros(n, dtype=np.float64)
             indicator[relation.source_indices] = 1.0
             self._source_indicator.append(indicator)
-            degree = np.zeros(n, dtype=np.float64)
-            for node, count in relation.out_degree.items():
-                degree[node] = count
-            self._out_degree_vec.append(degree)
+            self._out_degree_vec.append(relation.out_degree_vector(n))
 
         if sym_rows:
             rows = np.concatenate(sym_rows)
@@ -138,9 +151,31 @@ class RetroSolver:
             self._gamma_matrix_directed = sparse.csr_matrix(
                 (np.concatenate(dir_vals), (rows, cols)), shape=(n, n)
             )
+            # structural (unweighted) adjacency union, used by the k-hop
+            # affected-row search of the incremental path
+            self._support = sparse.csr_matrix(
+                (np.ones(rows.size, dtype=np.float64), (rows, cols)), shape=(n, n)
+            )
         else:
             self._gamma_matrix_symmetric = sparse.csr_matrix((n, n))
             self._gamma_matrix_directed = sparse.csr_matrix((n, n))
+            self._support = sparse.csr_matrix((n, n))
+        self._delta_pair_constants = [
+            self.weights.delta_ro[index]
+            + self.weights.delta_ro[self._inverse_index(index)]
+            for index in range(len(self.directed))
+        ]
+
+    def _relation_adjacency(self, index: int) -> sparse.csr_matrix:
+        """The (lazily built, cached) 0/1 adjacency of one directed relation."""
+        if self._adjacency[index] is None:
+            relation = self.directed[index]
+            ones = np.ones(len(relation), dtype=np.float64)
+            self._adjacency[index] = sparse.csr_matrix(
+                (ones, (relation.source_rows, relation.target_rows)),
+                shape=(self.n_values, self.n_values),
+            )
+        return self._adjacency[index]
 
     # ------------------------------------------------------------------ #
     # public entry points
@@ -153,14 +188,19 @@ class RetroSolver:
         tolerance: float = 1e-5,
         initial_matrix: np.ndarray | None = None,
         frozen_rows: np.ndarray | None = None,
+        W_init: np.ndarray | None = None,
+        active_rows: np.ndarray | None = None,
     ) -> tuple[np.ndarray, SolverReport]:
         """Run one of the solvers.
 
         ``method`` is ``"series"`` (RN, default, 10 iterations) or
         ``"optimization"`` (RO, 20 iterations), matching the paper's setup.
-        ``initial_matrix`` overrides the starting point (defaults to ``W0``)
-        and ``frozen_rows`` is a boolean mask of rows that must not move —
-        both are used for incremental maintenance.
+        ``W_init`` warm-starts the iteration from a previous solution
+        instead of ``W0`` (``initial_matrix`` is the historical alias);
+        ``frozen_rows`` is a boolean mask of rows that must not move and
+        ``active_rows`` restricts each iteration to a row subset (everything
+        outside is implicitly frozen) — the combination is the incremental
+        maintenance fast path.
         """
         if method in ("series", "rn", "RN"):
             return self.solve_series(
@@ -169,6 +209,8 @@ class RetroSolver:
                 tolerance=tolerance,
                 initial_matrix=initial_matrix,
                 frozen_rows=frozen_rows,
+                W_init=W_init,
+                active_rows=active_rows,
             )
         if method in ("optimization", "ro", "RO"):
             return self.solve_optimization(
@@ -177,8 +219,394 @@ class RetroSolver:
                 tolerance=tolerance,
                 initial_matrix=initial_matrix,
                 frozen_rows=frozen_rows,
+                W_init=W_init,
+                active_rows=active_rows,
             )
         raise RetrofitError(f"unknown solver method {method!r}")
+
+    # ------------------------------------------------------------------ #
+    # incremental-solve helpers
+    # ------------------------------------------------------------------ #
+    def affected_rows(
+        self, seed_rows, hops: int = 2, frontier_degree_cap: float | None = None
+    ) -> np.ndarray:
+        """Rows within ``hops`` relation steps of ``seed_rows``, ascending.
+
+        Walks the structural union of all relation adjacencies (both
+        directions).  This is the active set of an incremental solve: rows
+        farther than ``hops`` from a change keep their converged values,
+        because their update equations only reference their immediate
+        neighbourhood (plus weak, size-normalised dissimilarity terms).
+
+        ``frontier_degree_cap`` stops the walk from expanding *through*
+        high-degree hub rows: a hub reached by the walk joins the result
+        (it gets re-solved), but only rows with total degree at or below
+        the cap propagate the frontier further.  A single changed
+        neighbour perturbs a hub by ``O(1/degree)``, so the hub's own
+        neighbourhood only sees a second-order effect — without the cap,
+        one new row that references a popular value drags in most of the
+        graph.
+        """
+        seeds = np.unique(np.asarray(list(seed_rows), dtype=np.int64))
+        if seeds.size and (seeds.min() < 0 or seeds.max() >= self.n_values):
+            raise RetrofitError("seed rows outside the extraction's index range")
+        reach = np.zeros(self.n_values, dtype=bool)
+        reach[seeds] = True
+        propagates = None
+        if frontier_degree_cap is not None:
+            propagates = self.degree_vector() <= float(frontier_degree_cap)
+        frontier = reach.copy()
+        for _ in range(max(0, int(hops))):
+            if not frontier.any():
+                break
+            expanded = self._support @ frontier.astype(np.float64)
+            new = (expanded > 0) & ~reach
+            if not new.any():
+                break
+            reach |= new
+            frontier = new if propagates is None else new & propagates
+        return np.nonzero(reach)[0]
+
+    def degree_vector(self) -> np.ndarray:
+        """Total relational degree of every row (both edge directions)."""
+        return np.asarray(self._support.sum(axis=1)).ravel()
+
+    def influence_rows(
+        self,
+        initial_perturbation: np.ndarray,
+        threshold: float = 1e-4,
+        max_hops: int = 10,
+    ) -> np.ndarray:
+        """Rows whose solution is expected to move more than ``threshold``.
+
+        Propagates a per-row perturbation estimate (relative vector
+        movement, 1.0 = completely new) through the linearised update
+        operator ``M = D⁻¹·Γ`` — row ``i`` of the fixed point moves by
+        roughly its γ-weight share of its neighbours' movements.  The
+        propagation runs until the carried perturbation everywhere falls
+        below ``threshold`` (or ``max_hops``), and returns every row whose
+        accumulated estimate exceeds it.  Unlike a plain k-hop BFS this
+        keeps following strong chains (a value that lost/gained a large
+        share of its neighbourhood) while damping out hub values whose
+        relative change is negligible.
+        """
+        p = np.asarray(initial_perturbation, dtype=np.float64)
+        if p.shape != (self.n_values,):
+            raise RetrofitError(
+                f"perturbation vector has shape {p.shape}, expected "
+                f"({self.n_values},)"
+            )
+        gamma_row_sum = np.asarray(
+            self._gamma_matrix_symmetric.sum(axis=1)
+        ).ravel()
+        scale = self.weights.alpha_vec + self.weights.beta_vec + gamma_row_sum
+        scale = np.where(scale < _EPSILON, 1.0, scale)
+        accumulated = p.copy()
+        for _ in range(max(0, int(max_hops))):
+            p = (self._gamma_matrix_symmetric @ p) / scale
+            if float(p.max(initial=0.0)) < threshold:
+                break
+            accumulated = np.maximum(accumulated, p)
+        return np.nonzero(accumulated >= threshold)[0]
+
+    def _resolve_active(
+        self,
+        active_rows: np.ndarray | None,
+        frozen_rows: np.ndarray | None,
+    ) -> np.ndarray | None:
+        """The sorted row subset to iterate, or ``None`` for all rows."""
+        if active_rows is None:
+            return None
+        rows = np.unique(np.asarray(active_rows, dtype=np.int64))
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_values):
+            raise RetrofitError("active rows outside the extraction's index range")
+        if frozen_rows is not None:
+            mask = np.asarray(frozen_rows, dtype=bool)
+            rows = rows[~mask[rows]]
+        return rows
+
+    @staticmethod
+    def _solve_mode(warm: bool, rows: np.ndarray | None) -> str:
+        parts = [part for part, on in (("warm", warm), ("subset", rows is not None)) if on]
+        return "+".join(parts) if parts else "cold"
+
+    class _SlicedStructures:
+        """Row-subset views and running sums for a subset solve.
+
+        Sliced once per solve (not per iteration): csr row selection
+        copies data, so hoisting it out of the iteration loop matters for
+        the incremental path.  The per-relation dissimilarity terms are
+        collapsed into stacked matrices so one iteration performs two
+        small matmuls instead of a Python loop over every relation, and
+        the per-relation target sums are maintained incrementally across
+        iterations — only active rows change, so each update costs
+        ``O(|targets ∩ active|·d)``, keeping the whole iteration
+        proportional to the active set instead of the full extraction.
+        """
+
+        def __init__(
+            self, solver: "RetroSolver", rows: np.ndarray, relation_indices, node_weights
+        ) -> None:
+            self.gamma_symmetric = solver._gamma_matrix_symmetric[rows]
+            self.gamma_directed = solver._gamma_matrix_directed[rows]
+            self._solver = solver
+            self._rows = rows
+            #: Relations with a non-zero dissimilarity term, in stack order.
+            self.used = list(relation_indices)
+            #: ``(len(used), |rows|)`` per-node dissimilarity weights.
+            self.weight_stack = (
+                np.vstack([node_weights[index][rows] for index in self.used])
+                if self.used
+                else np.zeros((0, rows.size))
+            )
+            self._target_stack: np.ndarray | None = None
+            # concatenated (targets ∩ rows) of every used relation plus the
+            # stack row each chunk belongs to, for one-shot advance()
+            inters = [
+                np.intersect1d(
+                    solver.directed[index].target_indices, rows, assume_unique=True
+                )
+                for index in self.used
+            ]
+            self._inter_rows = (
+                np.concatenate(inters) if inters else np.empty(0, np.int64)
+            )
+            self._inter_segments = (
+                np.concatenate(
+                    [np.full(inter.size, pos, dtype=np.int64)
+                     for pos, inter in enumerate(inters)]
+                )
+                if inters
+                else np.empty(0, np.int64)
+            )
+            self._combined_adjacency: sparse.csr_matrix | None = None
+
+        def target_stack(self, matrix: np.ndarray) -> np.ndarray:
+            """``(len(used), d)`` — Σ of target vectors per used relation."""
+            if self._target_stack is None:
+                self._target_stack = np.vstack([
+                    matrix[self._solver.directed[index].target_indices].sum(axis=0)
+                    for index in self.used
+                ]) if self.used else np.zeros((0, matrix.shape[1]))
+            return self._target_stack
+
+        def combined_adjacency(self, constants) -> sparse.csr_matrix:
+            """``Σ_r c_r · A_r`` restricted to the active rows (RO only)."""
+            if self._combined_adjacency is None:
+                n = self._solver.n_values
+                parts = []
+                for index in self.used:
+                    relation = self._solver.directed[index]
+                    parts.append((
+                        np.full(len(relation), constants[index]),
+                        relation.source_rows,
+                        relation.target_rows,
+                    ))
+                if parts:
+                    vals = np.concatenate([p[0] for p in parts])
+                    srcs = np.concatenate([p[1] for p in parts])
+                    dsts = np.concatenate([p[2] for p in parts])
+                    combined = sparse.csr_matrix((vals, (srcs, dsts)), shape=(n, n))
+                else:
+                    combined = sparse.csr_matrix((n, n))
+                self._combined_adjacency = combined[self._rows]
+            return self._combined_adjacency
+
+        def advance(self, previous: np.ndarray, updated: np.ndarray) -> None:
+            """Fold one iteration's active-row changes into the target sums."""
+            if self._target_stack is None or not self._inter_rows.size:
+                return
+            deltas = updated[self._inter_rows] - previous[self._inter_rows]
+            np.add.at(self._target_stack, self._inter_segments, deltas)
+
+    # ------------------------------------------------------------------ #
+    # single full-matrix steps (the incremental path's residual check)
+    # ------------------------------------------------------------------ #
+    def _cached_base_term(self) -> np.ndarray:
+        if not hasattr(self, "_base_term_cache"):
+            self._base_term_cache = (
+                self.weights.alpha_vec[:, None] * self.base_matrix
+                + self.weights.beta_vec[:, None] * self.centroids
+            )
+        return self._base_term_cache
+
+    def _cached_ro_denominator(self) -> np.ndarray:
+        if not hasattr(self, "_ro_denominator_cache"):
+            gamma_row_sum = np.asarray(
+                self._gamma_matrix_symmetric.sum(axis=1)
+            ).ravel()
+            denominator = (
+                self.weights.alpha_vec + self.weights.beta_vec + gamma_row_sum
+            )
+            for index, relation in enumerate(self.directed):
+                constant = self._delta_pair_constants[index]
+                if constant == 0.0:
+                    continue
+                complement_size = (
+                    self._source_indicator[index] * relation.n_targets
+                    - self._out_degree_vec[index]
+                )
+                denominator = denominator - constant * complement_size
+            self._ro_denominator_cache = np.where(
+                np.abs(denominator) < _EPSILON, 1.0, denominator
+            )
+        return self._ro_denominator_cache
+
+    def _full_stacks(self, method: str):
+        """Cached ``(used, weight_stack, combined_adjacency)`` for full steps."""
+        key = f"_full_stacks_{method}"
+        if not hasattr(self, key):
+            if method == "RO":
+                used = [
+                    index
+                    for index in range(len(self.directed))
+                    if self._delta_pair_constants[index] != 0.0
+                ]
+                weights = [
+                    self._delta_pair_constants[index] * self._source_indicator[index]
+                    for index in used
+                ]
+                combined = None
+                if used:
+                    vals = np.concatenate([
+                        np.full(
+                            len(self.directed[index]),
+                            self._delta_pair_constants[index],
+                        )
+                        for index in used
+                    ])
+                    srcs = np.concatenate(
+                        [self.directed[index].source_rows for index in used]
+                    )
+                    dsts = np.concatenate(
+                        [self.directed[index].target_rows for index in used]
+                    )
+                    combined = sparse.csr_matrix(
+                        (vals, (srcs, dsts)), shape=(self.n_values, self.n_values)
+                    )
+            else:
+                used = [
+                    index
+                    for index, node in enumerate(self.weights.delta_rn_node)
+                    if node.any()
+                ]
+                weights = [self.weights.delta_rn_node[index] for index in used]
+                combined = None
+            stack = (
+                np.vstack(weights)
+                if weights
+                else np.zeros((0, self.n_values))
+            )
+            setattr(self, key, (used, stack, combined))
+        return getattr(self, key)
+
+    def _target_stack_for(self, used, matrix: np.ndarray) -> np.ndarray:
+        if not used:
+            return np.zeros((0, matrix.shape[1]))
+        return np.vstack([
+            matrix[self.directed[index].target_indices].sum(axis=0)
+            for index in used
+        ])
+
+    def full_step(self, matrix: np.ndarray, method: str = "series") -> np.ndarray:
+        """One full Jacobi update step of the chosen solver, from ``matrix``.
+
+        Used by incremental maintenance as a residual check: after a
+        subset solve, one full step measures how far *every* row still
+        wants to move — rows past the tolerance join the next subset
+        round.  The dissimilarity terms run in stacked form (one matmul),
+        so a step costs far less than an iteration of the naive loop.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if method in ("optimization", "ro", "RO"):
+            used, stack, combined = self._full_stacks("RO")
+            relational = self._gamma_matrix_symmetric @ matrix
+            if used:
+                targets = self._target_stack_for(used, matrix)
+                relational = relational - (
+                    stack.T @ targets - combined @ matrix
+                )
+            numerator = self._cached_base_term() + relational
+            updated = numerator / self._cached_ro_denominator()[:, None]
+            return self._repair_rows(updated, matrix)
+        used, stack, _ = self._full_stacks("RN")
+        relational = self._gamma_matrix_directed @ matrix
+        if used:
+            targets = self._target_stack_for(used, matrix)
+            relational = relational - stack.T @ targets
+        numerator = self._cached_base_term() + relational
+        updated = self._normalise(numerator)
+        return self._repair_rows(updated, matrix)
+
+    def residual_shift(self, matrix: np.ndarray, method: str = "series") -> np.ndarray:
+        """Per-row relative movement of one more full step from ``matrix``."""
+        stepped = self.full_step(matrix, method)
+        norms = np.linalg.norm(matrix, axis=1)
+        safe = np.where(norms < _EPSILON, 1.0, norms)
+        return np.linalg.norm(stepped - matrix, axis=1) / safe
+
+    def _sliced_for_ro(self, rows: np.ndarray) -> "_SlicedStructures":
+        # single source of the used-relation list and weight rows: the
+        # cached full stacks (also used by full_step's residual checks)
+        used, stack, _ = self._full_stacks("RO")
+        weights = {index: stack[position] for position, index in enumerate(used)}
+        return self._SlicedStructures(self, rows, used, weights)
+
+    def _sliced_for_rn(self, rows: np.ndarray) -> "_SlicedStructures":
+        used, stack, _ = self._full_stacks("RN")
+        weights = {index: stack[position] for position, index in enumerate(used)}
+        return self._SlicedStructures(self, rows, used, weights)
+
+    def _relational_term_ro(
+        self,
+        matrix: np.ndarray,
+        rows: np.ndarray | None,
+        sliced: "_SlicedStructures | None" = None,
+    ) -> np.ndarray:
+        """The RO relational numerator term (Eq. 10 + Eq. 15), per row subset."""
+        if sliced is not None:
+            relational = sliced.gamma_symmetric @ matrix
+            if sliced.used:
+                relational = relational - (
+                    sliced.weight_stack.T @ sliced.target_stack(matrix)
+                    - sliced.combined_adjacency(self._delta_pair_constants) @ matrix
+                )
+            return relational
+        relational = self._gamma_matrix_symmetric @ matrix
+        for index, relation in enumerate(self.directed):
+            constant = self._delta_pair_constants[index]
+            if constant == 0.0:
+                continue
+            target_sum = matrix[relation.target_indices].sum(axis=0)
+            indicator = self._source_indicator[index]
+            adjacency = self._relation_adjacency(index)
+            relational = relational - constant * (
+                indicator[:, None] * target_sum[None, :] - adjacency @ matrix
+            )
+        return relational
+
+    def _relational_term_rn(
+        self,
+        matrix: np.ndarray,
+        rows: np.ndarray | None,
+        sliced: "_SlicedStructures | None" = None,
+    ) -> np.ndarray:
+        """The RN relational numerator term (Eq. 11 + Eq. 16), per row subset."""
+        if sliced is not None:
+            relational = sliced.gamma_directed @ matrix
+            if sliced.used:
+                relational = relational - (
+                    sliced.weight_stack.T @ sliced.target_stack(matrix)
+                )
+            return relational
+        relational = self._gamma_matrix_directed @ matrix
+        for index, relation in enumerate(self.directed):
+            delta_node = self.weights.delta_rn_node[index]
+            if not delta_node.any():
+                continue
+            target_sum = matrix[relation.target_indices].sum(axis=0)
+            relational = relational - delta_node[:, None] * target_sum[None, :]
+        return relational
 
     def _starting_matrix(
         self, initial_matrix: np.ndarray | None, normalise: bool
@@ -212,59 +640,47 @@ class RetroSolver:
         tolerance: float = 1e-5,
         initial_matrix: np.ndarray | None = None,
         frozen_rows: np.ndarray | None = None,
+        W_init: np.ndarray | None = None,
+        active_rows: np.ndarray | None = None,
     ) -> tuple[np.ndarray, SolverReport]:
-        """The RO solver: fixed-point iteration of Eq. 10 with Eq. 15."""
+        """The RO solver: fixed-point iteration of Eq. 10 with Eq. 15.
+
+        ``W_init`` warm-starts from a previous solution; ``active_rows``
+        restricts every iteration to a row subset (the incremental path) —
+        each iteration then costs ``O(nnz(Γ[rows]) + |rows|·d)`` instead of
+        touching the whole matrix.
+        """
         start = time.perf_counter()
+        if W_init is not None:
+            initial_matrix = W_init
         matrix = self._starting_matrix(initial_matrix, normalise=False)
         frozen_reference = matrix.copy()
-        gamma_matrix = self._gamma_matrix_symmetric
-        gamma_row_sum = np.asarray(gamma_matrix.sum(axis=1)).ravel()
-
-        denominator = self.weights.alpha_vec + self.weights.beta_vec + gamma_row_sum
-        delta_pair_constants: list[float] = []
-        for index, relation in enumerate(self.directed):
-            inverse = self._inverse_index(index)
-            constant = self.weights.delta_ro[index] + self.weights.delta_ro[inverse]
-            delta_pair_constants.append(constant)
-            if constant == 0.0:
-                continue
-            complement_size = (
-                self._source_indicator[index] * relation.n_targets
-                - self._out_degree_vec[index]
-            )
-            denominator = denominator - constant * complement_size
-        safe_denominator = np.where(
-            np.abs(denominator) < _EPSILON, 1.0, denominator
-        )
-
-        base_term = (
-            self.weights.alpha_vec[:, None] * self.base_matrix
-            + self.weights.beta_vec[:, None] * self.centroids
-        )
+        rows = self._resolve_active(active_rows, frozen_rows)
+        safe_denominator = self._cached_ro_denominator()
+        base_term = self._cached_base_term()
         shift_history: list[float] = []
         loss_history: list[float] = []
         if track_loss:
             loss_history.append(self._loss(matrix))
         performed = 0
         converged = False
+        sliced = None if rows is None else self._sliced_for_ro(rows)
         for _ in range(iterations):
-            relational = gamma_matrix @ matrix
-            for index, relation in enumerate(self.directed):
-                constant = delta_pair_constants[index]
-                if constant == 0.0:
-                    continue
-                target_sum = matrix[relation.target_indices].sum(axis=0)
-                related_sum = self._adjacency[index] @ matrix
-                relational = relational - constant * (
-                    self._source_indicator[index][:, None] * target_sum[None, :]
-                    - related_sum
-                )
-            numerator = base_term + relational
-            updated = numerator / safe_denominator[:, None]
+            relational = self._relational_term_ro(matrix, rows, sliced)
+            if rows is None:
+                numerator = base_term + relational
+                updated = numerator / safe_denominator[:, None]
+            else:
+                numerator = base_term[rows] + relational
+                updated = matrix.copy()
+                updated[rows] = numerator / safe_denominator[rows][:, None]
             updated = self._repair_rows(updated, matrix)
             updated = self._apply_frozen(updated, frozen_reference, frozen_rows)
-            shift = float(np.max(np.linalg.norm(updated - matrix, axis=1), initial=0.0))
+            changed = updated - matrix if rows is None else updated[rows] - matrix[rows]
+            shift = float(np.max(np.linalg.norm(changed, axis=1), initial=0.0))
             shift_history.append(shift)
+            if sliced is not None:
+                sliced.advance(matrix, updated)
             matrix = updated
             performed += 1
             if track_loss:
@@ -280,6 +696,8 @@ class RetroSolver:
             convexity_margin=self.convexity_margin,
             shift_history=shift_history,
             loss_history=loss_history,
+            mode=self._solve_mode(initial_matrix is not None, rows),
+            n_active=None if rows is None else int(rows.size),
         )
         return matrix, report
 
@@ -290,36 +708,50 @@ class RetroSolver:
         tolerance: float = 1e-5,
         initial_matrix: np.ndarray | None = None,
         frozen_rows: np.ndarray | None = None,
+        W_init: np.ndarray | None = None,
+        active_rows: np.ndarray | None = None,
     ) -> tuple[np.ndarray, SolverReport]:
-        """The RN solver: bounded series of Eq. 11 with Eq. 16."""
+        """The RN solver: bounded series of Eq. 11 with Eq. 16.
+
+        ``W_init``/``active_rows`` behave as in :meth:`solve_optimization`;
+        a warm start resumes the (row-normalised) series from the previous
+        solution instead of the normalised ``W0``.
+        """
         start = time.perf_counter()
-        matrix = self._starting_matrix(initial_matrix, normalise=True)
+        if W_init is not None:
+            initial_matrix = W_init
+        rows = self._resolve_active(active_rows, frozen_rows)
+        # a subset solve must leave inactive rows bit-for-bit untouched, so
+        # only the active rows are (re)normalised — a warm start comes from
+        # a previous series solution whose rows are already unit length
+        matrix = self._starting_matrix(initial_matrix, normalise=rows is None)
+        if rows is not None and rows.size:
+            matrix[rows] = self._normalise(matrix[rows])
         frozen_reference = matrix.copy()
-        gamma_matrix = self._gamma_matrix_directed
-        base_term = (
-            self.weights.alpha_vec[:, None] * self.base_matrix
-            + self.weights.beta_vec[:, None] * self.centroids
-        )
+        base_term = self._cached_base_term()
         shift_history: list[float] = []
         loss_history: list[float] = []
         if track_loss:
             loss_history.append(self._loss(matrix))
         performed = 0
         converged = False
+        sliced = None if rows is None else self._sliced_for_rn(rows)
         for _ in range(iterations):
-            relational = gamma_matrix @ matrix
-            for index, relation in enumerate(self.directed):
-                delta_node = self.weights.delta_rn_node[index]
-                if not delta_node.any():
-                    continue
-                target_sum = matrix[relation.target_indices].sum(axis=0)
-                relational = relational - delta_node[:, None] * target_sum[None, :]
-            numerator = base_term + relational
-            updated = self._normalise(numerator)
+            relational = self._relational_term_rn(matrix, rows, sliced)
+            if rows is None:
+                numerator = base_term + relational
+                updated = self._normalise(numerator)
+            else:
+                numerator = base_term[rows] + relational
+                updated = matrix.copy()
+                updated[rows] = self._normalise(numerator)
             updated = self._repair_rows(updated, matrix)
             updated = self._apply_frozen(updated, frozen_reference, frozen_rows)
-            shift = float(np.max(np.linalg.norm(updated - matrix, axis=1), initial=0.0))
+            changed = updated - matrix if rows is None else updated[rows] - matrix[rows]
+            shift = float(np.max(np.linalg.norm(changed, axis=1), initial=0.0))
             shift_history.append(shift)
+            if sliced is not None:
+                sliced.advance(matrix, updated)
             matrix = updated
             performed += 1
             if track_loss:
@@ -335,6 +767,8 @@ class RetroSolver:
             convexity_margin=self.convexity_margin,
             shift_history=shift_history,
             loss_history=loss_history,
+            mode=self._solve_mode(initial_matrix is not None, rows),
+            n_active=None if rows is None else int(rows.size),
         )
         return matrix, report
 
@@ -344,6 +778,11 @@ class RetroSolver:
     def solve_optimization_naive(self, iterations: int = 20) -> np.ndarray:
         """Literal per-vector implementation of Eq. 8 (Jacobi-style updates)."""
         matrix = self.base_matrix.copy()
+        # membership sets built once — relation.out_degree is a property
+        # that materialises a whole dict per access
+        source_sets = [
+            set(relation.source_indices.tolist()) for relation in self.directed
+        ]
         for _ in range(iterations):
             updated = matrix.copy()
             for i in range(self.n_values):
@@ -363,7 +802,7 @@ class RetroSolver:
                         weight = gamma_i + self.weights.gamma_node[inverse][j]
                         numerator = numerator + weight * matrix[j]
                         denominator += weight
-                    if delta_const > 0.0 and i in relation.out_degree:
+                    if delta_const > 0.0 and i in source_sets[index]:
                         unrelated = np.setdiff1d(
                             relation.target_indices, related_targets
                         )

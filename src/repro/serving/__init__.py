@@ -10,7 +10,7 @@ query cache.
 
 from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descending
-from repro.serving.session import ServingSession, default_index_factory
+from repro.serving.session import ServingSession, UpdateStats, default_index_factory
 from repro.serving.store import (
     EmbeddingStore,
     KIND_EMBEDDING_SET,
@@ -33,6 +33,7 @@ __all__ = [
     "IVFIndex",
     "topk_descending",
     "ServingSession",
+    "UpdateStats",
     "default_index_factory",
     "EmbeddingStore",
     "STORE_FORMAT",

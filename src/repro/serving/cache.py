@@ -72,6 +72,14 @@ class LRUCache:
         """Drop all entries (counters are kept)."""
         self._entries.clear()
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return one entry (no hit/miss accounting)."""
+        return self._entries.pop(key, default)
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """All entries, least recently used first."""
+        return list(self._entries.items())
+
     @property
     def stats(self) -> CacheStats:
         """Current hit/miss counters."""

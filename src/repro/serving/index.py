@@ -59,7 +59,14 @@ def topk_descending(scores: np.ndarray, k: int) -> np.ndarray:
 
 
 class VectorIndex(ABC):
-    """Top-k similarity search over a fixed ``(n_rows, dimension)`` matrix."""
+    """Top-k similarity search over a ``(n_rows, dimension)`` matrix.
+
+    Indexes are mutable: :meth:`add` appends vectors (row ids keep
+    growing), :meth:`remove` tombstones rows (their ids are never handed
+    out again and they stop appearing in results) and :meth:`update_rows`
+    swaps vectors in place.  Mutation copies the matrix on first write, so
+    an index built over an embedding set's matrix never corrupts it.
+    """
 
     def __init__(self, matrix: np.ndarray, metric: str = "cosine") -> None:
         if metric not in METRICS:
@@ -70,16 +77,88 @@ class VectorIndex(ABC):
         self.metric = metric
         self.matrix = matrix
         self._row_norms = np.linalg.norm(matrix, axis=1)
+        self._active = np.ones(matrix.shape[0], dtype=bool)
+        self._owns_matrix = False
 
     @property
     def n_rows(self) -> int:
-        """Number of indexed vectors."""
+        """Number of row ids ever issued (tombstoned rows included)."""
         return self.matrix.shape[0]
+
+    @property
+    def active_count(self) -> int:
+        """Number of searchable (non-tombstoned) vectors."""
+        return int(self._active.sum())
+
+    @property
+    def has_tombstones(self) -> bool:
+        """Whether any row has been removed."""
+        return self.active_count != self.n_rows
+
+    @property
+    def active_rows(self) -> np.ndarray:
+        """Ids of all searchable rows, ascending."""
+        return np.nonzero(self._active)[0]
 
     @property
     def dimension(self) -> int:
         """Dimensionality of the indexed vectors."""
         return self.matrix.shape[1]
+
+    # ------------------------------------------------------------------ #
+    # mutation plumbing
+    # ------------------------------------------------------------------ #
+    def _ensure_owned(self) -> None:
+        """Copy-on-first-write: never mutate a caller's matrix in place."""
+        if not self._owns_matrix:
+            self.matrix = self.matrix.copy()
+            self._owns_matrix = True
+
+    def _prepare_new_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if vectors.ndim == 1:
+            vectors = vectors[None, :]
+        if vectors.ndim != 2 or vectors.shape[1] != self.dimension:
+            raise ServingError(
+                f"vectors have shape {vectors.shape}, expected "
+                f"(count, {self.dimension})"
+            )
+        return vectors
+
+    def _append_rows(self, vectors: np.ndarray) -> np.ndarray:
+        """Grow the matrix by ``vectors``; returns the new row ids."""
+        self._ensure_owned()
+        start = self.n_rows
+        self.matrix = np.vstack((self.matrix, vectors))
+        self._row_norms = np.concatenate(
+            (self._row_norms, np.linalg.norm(vectors, axis=1))
+        )
+        self._active = np.concatenate(
+            (self._active, np.ones(vectors.shape[0], dtype=bool))
+        )
+        return np.arange(start, self.n_rows, dtype=np.int64)
+
+    def _validate_rows(self, rows, require_active: bool = True) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        if rows.size and (rows.min() < 0 or rows.max() >= self.n_rows):
+            raise ServingError(
+                f"row ids outside 0..{self.n_rows - 1}"
+            )
+        if require_active and rows.size and not self._active[rows].all():
+            raise ServingError("cannot touch a removed (tombstoned) row")
+        return rows
+
+    @abstractmethod
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Append vectors; returns their newly assigned row ids."""
+
+    @abstractmethod
+    def remove(self, rows) -> None:
+        """Tombstone rows: they stop appearing in any query result."""
+
+    @abstractmethod
+    def update_rows(self, rows, vectors: np.ndarray) -> None:
+        """Replace the vectors of existing rows (ids stay stable)."""
 
     def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
         queries = np.asarray(queries, dtype=np.float64)
@@ -150,9 +229,33 @@ class FlatIndex(VectorIndex):
                 np.empty((batch, 0), dtype=np.float64),
             )
         scores = self._score_rows(self.matrix, self._row_norms, queries).T
+        if self.has_tombstones:
+            scores[:, ~self._active] = -np.inf
         indices = topk_descending(scores, k)
         rows = np.arange(queries.shape[0])[:, None]
-        return indices, scores[rows, indices]
+        top_scores = scores[rows, indices]
+        if self.has_tombstones:
+            # a tombstoned row can only surface when k exceeds the number
+            # of active rows; mark it like the IVF padding does
+            indices = indices.copy()
+            indices[~np.isfinite(top_scores)] = -1
+        return indices, top_scores
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        return self._append_rows(self._prepare_new_vectors(vectors))
+
+    def remove(self, rows) -> None:
+        rows = self._validate_rows(rows, require_active=False)
+        self._active[rows] = False
+
+    def update_rows(self, rows, vectors: np.ndarray) -> None:
+        rows = self._validate_rows(rows)
+        vectors = self._prepare_new_vectors(vectors)
+        if vectors.shape[0] != rows.size:
+            raise ServingError("update needs one vector per row id")
+        self._ensure_owned()
+        self.matrix[rows] = vectors
+        self._row_norms[rows] = np.linalg.norm(vectors, axis=1)
 
 
 class IVFIndex(VectorIndex):
@@ -177,6 +280,9 @@ class IVFIndex(VectorIndex):
         Seed of the k-means initialisation.
     """
 
+    #: ``imbalance()`` level beyond which the next query re-runs k-means.
+    DEFAULT_RECLUSTER_THRESHOLD = 4.0
+
     def __init__(
         self,
         matrix: np.ndarray,
@@ -185,6 +291,7 @@ class IVFIndex(VectorIndex):
         nprobe: int = 8,
         train_iterations: int = 10,
         seed: int = 0,
+        recluster_threshold: float = DEFAULT_RECLUSTER_THRESHOLD,
     ) -> None:
         super().__init__(matrix, metric)
         if self.n_rows == 0:
@@ -197,6 +304,11 @@ class IVFIndex(VectorIndex):
             raise ServingError("nprobe must be positive")
         self.n_cells = min(int(n_cells), self.n_rows)
         self.nprobe = int(nprobe)
+        self.recluster_threshold = float(recluster_threshold)
+        self._train_iterations = int(train_iterations)
+        self._seed = int(seed)
+        self._needs_recluster = False
+        self._reclusters = 0
         self._train(int(train_iterations), int(seed))
 
     # ------------------------------------------------------------------ #
@@ -296,13 +408,177 @@ class IVFIndex(VectorIndex):
             raise ServingError("nprobe must be positive")
         index.n_cells = int(centroids.shape[0])
         index.nprobe = int(nprobe)
+        index.recluster_threshold = cls.DEFAULT_RECLUSTER_THRESHOLD
+        index._train_iterations = 10
+        index._seed = 0
+        index._needs_recluster = False
+        index._reclusters = 0
         index.centroids = centroids
         index._finalise(assignments)
         return index
 
+    @classmethod
+    def from_partial_state(
+        cls,
+        matrix: np.ndarray,
+        centroids: np.ndarray,
+        assignments: np.ndarray,
+        metric: str = "cosine",
+        nprobe: int = 8,
+    ) -> "IVFIndex":
+        """Rebuild from persisted state where some rows lack an assignment.
+
+        Rows whose assignment is ``-1`` (e.g. appended by a delta record
+        after the index was saved) are assigned to their nearest centroid —
+        the whole k-means training pass is still skipped.
+        """
+        assignments = np.asarray(assignments, dtype=np.int64).copy()
+        centroids = np.asarray(centroids, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        missing = np.nonzero(assignments < 0)[0]
+        if missing.size:
+            if centroids.ndim != 2 or centroids.shape[1] != matrix.shape[1]:
+                raise ServingError(
+                    f"centroids have shape {centroids.shape}, expected "
+                    f"(n_cells, {matrix.shape[1]})"
+                )
+            vectors = matrix[missing]
+            norms = np.linalg.norm(vectors, axis=1)
+            safe = np.where(norms < _EPSILON, 1.0, norms)
+            assignments[missing] = np.argmax(
+                (vectors / safe[:, None]) @ centroids.T, axis=1
+            )
+        return cls.from_state(
+            matrix, centroids, assignments, metric=metric, nprobe=nprobe
+        )
+
     def cell_sizes(self) -> list[int]:
         """Number of vectors stored in each cell."""
         return [ids.size for ids in self._cell_ids]
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def imbalance(self) -> float:
+        """``max cell size / mean active cell load`` (1.0 = perfectly even)."""
+        active = self.active_count
+        if active == 0:
+            return 1.0
+        largest = max(ids.size for ids in self._cell_ids)
+        return largest / (active / self.n_cells)
+
+    @property
+    def needs_recluster(self) -> bool:
+        """Whether the next query will re-run the coarse quantiser."""
+        return self._needs_recluster
+
+    @property
+    def recluster_count(self) -> int:
+        """How many times the quantiser has been lazily retrained."""
+        return self._reclusters
+
+    def _note_mutation(self) -> None:
+        if self.imbalance() > self.recluster_threshold:
+            self._needs_recluster = True
+
+    def _cell_append(self, cell: int, rows: np.ndarray) -> None:
+        self._cell_ids[cell] = np.concatenate((self._cell_ids[cell], rows))
+        self._cell_matrices[cell] = np.vstack(
+            (self._cell_matrices[cell], self.matrix[rows])
+        )
+        self._cell_norms[cell] = np.concatenate(
+            (self._cell_norms[cell], self._row_norms[rows])
+        )
+        self._empty_cells[cell] = False
+
+    def _cell_discard(self, rows: np.ndarray) -> None:
+        for cell in np.unique(self._assignment[rows]):
+            if cell < 0:
+                continue
+            keep = ~np.isin(self._cell_ids[cell], rows)
+            self._cell_ids[cell] = self._cell_ids[cell][keep]
+            self._cell_matrices[cell] = self._cell_matrices[cell][keep]
+            self._cell_norms[cell] = self._cell_norms[cell][keep]
+            self._empty_cells[cell] = self._cell_ids[cell].size == 0
+
+    def _assign_to_cells(self, vectors: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(vectors, axis=1)
+        safe = np.where(norms < _EPSILON, 1.0, norms)
+        return np.argmax((vectors / safe[:, None]) @ self.centroids.T, axis=1)
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        """Append vectors, assigning each to its nearest centroid.
+
+        No re-training happens on the spot; when the accumulated inserts
+        leave the cells imbalanced past :attr:`recluster_threshold`, the
+        next query lazily re-runs the coarse quantiser.
+        """
+        vectors = self._prepare_new_vectors(vectors)
+        ids = self._append_rows(vectors)
+        assigned = self._assign_to_cells(vectors)
+        self._assignment = np.concatenate((self._assignment, assigned))
+        for cell in np.unique(assigned):
+            self._cell_append(int(cell), ids[assigned == cell])
+        self._note_mutation()
+        return ids
+
+    def remove(self, rows) -> None:
+        rows = self._validate_rows(rows, require_active=False)
+        rows = rows[self._active[rows]]
+        if not rows.size:
+            return
+        self._active[rows] = False
+        self._cell_discard(rows)
+        self._assignment[rows] = -1
+        self._note_mutation()
+
+    def update_rows(self, rows, vectors: np.ndarray) -> None:
+        """Swap vectors in place; rows migrate to their nearest centroid."""
+        rows = self._validate_rows(rows)
+        vectors = self._prepare_new_vectors(vectors)
+        if vectors.shape[0] != rows.size:
+            raise ServingError("update needs one vector per row id")
+        self._ensure_owned()
+        self._cell_discard(rows)
+        self.matrix[rows] = vectors
+        self._row_norms[rows] = np.linalg.norm(vectors, axis=1)
+        assigned = self._assign_to_cells(vectors)
+        self._assignment[rows] = assigned
+        for cell in np.unique(assigned):
+            self._cell_append(int(cell), rows[assigned == cell])
+        self._note_mutation()
+
+    def rebalance(self) -> None:
+        """Re-run the spherical k-means quantiser over the active rows."""
+        rows = self.active_rows
+        if rows.size == 0:
+            self._needs_recluster = False
+            return
+        rng = np.random.default_rng(self._seed + self._reclusters + 1)
+        norms = self._row_norms[rows]
+        safe = np.where(norms < _EPSILON, 1.0, norms)
+        unit = self.matrix[rows] / safe[:, None]
+        n_cells = min(self.n_cells, rows.size)
+        chosen = rng.choice(rows.size, size=n_cells, replace=False)
+        centroids = unit[chosen].copy()
+        for _ in range(max(1, self._train_iterations)):
+            assignment = np.argmax(unit @ centroids.T, axis=1)
+            for cell in range(n_cells):
+                members = np.nonzero(assignment == cell)[0]
+                if members.size == 0:
+                    centroids[cell] = unit[int(rng.integers(rows.size))]
+                    continue
+                mean = unit[members].mean(axis=0)
+                norm = np.linalg.norm(mean)
+                centroids[cell] = mean / norm if norm > _EPSILON else mean
+        assignment = np.argmax(unit @ centroids.T, axis=1)
+        full = np.full(self.n_rows, -1, dtype=np.int64)
+        full[rows] = assignment
+        self.n_cells = n_cells
+        self.centroids = centroids
+        self._finalise(full)
+        self._needs_recluster = False
+        self._reclusters += 1
 
     # ------------------------------------------------------------------ #
     # search
@@ -319,6 +595,8 @@ class IVFIndex(VectorIndex):
     def query_batch(
         self, queries: np.ndarray, k: int
     ) -> tuple[np.ndarray, np.ndarray]:
+        if self._needs_recluster:
+            self.rebalance()  # lazy: piles of adds/removes settle here
         queries = self._prepare_queries(queries)
         batch = queries.shape[0]
         probed = self._probed_cells(queries)

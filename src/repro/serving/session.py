@@ -8,11 +8,19 @@ requests without touching the solver:
 * it lazily builds one :class:`VectorIndex` per queried scope (the whole
   extraction, or one category) and keeps them for the session's lifetime,
 * single top-k lookups go through an LRU cache keyed on the raw query
-  bytes, batched lookups go straight to the index's batch kernel.
+  bytes *plus the embedding-set version*, batched lookups go straight to
+  the index's batch kernel,
+* :meth:`apply_update` folds an incremental retrofit
+  (:class:`repro.retrofit.incremental.IncrementalUpdateResult`) into the
+  live session: vectors are swapped atomically, the full-scope index is
+  updated in place (added/removed/changed rows — an IVF index keeps its
+  trained centroids) and only the LRU entries whose scope the delta
+  touched are invalidated.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -46,6 +54,18 @@ def default_index_factory(
     return build
 
 
+@dataclass(frozen=True)
+class UpdateStats:
+    """What one :meth:`ServingSession.apply_update` actually did."""
+
+    rows_added: int
+    rows_removed: int
+    rows_changed: int
+    index_updated_in_place: bool
+    cache_entries_dropped: int
+    cache_entries_kept: int
+
+
 class ServingSession:
     """Batched top-k similarity serving over one embedding set."""
 
@@ -56,11 +76,15 @@ class ServingSession:
         cache_size: int = 1024,
     ) -> None:
         self.embeddings = embeddings
+        #: Monotonically increasing embedding-set version.  Part of every
+        #: cache key, so results computed against older vectors can never
+        #: be served after an update or a reload swapped the matrix.
+        self.version = 0
         self._index_factory = index_factory
         self._indexes: dict[str | None, VectorIndex] = {}
         self._scope_rows: dict[str | None, Sequence[int]] = {}
         self._cache = LRUCache(cache_size) if cache_size > 0 else None
-        self._indexed_matrix: np.ndarray | None = None
+        self._indexed_matrix: np.ndarray | None = embeddings.matrix
 
     # ------------------------------------------------------------------ #
     # construction from disk
@@ -85,11 +109,13 @@ class ServingSession:
         store = EmbeddingStore(path)
         kind = store.artifact_kind(name)
         index = None
+        version = 0
         if kind == "retro_result":
             embeddings = store.load_result(name).embeddings
         else:
-            embeddings, index = store.load_embedding_set_with_index(name)
+            embeddings, index, version = store.load_embedding_set_versioned(name)
         session = cls(embeddings, index_factory=index_factory, cache_size=cache_size)
+        session.version = version
         if index is not None:
             session._indexed_matrix = embeddings.matrix
             session._scope_rows[None] = embeddings.scope_rows(None)
@@ -106,7 +132,32 @@ class ServingSession:
         """
         store = EmbeddingStore(path)
         index = self.index_for(None) if include_index else None
-        return store.save_embedding_set(name, self.embeddings, index=index)
+        if index is not None and index.n_rows != len(self.embeddings):
+            index = self._compacted_index(index)
+        return store.save_embedding_set(
+            name, self.embeddings, index=index, version=self.version
+        )
+
+    def _compacted_index(self, index: VectorIndex) -> VectorIndex:
+        """A tombstone-free copy of an in-place-updated full-scope index.
+
+        Persisted indexes must span exactly the embedding matrix.  An IVF
+        index keeps its trained centroids — the per-record assignments are
+        carried over through the session's row map, so no k-means runs.
+        """
+        rows_map = np.asarray(self._scope_rows[None], dtype=np.int64)
+        if isinstance(index, IVFIndex):
+            assignments = np.full(len(self.embeddings), -1, dtype=np.int64)
+            live = rows_map >= 0
+            assignments[rows_map[live]] = index.assignments[live]
+            return IVFIndex.from_partial_state(
+                self.embeddings.matrix,
+                index.centroids,
+                assignments,
+                metric=index.metric,
+                nprobe=index.nprobe,
+            )
+        return FlatIndex(self.embeddings.matrix, metric=index.metric)
 
     # ------------------------------------------------------------------ #
     # vocabulary access
@@ -131,13 +182,15 @@ class ServingSession:
     def _sync_matrix(self) -> None:
         """Drop indexes and cached results if the served matrix was
         reassigned (mirrors :meth:`TextValueEmbeddingSet.index_for`;
-        in-place element mutation is not detected)."""
+        in-place element mutation is not detected).  The version bump
+        makes any straggler cache key from the old matrix unreachable."""
         if self._indexed_matrix is not self.embeddings.matrix:
             self._indexes.clear()
             self._scope_rows.clear()
             if self._cache is not None:
                 self._cache.clear()
             self._indexed_matrix = self.embeddings.matrix
+            self.version += 1
 
     def index_for(self, category: str | None = None) -> VectorIndex:
         """The (lazily built) index of one scope; ``None`` = all values.
@@ -166,6 +219,142 @@ class ServingSession:
             self._indexes[category] = index
         return self._indexes[category]
 
+    # ------------------------------------------------------------------ #
+    # live updates
+    # ------------------------------------------------------------------ #
+    def apply_update(self, update) -> UpdateStats:
+        """Fold an incremental retrofit into the live session, atomically.
+
+        ``update`` is an
+        :class:`repro.retrofit.incremental.IncrementalUpdateResult` whose
+        embeddings continue this session's current set.  The full-scope
+        index is updated in place — removed rows are tombstoned, changed
+        rows swapped, new rows appended (an IVF index assigns them to its
+        existing centroids and only re-clusters lazily when imbalance
+        demands it).  Category-scope indexes are dropped and rebuilt
+        lazily (they are cheap flat indexes).  Cached results whose scope
+        the delta did not touch survive, re-keyed to the new version;
+        everything else is invalidated.
+
+        All fallible work happens before the first visible mutation, so a
+        validation error leaves the session serving the pre-update state.
+        """
+        new_embeddings = update.embeddings
+        if new_embeddings.dimension != self.dimension:
+            raise ServingError(
+                "update changes the embedding dimension "
+                f"({self.dimension} -> {new_embeddings.dimension})"
+            )
+        delta_map = update.delta_map
+        if delta_map is None:
+            # legacy update without index mapping: full swap, lazy rebuilds
+            self.embeddings = new_embeddings
+            self._indexes.clear()
+            self._scope_rows.clear()
+            dropped = 0
+            if self._cache is not None:
+                dropped = len(self._cache)
+                self._cache.clear()
+            self._indexed_matrix = new_embeddings.matrix
+            self.version += 1
+            return UpdateStats(
+                rows_added=len(update.new_indices),
+                rows_removed=0,
+                rows_changed=len(update.new_indices),
+                index_updated_in_place=False,
+                cache_entries_dropped=dropped,
+                cache_entries_kept=0,
+            )
+
+        old_to_new = delta_map.old_to_new
+        added = np.asarray(delta_map.added_indices, dtype=np.int64)
+        changed = (
+            np.asarray(update.changed_rows, dtype=np.int64)
+            if update.changed_rows is not None
+            else added
+        )
+        changed_survivors = np.setdiff1d(changed, added)
+
+        in_place = False
+        index = self._indexes.get(None)
+        if index is not None and index is self.embeddings.cached_index(None):
+            # the full-scope index is shared with the embedding set (small
+            # scope, flat) — never mutate it under the old set's feet, a
+            # fresh flat build is cheap
+            self._indexes.pop(None)
+            self._scope_rows.pop(None, None)
+            index = None
+        if index is not None:
+            # map index rows (ids never shrink) onto the new record numbering
+            old_rows = np.asarray(self._scope_rows[None], dtype=np.int64)
+            new_rows = np.full(old_rows.shape, -1, dtype=np.int64)
+            live = old_rows >= 0
+            new_rows[live] = old_to_new[old_rows[live]]
+            removed_positions = np.nonzero(live & (new_rows < 0))[0]
+
+            # positions of surviving records, for the changed-row swap
+            position_of_new = np.full(len(new_embeddings), -1, dtype=np.int64)
+            position_of_new[new_rows[new_rows >= 0]] = np.nonzero(new_rows >= 0)[0]
+            changed_positions = position_of_new[changed_survivors]
+            if changed_positions.size and (changed_positions < 0).any():
+                raise ServingError(
+                    "update references rows the serving index does not hold"
+                )
+
+            if removed_positions.size:
+                index.remove(removed_positions)
+            if changed_positions.size:
+                index.update_rows(
+                    changed_positions, new_embeddings.matrix[changed_survivors]
+                )
+            if added.size:
+                added_positions = index.add(new_embeddings.matrix[added])
+                grown = np.full(index.n_rows, -1, dtype=np.int64)
+                grown[: new_rows.size] = new_rows
+                grown[added_positions] = added
+                new_rows = grown
+            self._scope_rows[None] = new_rows
+            in_place = True
+
+        # category scopes are cheap flat indexes: drop, rebuild on demand
+        for scope in [s for s in self._indexes if s is not None]:
+            del self._indexes[scope]
+            self._scope_rows.pop(scope, None)
+
+        # selective cache invalidation: a cached result survives only when
+        # its scope is a category the delta never touched
+        affected = set(
+            update.extraction_delta.touched_categories()
+            if update.extraction_delta is not None
+            else ()
+        )
+        records = new_embeddings.extraction.records
+        for row in changed:
+            affected.add(records[int(row)].category)
+        dropped = kept = 0
+        if self._cache is not None:
+            next_version = self.version + 1
+            for key, value in self._cache.items():
+                self._cache.pop(key)
+                _, category, k, payload = key
+                if category is None or category in affected:
+                    dropped += 1
+                    continue
+                self._cache.put((next_version, category, k, payload), value)
+                kept += 1
+
+        self.embeddings = new_embeddings
+        self._indexed_matrix = new_embeddings.matrix
+        self.version += 1
+        return UpdateStats(
+            rows_added=int(added.size),
+            rows_removed=delta_map.n_removed,
+            rows_changed=int(changed_survivors.size),
+            index_updated_in_place=in_place,
+            cache_entries_dropped=dropped,
+            cache_entries_kept=kept,
+        )
+
     def _decorate(
         self, category: str | None, indices: np.ndarray, scores: np.ndarray
     ) -> list[tuple[str, str, float]]:
@@ -175,7 +364,10 @@ class ServingSession:
         for position, score in zip(indices, scores):
             if position < 0 or not np.isfinite(score):
                 continue
-            record = records[rows[int(position)]]
+            record_index = rows[int(position)]
+            if record_index < 0:
+                continue  # index row whose record was removed by an update
+            record = records[record_index]
             results.append((record.category, record.text, float(score)))
         return results
 
@@ -198,7 +390,7 @@ class ServingSession:
         self._sync_matrix()  # before the cache lookup: stale hits are wrong
         key = None
         if self._cache is not None:
-            key = (category, int(k), vector.tobytes())
+            key = (self.version, category, int(k), vector.tobytes())
             cached = self._cache.get(key)
             if cached is not None:
                 return list(cached)

@@ -42,11 +42,19 @@ from repro.retrofit.initialization import InitialisedMatrix
 from repro.retrofit.retro import SolverReport
 
 STORE_FORMAT = "repro-embedding-store"
-STORE_VERSION = 1
+#: Version 2: relation-group names carry join metadata ([fk:col]/[m2m:via])
+#: and embedding sets are versioned with delta records.  Version-1
+#: artifacts would silently mismatch the new relation names during delta
+#: derivation, so they are rejected loudly and rebuilt instead.
+STORE_VERSION = 2
 
 KIND_EMBEDDING_SET = "embedding_set"
 KIND_RETRO_RESULT = "retro_result"
 KIND_EMBEDDING_SUITE = "embedding_suite"
+KIND_EMBEDDING_DELTA = "embedding_delta"
+
+#: Artifact-name suffix pattern of a delta record: ``<base>.delta<6 digits>``.
+_DELTA_NAME_RE = re.compile(r"^(?P<base>.+)\.delta(?P<version>\d{6})$")
 
 #: npz key prefix under which an embedding suite's per-set matrices live.
 _SUITE_SET_PREFIX = "set::"
@@ -312,7 +320,8 @@ class EmbeddingStore:
     # embedding sets
     # ------------------------------------------------------------------ #
     def save_embedding_set(
-        self, name: str, embeddings: TextValueEmbeddingSet, index=None
+        self, name: str, embeddings: TextValueEmbeddingSet, index=None,
+        version: int = 0,
     ) -> Path:
         """Persist one :class:`TextValueEmbeddingSet` as artifact ``name``.
 
@@ -322,11 +331,18 @@ class EmbeddingStore:
         assignments are stored, so :meth:`ServingSession.from_store` serves
         the artifact without re-running the clustering; a
         :class:`repro.serving.FlatIndex` only records its metric.
+        ``version`` marks the embedding-set version this base artifact
+        reflects; delta records with higher versions are replayed on load.
         """
+        if _DELTA_NAME_RE.match(name):
+            raise StoreFormatError(
+                f"artifact name {name!r} is reserved for delta records"
+            )
         header: dict[str, Any] = {
             "set_name": embeddings.name,
             "dimension": embeddings.dimension,
             "n_values": len(embeddings),
+            "set_version": int(version),
             "extraction": extraction_to_dict(embeddings.extraction),
         }
         arrays: dict[str, np.ndarray] = {"matrix": embeddings.matrix}
@@ -357,14 +373,31 @@ class EmbeddingStore:
         return self._write(name, KIND_EMBEDDING_SET, header, arrays)
 
     def load_embedding_set(self, name: str) -> TextValueEmbeddingSet:
-        """Reload an embedding set saved by :meth:`save_embedding_set`."""
-        return self.load_embedding_set_with_index(name)[0]
+        """Reload an embedding set saved by :meth:`save_embedding_set`.
+
+        Any delta records appended after the base artifact was written are
+        replayed, so readers always see the newest version.
+        """
+        return self.load_embedding_set_versioned(name)[0]
 
     def load_embedding_set_with_index(self, name: str):
         """Reload an embedding set plus its persisted index (or ``None``).
 
         The returned index is rebuilt from stored state — an IVF index skips
-        its k-means training pass entirely.
+        its k-means training pass entirely, even when delta records are
+        replayed on top of the base artifact (new rows are assigned to the
+        stored centroids).
+        """
+        embeddings, index, _ = self.load_embedding_set_versioned(name)
+        return embeddings, index
+
+    def load_embedding_set_versioned(self, name: str):
+        """Reload ``(embeddings, index, version)`` with delta replay.
+
+        ``version`` is the base artifact's ``set_version`` plus every
+        replayed delta record.  The chain must be contiguous — a missing
+        intermediate delta raises :class:`StoreFormatError` rather than
+        silently serving a state that never existed.
         """
         header, arrays = self._read(name, KIND_EMBEDDING_SET)
         extraction = extraction_from_dict(header.get("extraction", {}))
@@ -376,18 +409,227 @@ class EmbeddingStore:
                 f"artifact {name!r}: matrix has {matrix.shape[0]} rows but the "
                 f"extraction lists {len(extraction)} text values"
             )
+        version = int(header.get("set_version", 0))
+        pending = [
+            (delta_version, delta_name)
+            for delta_version, delta_name in self.list_embedding_set_deltas(name)
+            if delta_version > version
+        ]
+        if not pending:
+            embeddings = TextValueEmbeddingSet(
+                extraction=extraction,
+                matrix=matrix,
+                name=str(header.get("set_name", name)),
+            )
+            return (
+                embeddings,
+                self._restore_index(name, header, arrays, matrix),
+                version,
+            )
+
+        # pending deltas invalidate the base index — even one that keeps
+        # the row count (changed vectors, pairs-only changes) means the
+        # stored matrix is no longer the served one.  Carry only the raw
+        # trained state through the replay and build the index once at
+        # the end, on the replayed matrix.
+        assignments = None
+        if isinstance(header.get("index"), dict):
+            stored = arrays.get("index_assignments")
+            if stored is not None:
+                assignments = np.asarray(stored, dtype=np.int64).copy()
+
+        for delta_version, delta_name in pending:
+            if delta_version != version + 1:
+                raise StoreFormatError(
+                    f"artifact {name!r}: delta chain jumps from version "
+                    f"{version} to {delta_version}"
+                )
+            matrix, extraction, assignments = self._replay_delta(
+                delta_name, matrix, extraction, assignments
+            )
+            version = delta_version
+
         embeddings = TextValueEmbeddingSet(
             extraction=extraction,
             matrix=matrix,
             name=str(header.get("set_name", name)),
         )
-        return embeddings, self._restore_index(name, header, arrays, matrix)
+        if assignments is not None:
+            arrays = dict(arrays, index_assignments=assignments)
+        return (
+            embeddings,
+            self._restore_index(name, header, arrays, matrix, partial=True),
+            version,
+        )
+
+    def _replay_delta(self, delta_name: str, matrix, extraction, assignments):
+        """Apply one stored delta record to (matrix, extraction, assignments)."""
+        from repro.retrofit.extraction import ExtractionDelta
+
+        header, arrays = self._read(delta_name, KIND_EMBEDDING_DELTA)
+        delta = ExtractionDelta.from_dict(header.get("extraction_delta", {}))
+        delta_map = extraction.apply_delta(delta)
+        n_new = len(extraction)
+        new_matrix = np.zeros((n_new, matrix.shape[1]), dtype=np.float64)
+        surviving = delta_map.surviving_old_indices()
+        new_matrix[delta_map.old_to_new[surviving]] = matrix[surviving]
+        new_assignments = None
+        if assignments is not None:
+            new_assignments = np.full(n_new, -1, dtype=np.int64)
+            new_assignments[delta_map.old_to_new[surviving]] = assignments[surviving]
+
+        stored_added = [int(i) for i in header.get("added_indices", [])]
+        if stored_added != list(delta_map.added_indices):
+            raise StoreFormatError(
+                f"delta record {delta_name!r} disagrees with the replayed "
+                "extraction about the added row indices"
+            )
+        added_matrix = arrays.get("added_matrix")
+        if delta_map.added_indices:
+            if added_matrix is None or added_matrix.shape[0] != len(
+                delta_map.added_indices
+            ):
+                raise StoreFormatError(
+                    f"delta record {delta_name!r} lacks vectors for its "
+                    "added rows"
+                )
+            new_matrix[delta_map.added_indices] = added_matrix
+        changed_rows = [int(i) for i in header.get("changed_rows", [])]
+        changed_matrix = arrays.get("changed_matrix")
+        if changed_rows:
+            if changed_matrix is None or changed_matrix.shape[0] != len(changed_rows):
+                raise StoreFormatError(
+                    f"delta record {delta_name!r} lacks vectors for its "
+                    "changed rows"
+                )
+            if max(changed_rows) >= n_new or min(changed_rows) < 0:
+                raise StoreFormatError(
+                    f"delta record {delta_name!r} references rows outside "
+                    "the replayed extraction"
+                )
+            new_matrix[changed_rows] = changed_matrix
+            if new_assignments is not None:
+                # changed vectors may belong to a different cell now
+                new_assignments[changed_rows] = -1
+        return new_matrix, extraction, new_assignments
+
+    # ------------------------------------------------------------------ #
+    # embedding-set delta records
+    # ------------------------------------------------------------------ #
+    def list_embedding_set_deltas(self, name: str) -> list[tuple[int, str]]:
+        """``(version, artifact_name)`` of every delta record of ``name``."""
+        if not self.root.is_dir():
+            return []
+        deltas: list[tuple[int, str]] = []
+        for path in self.root.glob(f"{name}.delta*.json"):
+            match = _DELTA_NAME_RE.match(path.stem)
+            if match and match.group("base") == name:
+                deltas.append((int(match.group("version")), path.stem))
+        return sorted(deltas)
+
+    def latest_version(self, name: str) -> int:
+        """The version a load of ``name`` would produce (base + deltas)."""
+        header = self._read_header(name)
+        self._validate_header(name, header, KIND_EMBEDDING_SET)
+        version = int(header.get("set_version", 0))
+        deltas = self.list_embedding_set_deltas(name)
+        return max([version] + [v for v, _ in deltas])
+
+    def append_embedding_set_delta(self, name: str, update) -> Path:
+        """Append one incremental update as a versioned delta record.
+
+        ``update`` is an
+        :class:`repro.retrofit.incremental.IncrementalUpdateResult` from the
+        delta pipeline (it must carry ``delta_map``/``extraction_delta``).
+        The record stores the value-level extraction delta plus only the
+        vectors of added and changed rows — replaying base + chain on load
+        reproduces the updated set bit-for-bit, and
+        :meth:`compact_embedding_set` folds the chain back into the base.
+        """
+        if update.delta_map is None or update.extraction_delta is None:
+            raise StoreFormatError(
+                "only delta-pipeline updates can be appended as delta records"
+            )
+        previous = self.latest_version(name)
+        delta_map = update.delta_map
+        added = list(delta_map.added_indices)
+        added_set = set(added)
+        changed = (
+            [int(i) for i in update.changed_rows if int(i) not in added_set]
+            if update.changed_rows is not None
+            else []
+        )
+        matrix = update.embeddings.matrix
+        header: dict[str, Any] = {
+            "base": name,
+            "delta_version": previous + 1,
+            "applies_to_version": previous,
+            "extraction_delta": update.extraction_delta.to_dict(),
+            "added_indices": added,
+            "changed_rows": changed,
+            "n_values_after": len(update.embeddings),
+            "dimension": update.embeddings.dimension,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        if added:
+            arrays["added_matrix"] = matrix[added]
+        if changed:
+            arrays["changed_matrix"] = matrix[changed]
+        if not arrays:
+            # npz archives need at least one member; an empty delta is legal
+            arrays["added_matrix"] = np.zeros(
+                (0, update.embeddings.dimension), dtype=np.float64
+            )
+        return self._write(
+            f"{name}.delta{previous + 1:06d}", KIND_EMBEDDING_DELTA, header, arrays
+        )
+
+    def compact_embedding_set(self, name: str) -> int:
+        """Fold all delta records of ``name`` into its base artifact.
+
+        Re-saves the base at the latest version (keeping an evolved copy
+        of the persisted index, still without retraining) and deletes the
+        replayed delta records.  Returns the compacted-to version.
+        """
+        embeddings, index, version = self.load_embedding_set_versioned(name)
+        self.save_embedding_set(name, embeddings, index=index, version=version)
+        for _, delta_name in self.list_embedding_set_deltas(name):
+            self.delete_artifact(delta_name)
+        return version
+
+    def delete_artifact(self, name: str) -> None:
+        """Remove an artifact's header and its matrix archive."""
+        header_path = self._header_path(name)
+        try:
+            header = self._read_header(name)
+        except StoreFormatError:
+            header = {}
+        matrix_file = header.get("matrix_file")
+        for path in (
+            header_path,
+            self.root / matrix_file if isinstance(matrix_file, str) else None,
+        ):
+            if path is None:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     @staticmethod
     def _restore_index(
-        name: str, header: dict[str, Any], arrays: dict[str, np.ndarray], matrix
+        name: str,
+        header: dict[str, Any],
+        arrays: dict[str, np.ndarray],
+        matrix,
+        partial: bool = False,
     ):
-        """Rebuild the persisted index of an embedding-set artifact."""
+        """Rebuild the persisted index of an embedding-set artifact.
+
+        ``partial=True`` tolerates ``-1`` (missing) cell assignments —
+        rows appended or changed by a delta replay — assigning them to
+        their nearest stored centroid; k-means never re-runs either way.
+        """
         meta = header.get("index")
         if meta is None:
             return None
@@ -408,7 +650,8 @@ class EmbeddingStore:
                         f"artifact {name!r} declares an IVF index but lacks "
                         "its centroid/assignment arrays"
                     )
-                return IVFIndex.from_state(
+                restore = IVFIndex.from_partial_state if partial else IVFIndex.from_state
+                return restore(
                     matrix,
                     centroids,
                     assignments,

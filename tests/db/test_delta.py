@@ -1,0 +1,184 @@
+"""Tests for row-level database deltas (repro.db.delta)."""
+
+import pytest
+
+from repro.datasets import build_toy_movie_database
+from repro.db.delta import DatabaseDelta
+from repro.errors import IntegrityError, SchemaError
+
+
+@pytest.fixture()
+def toy_db():
+    return build_toy_movie_database().database
+
+
+class TestDatabaseDelta:
+    def test_empty_delta(self, toy_db):
+        delta = DatabaseDelta()
+        assert delta.is_empty()
+        assert len(delta) == 0
+        delta.apply_to(toy_db)  # no-op
+
+    def test_insert_update_delete_roundtrip(self, toy_db):
+        movies = toy_db.table("movies")
+        n_before = len(movies)
+        delta = (
+            DatabaseDelta()
+            .insert("movies", {"id": 99, "title": "matrix", "country_id": 2})
+            .update("movies", 99, title="matrix reloaded")
+        )
+        delta.apply_to(toy_db)
+        assert len(movies) == n_before + 1
+        assert movies.get_by_key(99)["title"] == "matrix reloaded"
+
+        DatabaseDelta().delete("movies", 99).apply_to(toy_db)
+        assert movies.get_by_key(99) is None
+        assert len(movies) == n_before
+
+    def test_insert_checks_foreign_keys(self, toy_db):
+        delta = DatabaseDelta().insert(
+            "movies", {"id": 99, "title": "matrix", "country_id": 4711}
+        )
+        with pytest.raises(IntegrityError):
+            delta.apply_to(toy_db)
+
+    def test_delete_refused_while_referenced(self, toy_db):
+        with pytest.raises(IntegrityError):
+            DatabaseDelta().delete("countries", 1).apply_to(toy_db)
+
+    def test_ordering_allows_parent_then_child(self, toy_db):
+        delta = (
+            DatabaseDelta()
+            .insert("countries", {"id": 9, "name": "iceland"})
+            .insert("movies", {"id": 99, "title": "volcano", "country_id": 9})
+        )
+        delta.apply_to(toy_db)
+        assert toy_db.table("movies").get_by_key(99)["country_id"] == 9
+
+    def test_touched_tables_and_summary(self):
+        delta = (
+            DatabaseDelta()
+            .insert("movies", {"id": 1})
+            .update("countries", 1, name="x")
+            .delete("reviews", 5)
+        )
+        assert delta.touched_tables() == {"movies", "countries", "reviews"}
+        assert delta.summary() == {"inserts": 1, "updates": 1, "deletes": 1}
+
+    def test_update_validates_foreign_keys(self, toy_db):
+        delta = DatabaseDelta().update("movies", 1, country_id=4711)
+        with pytest.raises(IntegrityError):
+            delta.apply_to(toy_db)
+        assert toy_db.table("movies").get_by_key(1)["country_id"] != 4711
+
+    def test_self_referential_delete_is_checked(self):
+        from repro.db.database import Database, build_table_schema
+        from repro.db.schema import ForeignKey
+        from repro.db.types import ColumnType
+
+        db = Database()
+        db.create_table(build_table_schema(
+            "emp",
+            [("id", ColumnType.INTEGER), ("name", ColumnType.TEXT),
+             ("manager_id", ColumnType.INTEGER)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("manager_id", "emp", "id")],
+        ))
+        db.insert("emp", {"id": 1, "name": "boss", "manager_id": None})
+        db.insert("emp", {"id": 2, "name": "ic", "manager_id": 1})
+        with pytest.raises(IntegrityError):
+            db.delete_rows("emp", lambda row: row["id"] == 1)
+        # deleting manager and report together is fine
+        assert db.delete_rows("emp", lambda row: row["id"] in (1, 2)) == 2
+
+    def test_update_cannot_orphan_inbound_references(self):
+        from repro.db.database import Database, build_table_schema
+        from repro.db.schema import ForeignKey
+        from repro.db.types import ColumnType
+
+        db = Database()
+        db.create_table(build_table_schema(
+            "languages",
+            [("id", ColumnType.INTEGER), ("code", ColumnType.TEXT)],
+            primary_key="id",
+        ))
+        db.create_table(build_table_schema(
+            "movies",
+            [("id", ColumnType.INTEGER), ("lang_code", ColumnType.TEXT)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("lang_code", "languages", "code")],
+        ))
+        db.insert("languages", {"id": 1, "code": "en"})
+        db.insert("movies", {"id": 1, "lang_code": "en"})
+        # repointing the only provider of "en" would dangle movies.lang_code
+        with pytest.raises(IntegrityError):
+            db.update_rows("languages", lambda row: row["id"] == 1, {"code": "de"})
+        # with a second provider the same update is fine
+        db.insert("languages", {"id": 2, "code": "en"})
+        assert db.update_rows(
+            "languages", lambda row: row["id"] == 1, {"code": "de"}
+        ) == 1
+
+    def test_update_without_primary_key_fails(self, toy_db):
+        from repro.db.database import build_table_schema
+        from repro.db.types import ColumnType
+
+        toy_db.create_table(
+            build_table_schema("notes", [("text", ColumnType.TEXT)])
+        )
+        with pytest.raises(SchemaError):
+            DatabaseDelta().update("notes", 1, text="x").apply_to(toy_db)
+
+
+class TestNonUniqueRefDelete:
+    """Deleting one of several rows carrying the same (non-unique) referenced
+    value must succeed; the reference is only dangling when no survivor
+    provides it."""
+
+    def _db(self):
+        from repro.db.database import Database, build_table_schema
+        from repro.db.schema import ForeignKey
+        from repro.db.types import ColumnType
+
+        db = Database()
+        db.create_table(build_table_schema(
+            "languages",
+            [("id", ColumnType.INTEGER), ("code", ColumnType.TEXT)],
+            primary_key="id",
+        ))
+        db.create_table(build_table_schema(
+            "movies",
+            [("id", ColumnType.INTEGER), ("title", ColumnType.TEXT),
+             ("lang_code", ColumnType.TEXT)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("lang_code", "languages", "code")],
+        ))
+        db.insert("languages", {"id": 1, "code": "en"})
+        db.insert("languages", {"id": 2, "code": "en"})  # code is not unique
+        db.insert("movies", {"id": 1, "title": "inception", "lang_code": "en"})
+        return db
+
+    def test_delete_one_provider_succeeds(self):
+        db = self._db()
+        assert db.delete_rows("languages", lambda row: row["id"] == 2) == 1
+
+    def test_delete_last_provider_fails(self):
+        db = self._db()
+        db.delete_rows("languages", lambda row: row["id"] == 2)
+        with pytest.raises(IntegrityError):
+            db.delete_rows("languages", lambda row: row["id"] == 1)
+
+
+class TestTableDelete:
+    def test_delete_where_maintains_indexes(self, toy_db):
+        movies = toy_db.table("movies")
+        movies.insert({"id": 50, "title": "temp", "country_id": 1})
+        removed = movies.delete_where(lambda row: row["id"] == 50)
+        assert removed == 1
+        assert movies.get_by_key(50) is None
+        # the pk slot is reusable after deletion
+        movies.insert({"id": 50, "title": "temp2", "country_id": 1})
+        assert movies.get_by_key(50)["title"] == "temp2"
+
+    def test_delete_where_no_match(self, toy_db):
+        assert toy_db.table("movies").delete_where(lambda row: False) == 0

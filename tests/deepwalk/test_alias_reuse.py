@@ -1,0 +1,75 @@
+"""Tests for shared alias-table reuse (ROADMAP PR-3 leftover satellite)."""
+
+import numpy as np
+import pytest
+
+from repro.deepwalk.alias import (
+    ALIAS_CACHE_STATS,
+    reset_alias_cache,
+    shared_alias_table,
+)
+from repro.deepwalk.skipgram import SkipGramConfig, SkipGramModel
+from repro.graph.builder import build_graph
+from repro.graph.random_walk import RandomWalkGenerator
+from repro.retrofit.extraction import extract_text_values
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    reset_alias_cache()
+    yield
+    reset_alias_cache()
+
+
+class TestSharedAliasTable:
+    def test_identical_weights_reuse_one_table(self):
+        weights = np.array([1.0, 2.0, 3.0])
+        first = shared_alias_table(weights)
+        second = shared_alias_table(weights.copy())
+        assert second is first
+        assert ALIAS_CACHE_STATS.builds == 1
+        assert ALIAS_CACHE_STATS.reuses == 1
+
+    def test_different_weights_build_fresh_tables(self):
+        shared_alias_table(np.array([1.0, 2.0]))
+        shared_alias_table(np.array([2.0, 1.0]))
+        assert ALIAS_CACHE_STATS.builds == 2
+        assert ALIAS_CACHE_STATS.reuses == 0
+
+    def test_shared_table_samples_correctly(self):
+        weights = np.array([0.0, 1.0, 3.0])
+        table = shared_alias_table(weights)
+        rng = np.random.default_rng(0)
+        draws = table.sample(rng, 20_000)
+        assert not (draws == 0).any()
+        ratio = (draws == 2).sum() / (draws == 1).sum()
+        assert 2.5 < ratio < 3.5
+
+
+class TestTrainingReuse:
+    def _corpus(self):
+        from repro.datasets import build_toy_movie_database
+
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        graph = build_graph(extraction)
+        return RandomWalkGenerator(
+            graph, walk_length=8, walks_per_node=4, seed=0
+        ).walk_corpus()
+
+    def test_epochs_share_one_table(self):
+        corpus = self._corpus()
+        config = SkipGramConfig(dimension=8, window=2, epochs=3, seed=0)
+        SkipGramModel.from_corpus(corpus, config).train()
+        # three epochs of one model never rebuild the table
+        assert ALIAS_CACHE_STATS.builds == 1
+
+    def test_grid_search_points_share_one_table(self):
+        """Models trained on the same corpus — as every grid-search point
+        is — reuse the alias table; the counter proves it."""
+        corpus = self._corpus()
+        for seed in range(4):  # four grid points, identical noise weights
+            config = SkipGramConfig(dimension=8, window=2, epochs=1, seed=seed)
+            SkipGramModel.from_corpus(corpus, config).train()
+        assert ALIAS_CACHE_STATS.builds == 1
+        assert ALIAS_CACHE_STATS.reuses == 3

@@ -1,0 +1,127 @@
+"""Tests for the incremental-update benchmark harness and its CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import generate_tmdb
+from repro.experiments.runner import ExperimentSizes
+from repro.experiments.update_bench import (
+    run_update_benchmark,
+    synthesize_tmdb_delta,
+)
+
+
+class TestSynthesizeDelta:
+    def test_delta_applies_cleanly_and_grows_the_database(self):
+        dataset = generate_tmdb(num_movies=40, seed=3, embedding_dimension=16)
+        movies = dataset.database.table("movies")
+        n_before = len(movies)
+        rng = np.random.default_rng(0)
+        delta = synthesize_tmdb_delta(dataset.database, rng, 3)
+        delta.apply_to(dataset.database)
+        assert len(movies) == n_before + 3
+        summary = delta.summary()
+        assert summary["inserts"] >= 3 and summary["updates"] == 1
+        assert summary["deletes"] == 1
+
+    def test_insert_only_mode(self):
+        dataset = generate_tmdb(num_movies=40, seed=3, embedding_dimension=16)
+        rng = np.random.default_rng(0)
+        delta = synthesize_tmdb_delta(
+            dataset.database, rng, 2, include_update=False, include_delete=False
+        )
+        # 1 new person + 2 × (movie + 3 link rows + review)
+        assert delta.summary() == {"inserts": 11, "updates": 0, "deletes": 0}
+
+
+class TestRunUpdateBenchmark:
+    def test_tiny_run_meets_the_agreement_gate(self):
+        table, payload = run_update_benchmark(
+            sizes=ExperimentSizes.tiny(), method="RN", n_deltas=2
+        )
+        assert payload["n_deltas"] == 2
+        assert len(payload["update_seconds"]) == 2
+        assert payload["seconds"] > 0
+        assert payload["cold_rebuild_seconds"] > 0
+        assert payload["agrees_with_cold"] is True
+        assert payload["max_cosine_distance_vs_cold"] < 1e-3
+        assert len(table.rows) == 2
+        for entry in payload["deltas"]:
+            assert entry["serving"]["index_updated_in_place"]
+        # the payload is what --out writes: it must be JSON-serialisable
+        json.dumps(payload)
+
+    def test_unknown_method_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_update_benchmark(sizes=ExperimentSizes.tiny(), method="DW")
+
+
+class TestCli:
+    def test_parser_accepts_update_arguments(self):
+        args = build_parser().parse_args([
+            "update", "--sizes", "tiny", "--method", "RO",
+            "--deltas", "2", "--fraction", "0.05", "--churn",
+        ])
+        assert args.command == "update"
+        assert args.method == "RO"
+        assert args.churn is True
+
+    def test_update_command_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "update.json"
+        code = main([
+            "update", "--sizes", "tiny", "--deltas", "2", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["method"] == "RN"
+        assert payload["speedup_vs_cold"] > 0
+        printed = capsys.readouterr().out
+        assert "incremental updates" in printed
+        assert "mean update" in printed
+
+
+class TestSuiteCacheVersionResilience:
+    def test_incompatible_cached_suite_triggers_rebuild(self, tmp_path):
+        """A suite artifact from an older store format must be rebuilt, not
+        crash the run (the STORE_VERSION bump invalidates v1 caches)."""
+        import json as json_mod
+
+        from repro.experiments.engine import RunContext
+
+        sizes = ExperimentSizes.tiny()
+        first = RunContext(sizes=sizes, cache_dir=tmp_path)
+        first.suite("tmdb", methods=("PV",))
+        assert first.stats.suite_builds == 1
+        # age every cached artifact to an incompatible store version
+        for header in (tmp_path / "suites").glob("suite_*.json"):
+            payload = json_mod.loads(header.read_text())
+            payload["version"] = 1
+            header.write_text(json_mod.dumps(payload))
+        second = RunContext(sizes=sizes, cache_dir=tmp_path)
+        second.suite("tmdb", methods=("PV",))
+        assert second.stats.suite_builds == 1  # rebuilt, no StoreFormatError
+        assert second.stats.suite_disk_hits == 0
+
+
+class TestBenchIntegration:
+    def test_incremental_update_microbenchmark_payload(self):
+        from repro.experiments.bench import MICROBENCHMARKS, bench_incremental_update
+
+        assert "incremental_update" in MICROBENCHMARKS
+        payload = bench_incremental_update(ExperimentSizes.tiny(), repeats=2)
+        assert payload["seconds"] > 0
+        # the cold reference intentionally lives under a non-gated key
+        assert "cold_rebuild_seconds" in payload
+
+    def test_gate_covers_incremental_update(self):
+        from repro.experiments.bench import compare_against_baseline
+
+        baseline = {"benchmarks": {"incremental_update": {"seconds": 0.05}}}
+        current = {"benchmarks": {"incremental_update": {"seconds": 0.30}}}
+        regressions = compare_against_baseline(current, baseline, threshold=3.0)
+        assert any("incremental_update" in line for line in regressions)

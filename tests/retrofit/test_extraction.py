@@ -64,7 +64,7 @@ class TestRecordsAndCategories:
 class TestRelationGroups:
     def test_fk_relation_pairs(self, toy_extraction):
         group = toy_extraction.relation_group(
-            "movies.title->countries.name[fk]"
+            "movies.title->countries.name[fk:country_id]"
         )
         texts = {
             (toy_extraction.records[i].text, toy_extraction.records[j].text)
@@ -151,4 +151,4 @@ class TestFkJoinCorrectness:
         db.insert("movies", {"id": 1, "title": "inception", "lang_code": "en"})
         extraction = extract_text_values(db)
         names = {group.name for group in extraction.relation_groups}
-        assert "movies.title->languages.label[fk]" in names
+        assert "movies.title->languages.label[fk:lang_code]" in names

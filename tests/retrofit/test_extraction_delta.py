@@ -1,0 +1,185 @@
+"""Tests for the extraction-level delta machinery (tentpole layer 1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_toy_movie_database, generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.errors import ExtractionError
+from repro.retrofit.extraction import (
+    ExtractionDelta,
+    RelationDelta,
+    derive_extraction_delta,
+    extract_text_values,
+)
+
+
+def value_set(extraction):
+    return {(record.category, record.text) for record in extraction.records}
+
+
+def pair_sets(extraction):
+    return {
+        group.name: {
+            (extraction.records[i].text, extraction.records[j].text)
+            for i, j in group.pairs
+        }
+        for group in extraction.relation_groups
+        if group.pairs
+    }
+
+
+def assert_matches_cold(extraction, database):
+    cold = extract_text_values(database)
+    assert value_set(extraction) == value_set(cold)
+    assert pair_sets(extraction) == pair_sets(cold)
+    # the structural invariant the store relies on
+    for position, record in enumerate(extraction.records):
+        assert record.index == position
+    for category, indices in extraction.categories.items():
+        for index in indices:
+            assert extraction.records[index].category == category
+
+
+class TestDeriveAndApply:
+    def test_insert_only_matches_cold_extraction(self):
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        delta = DatabaseDelta().insert(
+            "movies", {"id": 99, "title": "matrix", "country_id": 2}
+        )
+        delta.apply_to(dataset.database)
+        extraction_delta = derive_extraction_delta(
+            extraction, dataset.database, delta
+        )
+        delta_map = extraction.apply_delta(extraction_delta)
+        assert delta_map.n_added == 1 and delta_map.n_removed == 0
+        # append-only fast path: nothing renumbers
+        assert np.array_equal(
+            delta_map.old_to_new, np.arange(delta_map.old_to_new.size)
+        )
+        assert_matches_cold(extraction, dataset.database)
+
+    def test_update_and_delete_match_cold_extraction(self):
+        dataset = generate_tmdb(num_movies=40, seed=9, embedding_dimension=16)
+        extraction = extract_text_values(dataset.database)
+        victim = dataset.database.table("reviews").rows[0]["id"]
+        delta = (
+            DatabaseDelta()
+            .update("movies", 3, overview="a complete replacement overview")
+            .delete("reviews", victim)
+        )
+        delta.apply_to(dataset.database)
+        extraction_delta = derive_extraction_delta(
+            extraction, dataset.database, delta
+        )
+        delta_map = extraction.apply_delta(extraction_delta)
+        assert delta_map.n_removed >= 1  # the old overview and/or review text
+        assert_matches_cold(extraction, dataset.database)
+
+    def test_mixed_stream_matches_cold_extraction(self):
+        from repro.experiments.update_bench import synthesize_tmdb_delta
+
+        dataset = generate_tmdb(num_movies=60, seed=4, embedding_dimension=16)
+        extraction = extract_text_values(dataset.database)
+        rng = np.random.default_rng(13)
+        for _ in range(3):
+            delta = synthesize_tmdb_delta(dataset.database, rng, 2)
+            delta.apply_to(dataset.database)
+            extraction_delta = derive_extraction_delta(
+                extraction, dataset.database, delta
+            )
+            extraction.apply_delta(extraction_delta)
+            assert_matches_cold(extraction, dataset.database)
+
+    def test_respects_exclusions(self):
+        dataset = build_toy_movie_database()
+        excluded = ("countries.name",)
+        extraction = extract_text_values(
+            dataset.database, exclude_columns=excluded
+        )
+        delta = DatabaseDelta().insert(
+            "countries", {"id": 9, "name": "iceland"}
+        ).insert("movies", {"id": 99, "title": "volcano", "country_id": 9})
+        delta.apply_to(dataset.database)
+        extraction_delta = derive_extraction_delta(
+            extraction, dataset.database, delta, exclude_columns=excluded
+        )
+        assert "countries.name" not in extraction_delta.added_values
+        extraction.apply_delta(extraction_delta)
+        assert not extraction.has_value("countries.name", "iceland")
+        assert extraction.has_value("movies.title", "volcano")
+
+
+class TestApplyDeltaValidation:
+    def test_removing_unknown_value_fails(self):
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        bad = ExtractionDelta(removed_values={"movies.title": ["nope"]})
+        with pytest.raises(ExtractionError):
+            extraction.apply_delta(bad)
+
+    def test_adding_duplicate_value_fails(self):
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        bad = ExtractionDelta(added_values={"movies.title": ["amelie"]})
+        with pytest.raises(ExtractionError):
+            extraction.apply_delta(bad)
+
+    def test_relation_delta_with_unknown_value_fails(self):
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        group = extraction.relation_groups[0]
+        bad = ExtractionDelta(relations=[
+            RelationDelta(
+                name=group.name,
+                kind=group.kind,
+                source_category=group.source_category,
+                target_category=group.target_category,
+                added=[("ghost", "usa")],
+            )
+        ])
+        with pytest.raises(ExtractionError):
+            extraction.apply_delta(bad)
+
+    def test_copy_is_independent(self):
+        dataset = build_toy_movie_database()
+        extraction = extract_text_values(dataset.database)
+        snapshot = extraction.copy()
+        extraction.apply_delta(
+            ExtractionDelta(added_values={"movies.title": ["matrix"]})
+        )
+        assert extraction.has_value("movies.title", "matrix")
+        assert not snapshot.has_value("movies.title", "matrix")
+        assert len(snapshot) == len(extraction) - 1
+
+
+class TestExtractionDeltaSerialisation:
+    def test_round_trip(self):
+        delta = ExtractionDelta(
+            added_values={"movies.title": ["matrix"]},
+            removed_values={"reviews.text": ["old review"]},
+            relations=[
+                RelationDelta(
+                    name="a->b[fk:c]",
+                    kind="fk",
+                    source_category="a.x",
+                    target_category="b.y",
+                    added=[("matrix", "usa")],
+                    removed=[("amelie", "france")],
+                )
+            ],
+        )
+        rebuilt = ExtractionDelta.from_dict(delta.to_dict())
+        assert rebuilt.added_values == delta.added_values
+        assert rebuilt.removed_values == delta.removed_values
+        assert rebuilt.relations[0].added == delta.relations[0].added
+        assert rebuilt.relations[0].removed == delta.relations[0].removed
+        assert not delta.is_empty()
+        assert delta.summary()["pairs_added"] == 1
+        assert "movies.title" in delta.touched_categories()
+
+    def test_empty_delta(self):
+        delta = ExtractionDelta()
+        assert delta.is_empty()
+        assert ExtractionDelta.from_dict(delta.to_dict()).is_empty()

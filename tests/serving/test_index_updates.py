@@ -1,0 +1,126 @@
+"""Tests for in-place vector-index mutation (add / remove / update)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving.index import FlatIndex, IVFIndex
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+def build(kind, matrix):
+    if kind == "flat":
+        return FlatIndex(matrix)
+    return IVFIndex(matrix, n_cells=8, nprobe=8, seed=1)
+
+
+@pytest.mark.parametrize("kind", ["flat", "ivf"])
+class TestIndexMutation:
+    def test_add_returns_fresh_ids_and_serves_them(self, kind, rng):
+        matrix = rng.standard_normal((300, 12))
+        index = build(kind, matrix)
+        new = rng.standard_normal((4, 12))
+        ids = index.add(new)
+        assert list(ids) == [300, 301, 302, 303]
+        hits, _ = index.query(new[1], 1)
+        assert hits[0] == 301
+        # copy-on-write: the caller's matrix is never touched
+        assert matrix.shape == (300, 12)
+        assert index.n_rows == 304 and index.active_count == 304
+
+    def test_remove_tombstones_rows(self, kind, rng):
+        matrix = rng.standard_normal((100, 8))
+        index = build(kind, matrix)
+        target = matrix[42]
+        hits, _ = index.query(target, 1)
+        assert hits[0] == 42
+        index.remove([42])
+        assert index.has_tombstones and index.active_count == 99
+        hits, scores = index.query(target, 100)
+        assert 42 not in set(int(i) for i in hits if i >= 0)
+
+    def test_update_rows_moves_a_vector(self, kind, rng):
+        matrix = rng.standard_normal((200, 8))
+        index = build(kind, matrix)
+        vector = rng.standard_normal(8) * 3.0
+        index.update_rows([7], vector[None, :])
+        hits, _ = index.query(vector, 1)
+        assert hits[0] == 7
+
+    def test_touching_a_tombstoned_row_fails(self, kind, rng):
+        index = build(kind, rng.standard_normal((50, 4)))
+        index.remove([3])
+        with pytest.raises(ServingError):
+            index.update_rows([3], np.ones((1, 4)))
+
+    def test_out_of_range_rows_fail(self, kind, rng):
+        index = build(kind, rng.standard_normal((50, 4)))
+        with pytest.raises(ServingError):
+            index.remove([50])
+
+    def test_mutated_index_matches_flat_reference(self, kind, rng):
+        matrix = rng.standard_normal((150, 8))
+        index = build(kind, matrix)
+        added = rng.standard_normal((10, 8))
+        index.add(added)
+        index.remove(np.arange(0, 20))
+        replacement = rng.standard_normal((5, 8))
+        index.update_rows(np.arange(30, 35), replacement)
+
+        reference = matrix.copy()
+        reference[30:35] = replacement
+        full = np.vstack((reference, added))
+        queries = rng.standard_normal((16, 8))
+        expected_scores = (full / np.maximum(
+            np.linalg.norm(full, axis=1, keepdims=True), 1e-12
+        )) @ (queries / np.maximum(
+            np.linalg.norm(queries, axis=1, keepdims=True), 1e-12
+        )).T
+        expected_scores[:20] = -np.inf  # removed rows
+        expected = np.argsort(-expected_scores.T, axis=1)[:, :5]
+        got, _ = index.query_batch(queries, 5)
+        assert np.array_equal(got, expected)
+
+
+class TestIVFRecluster:
+    def test_imbalance_triggers_lazy_recluster(self):
+        rng = np.random.default_rng(3)
+        index = IVFIndex(rng.standard_normal((200, 8)), n_cells=10, seed=2)
+        assert not index.needs_recluster
+        centre = rng.standard_normal(8)
+        index.add(centre + 0.01 * rng.standard_normal((400, 8)))
+        assert index.needs_recluster  # one cell swallowed the burst
+        before = index.recluster_count
+        index.query(centre, 3)  # lazy: the next query pays for it
+        assert index.recluster_count == before + 1
+        assert not index.needs_recluster
+
+    def test_rebalance_preserves_membership(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.standard_normal((120, 8))
+        index = IVFIndex(matrix, n_cells=6, nprobe=6, seed=0)
+        index.remove(np.arange(10))
+        index.rebalance()
+        assert sum(index.cell_sizes()) == index.active_count == 110
+        hits, _ = index.query(matrix[50], 1)
+        assert hits[0] == 50
+
+    def test_from_partial_state_assigns_missing_rows(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.standard_normal((80, 8))
+        index = IVFIndex(matrix, n_cells=5, nprobe=5, seed=0)
+        extra = rng.standard_normal((3, 8))
+        grown = np.vstack((matrix, extra))
+        assignments = np.concatenate(
+            (index.assignments, -np.ones(3, dtype=np.int64))
+        )
+        restored = IVFIndex.from_partial_state(
+            grown, index.centroids, assignments, nprobe=5
+        )
+        hits, _ = restored.query(extra[2], 1)
+        assert hits[0] == 82
+        assert sum(restored.cell_sizes()) == 83

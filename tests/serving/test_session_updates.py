@@ -1,0 +1,156 @@
+"""Tests for live session updates and the versioned query cache."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving.index import IVFIndex
+from repro.serving.session import ServingSession, default_index_factory
+
+
+@pytest.fixture()
+def served_pipeline():
+    # function-scoped: every test mutates the database through its deltas
+    dataset = generate_tmdb(num_movies=80, seed=6, embedding_dimension=16)
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    result = pipeline.run(iterations=120)
+    return dataset, pipeline, result
+
+
+def movie_delta(key=0):
+    delta = DatabaseDelta()
+    delta.insert("movies", {
+        "id": 70_000 + key, "title": f"emerald horizon {key}",
+        "original_language": "english",
+        "overview": "an island adventure with hidden treasure",
+        "budget": 1e7, "revenue": 2e7, "popularity": 1.5,
+        "release_year": 2026, "collection_id": None,
+    })
+    delta.insert("movie_countries", {
+        "id": 70_000 + key, "movie_id": 70_000 + key, "country_id": 1,
+    })
+    return delta
+
+
+class TestApplyUpdate:
+    def test_update_without_index_rebuild(self, served_pipeline):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(
+            result.embeddings, index_factory=default_index_factory(ivf_threshold=64)
+        )
+        full_index = session.index_for(None)
+        assert isinstance(full_index, IVFIndex)
+        version = session.version
+
+        update = retrofitter.apply(dataset.database, movie_delta(1))
+        stats = session.apply_update(update)
+
+        assert session.version == version + 1
+        assert stats.index_updated_in_place
+        assert session.index_for(None) is full_index  # no rebuild, no k-means
+        new_vector = update.embeddings.vector_for(
+            "movies.title", "emerald horizon 1"
+        )
+        assert session.topk(new_vector, 1)[0][1] == "emerald horizon 1"
+
+    def test_removed_value_never_served(self, served_pipeline):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(
+            retrofitter.embeddings,
+            index_factory=default_index_factory(ivf_threshold=64),
+        )
+        session.index_for(None)
+        victim = dataset.database.table("reviews").rows[0]
+        update = retrofitter.apply(
+            dataset.database, DatabaseDelta().delete("reviews", victim["id"])
+        )
+        removed = {
+            (category, text)
+            for category, texts in update.extraction_delta.removed_values.items()
+            for text in texts
+        }
+        session.apply_update(update)
+        probe = update.embeddings.matrix.mean(axis=0)
+        served = {
+            hit[:2]
+            for hit in session.topk(probe, len(update.embeddings) + 16)
+        }
+        assert not removed & served
+
+    def test_selective_cache_invalidation(self, served_pipeline):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(retrofitter.embeddings)
+        probe = retrofitter.embeddings.vector_for("genres.name", "drama")
+        session.topk(probe, 3, category="genres.name")
+        session.topk(probe, 3)
+        update = retrofitter.apply(dataset.database, movie_delta(2))
+        stats = session.apply_update(update)
+        # genres were untouched by the delta: that entry survives re-keyed
+        assert stats.cache_entries_kept >= 1
+        hits_before = session.cache_stats.hits
+        session.topk(probe, 3, category="genres.name")
+        assert session.cache_stats.hits == hits_before + 1
+        # the full-scope entry was dropped (a new value could enter any top-k)
+        misses_before = session.cache_stats.misses
+        session.topk(probe, 3)
+        assert session.cache_stats.misses == misses_before + 1
+
+
+class TestCacheStaleness:
+    """Satellite: cache keys carry the embedding-set version, so a swapped
+    or updated store can never serve pre-update neighbours."""
+
+    def test_update_invalidates_full_scope_results(self, served_pipeline):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(retrofitter.embeddings)
+        probe = retrofitter.embeddings.vector_for("countries.name", "usa")
+        stale = session.topk(probe, 5)
+        update = retrofitter.apply(dataset.database, movie_delta(3))
+        session.apply_update(update)
+        fresh = session.topk(probe, 5)
+        # not asserting inequality of results (they may legitimately match) —
+        # asserting the cache did not answer: the lookup was a miss
+        assert session.cache_stats.hits == 0 or fresh is not stale
+
+    def test_matrix_swap_bumps_version_and_clears(self, served_pipeline):
+        _, _, result = served_pipeline
+        session = ServingSession(result.embeddings)
+        probe = result.embeddings.matrix[0]
+        session.topk(probe, 2)
+        version = session.version
+        # reassigning the matrix (e.g. a reloaded set) must not serve the old
+        # cached neighbours even though the query bytes are identical
+        session.embeddings.matrix = result.embeddings.matrix.copy()
+        session.topk(probe, 2)
+        assert session.version == version + 1
+        assert session.cache_stats.hits == 0
+
+    def test_version_survives_save_and_reload(self, served_pipeline, tmp_path):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(
+            retrofitter.embeddings,
+            index_factory=default_index_factory(ivf_threshold=64),
+        )
+        session.index_for(None)
+        update = retrofitter.apply(dataset.database, movie_delta(4))
+        session.apply_update(update)
+        session.save(tmp_path, "live")
+        reloaded = ServingSession.from_store(
+            tmp_path, "live", index_factory=default_index_factory(ivf_threshold=64)
+        )
+        assert reloaded.version == session.version
+        vector = update.embeddings.vector_for("movies.title", "emerald horizon 4")
+        assert reloaded.topk(vector, 1)[0][1] == "emerald horizon 4"
+        assert isinstance(reloaded.index_for(None), IVFIndex)
