@@ -19,7 +19,12 @@ experiments:
 * ``repro update`` — the incremental-update benchmark: a synthetic delta
   stream applied through the whole pipeline (extraction delta → warm-start
   subset solve → in-place serving-index update), reported against a cold
-  re-extract + re-solve.
+  re-extract + re-solve,
+* ``repro serve-bench`` — the concurrent-serving benchmark: reader
+  threads querying through a :class:`~repro.serving.BatchedQueryFront`
+  while a live delta stream drains through the
+  :class:`~repro.serving.ServingRuntime`, reported against a
+  single-threaded query loop (p50/p99 latency, throughput, update lag).
 """
 
 from __future__ import annotations
@@ -144,6 +149,100 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="delta-stream seed (default: the sizing preset's seed)",
+    )
+
+    serve_parser = commands.add_parser(
+        "serve-bench",
+        help="benchmark concurrent serving: reader threads + batched query "
+        "coalescing against a live delta stream, vs a single-threaded loop",
+    )
+    serve_parser.add_argument(
+        "--sizes",
+        choices=ExperimentSizes.PRESETS,
+        default="quick",
+        help="workload sizing preset (default: quick)",
+    )
+    serve_parser.add_argument(
+        "--method",
+        choices=("RN", "RO"),
+        default="RN",
+        help="retrofitting solver maintained under the stream (default: RN)",
+    )
+    serve_parser.add_argument(
+        "--readers",
+        type=int,
+        default=4,
+        help="number of reader threads (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--queries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="queries per reader thread (default: 256)",
+    )
+    serve_parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=16,
+        help="in-flight requests per reader — emulates readers × depth "
+        "independent clients (default: 16)",
+    )
+    serve_parser.add_argument(
+        "--deltas",
+        type=int,
+        default=4,
+        help="write batches streamed in while readers run (default: 4)",
+    )
+    serve_parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.01,
+        help="movies inserted per delta, as a fraction of the table "
+        "(default: 0.01)",
+    )
+    serve_parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="also update an overview and delete a review per delta",
+    )
+    serve_parser.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="query-coalescing window in milliseconds (default: 2.0)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="largest coalesced query batch (default: 64)",
+    )
+    serve_parser.add_argument(
+        "--corpus-scale",
+        type=int,
+        default=5,
+        help="serve corpus_scale × the preset's movie count — serving "
+        "needs a serving-sized corpus (default: 5)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="reuse the engine's suite cache for the trained starting point",
+    )
+    serve_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the benchmark payload as JSON",
+    )
+    serve_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="delta/query stream seed (default: the sizing preset's seed)",
     )
 
     bench_parser = commands.add_parser(
@@ -308,6 +407,42 @@ def _command_update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.serve_bench import run_serve_benchmark
+
+    table, payload = run_serve_benchmark(
+        sizes=ExperimentSizes.preset(args.sizes),
+        method=args.method,
+        readers=args.readers,
+        queries_per_reader=args.queries,
+        pipeline_depth=args.pipeline_depth,
+        n_deltas=args.deltas,
+        delta_fraction=args.fraction,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        corpus_scale=args.corpus_scale,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        churn=args.churn,
+    )
+    print(table.to_text())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"[repro] wrote {args.out}")
+    print(
+        f"[repro] concurrent {payload['concurrent']['qps']:.0f} qps vs "
+        f"single-thread {payload['baseline']['qps']:.0f} qps "
+        f"({payload['speedup_vs_single_thread']:.1f}x), p99 "
+        f"{payload['concurrent']['p99_seconds'] * 1000:.1f} ms"
+    )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         compare_against_baseline,
@@ -358,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_bench(args)
         if args.command == "update":
             return _command_update(args)
+        if args.command == "serve-bench":
+            return _command_serve_bench(args)
         return _command_run(args, registry)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -108,6 +108,133 @@ class DatabaseDelta:
         }
 
     # ------------------------------------------------------------------ #
+    # coalescing (used by the serving runtime's write-ahead queue)
+    # ------------------------------------------------------------------ #
+    def can_absorb(self, other: "DatabaseDelta") -> bool:
+        """Whether ``other`` can be folded into this delta without changing
+        the outcome of applying the two sequentially.
+
+        Merged application runs ``self.inserts + other.inserts`` before
+        ``self.updates + other.updates`` before the deletes, so the fold is
+        only equivalent when
+
+        * this delta carries no deletes (``other``'s inserts and updates
+          would jump ahead of them),
+        * this delta's updates do not coexist with ``other``'s inserts (a
+          key-addressed update silently no-ops on a missing row, so an
+          update addressing a key ``other`` inserts would hit the row in
+          the merged order but not in the sequential one),
+        * both deltas touch exactly the same tables — the condition the
+          delta queue coalesces under.
+        """
+        return (
+            not self.deletes
+            and not (self.updates and other.inserts)
+            and self.touched_tables() == other.touched_tables()
+        )
+
+    def absorb(self, other: "DatabaseDelta") -> "DatabaseDelta":
+        """Fold ``other``'s operations into this delta (see :meth:`can_absorb`).
+
+        Raises :class:`repro.errors.SchemaError` when the fold would not be
+        order-equivalent to applying the deltas one after the other.
+        """
+        if not self.can_absorb(other):
+            raise SchemaError(
+                "cannot coalesce deltas: the first carries deletes or "
+                "updates ahead of the second's inserts, or the two touch "
+                "different tables"
+            )
+        self.inserts.extend(other.inserts)
+        self.updates.extend(other.updates)
+        self.deletes.extend(other.deletes)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # pre-validation
+    # ------------------------------------------------------------------ #
+    def validate_against(self, database: Database) -> None:
+        """Structurally validate this delta without mutating anything.
+
+        Checks what can be checked from the schema and the primary-key
+        indexes alone: tables exist, inserted rows name only known columns
+        and carry a fresh primary key (also unique within the batch),
+        updates and deletes address rows that exist (or that this batch's
+        inserts create) and never rewrite a primary key.  Callers that
+        must guarantee "rejected ⇒ database untouched" — the serving
+        runtime's write-ahead queue — run this before :meth:`apply_to`.
+        Value coercion, nullability and foreign keys are still enforced
+        during application itself.
+        """
+        inserted: dict[str, set[Any]] = {}
+        for op in self.inserts:
+            table = database.table(op.table)
+            schema = table.schema
+            unknown = set(op.row) - set(schema.column_names)
+            if unknown:
+                raise SchemaError(
+                    f"table {op.table!r}: unknown columns in insert: "
+                    f"{sorted(unknown)}"
+                )
+            if schema.primary_key is not None:
+                key = op.row.get(schema.primary_key)
+                if key is None:
+                    raise SchemaError(
+                        f"insert into {op.table!r} misses its primary key "
+                        f"{schema.primary_key!r}"
+                    )
+                batch_keys = inserted.setdefault(op.table, set())
+                if key in batch_keys or table.get_by_key(key) is not None:
+                    raise SchemaError(
+                        f"insert into {op.table!r} reuses primary key {key!r}"
+                    )
+                batch_keys.add(key)
+        for op in self.updates:
+            table = database.table(op.table)
+            schema = table.schema
+            if schema.primary_key is None:
+                raise SchemaError(
+                    f"cannot address an update in {op.table!r}: no primary key"
+                )
+            unknown = set(op.changes) - set(schema.column_names)
+            if unknown:
+                raise SchemaError(
+                    f"table {op.table!r}: unknown columns in update: "
+                    f"{sorted(unknown)}"
+                )
+            if schema.primary_key in op.changes:
+                raise SchemaError(
+                    f"update in {op.table!r} may not change the primary key"
+                )
+            if (
+                table.get_by_key(op.key) is None
+                and op.key not in inserted.get(op.table, ())
+            ):
+                raise SchemaError(
+                    f"update addresses missing row {op.key!r} in {op.table!r}"
+                )
+        removed: dict[str, set[Any]] = {}
+        for op in self.deletes:
+            table = database.table(op.table)
+            if table.schema.primary_key is None:
+                raise SchemaError(
+                    f"cannot address a delete in {op.table!r}: no primary key"
+                )
+            gone = removed.setdefault(op.table, set())
+            if op.key in gone:
+                raise SchemaError(
+                    f"delete addresses row {op.key!r} in {op.table!r} twice"
+                )
+            if (
+                table.get_by_key(op.key) is None
+                and op.key not in inserted.get(op.table, ())
+            ):
+                raise SchemaError(
+                    f"delete addresses missing row {op.key!r} in {op.table!r}"
+                )
+            gone.add(op.key)
+
+    # ------------------------------------------------------------------ #
     # application
     # ------------------------------------------------------------------ #
     def apply_to(self, database: Database) -> None:

@@ -1,0 +1,391 @@
+"""Concurrent serving benchmark (``repro serve-bench``).
+
+Measures the serving stack under the workload the ROADMAP's north star
+describes: many readers querying while a live delta stream updates the
+model.  Three phases run over the same settled starting point:
+
+* **baseline** — a single thread issuing every query one at a time
+  against a plain :class:`~repro.serving.ServingSession` (the PR 4 state
+  of the world),
+* **concurrent** — a :class:`~repro.serving.ServingRuntime` (write-ahead
+  delta queue + double-buffered snapshot sessions) fronted by a
+  :class:`~repro.serving.BatchedQueryFront`; ``readers`` threads each
+  keep ``pipeline_depth`` requests in flight (emulating
+  ``readers × pipeline_depth`` independent clients) — the steady-state
+  throughput the 2×-vs-baseline gate measures,
+* **concurrent under churn** — the same read workload while the main
+  thread submits ``n_deltas`` synthetic write batches into the queue
+  (update lag and the reader-side cost of churn; on one core the
+  applier's solver work and the readers share the interpreter, so this
+  phase's throughput bounds the worst case, not the steady state).
+
+Reported: queries/s and p50/p99 per-request latency for both phases,
+update lag (submit→publish) for the delta stream, queue/coalescing and
+batching counters, and — the correctness half — the max cosine distance
+between the runtime's final vectors and a *serial*
+:class:`~repro.retrofit.incremental.IncrementalRetrofitter` applying the
+identical delta stream to an identical database (the concurrent path must
+not trade accuracy for throughput).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.experiments.common import make_tmdb
+from repro.experiments.runner import ExperimentSizes, ResultTable
+from repro.experiments.update_bench import (
+    _METHOD_NAMES,
+    settled_tmdb_start,
+    synthesize_tmdb_delta,
+)
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.incremental import (
+    IncrementalRetrofitter,
+    max_cosine_distance,
+)
+from repro.serving.runtime import BatchedQueryFront, ServingRuntime
+from repro.serving.session import ServingSession, default_index_factory
+
+#: Iteration cap for incremental solves (the certification tolerance stops
+#: them much earlier); matches the update benchmark.
+SOLVE_ITERATIONS = 300
+
+
+def _build_query_workload(
+    embeddings, n_queries: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Realistic query vectors: stored values plus a little noise.
+
+    Perturbation keeps every query distinct (no trivial exact-match cache
+    wins) while staying close to the data distribution, so IVF probing
+    and top-k behave as in production.
+    """
+    rows = rng.integers(0, len(embeddings), size=n_queries)
+    queries = embeddings.matrix[rows].copy()
+    scale = np.maximum(np.linalg.norm(queries, axis=1, keepdims=True), 1e-9)
+    queries += rng.normal(0.0, 0.02, queries.shape) * scale
+    return queries
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float]:
+    if not latencies:
+        return 0.0, 0.0
+    values = np.asarray(latencies)
+    return float(np.percentile(values, 50)), float(np.percentile(values, 99))
+
+
+def run_serve_benchmark(
+    sizes: ExperimentSizes | None = None,
+    method: str = "RN",
+    readers: int = 4,
+    queries_per_reader: int = 256,
+    pipeline_depth: int = 16,
+    n_deltas: int = 4,
+    delta_fraction: float = 0.01,
+    window_seconds: float = 0.002,
+    max_batch: int = 64,
+    k: int = 10,
+    delta_interval_seconds: float = 0.05,
+    corpus_scale: int = 5,
+    seed: int | None = None,
+    cache_dir=None,
+    churn: bool = False,
+    measure_agreement: bool = True,
+) -> tuple[ResultTable, dict[str, Any]]:
+    """Run the concurrent-serving benchmark; returns (table, JSON payload).
+
+    ``corpus_scale`` multiplies the preset's movie count: a serving
+    benchmark needs a serving-sized corpus (at quick sizes the scaled
+    corpus crosses the IVF threshold, which is the regime batched
+    coalescing is built for; the training experiments' presets are sized
+    for solver runs, not for index scans).
+
+    The acceptance gate this measures: batched-coalesced concurrent
+    throughput at least 2× the single-threaded query loop, at equal
+    recall (both phases run the same index configuration over the same
+    vectors, so recall is identical by construction), with the final
+    vectors within 1e-3 cosine distance of the serial incremental path.
+    """
+    if method not in _METHOD_NAMES:
+        raise ExperimentError(
+            f"unknown serve-benchmark method {method!r}; expected RN or RO"
+        )
+    if readers < 1:
+        raise ExperimentError("serve benchmark needs at least one reader")
+    if corpus_scale < 1:
+        raise ExperimentError("corpus_scale must be at least 1")
+    from repro.experiments.engine import RunContext
+
+    sizes = sizes or ExperimentSizes.quick()
+    sizes = dataclasses.replace(
+        sizes, num_movies=sizes.num_movies * corpus_scale
+    )
+    ctx = RunContext(sizes=sizes, cache_dir=cache_dir)
+    solver_method = _METHOD_NAMES[method]
+    hyperparams = (
+        RetroHyperparameters.paper_rn_default()
+        if method == "RN"
+        else RetroHyperparameters.paper_ro_default()
+    )
+    stream_seed = sizes.seed if seed is None else seed
+
+    # ---- settled starting point (shared with `repro update`) ----------- #
+    started = time.perf_counter()
+    dataset, tokenizer, embeddings, base_matrix, settle_report = (
+        settled_tmdb_start(ctx, method, hyperparams, solver_method)
+    )
+    setup_seconds = time.perf_counter() - started
+    database = dataset.database
+    movies_per_delta = max(
+        1, int(round(len(database.table("movies")) * delta_fraction))
+    )
+    total_queries = readers * queries_per_reader
+    workload_rng = np.random.default_rng(stream_seed + 7)
+    queries = _build_query_workload(embeddings, total_queries, workload_rng)
+
+    # every phase serves the same index configuration: recall is equal by
+    # construction and the throughput comparison is apples to apples
+    factory = default_index_factory()
+
+    # ---- phase 1: single-threaded baseline loop ------------------------ #
+    baseline_session = ServingSession(embeddings, index_factory=factory)
+    baseline_session.settle_indexes()
+    baseline_latencies: list[float] = []
+    started = time.perf_counter()
+    for query in queries:
+        t0 = time.perf_counter()
+        baseline_session.topk(query, k)
+        baseline_latencies.append(time.perf_counter() - t0)
+    baseline_wall = time.perf_counter() - started
+    baseline_qps = total_queries / baseline_wall if baseline_wall > 0 else 0.0
+
+    # ---- the delta stream (recorded so the serial path can replay it) -- #
+    # synthesized against a scratch copy of the database that each delta is
+    # applied to in turn: every delta assumes its predecessors landed (fresh
+    # ids, titles), which is exactly the order the runtime applies them in
+    stream_rng = np.random.default_rng(stream_seed)
+    scratch = make_tmdb(sizes).database
+    deltas = []
+    for _ in range(max(0, n_deltas)):
+        delta = synthesize_tmdb_delta(
+            scratch,
+            stream_rng,
+            movies_per_delta,
+            include_update=churn,
+            include_delete=churn,
+        )
+        delta.apply_to(scratch)
+        deltas.append(delta)
+
+    # ---- phase 2: concurrent runtime + batched front ------------------- #
+    retrofitter = IncrementalRetrofitter(
+        embeddings,
+        tokenizer,
+        hyperparams=hyperparams,
+        method=solver_method,
+        base_matrix=base_matrix,
+    )
+    runtime = ServingRuntime(
+        database,
+        retrofitter,
+        index_factory=factory,
+        solve_iterations=SOLVE_ITERATIONS,
+    )
+    reader_errors: list[BaseException] = []
+
+    def reader_loop(
+        front: BatchedQueryFront, chunk: np.ndarray, sink: list[float]
+    ) -> None:
+        try:
+            local: list[float] = []
+            for start in range(0, len(chunk), pipeline_depth):
+                flight = chunk[start:start + pipeline_depth]
+                submitted = [
+                    (time.perf_counter(), front.submit(vector, k))
+                    for vector in flight
+                ]
+                for t0, future in submitted:
+                    future.result(timeout=60.0)
+                    local.append(time.perf_counter() - t0)
+            sink.extend(local)  # one list.extend per thread: GIL-atomic
+        except BaseException as error:  # surfaced by the main thread
+            reader_errors.append(error)
+
+    def run_reader_phase(
+        front: BatchedQueryFront, submit_stream: bool
+    ) -> tuple[float, list[float], list]:
+        latencies: list[float] = []
+        chunks = np.array_split(queries, readers)
+        threads = [
+            threading.Thread(target=reader_loop, args=(front, chunk, latencies))
+            for chunk in chunks
+        ]
+        tickets = []
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if submit_stream:
+            # drip the write stream into the queue while readers run; a
+            # busy applier still coalesces bunched-up submissions
+            for delta in deltas:
+                tickets.append(runtime.submit(delta))
+                time.sleep(delta_interval_seconds)
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+        if reader_errors:
+            raise reader_errors[0]
+        return wall, latencies, tickets
+
+    with runtime:
+        with BatchedQueryFront(
+            runtime, window_seconds=window_seconds, max_batch=max_batch
+        ) as front:
+            # phase 2: steady-state concurrent serving — the throughput
+            # gate compares this against the single-threaded loop
+            steady_wall, steady_latencies, _ = run_reader_phase(
+                front, submit_stream=False
+            )
+            steady_front_stats = front.stats
+            # phase 3: the same read workload under a live delta stream —
+            # measures update lag and how much churn costs the readers
+            churn_wall, churn_latencies, tickets = run_reader_phase(
+                front, submit_stream=True
+            )
+        runtime.flush(timeout=300.0)
+        runtime_stats = runtime.stats
+        front_stats = front.stats
+    for ticket in tickets:
+        ticket.wait(timeout=1.0)  # re-raises a failed pipeline
+    steady_qps = total_queries / steady_wall if steady_wall > 0 else 0.0
+    churn_qps = total_queries / churn_wall if churn_wall > 0 else 0.0
+
+    base_p50, base_p99 = _percentiles(baseline_latencies)
+    steady_p50, steady_p99 = _percentiles(steady_latencies)
+    churn_p50, churn_p99 = _percentiles(churn_latencies)
+    speedup = steady_qps / baseline_qps if baseline_qps > 0 else 0.0
+    lags = [t.lag_seconds for t in tickets if t.lag_seconds is not None]
+
+    table = ResultTable(
+        name=(
+            f"concurrent serving ({method}, {len(runtime.embeddings)} values, "
+            f"{readers} readers × {queries_per_reader} queries, "
+            f"{len(deltas)} deltas)"
+        ),
+        columns=["mode", "queries", "wall_s", "qps", "p50_ms", "p99_ms"],
+    )
+    table.add_row(
+        mode="single-thread",
+        queries=total_queries,
+        wall_s=baseline_wall,
+        qps=baseline_qps,
+        p50_ms=base_p50 * 1000.0,
+        p99_ms=base_p99 * 1000.0,
+    )
+    table.add_row(
+        mode="concurrent",
+        queries=total_queries,
+        wall_s=steady_wall,
+        qps=steady_qps,
+        p50_ms=steady_p50 * 1000.0,
+        p99_ms=steady_p99 * 1000.0,
+    )
+    table.add_row(
+        mode="conc.+churn",
+        queries=total_queries,
+        wall_s=churn_wall,
+        qps=churn_qps,
+        p50_ms=churn_p50 * 1000.0,
+        p99_ms=churn_p99 * 1000.0,
+    )
+    table.add_note(
+        f"steady concurrent throughput {speedup:.1f}x the single-threaded "
+        f"loop; mean batched {steady_front_stats.mean_batch_size:.1f} "
+        f"queries/index call (largest {steady_front_stats.largest_batch})"
+    )
+    if lags:
+        table.add_note(
+            f"update lag mean {float(np.mean(lags)) * 1000.0:.1f} ms over "
+            f"{len(lags)} deltas ({runtime_stats.deltas_coalesced} coalesced)"
+        )
+
+    payload: dict[str, Any] = {
+        "method": method,
+        "n_values": len(runtime.embeddings),
+        "corpus_scale": corpus_scale,
+        "num_movies": sizes.num_movies,
+        "readers": readers,
+        "queries_per_reader": queries_per_reader,
+        "pipeline_depth": pipeline_depth,
+        "k": k,
+        "n_deltas": len(deltas),
+        "movies_per_delta": movies_per_delta,
+        "churn": churn,
+        "window_seconds": window_seconds,
+        "max_batch": max_batch,
+        "setup_seconds": setup_seconds,
+        "settle_iterations": settle_report.iterations,
+        "baseline": {
+            "wall_seconds": baseline_wall,
+            "qps": baseline_qps,
+            "p50_seconds": base_p50,
+            "p99_seconds": base_p99,
+        },
+        "concurrent": {
+            "wall_seconds": steady_wall,
+            "qps": steady_qps,
+            "p50_seconds": steady_p50,
+            "p99_seconds": steady_p99,
+            "queries_answered": len(steady_latencies),
+            "batches_dispatched": steady_front_stats.batches_dispatched,
+            "mean_batch_size": steady_front_stats.mean_batch_size,
+            "largest_batch": steady_front_stats.largest_batch,
+        },
+        "concurrent_under_churn": {
+            "wall_seconds": churn_wall,
+            "qps": churn_qps,
+            "p50_seconds": churn_p50,
+            "p99_seconds": churn_p99,
+            "queries_answered": len(churn_latencies),
+            "batches_total": front_stats.batches_dispatched,
+        },
+        "updates": {
+            "published": runtime_stats.updates_published,
+            "failures": runtime_stats.update_failures,
+            "coalesced": runtime_stats.deltas_coalesced,
+            "snapshots_reclaimed": runtime_stats.snapshots_reclaimed,
+            "lag_seconds": lags,
+            "mean_lag_seconds": float(np.mean(lags)) if lags else None,
+        },
+        "speedup_vs_single_thread": speedup,
+    }
+
+    # ---- agreement: the serial incremental path over the same stream --- #
+    if measure_agreement:
+        serial_database = make_tmdb(sizes).database
+        serial_retrofitter = IncrementalRetrofitter(
+            embeddings,
+            tokenizer,
+            hyperparams=hyperparams,
+            method=solver_method,
+            base_matrix=base_matrix,
+        )
+        for delta in deltas:
+            serial_retrofitter.apply(
+                serial_database, delta, iterations=SOLVE_ITERATIONS
+            )
+        worst = max_cosine_distance(
+            serial_retrofitter.embeddings, runtime.embeddings
+        )
+        payload["max_cosine_distance_vs_serial"] = worst
+        table.add_note(
+            f"max cosine distance to the serial incremental path: {worst:.2e}"
+        )
+    return table, payload

@@ -54,6 +54,36 @@ def _max_id(table) -> int:
     return max((row["id"] for row in table), default=0)
 
 
+def settled_tmdb_start(
+    ctx,
+    method: str,
+    hyperparams: RetroHyperparameters,
+    solver_method: str,
+):
+    """A trained TMDB suite settled to its solver fixed point.
+
+    Shared setup of the update and serve benchmarks: pulls the (possibly
+    cached) suite from the context, settles the chosen method's matrix to
+    convergence, and returns ``(dataset, tokenizer, embeddings,
+    base_matrix, settle_report)`` — everything needed to build serving
+    sessions and an :class:`IncrementalRetrofitter` continuing from the
+    converged state.
+    """
+    dataset = ctx.tmdb()
+    suite = ctx.suite("tmdb", methods=("PV", method))
+    tokenizer = Tokenizer(dataset.embedding)
+    solver = RetroSolver(suite.extraction, suite.base.matrix, hyperparams)
+    matrix, settle_report = solver.solve(
+        method=solver_method,
+        iterations=SETTLE_ITERATIONS,
+        W_init=suite.get(method).matrix,
+    )
+    embeddings = TextValueEmbeddingSet(
+        suite.extraction.copy(), matrix, name=method
+    )
+    return dataset, tokenizer, embeddings, suite.base.matrix, settle_report
+
+
 def synthesize_tmdb_delta(
     database: Database,
     rng: np.random.Generator,
@@ -211,17 +241,8 @@ def run_update_benchmark(
 
     # ---- starting point: cached suite, settled to its fixed point ------ #
     started = time.perf_counter()
-    dataset = ctx.tmdb()
-    suite = ctx.suite("tmdb", methods=("PV", method))
-    tokenizer = Tokenizer(dataset.embedding)
-    solver = RetroSolver(suite.extraction, suite.base.matrix, hyperparams)
-    matrix, settle_report = solver.solve(
-        method=solver_method,
-        iterations=SETTLE_ITERATIONS,
-        W_init=suite.get(method).matrix,
-    )
-    embeddings = TextValueEmbeddingSet(
-        suite.extraction.copy(), matrix, name=method
+    dataset, tokenizer, embeddings, base_matrix, settle_report = (
+        settled_tmdb_start(ctx, method, hyperparams, solver_method)
     )
     session = ServingSession(embeddings, index_factory=default_index_factory())
     session.index_for(None)
@@ -230,7 +251,7 @@ def run_update_benchmark(
         tokenizer,
         hyperparams=hyperparams,
         method=solver_method,
-        base_matrix=suite.base.matrix,
+        base_matrix=base_matrix,
         influence_threshold=influence_threshold,
     )
     setup_seconds = time.perf_counter() - started

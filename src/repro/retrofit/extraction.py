@@ -28,7 +28,7 @@ from typing import Any, Iterable
 
 import numpy as np
 
-from repro.db.database import ColumnRef, Database, RelationshipSpec
+from repro.db.database import Database, RelationshipSpec
 from repro.db.delta import DatabaseDelta
 from repro.errors import ExtractionError
 

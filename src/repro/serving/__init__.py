@@ -5,11 +5,25 @@ package is the serving side.  :class:`FlatIndex` and :class:`IVFIndex`
 answer single and batched top-k similarity queries, :class:`EmbeddingStore`
 persists and reloads trained artifacts (so a served model never re-runs the
 solver), and :class:`ServingSession` glues the two together behind an LRU
-query cache.
+query cache.  :class:`ServingRuntime` adds the concurrent layer: a
+write-ahead :class:`DeltaQueue` drained by a background applier into
+double-buffered sessions (atomic snapshot swap, epoch-based reclamation)
+while a :class:`BatchedQueryFront` coalesces concurrent top-k requests
+into batched index queries.
 """
 
 from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descending
+from repro.serving.runtime import (
+    BatchedQueryFront,
+    DeltaQueue,
+    EpochRegistry,
+    FrontStats,
+    QueueStats,
+    RuntimeStats,
+    ServingRuntime,
+    UpdateTicket,
+)
 from repro.serving.session import ServingSession, UpdateStats, default_index_factory
 from repro.serving.store import (
     EmbeddingStore,
@@ -35,6 +49,14 @@ __all__ = [
     "ServingSession",
     "UpdateStats",
     "default_index_factory",
+    "BatchedQueryFront",
+    "DeltaQueue",
+    "EpochRegistry",
+    "FrontStats",
+    "QueueStats",
+    "RuntimeStats",
+    "ServingRuntime",
+    "UpdateTicket",
     "EmbeddingStore",
     "STORE_FORMAT",
     "STORE_VERSION",

@@ -8,7 +8,9 @@ them from the raw query bytes plus the search parameters.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Hashable
 
@@ -34,15 +36,22 @@ class CacheStats:
 
 
 class LRUCache:
-    """A fixed-capacity mapping evicting the least recently used entry."""
+    """A fixed-capacity mapping evicting the least recently used entry.
 
-    def __init__(self, capacity: int) -> None:
+    With ``thread_safe=True`` every operation runs under an internal lock —
+    the mode the concurrent serving runtime uses, where many reader threads
+    share one published session's cache.  The default stays lock-free for
+    the single-threaded sessions the rest of the code base builds.
+    """
+
+    def __init__(self, capacity: int, thread_safe: bool = False) -> None:
         if capacity <= 0:
             raise ServingError("cache capacity must be positive")
         self.capacity = int(capacity)
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.Lock() if thread_safe else nullcontext()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -52,33 +61,38 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """The cached value for ``key`` (marking it most recently used)."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self._misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store ``value``, evicting the least recently used entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
         """Remove and return one entry (no hit/miss accounting)."""
-        return self._entries.pop(key, default)
+        with self._lock:
+            return self._entries.pop(key, default)
 
     def items(self) -> list[tuple[Hashable, Any]]:
         """All entries, least recently used first."""
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     @property
     def stats(self) -> CacheStats:

@@ -1,0 +1,880 @@
+"""Concurrent serving: write-ahead delta queue, reader–writer sessions,
+and batched query coalescing.
+
+:class:`ServingSession` (PR 1/4) answers queries and folds incremental
+updates in, but only single-threaded: ``apply_update`` mutates the very
+index a ``topk`` call is scanning.  This module adds the concurrent layer
+on top:
+
+* :class:`DeltaQueue` — a thread-safe, bounded, *ordered* queue of
+  :class:`~repro.db.delta.DatabaseDelta` submissions.  Adjacent deltas
+  touching the same tables are coalesced into one write batch (one solver
+  pass instead of two), submission blocks once the queue is full
+  (backpressure instead of unbounded memory), and every submission gets an
+  :class:`UpdateTicket` that completes when its delta is live.
+* :class:`ServingRuntime` — owns the database, an
+  :class:`~repro.retrofit.incremental.IncrementalRetrofitter` and **two**
+  serving sessions.  A background applier thread drains the queue through
+  the existing ``derive_extraction_delta → IncrementalRetrofitter.apply →
+  ServingSession.apply_update`` pipeline against the *standby* session,
+  then publishes it with one atomic reference swap.  Queries never take a
+  lock: a reader pins the published snapshot through an epoch slot, runs
+  against its immutable indexes, and unpins.  The retired session is only
+  mutated (caught up to become the next standby) once every reader that
+  could still see it has left its epoch — epoch-based reclamation of old
+  index versions.
+* :class:`BatchedQueryFront` — gathers concurrent ``top_k`` requests
+  within a small window into one matrix query against the index (the
+  batched kernels make a 64-query batch barely more expensive than a
+  single query) and completes one future per request.
+
+The GIL makes the single reference read/write of the published snapshot
+atomic; the epoch protocol is what keeps the *contents* of a snapshot
+immutable while anyone reads it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.database import Database
+from repro.db.delta import DatabaseDelta
+from repro.errors import ServingError
+from repro.retrofit.incremental import IncrementalRetrofitter
+from repro.serving.session import IndexFactory, ServingSession
+
+
+# --------------------------------------------------------------------- #
+# write-ahead queue
+# --------------------------------------------------------------------- #
+class UpdateTicket:
+    """Tracks one submitted delta until it is live (or failed).
+
+    ``wait()`` blocks until the delta's write batch has been retrofitted
+    and published to readers, returning the serving version that first
+    includes it; a pipeline failure re-raises here.  ``lag_seconds`` is
+    the submit→publish latency the benchmark reports as *update lag*.
+    """
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.submitted_at = time.perf_counter()
+        self.published_version: int | None = None
+        self.published_at: float | None = None
+        self._event = threading.Event()
+        self._error: BaseException | None = None
+
+    def _complete(self, version: int, at: float) -> None:
+        self.published_version = version
+        self.published_at = at
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        """Whether the delta has been published or has failed."""
+        return self._event.is_set()
+
+    @property
+    def failed(self) -> bool:
+        """Whether the pipeline rejected the delta."""
+        return self._error is not None
+
+    @property
+    def lag_seconds(self) -> float | None:
+        """Submit→publish latency (``None`` until published)."""
+        if self.published_at is None:
+            return None
+        return self.published_at - self.submitted_at
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until published; returns the first version including it."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"update ticket #{self.seq} not published within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self.published_version is not None
+        return self.published_version
+
+
+class _WriteBatch:
+    """One queue entry: a (possibly coalesced) delta plus its tickets."""
+
+    __slots__ = ("delta", "tickets", "_owns_delta")
+
+    def __init__(self, delta: DatabaseDelta, ticket: UpdateTicket) -> None:
+        self.delta = delta
+        self.tickets = [ticket]
+        self._owns_delta = False
+
+    def absorb(self, delta: DatabaseDelta, ticket: UpdateTicket) -> None:
+        """Coalesce a submission into this batch.
+
+        The first fold replaces the batch's delta with a private copy —
+        submitted deltas belong to their callers (who may hold on to them,
+        e.g. to replay the stream elsewhere) and must never be mutated.
+        """
+        if not self._owns_delta:
+            self.delta = DatabaseDelta(
+                inserts=list(self.delta.inserts),
+                updates=list(self.delta.updates),
+                deletes=list(self.delta.deletes),
+            )
+            self._owns_delta = True
+        self.delta.absorb(delta)
+        self.tickets.append(ticket)
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Counters of one :class:`DeltaQueue`."""
+
+    submitted: int
+    coalesced: int
+    batches_popped: int
+    pending_batches: int
+    pending_operations: int
+
+
+class DeltaQueue:
+    """A bounded, ordered, coalescing queue of database deltas.
+
+    ``capacity`` bounds the number of *pending write batches*; a full
+    queue blocks :meth:`submit` (bounded backpressure) until the applier
+    drains a batch or ``timeout`` expires.  With ``coalesce`` enabled a
+    submission folds into the tail batch when
+    :meth:`DatabaseDelta.can_absorb` allows it (adjacent deltas touching
+    the same tables, no deletes jumped over) and the merged batch stays
+    under ``max_coalesced_ops`` operations — one retrofit pass then serves
+    several submissions.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        coalesce: bool = True,
+        max_coalesced_ops: int = 1024,
+    ) -> None:
+        if capacity < 1:
+            raise ServingError("queue capacity must be at least 1")
+        self._capacity = int(capacity)
+        self._coalesce = bool(coalesce)
+        self._max_coalesced_ops = int(max_coalesced_ops)
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._batches: deque[_WriteBatch] = deque()
+        self._closed = False
+        self._submitted = 0
+        self._coalesced = 0
+        self._popped = 0
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of pending write batches."""
+        return self._capacity
+
+    @property
+    def closed(self) -> bool:
+        """Whether the queue stopped accepting submissions."""
+        return self._closed
+
+    @property
+    def last_submitted_seq(self) -> int:
+        """Sequence number of the most recent submission (-1 when none)."""
+        return self._next_seq - 1
+
+    @property
+    def stats(self) -> QueueStats:
+        """Current queue counters."""
+        with self._lock:
+            return QueueStats(
+                submitted=self._submitted,
+                coalesced=self._coalesced,
+                batches_popped=self._popped,
+                pending_batches=len(self._batches),
+                pending_operations=sum(len(b.delta) for b in self._batches),
+            )
+
+    def submit(
+        self, delta: DatabaseDelta, timeout: float | None = None
+    ) -> UpdateTicket:
+        """Queue ``delta``; blocks while the queue is full.
+
+        Returns an :class:`UpdateTicket` that completes once the delta is
+        published to readers.  Raises :class:`repro.errors.ServingError`
+        when the queue is closed or stays full past ``timeout``.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._not_full:
+            if self._closed:
+                raise ServingError("delta queue is closed")
+            ticket = UpdateTicket(self._next_seq)
+            if self._coalesce and self._batches:
+                tail = self._batches[-1]
+                if (
+                    tail.delta.can_absorb(delta)
+                    and len(tail.delta) + len(delta) <= self._max_coalesced_ops
+                ):
+                    tail.absorb(delta, ticket)
+                    self._next_seq += 1
+                    self._submitted += 1
+                    self._coalesced += 1
+                    return ticket
+            while len(self._batches) >= self._capacity:
+                remaining = (
+                    None if deadline is None else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServingError(
+                        f"delta queue full ({self._capacity} batches) for "
+                        f"{timeout}s — backpressure timeout"
+                    )
+                self._not_full.wait(remaining)
+                if self._closed:
+                    raise ServingError("delta queue is closed")
+            self._batches.append(_WriteBatch(delta, ticket))
+            self._next_seq += 1
+            self._submitted += 1
+            self._not_empty.notify()
+            return ticket
+
+    def pop(self, timeout: float | None = None) -> _WriteBatch | None:
+        """Next write batch in submission order (the applier side).
+
+        Blocks until a batch is available; returns ``None`` once the queue
+        is closed *and* drained, or when ``timeout`` expires first.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._not_empty:
+            while not self._batches:
+                if self._closed:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._not_empty.wait(remaining)
+            batch = self._batches.popleft()
+            self._popped += 1
+            self._not_full.notify()
+            return batch
+
+    def close(self) -> None:
+        """Stop accepting submissions; pending batches remain poppable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain_tickets(self) -> list[UpdateTicket]:
+        """Remove every pending batch, returning the orphaned tickets.
+
+        Used on abandoning shutdown to fail submissions that will never be
+        applied.
+        """
+        with self._lock:
+            tickets = [t for batch in self._batches for t in batch.tickets]
+            self._batches.clear()
+            self._not_full.notify_all()
+            return tickets
+
+
+# --------------------------------------------------------------------- #
+# epoch-based reclamation
+# --------------------------------------------------------------------- #
+class EpochRegistry:
+    """Grace-period bookkeeping between lock-free readers and the writer.
+
+    A reader entering a read-side critical section stores the current
+    epoch in its per-thread slot (one dict assignment — atomic under the
+    GIL) *before* dereferencing the published snapshot, and clears it on
+    exit.  The writer publishes a new snapshot, advances the epoch, and
+    :meth:`wait_for_grace_period` blocks until no reader whose slot
+    predates the new epoch remains — after which the retired snapshot is
+    provably unobservable and safe to mutate.
+
+    Slots are keyed by thread id and only ever written by their owning
+    thread; nested pins on the same thread keep the outermost epoch.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[int, list[int] | None] = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """The current writer epoch."""
+        return self._epoch
+
+    def enter(self) -> int:
+        """Pin the calling thread to the current epoch; returns its id."""
+        tid = threading.get_ident()
+        slot = self._slots.get(tid)
+        if slot is not None and slot[1] > 0:
+            slot[1] += 1
+        else:
+            self._slots[tid] = [self._epoch, 1]
+        return tid
+
+    def exit(self, tid: int) -> None:
+        """Release the pin taken by :meth:`enter`."""
+        slot = self._slots.get(tid)
+        if slot is None or slot[1] <= 0:
+            raise ServingError("epoch exit without a matching enter")
+        slot[1] -= 1
+        if slot[1] == 0:
+            self._slots[tid] = None
+
+    def advance(self) -> int:
+        """Writer side: open a new epoch, returning its number."""
+        self._epoch += 1
+        return self._epoch
+
+    def oldest_active_epoch(self) -> int | None:
+        """Epoch of the longest-pinned active reader (``None`` when idle)."""
+        oldest: int | None = None
+        for slot in list(self._slots.values()):
+            if slot is None or slot[1] <= 0:
+                continue
+            if oldest is None or slot[0] < oldest:
+                oldest = slot[0]
+        return oldest
+
+    def wait_for_grace_period(
+        self, epoch: int, timeout: float | None = None, poll: float = 0.0002
+    ) -> bool:
+        """Block until no active reader predates ``epoch``."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            oldest = self.oldest_active_epoch()
+            if oldest is None or oldest >= epoch:
+                return True
+            if deadline is not None and time.perf_counter() >= deadline:
+                return False
+            time.sleep(poll)
+
+
+# --------------------------------------------------------------------- #
+# the runtime
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Counters of one :class:`ServingRuntime`."""
+
+    published_version: int
+    updates_published: int
+    update_failures: int
+    snapshots_reclaimed: int
+    deltas_submitted: int
+    deltas_coalesced: int
+    pending_batches: int
+    last_update_lag_seconds: float | None
+    mean_update_lag_seconds: float | None
+
+
+class ServingRuntime:
+    """Serve top-k queries while a live delta stream updates the model.
+
+    The runtime owns the ``database`` and the ``retrofitter`` (writers
+    must not touch either directly once the runtime started) and two
+    sessions over the same embeddings: the *published* one answers
+    queries, the *standby* one absorbs the next update.  Publication is a
+    single reference swap; the previous session is caught up after the
+    epoch grace period and becomes the new standby, so in steady state
+    every update is applied twice but no index is ever rebuilt from
+    scratch and readers never block.
+
+    Readers either call :meth:`topk`/:meth:`topk_batch` (one pin per
+    call) or hold :meth:`read` open around several queries for a
+    consistent snapshot.  Writers call :meth:`submit`, which enqueues and
+    returns immediately; the returned ticket resolves once the delta is
+    live.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        retrofitter: IncrementalRetrofitter,
+        index_factory: IndexFactory | None = None,
+        cache_size: int = 1024,
+        queue_capacity: int = 64,
+        coalesce: bool = True,
+        max_coalesced_ops: int = 1024,
+        solve_iterations: int | None = None,
+        grace_timeout: float = 30.0,
+    ) -> None:
+        self._database = database
+        self._retrofitter = retrofitter
+        self._solve_iterations = solve_iterations
+        self._grace_timeout = float(grace_timeout)
+        self._queue = DeltaQueue(
+            capacity=queue_capacity,
+            coalesce=coalesce,
+            max_coalesced_ops=max_coalesced_ops,
+        )
+        self._epochs = EpochRegistry()
+
+        def build_session() -> ServingSession:
+            return ServingSession(
+                self._retrofitter.embeddings,
+                index_factory=index_factory,
+                cache_size=cache_size,
+                thread_safe_cache=True,
+            )
+
+        self._build_session = build_session
+        self._published = build_session()
+        self._standby = build_session()
+        self._published.settle_indexes()
+        self._standby.settle_indexes()
+
+        self._thread: threading.Thread | None = None
+        self._abandon = False
+        self._degraded: BaseException | None = None
+        self._progress = threading.Condition()
+        self._done_seq = -1
+        self._updates_published = 0
+        self._update_failures = 0
+        self._snapshots_reclaimed = 0
+        self._update_lags: deque[float] = deque(maxlen=4096)
+        self._last_error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def running(self) -> bool:
+        """Whether the applier thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ServingRuntime":
+        """Start the background applier thread (idempotent)."""
+        if self.running:
+            return self
+        if self._queue.closed:
+            raise ServingError("cannot restart a stopped runtime")
+        self._thread = threading.Thread(
+            target=self._applier_loop, name="serving-runtime-applier", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, flush: bool = True, timeout: float | None = None) -> None:
+        """Stop the applier; with ``flush`` every queued delta lands first."""
+        if flush and self.running:
+            self.flush(timeout=timeout)
+        self._abandon = not flush
+        self._queue.close()
+        if self._thread is not None:
+            self._thread.join(timeout)
+        error = ServingError("serving runtime stopped before applying the delta")
+        for ticket in self._queue.drain_tickets():
+            ticket._fail(error)
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(flush=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # writer side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, delta: DatabaseDelta, timeout: float | None = None
+    ) -> UpdateTicket:
+        """Queue a delta for application; returns its ticket immediately."""
+        if self._degraded is not None:
+            raise ServingError(
+                "serving runtime is degraded (an update failed after "
+                "mutating the database; served vectors may no longer match "
+                "it — rebuild the runtime): "
+                f"{self._degraded}"
+            )
+        if not self.running:
+            raise ServingError("serving runtime is not running — call start()")
+        return self._queue.submit(delta, timeout=timeout)
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Block until every delta submitted so far has been applied."""
+        target = self._queue.last_submitted_seq
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._progress:
+            while self._done_seq < target:
+                if not self.running:
+                    raise ServingError(
+                        "serving runtime stopped with deltas still queued"
+                    )
+                remaining = (
+                    None if deadline is None else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ServingError(f"flush timed out after {timeout}s")
+                # bounded wait so a dead applier is noticed, not hung on
+                self._progress.wait(
+                    0.1 if remaining is None else min(remaining, 0.1)
+                )
+
+    def _applier_loop(self) -> None:
+        while not self._abandon:
+            batch = self._queue.pop(timeout=0.1)
+            if batch is None:
+                if self._queue.closed and len(self._queue) == 0:
+                    return
+                continue
+            self._apply_batch(batch)
+
+    def _apply_batch(self, batch: _WriteBatch) -> None:
+        now = time.perf_counter()
+        if batch.delta.is_empty():
+            for ticket in batch.tickets:
+                ticket._complete(self._published.version, now)
+            self._mark_done(batch)
+            return
+        if self._degraded is not None:
+            self._fail_batch(batch, self._degraded)
+            return
+        try:
+            # write-ahead validation: a delta rejected here provably left
+            # the database untouched, so the runtime stays fully healthy
+            batch.delta.validate_against(self._database)
+        except Exception as error:
+            self._fail_batch(batch, error)
+            return
+        try:
+            update = self._retrofitter.apply(
+                self._database, batch.delta, iterations=self._solve_iterations
+            )
+            self._standby.apply_update(update)
+            self._standby.settle_indexes()
+        except Exception as error:
+            # past validation the database (and possibly the retrofitter)
+            # may already be mutated: the served vectors can no longer be
+            # trusted to match it.  Keep serving reads from the last good
+            # snapshot, but refuse further writes instead of silently
+            # applying deltas against a misaligned state.
+            self._degraded = error
+            self._queue.close()
+            self._fail_batch(batch, error)
+            return
+
+        # atomic version swap: one reference assignment publishes the new
+        # snapshot; readers pinned to the old one finish undisturbed
+        retired = self._published
+        self._published = self._standby
+        epoch = self._epochs.advance()
+        now = time.perf_counter()
+        for ticket in batch.tickets:
+            ticket._complete(self._published.version, now)
+            lag = ticket.lag_seconds
+            if lag is not None:
+                self._update_lags.append(lag)
+        self._updates_published += 1
+
+        # epoch-based reclamation: only mutate the retired snapshot once
+        # every reader that could still see it has unpinned
+        if not self._epochs.wait_for_grace_period(
+            epoch, timeout=self._grace_timeout
+        ):
+            # a stuck reader: abandon the retired session instead of
+            # racing it; the next standby starts from a fresh build over
+            # the retrofitter's (current) embeddings
+            self._standby = self._build_session()
+            self._standby.settle_indexes()
+            self._mark_done(batch)
+            return
+        retired.apply_update(update)
+        retired.settle_indexes()
+        self._standby = retired
+        self._snapshots_reclaimed += 1
+        self._mark_done(batch)
+
+    def _fail_batch(self, batch: _WriteBatch, error: BaseException) -> None:
+        self._update_failures += 1
+        self._last_error = error
+        for ticket in batch.tickets:
+            ticket._fail(error)
+        self._mark_done(batch)
+
+    def _mark_done(self, batch: _WriteBatch) -> None:
+        with self._progress:
+            self._done_seq = max(
+                self._done_seq, max(t.seq for t in batch.tickets)
+            )
+            self._progress.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # reader side
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def read(self):
+        """Pin the published snapshot for a consistent batch of queries.
+
+        The yielded :class:`ServingSession` is immutable for the duration
+        of the ``with`` block — the applier will not touch it until the
+        reader exits its epoch.  No lock is taken on this path.
+        """
+        tid = self._epochs.enter()
+        try:
+            yield self._published
+        finally:
+            self._epochs.exit(tid)
+
+    def topk(
+        self, vector: np.ndarray, k: int = 10, category: str | None = None
+    ) -> list[tuple[str, str, float]]:
+        """Lock-free :meth:`ServingSession.topk` against the live snapshot."""
+        with self.read() as session:
+            return session.topk(vector, k, category=category)
+
+    def topk_batch(self, vectors, k: int = 10, category: str | None = None):
+        """Lock-free batched top-k against the live snapshot."""
+        with self.read() as session:
+            return session.topk_batch(vectors, k, category=category)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def published_version(self) -> int:
+        """Version of the snapshot queries currently see."""
+        return self._published.version
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the served vectors."""
+        return self._published.dimension
+
+    @property
+    def embeddings(self):
+        """The writer-side (most recent) embedding set."""
+        return self._retrofitter.embeddings
+
+    @property
+    def last_error(self) -> BaseException | None:
+        """The most recent pipeline failure, if any."""
+        return self._last_error
+
+    @property
+    def degraded(self) -> bool:
+        """Whether an update failed after mutating the database.
+
+        A degraded runtime keeps answering queries from the last good
+        snapshot but refuses new submissions: the database and the served
+        vectors can no longer be certified to agree.  Rebuild the runtime
+        (re-extract or reload a consistent artifact) to recover.
+        """
+        return self._degraded is not None
+
+    @property
+    def queue_stats(self) -> QueueStats:
+        """Counters of the write-ahead queue."""
+        return self._queue.stats
+
+    @property
+    def stats(self) -> RuntimeStats:
+        """A point-in-time snapshot of the runtime's counters."""
+        queue = self._queue.stats
+        lags = list(self._update_lags)
+        return RuntimeStats(
+            published_version=self.published_version,
+            updates_published=self._updates_published,
+            update_failures=self._update_failures,
+            snapshots_reclaimed=self._snapshots_reclaimed,
+            deltas_submitted=queue.submitted,
+            deltas_coalesced=queue.coalesced,
+            pending_batches=queue.pending_batches,
+            last_update_lag_seconds=lags[-1] if lags else None,
+            mean_update_lag_seconds=(
+                float(np.mean(lags)) if lags else None
+            ),
+        )
+
+
+# --------------------------------------------------------------------- #
+# query coalescing
+# --------------------------------------------------------------------- #
+class _QueryRequest:
+    __slots__ = ("vector", "k", "category", "future")
+
+    def __init__(self, vector, k, category, future):
+        self.vector = vector
+        self.k = k
+        self.category = category
+        self.future = future
+
+
+@dataclass(frozen=True)
+class FrontStats:
+    """Counters of one :class:`BatchedQueryFront`."""
+
+    requests: int
+    batches_dispatched: int
+    largest_batch: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests served per index query."""
+        if not self.batches_dispatched:
+            return 0.0
+        return self.requests / self.batches_dispatched
+
+
+class BatchedQueryFront:
+    """Coalesce concurrent ``top_k`` requests into batched index queries.
+
+    Requests arriving within ``window_seconds`` of each other (up to
+    ``max_batch``) are grouped by ``(k, category)`` and executed as single
+    :meth:`ServingSession.topk_batch` calls against one pinned snapshot —
+    with the batched kernels, a full batch costs barely more than one
+    query.  Every caller gets a :class:`concurrent.futures.Future`;
+    :meth:`topk` is the blocking convenience wrapper.
+
+    ``target`` is a :class:`ServingRuntime` (requests of one dispatch see
+    one consistent snapshot) or a bare :class:`ServingSession`.
+    """
+
+    def __init__(
+        self,
+        target,
+        window_seconds: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError("max_batch must be at least 1")
+        self._target = target
+        self._dimension = getattr(target, "dimension", None)
+        self._window = float(window_seconds)
+        self._max_batch = int(max_batch)
+        self._cond = threading.Condition()
+        self._requests: deque[_QueryRequest] = deque()
+        self._closed = False
+        self._n_requests = 0
+        self._n_batches = 0
+        self._largest_batch = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="batched-query-front", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self, vector: np.ndarray, k: int = 10, category: str | None = None
+    ) -> Future:
+        """Queue one top-k request; resolves to its result triples.
+
+        A malformed vector fails here, synchronously — it must never make
+        it into a batch, where one bad shape would poison the co-batched
+        requests' matrix build.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        if self._dimension is not None and vector.shape != (self._dimension,):
+            raise ServingError(
+                f"query vector has shape {vector.shape}, "
+                f"expected ({self._dimension},)"
+            )
+        future: Future = Future()
+        with self._cond:
+            if self._closed:
+                raise ServingError("query front is closed")
+            self._requests.append(_QueryRequest(vector, int(k), category, future))
+            self._n_requests += 1
+            self._cond.notify()
+        return future
+
+    def topk(
+        self,
+        vector: np.ndarray,
+        k: int = 10,
+        category: str | None = None,
+        timeout: float | None = None,
+    ) -> list[tuple[str, str, float]]:
+        """Blocking :meth:`submit` — waits for the batched result."""
+        return self.submit(vector, k, category).result(timeout)
+
+    @property
+    def stats(self) -> FrontStats:
+        """Batching effectiveness counters."""
+        return FrontStats(
+            requests=self._n_requests,
+            batches_dispatched=self._n_batches,
+            largest_batch=self._largest_batch,
+        )
+
+    def close(self, timeout: float | None = None) -> None:
+        """Dispatch the remaining requests and stop the worker."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "BatchedQueryFront":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # dispatcher
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._requests and not self._closed:
+                    self._cond.wait()
+                if not self._requests and self._closed:
+                    return
+                # first request in hand: linger for the batching window
+                deadline = time.perf_counter() + self._window
+                while len(self._requests) < self._max_batch and not self._closed:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                count = min(len(self._requests), self._max_batch)
+                batch = [self._requests.popleft() for _ in range(count)]
+            self._dispatch(batch)
+
+    def _pinned(self):
+        if hasattr(self._target, "read"):
+            return self._target.read()
+        return nullcontext(self._target)
+
+    def _dispatch(self, batch: list[_QueryRequest]) -> None:
+        self._n_batches += 1
+        self._largest_batch = max(self._largest_batch, len(batch))
+        groups: dict[tuple[int, str | None], list[_QueryRequest]] = {}
+        for request in batch:
+            groups.setdefault((request.k, request.category), []).append(request)
+        with self._pinned() as session:
+            for (k, category), requests in groups.items():
+                try:
+                    results = session.topk_batch(
+                        np.stack([r.vector for r in requests]), k, category=category
+                    )
+                except Exception as error:
+                    for request in requests:
+                        request.future.set_exception(error)
+                    continue
+                for request, result in zip(requests, results):
+                    request.future.set_result(result)

@@ -26,7 +26,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import ExtractionError, ServingError
 from repro.retrofit.combine import TextValueEmbeddingSet
 from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex
@@ -74,6 +74,7 @@ class ServingSession:
         embeddings: TextValueEmbeddingSet,
         index_factory: IndexFactory | None = None,
         cache_size: int = 1024,
+        thread_safe_cache: bool = False,
     ) -> None:
         self.embeddings = embeddings
         #: Monotonically increasing embedding-set version.  Part of every
@@ -83,7 +84,14 @@ class ServingSession:
         self._index_factory = index_factory
         self._indexes: dict[str | None, VectorIndex] = {}
         self._scope_rows: dict[str | None, Sequence[int]] = {}
-        self._cache = LRUCache(cache_size) if cache_size > 0 else None
+        #: Every scope this session has ever served; survives updates so
+        #: :meth:`settle_indexes` can pre-build exactly the hot scopes.
+        self._warm_scopes: set[str | None] = {None}
+        self._cache = (
+            LRUCache(cache_size, thread_safe=thread_safe_cache)
+            if cache_size > 0
+            else None
+        )
         self._indexed_matrix: np.ndarray | None = embeddings.matrix
 
     # ------------------------------------------------------------------ #
@@ -203,6 +211,7 @@ class ServingSession:
         session-owned IVF index.
         """
         self._sync_matrix()
+        self._warm_scopes.add(category)
         if category not in self._indexes:
             rows = self.embeddings.scope_rows(category)
             self._scope_rows[category] = rows
@@ -218,6 +227,30 @@ class ServingSession:
                 index = self.embeddings.index_for(category)
             self._indexes[category] = index
         return self._indexes[category]
+
+    def settle_indexes(self) -> None:
+        """Finish every deferred index mutation before queries arrive.
+
+        Builds the index of every scope this session has ever served
+        (updates drop category-scope indexes, so without this the next
+        query would rebuild them) and runs any pending lazy IVF
+        re-clustering now.  The concurrent runtime calls this on the
+        writer thread before publishing a snapshot, so reader threads
+        never trigger index construction or a k-means pass from the
+        (lock-free) query path — only the first-ever query of a brand-new
+        scope still builds inline.  Scopes that ceased to exist (all of a
+        category's values removed) fall out of the warm set.
+        """
+        for scope in sorted(
+            self._warm_scopes, key=lambda s: (s is not None, s or "")
+        ):
+            try:
+                index = self.index_for(scope)
+            except ExtractionError:
+                self._warm_scopes.discard(scope)
+                continue
+            if isinstance(index, IVFIndex) and index.needs_recluster:
+                index.rebalance()
 
     # ------------------------------------------------------------------ #
     # live updates
@@ -322,22 +355,37 @@ class ServingSession:
             self._scope_rows.pop(scope, None)
 
         # selective cache invalidation: a cached result survives only when
-        # its scope is a category the delta never touched
+        # its scope is a category the delta never touched.  Without an
+        # extraction delta the touched scopes are unknown, so nothing may
+        # survive (a delete-only update would otherwise keep serving the
+        # removed rows' cached neighbours).
+        scopes_known = update.extraction_delta is not None
         affected = set(
-            update.extraction_delta.touched_categories()
-            if update.extraction_delta is not None
-            else ()
+            update.extraction_delta.touched_categories() if scopes_known else ()
         )
         records = new_embeddings.extraction.records
         for row in changed:
             affected.add(records[int(row)].category)
+        # values the delta removed, in the (still current) old indexing:
+        # even a kept entry must not reference a value that no longer exists
+        old_records = self.embeddings.extraction.records
+        removed_values = {
+            (old_records[int(row)].category, old_records[int(row)].text)
+            for row in delta_map.removed_indices
+        }
         dropped = kept = 0
         if self._cache is not None:
             next_version = self.version + 1
             for key, value in self._cache.items():
                 self._cache.pop(key)
                 _, category, k, payload = key
-                if category is None or category in affected:
+                if category is None or not scopes_known or category in affected:
+                    dropped += 1
+                    continue
+                if removed_values and any(
+                    (hit_category, hit_text) in removed_values
+                    for hit_category, hit_text, _ in value
+                ):
                     dropped += 1
                     continue
                 self._cache.put((next_version, category, k, payload), value)

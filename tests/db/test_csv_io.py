@@ -4,7 +4,6 @@ import pytest
 
 from repro.db.csv_io import load_csv_directory, read_csv_table, write_csv_table
 from repro.db.database import build_table_schema
-from repro.db.table import Table
 from repro.db.types import ColumnType
 from repro.errors import SchemaError
 

@@ -182,3 +182,72 @@ class TestTableDelete:
 
     def test_delete_where_no_match(self, toy_db):
         assert toy_db.table("movies").delete_where(lambda row: False) == 0
+
+
+class TestValidateAgainst:
+    """Write-ahead validation: rejected ⇒ database provably untouched."""
+
+    def test_valid_delta_passes_and_database_is_untouched(self, toy_db):
+        movies = toy_db.table("movies")
+        n_before = len(movies)
+        delta = (
+            DatabaseDelta()
+            .insert("movies", {"id": 99, "title": "matrix", "country_id": 2})
+            .update("movies", 99, title="matrix reloaded")
+            .delete("movies", 99)
+        )
+        delta.validate_against(toy_db)
+        assert len(movies) == n_before
+
+    def test_unknown_table_rejected(self, toy_db):
+        with pytest.raises(Exception):
+            DatabaseDelta().insert("nope", {"id": 1}).validate_against(toy_db)
+
+    def test_unknown_column_rejected(self, toy_db):
+        delta = DatabaseDelta().insert("movies", {"id": 99, "director": "x"})
+        with pytest.raises(SchemaError, match="unknown columns"):
+            delta.validate_against(toy_db)
+
+    def test_duplicate_primary_key_rejected(self, toy_db):
+        existing = toy_db.table("movies").rows[0]["id"]
+        delta = DatabaseDelta().insert(
+            "movies", {"id": existing, "title": "clone", "country_id": 2}
+        )
+        with pytest.raises(SchemaError, match="reuses primary key"):
+            delta.validate_against(toy_db)
+        # also within one batch
+        delta = (
+            DatabaseDelta()
+            .insert("movies", {"id": 99, "title": "one", "country_id": 2})
+            .insert("movies", {"id": 99, "title": "two", "country_id": 2})
+        )
+        with pytest.raises(SchemaError, match="reuses primary key"):
+            delta.validate_against(toy_db)
+
+    def test_update_of_missing_row_rejected(self, toy_db):
+        delta = DatabaseDelta().update("movies", 12345, title="ghost")
+        with pytest.raises(SchemaError, match="missing row"):
+            delta.validate_against(toy_db)
+        # ...but addressing a row the same batch inserts is fine
+        delta = (
+            DatabaseDelta()
+            .insert("movies", {"id": 99, "title": "new", "country_id": 2})
+            .update("movies", 99, title="renamed")
+        )
+        delta.validate_against(toy_db)
+
+    def test_update_may_not_change_the_primary_key(self, toy_db):
+        existing = toy_db.table("movies").rows[0]["id"]
+        delta = DatabaseDelta().update("movies", existing, id=123)
+        with pytest.raises(SchemaError, match="primary key"):
+            delta.validate_against(toy_db)
+
+    def test_delete_of_missing_or_doubled_row_rejected(self, toy_db):
+        with pytest.raises(SchemaError, match="missing row"):
+            DatabaseDelta().delete("movies", 12345).validate_against(toy_db)
+        existing = toy_db.table("movies").rows[0]["id"]
+        delta = DatabaseDelta().delete("movies", existing).delete(
+            "movies", existing
+        )
+        with pytest.raises(SchemaError, match="twice"):
+            delta.validate_against(toy_db)

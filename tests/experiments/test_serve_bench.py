@@ -1,0 +1,72 @@
+"""Tests for the concurrent-serving benchmark harness and its CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentSizes
+from repro.experiments.serve_bench import run_serve_benchmark
+
+
+class TestRunServeBenchmark:
+    def test_tiny_run_reports_all_phases_and_agrees(self):
+        table, payload = run_serve_benchmark(
+            sizes=ExperimentSizes.tiny(),
+            readers=2,
+            queries_per_reader=40,
+            pipeline_depth=8,
+            n_deltas=2,
+            corpus_scale=2,
+            delta_interval_seconds=0.01,
+        )
+        assert [row["mode"] for row in table.rows] == [
+            "single-thread", "concurrent", "conc.+churn",
+        ]
+        assert payload["baseline"]["qps"] > 0
+        assert payload["concurrent"]["qps"] > 0
+        assert payload["concurrent"]["queries_answered"] == 80
+        assert payload["concurrent_under_churn"]["queries_answered"] == 80
+        assert payload["concurrent"]["mean_batch_size"] >= 1.0
+        assert payload["updates"]["published"] >= 1
+        assert payload["updates"]["failures"] == 0
+        assert payload["updates"]["mean_lag_seconds"] > 0
+        # the correctness half of the gate: concurrent == serial ≤ 1e-3
+        assert payload["max_cosine_distance_vs_serial"] <= 1e-3
+        # the payload is what --out writes: it must be JSON-serialisable
+        json.dumps(payload)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_serve_benchmark(sizes=ExperimentSizes.tiny(), method="PV")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_serve_benchmark(sizes=ExperimentSizes.tiny(), corpus_scale=0)
+        with pytest.raises(ExperimentError):
+            run_serve_benchmark(sizes=ExperimentSizes.tiny(), readers=0)
+
+
+class TestServeBenchCli:
+    def test_parser_accepts_serve_bench(self):
+        args = build_parser().parse_args([
+            "serve-bench", "--sizes", "tiny", "--readers", "2",
+            "--queries", "16", "--deltas", "1", "--corpus-scale", "1",
+        ])
+        assert args.command == "serve-bench"
+        assert args.readers == 2
+        assert args.corpus_scale == 1
+
+    def test_cli_end_to_end_writes_json(self, tmp_path):
+        out = tmp_path / "serve.json"
+        code = main([
+            "serve-bench", "--sizes", "tiny", "--readers", "2",
+            "--queries", "24", "--pipeline-depth", "8", "--deltas", "1",
+            "--corpus-scale", "1", "--out", str(out),
+        ])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["readers"] == 2
+        assert payload["concurrent"]["qps"] > 0
+        assert payload["max_cosine_distance_vs_serial"] <= 1e-3

@@ -8,7 +8,6 @@ from repro.db.types import ColumnType
 from repro.errors import RetrofitError
 from repro.retrofit.hyperparams import RetroHyperparameters
 from repro.retrofit.pipeline import EMBEDDING_TABLE_NAME, RetroPipeline
-from repro.text.embedding import WordEmbedding
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,113 @@
+"""Tests for the batched query front (concurrent top-k coalescing)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.errors import ServingError
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving.runtime import BatchedQueryFront
+from repro.serving.session import ServingSession
+
+
+@pytest.fixture(scope="module")
+def served_session():
+    dataset = generate_tmdb(num_movies=40, seed=5, embedding_dimension=16)
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    result = pipeline.run(iterations=120)
+    session = ServingSession(result.embeddings)
+    session.settle_indexes()
+    return session
+
+
+class TestBatchedQueryFront:
+    def test_results_match_direct_queries(self, served_session):
+        matrix = served_session.embeddings.matrix
+        with BatchedQueryFront(served_session, window_seconds=0.01) as front:
+            futures = [front.submit(matrix[row], 5) for row in range(12)]
+            batched = [future.result(timeout=10.0) for future in futures]
+        direct = [served_session.topk(matrix[row], 5) for row in range(12)]
+        # scores may differ in the last ulp (batched gemm vs single gemv
+        # accumulate in different orders); hits and ranking must not
+        for batched_hits, direct_hits in zip(batched, direct):
+            assert [hit[:2] for hit in batched_hits] == [
+                hit[:2] for hit in direct_hits
+            ]
+            assert np.allclose(
+                [hit[2] for hit in batched_hits],
+                [hit[2] for hit in direct_hits],
+            )
+
+    def test_requests_actually_coalesce(self, served_session):
+        matrix = served_session.embeddings.matrix
+        with BatchedQueryFront(
+            served_session, window_seconds=0.05, max_batch=32
+        ) as front:
+            barrier = threading.Barrier(4)
+
+            def client(start):
+                barrier.wait()
+                futures = [
+                    front.submit(matrix[start + i], 3) for i in range(8)
+                ]
+                return [f.result(timeout=10.0) for f in futures]
+
+            threads = [
+                threading.Thread(target=client, args=(start,))
+                for start in (0, 8, 16, 24)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            stats = front.stats
+        assert stats.requests == 32
+        # 32 requests landing within one window must not take 32 scans
+        assert stats.batches_dispatched < stats.requests
+        assert stats.largest_batch >= 2
+        assert stats.mean_batch_size > 1.0
+
+    def test_mixed_k_and_category_grouping(self, served_session):
+        category = served_session.categories[0]
+        vector = served_session.embeddings.matrix[0]
+        with BatchedQueryFront(served_session, window_seconds=0.02) as front:
+            f1 = front.submit(vector, 3)
+            f2 = front.submit(vector, 5)
+            f3 = front.submit(vector, 3, category=category)
+            assert len(f1.result(timeout=10.0)) == 3
+            assert len(f2.result(timeout=10.0)) == 5
+            assert all(
+                hit[0] == category for hit in f3.result(timeout=10.0)
+            )
+
+    def test_bad_vector_rejected_at_submit(self, served_session):
+        # a malformed vector must fail fast and never poison the batch
+        # matrix its co-batched requests are stacked into
+        good = served_session.embeddings.matrix[0]
+        with BatchedQueryFront(served_session, window_seconds=0.02) as front:
+            good_future = front.submit(good, 5)
+            with pytest.raises(ServingError, match="shape"):
+                front.submit(np.zeros(3), 5)
+            assert len(good_future.result(timeout=10.0)) == 5
+
+    def test_close_flushes_pending_requests(self, served_session):
+        vector = served_session.embeddings.matrix[1]
+        front = BatchedQueryFront(served_session, window_seconds=0.05)
+        futures = [front.submit(vector, 2) for _ in range(4)]
+        front.close(timeout=10.0)
+        for future in futures:
+            assert len(future.result(timeout=1.0)) == 2
+        with pytest.raises(ServingError, match="closed"):
+            front.submit(vector, 2)
+
+    def test_blocking_topk_wrapper(self, served_session):
+        vector = served_session.embeddings.matrix[2]
+        with BatchedQueryFront(served_session, window_seconds=0.001) as front:
+            assert front.topk(vector, 4) == served_session.topk(vector, 4)

@@ -1,0 +1,123 @@
+"""Concurrency stress: readers + writers + queue churn, run together.
+
+Marked ``stress``: CI runs this module on its own (``pytest -m stress``)
+with faulthandler timeout dumps, so a deadlock or a lost wakeup in the
+runtime fails loudly instead of hanging the whole suite.  The scale knobs
+stay modest so the module also rides along in the tier-1 run.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.experiments.update_bench import synthesize_tmdb_delta
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving.runtime import BatchedQueryFront, ServingRuntime
+from repro.serving.session import default_index_factory
+
+pytestmark = pytest.mark.stress
+
+N_READERS = 4
+N_DELTAS = 6
+QUERIES_PER_READER = 150
+
+
+@pytest.fixture()
+def stack():
+    dataset = generate_tmdb(num_movies=60, seed=13, embedding_dimension=16)
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    result = pipeline.run(iterations=200)
+    return dataset, pipeline.incremental_retrofitter(result)
+
+
+def test_readers_writers_and_queue_churn(stack):
+    dataset, retrofitter = stack
+    matrix = retrofitter.embeddings.matrix.copy()
+    errors: list[BaseException] = []
+    served_counts = []
+
+    runtime = ServingRuntime(
+        dataset.database,
+        retrofitter,
+        index_factory=default_index_factory(ivf_threshold=64),
+        queue_capacity=2,  # small on purpose: exercise backpressure
+        solve_iterations=200,
+    )
+
+    def reader(seed, front):
+        rng = np.random.default_rng(seed)
+        count = 0
+        try:
+            for _ in range(QUERIES_PER_READER):
+                probe = matrix[int(rng.integers(0, matrix.shape[0]))]
+                probe = probe + rng.normal(0.0, 0.01, probe.shape)
+                if rng.random() < 0.5:
+                    hits = front.topk(probe, 5, timeout=60.0)
+                else:
+                    with runtime.read() as session:
+                        hits = session.topk(probe, 5)
+                assert 0 < len(hits) <= 5
+                count += 1
+        except BaseException as error:
+            errors.append(error)
+        finally:
+            served_counts.append(count)
+
+    failures_expected = 0
+    with runtime:
+        with BatchedQueryFront(
+            runtime, window_seconds=0.001, max_batch=32
+        ) as front:
+            threads = [
+                threading.Thread(target=reader, args=(seed, front))
+                for seed in range(N_READERS)
+            ]
+            for thread in threads:
+                thread.start()
+
+            rng = np.random.default_rng(5)
+            for step in range(N_DELTAS):
+                if step % 3 == 2:
+                    # a poisoned delta: the pipeline must reject it and
+                    # keep serving
+                    delta = DatabaseDelta().insert("no_such_table", {"id": 1})
+                    failures_expected += 1
+                    ticket = runtime.submit(delta, timeout=60.0)
+                    with pytest.raises(Exception):
+                        ticket.wait(timeout=120.0)
+                else:
+                    delta = synthesize_tmdb_delta(
+                        dataset.database,
+                        rng,
+                        1,
+                        include_update=True,
+                        include_delete=True,
+                    )
+                    # wait each good delta out: synthesis reads the same
+                    # database the applier mutates
+                    runtime.submit(delta, timeout=60.0).wait(timeout=120.0)
+
+            for thread in threads:
+                thread.join(timeout=120.0)
+            assert not any(thread.is_alive() for thread in threads)
+        runtime.flush(timeout=120.0)
+
+    assert errors == []
+    assert sum(served_counts) == N_READERS * QUERIES_PER_READER
+    stats = runtime.stats
+    assert stats.update_failures == failures_expected
+    assert stats.updates_published == N_DELTAS - failures_expected
+    assert stats.pending_batches == 0
+    assert stats.published_version == stats.updates_published
+    # every reader that pinned a snapshot let it go: reclamation kept up
+    assert stats.snapshots_reclaimed == stats.updates_published
+    front_stats = front.stats
+    assert front_stats.requests >= front_stats.batches_dispatched

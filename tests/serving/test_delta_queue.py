@@ -1,0 +1,217 @@
+"""Tests for the write-ahead delta queue: ordering, coalescing, backpressure."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db.delta import DatabaseDelta
+from repro.errors import SchemaError, ServingError
+from repro.serving.runtime import DeltaQueue
+
+
+def movie_insert(key: int) -> DatabaseDelta:
+    return DatabaseDelta().insert("movies", {"id": key, "title": f"m{key}"})
+
+
+def review_insert(key: int) -> DatabaseDelta:
+    return DatabaseDelta().insert("reviews", {"id": key, "text": f"r{key}"})
+
+
+def movie_delete(key: int) -> DatabaseDelta:
+    return DatabaseDelta().delete("movies", key)
+
+
+class TestDeltaCoalescing:
+    def test_same_table_inserts_absorb(self):
+        a, b = movie_insert(1), movie_insert(2)
+        assert a.can_absorb(b)
+        a.absorb(b)
+        assert len(a.inserts) == 2
+        assert a.summary() == {"inserts": 2, "updates": 0, "deletes": 0}
+
+    def test_different_tables_do_not_absorb(self):
+        assert not movie_insert(1).can_absorb(review_insert(1))
+
+    def test_deletes_block_absorption(self):
+        # merged application would run b's inserts before a's deletes,
+        # which is not what applying a then b does
+        a = movie_delete(1)
+        b = movie_insert(1)
+        assert not a.can_absorb(b)
+        with pytest.raises(SchemaError):
+            a.absorb(b)
+
+    def test_updates_block_absorbing_inserts(self):
+        # an update silently no-ops on a missing row; merged application
+        # would run it after the absorbed delta's insert and suddenly hit —
+        # a different database than sequential application produces
+        a = DatabaseDelta().update("movies", 500, overview="x")
+        b = movie_insert(500)
+        assert not a.can_absorb(b)
+        # updates coexisting with updates (no inserts) still fold
+        c = DatabaseDelta().update("movies", 500, overview="y")
+        assert a.can_absorb(c)
+
+    def test_absorbing_a_delete_tail_is_fine(self):
+        # deletes in the *absorbed* delta stay ordered after everything
+        a = movie_insert(1)
+        b = DatabaseDelta().insert("movies", {"id": 2}).delete("movies", 1)
+        assert a.can_absorb(b)
+        a.absorb(b)
+        assert len(a.deletes) == 1
+
+    def test_merged_apply_equals_sequential_apply(self):
+        from repro.datasets import generate_tmdb
+
+        def fresh():
+            return generate_tmdb(num_movies=20, seed=4, embedding_dimension=8)
+
+        def deltas(db):
+            next_id = max(row["id"] for row in db.table("movies")) + 1
+            a = DatabaseDelta().insert("movies", {
+                "id": next_id, "title": "alpha merge", "original_language":
+                "english", "overview": "one", "budget": 1.0, "revenue": 1.0,
+                "popularity": 1.0, "release_year": 2026, "collection_id": None,
+            })
+            b = DatabaseDelta().insert("movies", {
+                "id": next_id + 1, "title": "beta merge", "original_language":
+                "english", "overview": "two", "budget": 1.0, "revenue": 1.0,
+                "popularity": 1.0, "release_year": 2026, "collection_id": None,
+            })
+            return a, b
+
+        sequential = fresh().database
+        a, b = deltas(sequential)
+        a.apply_to(sequential)
+        b.apply_to(sequential)
+
+        merged_db = fresh().database
+        a2, b2 = deltas(merged_db)
+        a2.absorb(b2)
+        a2.apply_to(merged_db)
+
+        assert (
+            [row for row in merged_db.table("movies")]
+            == [row for row in sequential.table("movies")]
+        )
+
+
+class TestQueueOrderingAndCoalescing:
+    def test_fifo_order_without_coalescing(self):
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        for key in range(3):
+            queue.submit(movie_insert(key))
+        popped = [queue.pop(timeout=1.0) for _ in range(3)]
+        ids = [batch.delta.inserts[0].row["id"] for batch in popped]
+        assert ids == [0, 1, 2]
+        assert queue.stats.coalesced == 0
+
+    def test_adjacent_same_table_submissions_coalesce(self):
+        queue = DeltaQueue(capacity=8)
+        t1 = queue.submit(movie_insert(1))
+        t2 = queue.submit(movie_insert(2))
+        t3 = queue.submit(review_insert(3))  # different table: own batch
+        assert len(queue) == 2
+        stats = queue.stats
+        assert stats.submitted == 3 and stats.coalesced == 1
+        batch = queue.pop(timeout=1.0)
+        assert [op.row["id"] for op in batch.delta.inserts] == [1, 2]
+        assert batch.tickets == [t1, t2]
+        assert queue.pop(timeout=1.0).tickets == [t3]
+
+    def test_coalescing_never_mutates_the_submitted_delta(self):
+        # callers may hold on to their deltas (e.g. to replay the stream
+        # on a serial baseline); the queue must fold into a private copy
+        queue = DeltaQueue(capacity=8)
+        first, second = movie_insert(1), movie_insert(2)
+        queue.submit(first)
+        queue.submit(second)
+        assert len(first.inserts) == 1 and len(second.inserts) == 1
+        assert len(queue.pop(timeout=1.0).delta.inserts) == 2
+
+    def test_coalesced_ops_cap(self):
+        queue = DeltaQueue(capacity=8, max_coalesced_ops=2)
+        queue.submit(movie_insert(1))
+        queue.submit(movie_insert(2))  # reaches the 2-op cap
+        queue.submit(movie_insert(3))  # must open a fresh batch
+        assert len(queue) == 2
+
+    def test_popped_batch_never_grows(self):
+        queue = DeltaQueue(capacity=8)
+        queue.submit(movie_insert(1))
+        batch = queue.pop(timeout=1.0)
+        queue.submit(movie_insert(2))
+        assert len(batch.delta) == 1
+        assert len(queue.pop(timeout=1.0).delta) == 1
+
+
+class TestBackpressure:
+    def test_full_queue_times_out(self):
+        queue = DeltaQueue(capacity=1, coalesce=False)
+        queue.submit(movie_insert(1))
+        with pytest.raises(ServingError, match="backpressure"):
+            queue.submit(movie_insert(2), timeout=0.05)
+
+    def test_pop_unblocks_a_waiting_producer(self):
+        queue = DeltaQueue(capacity=1, coalesce=False)
+        queue.submit(movie_insert(1))
+        submitted = threading.Event()
+
+        def producer():
+            queue.submit(movie_insert(2), timeout=5.0)
+            submitted.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.05)
+        assert not submitted.is_set()  # blocked on the full queue
+        assert queue.pop(timeout=1.0) is not None
+        assert submitted.wait(timeout=5.0)
+        thread.join()
+        assert len(queue) == 1
+
+    def test_coalescible_submission_bypasses_backpressure(self):
+        # folding into the tail consumes no extra capacity
+        queue = DeltaQueue(capacity=1)
+        queue.submit(movie_insert(1))
+        queue.submit(movie_insert(2), timeout=0.05)
+        assert len(queue) == 1
+
+
+class TestCloseSemantics:
+    def test_submit_after_close_raises(self):
+        queue = DeltaQueue()
+        queue.close()
+        with pytest.raises(ServingError, match="closed"):
+            queue.submit(movie_insert(1))
+
+    def test_close_drains_then_returns_none(self):
+        queue = DeltaQueue()
+        queue.submit(movie_insert(1))
+        queue.close()
+        assert queue.pop(timeout=1.0) is not None
+        assert queue.pop(timeout=1.0) is None
+
+    def test_close_wakes_a_blocked_popper(self):
+        queue = DeltaQueue()
+        result = []
+
+        def popper():
+            result.append(queue.pop(timeout=10.0))
+
+        thread = threading.Thread(target=popper)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result == [None]
+
+    def test_drain_tickets_returns_orphans(self):
+        queue = DeltaQueue(coalesce=False)
+        tickets = [queue.submit(movie_insert(k)) for k in range(3)]
+        queue.close()
+        orphans = queue.drain_tickets()
+        assert orphans == tickets
+        assert len(queue) == 0

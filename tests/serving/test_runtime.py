@@ -1,0 +1,322 @@
+"""Tests for the concurrent serving runtime.
+
+Covers the reader–writer protocol (atomic snapshot swap, epoch-based
+reclamation), end-to-end delta application through the background applier,
+failure isolation, and the agreement satellite: a runtime draining a
+random delta stream concurrently yields vectors identical (≤ 1e-3 cosine)
+to the serial :class:`IncrementalRetrofitter` path.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.errors import ServingError
+from repro.experiments.update_bench import synthesize_tmdb_delta
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.incremental import max_cosine_distance
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving.runtime import EpochRegistry, ServingRuntime
+from repro.serving.session import default_index_factory
+
+SETTLE = 300
+
+
+def build_stack(num_movies=50, seed=9, dim=16):
+    """A settled pipeline + retrofitter over a fresh small TMDB database."""
+    dataset = generate_tmdb(
+        num_movies=num_movies, seed=seed, embedding_dimension=dim
+    )
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    result = pipeline.run(iterations=SETTLE)
+    return dataset, pipeline.incremental_retrofitter(result)
+
+
+def insert_movie_delta(key, title=None):
+    delta = DatabaseDelta()
+    delta.insert("movies", {
+        "id": 80_000 + key, "title": title or f"runtime probe {key}",
+        "original_language": "english",
+        "overview": "a quiet harbour town keeps an old secret",
+        "budget": 1e7, "revenue": 2e7, "popularity": 1.2,
+        "release_year": 2026, "collection_id": None,
+    })
+    delta.insert("movie_countries", {
+        "id": 80_000 + key, "movie_id": 80_000 + key, "country_id": 1,
+    })
+    return delta
+
+
+class TestEpochRegistry:
+    def test_enter_exit_lifecycle(self):
+        epochs = EpochRegistry()
+        assert epochs.oldest_active_epoch() is None
+        tid = epochs.enter()
+        assert epochs.oldest_active_epoch() == 0
+        epochs.exit(tid)
+        assert epochs.oldest_active_epoch() is None
+
+    def test_nested_pins_keep_the_outer_epoch(self):
+        epochs = EpochRegistry()
+        tid = epochs.enter()
+        epochs.advance()
+        inner = epochs.enter()  # nested on the same thread
+        assert epochs.oldest_active_epoch() == 0
+        epochs.exit(inner)
+        assert epochs.oldest_active_epoch() == 0  # outer pin still holds
+        epochs.exit(tid)
+        assert epochs.oldest_active_epoch() is None
+
+    def test_unbalanced_exit_raises(self):
+        epochs = EpochRegistry()
+        tid = epochs.enter()
+        epochs.exit(tid)
+        with pytest.raises(ServingError):
+            epochs.exit(tid)
+
+    def test_grace_period_waits_for_old_readers(self):
+        epochs = EpochRegistry()
+        tid = epochs.enter()
+        target = epochs.advance()
+        assert not epochs.wait_for_grace_period(target, timeout=0.05)
+        epochs.exit(tid)
+        assert epochs.wait_for_grace_period(target, timeout=1.0)
+
+    def test_readers_entering_after_advance_do_not_block_grace(self):
+        epochs = EpochRegistry()
+        target = epochs.advance()
+        epochs.enter()  # a new reader pinned at the *new* epoch
+        assert epochs.wait_for_grace_period(target, timeout=0.5)
+
+
+class TestServingRuntime:
+    def test_submitted_delta_becomes_visible(self):
+        dataset, retrofitter = build_stack()
+        with ServingRuntime(
+            dataset.database, retrofitter, solve_iterations=SETTLE
+        ) as runtime:
+            before = runtime.published_version
+            ticket = runtime.submit(insert_movie_delta(1, "amber lighthouse"))
+            version = ticket.wait(timeout=60.0)
+            assert version == before + 1
+            assert runtime.published_version == version
+            assert ticket.lag_seconds is not None and ticket.lag_seconds > 0
+            vector = runtime.embeddings.vector_for(
+                "movies.title", "amber lighthouse"
+            )
+            assert runtime.topk(vector, 1)[0][1] == "amber lighthouse"
+
+    def test_submit_requires_running_runtime(self):
+        dataset, retrofitter = build_stack()
+        runtime = ServingRuntime(dataset.database, retrofitter)
+        with pytest.raises(ServingError, match="not running"):
+            runtime.submit(insert_movie_delta(1))
+
+    def test_pinned_snapshot_is_stable_across_updates(self):
+        dataset, retrofitter = build_stack()
+        with ServingRuntime(
+            dataset.database, retrofitter, solve_iterations=SETTLE
+        ) as runtime:
+            with runtime.read() as snapshot:
+                pinned_version = snapshot.version
+                ticket = runtime.submit(insert_movie_delta(2))
+                ticket.wait(timeout=60.0)
+                # the published version moved on, the pinned snapshot did not
+                assert runtime.published_version == pinned_version + 1
+                assert snapshot.version == pinned_version
+                # while pinned, the retired snapshot must not be reclaimed
+                deadline = time.perf_counter() + 1.0
+                while time.perf_counter() < deadline:
+                    assert runtime.stats.snapshots_reclaimed == 0
+                    if runtime.stats.updates_published:
+                        break
+                    time.sleep(0.01)
+            # after unpinning, the applier catches the retired session up
+            deadline = time.perf_counter() + 10.0
+            while runtime.stats.snapshots_reclaimed == 0:
+                assert time.perf_counter() < deadline
+                time.sleep(0.01)
+
+    def test_empty_delta_completes_without_a_solve(self):
+        dataset, retrofitter = build_stack()
+        with ServingRuntime(dataset.database, retrofitter) as runtime:
+            ticket = runtime.submit(DatabaseDelta())
+            assert ticket.wait(timeout=10.0) == 0
+            assert runtime.stats.updates_published == 0
+
+    def test_failed_delta_keeps_serving_and_reports(self):
+        dataset, retrofitter = build_stack()
+        probe = retrofitter.embeddings.matrix[0]
+        bad = DatabaseDelta().insert("no_such_table", {"id": 1})
+        with ServingRuntime(
+            dataset.database, retrofitter, solve_iterations=SETTLE
+        ) as runtime:
+            ticket = runtime.submit(bad)
+            with pytest.raises(Exception):
+                ticket.wait(timeout=60.0)
+            assert ticket.failed
+            assert runtime.stats.update_failures == 1
+            assert runtime.last_error is not None
+            # write-ahead validation rejected it before any mutation, so
+            # the runtime stays fully healthy
+            assert not runtime.degraded
+            # still serving, and a good delta still lands afterwards
+            assert len(runtime.topk(probe, 3)) == 3
+            good = runtime.submit(insert_movie_delta(3, "emerald causeway"))
+            good.wait(timeout=60.0)
+            vector = runtime.embeddings.vector_for(
+                "movies.title", "emerald causeway"
+            )
+            assert runtime.topk(vector, 1)[0][1] == "emerald causeway"
+
+    def test_failure_past_validation_degrades_the_runtime(self):
+        dataset, retrofitter = build_stack()
+        probe = retrofitter.embeddings.matrix[0]
+
+        def exploding_apply(*args, **kwargs):
+            raise RuntimeError("solver blew up mid-update")
+
+        retrofitter.apply = exploding_apply  # past validation, pre-publish
+        with ServingRuntime(dataset.database, retrofitter) as runtime:
+            ticket = runtime.submit(insert_movie_delta(9))
+            with pytest.raises(RuntimeError, match="blew up"):
+                ticket.wait(timeout=60.0)
+            # the database may now disagree with the served vectors:
+            # reads keep working, writes are refused loudly
+            assert runtime.degraded
+            assert len(runtime.topk(probe, 3)) == 3
+            with pytest.raises(ServingError, match="degraded"):
+                runtime.submit(insert_movie_delta(10))
+
+    def test_stop_fails_unapplied_tickets(self):
+        dataset, retrofitter = build_stack()
+        runtime = ServingRuntime(dataset.database, retrofitter)
+        runtime.start()
+        runtime.stop(flush=True)
+        with pytest.raises(ServingError):
+            runtime.submit(insert_movie_delta(4))
+
+    def test_concurrent_readers_during_update_stream(self):
+        dataset, retrofitter = build_stack()
+        matrix = retrofitter.embeddings.matrix.copy()
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    probe = matrix[int(rng.integers(0, matrix.shape[0]))]
+                    hits = runtime.topk(probe, 5)
+                    assert 1 <= len(hits) <= 5
+            except BaseException as error:
+                errors.append(error)
+
+        with ServingRuntime(
+            dataset.database,
+            retrofitter,
+            index_factory=default_index_factory(ivf_threshold=64),
+            solve_iterations=SETTLE,
+        ) as runtime:
+            threads = [
+                threading.Thread(target=reader, args=(seed,)) for seed in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            rng = np.random.default_rng(0)
+            # synthesize reads the database the applier mutates, so each
+            # delta waits for the previous one to land before being built
+            for _ in range(3):
+                delta = synthesize_tmdb_delta(dataset.database, rng, 1)
+                runtime.submit(delta).wait(timeout=60.0)
+            runtime.flush(timeout=120.0)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert errors == []
+        stats = runtime.stats
+        assert stats.updates_published >= 1
+        assert stats.pending_batches == 0
+
+
+class TestConcurrentSerialAgreement:
+    """Satellite: concurrent draining == the serial retrofitter path."""
+
+    @pytest.mark.parametrize(
+        "churn,coalesce",
+        [
+            # churn deltas carry deletes, which never coalesce: the runtime
+            # applies exactly the serial batches (agreement is exact)
+            (True, True),
+            # insert-only streams coalesce into merged batches: agreement
+            # holds through the residual-certified solve, not batch-for-batch
+            (False, True),
+            (True, False),
+        ],
+    )
+    def test_random_stream_matches_serial_path(self, churn, coalesce):
+        seed = 11
+        dataset, retrofitter = build_stack(seed=seed)
+        serial_dataset, serial_retrofitter = build_stack(seed=seed)
+
+        # synthesize the stream against a third identical database so the
+        # concurrent and serial paths both see deltas that apply cleanly
+        scratch = generate_tmdb(
+            num_movies=50, seed=seed, embedding_dimension=16
+        ).database
+        rng = np.random.default_rng(3)
+        deltas = []
+        for _ in range(4):
+            delta = synthesize_tmdb_delta(
+                scratch, rng, 1, include_update=churn, include_delete=churn
+            )
+            delta.apply_to(scratch)
+            deltas.append(delta)
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        matrix = retrofitter.embeddings.matrix.copy()
+
+        def reader():
+            rng_r = np.random.default_rng(7)
+            try:
+                while not stop.is_set():
+                    probe = matrix[int(rng_r.integers(0, matrix.shape[0]))]
+                    runtime.topk(probe, 4)
+            except BaseException as error:
+                errors.append(error)
+
+        with ServingRuntime(
+            dataset.database,
+            retrofitter,
+            coalesce=coalesce,
+            solve_iterations=SETTLE,
+        ) as runtime:
+            thread = threading.Thread(target=reader)
+            thread.start()
+            for delta in deltas:
+                runtime.submit(delta)
+            runtime.flush(timeout=300.0)
+            stop.set()
+            thread.join(timeout=10.0)
+        assert errors == []
+
+        for delta in deltas:
+            serial_retrofitter.apply(
+                serial_dataset.database, delta, iterations=SETTLE
+            )
+
+        worst = max_cosine_distance(
+            serial_retrofitter.embeddings, runtime.embeddings
+        )
+        assert worst <= 1e-3
+        # the served snapshot is the writer-side state, published
+        assert runtime.published_version == runtime.stats.updates_published

@@ -106,6 +106,68 @@ class TestApplyUpdate:
         assert session.cache_stats.misses == misses_before + 1
 
 
+class TestDeleteOnlyCacheInvalidation:
+    """Regression: a delete-only delta must drop cached entries that
+    reference the removed rows — even when the update carries no
+    extraction delta to attribute scopes with (e.g. a replayed delta
+    record), and even for scope categories the bookkeeping thinks are
+    untouched."""
+
+    def test_update_without_extraction_delta_drops_scoped_entries(
+        self, served_pipeline
+    ):
+        import dataclasses
+
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(retrofitter.embeddings)
+
+        victim = dataset.database.table("reviews").rows[0]
+        victim_text = victim["text"]
+        probe = retrofitter.embeddings.vector_for("reviews.text", victim_text)
+        before = session.topk(probe, 5, category="reviews.text")
+        assert any(text == victim_text for _, text, _ in before)
+
+        update = retrofitter.apply(
+            dataset.database, DatabaseDelta().delete("reviews", victim["id"])
+        )
+        # simulate a minimal delete-only update whose provenance was lost:
+        # no extraction delta, no changed rows — only the index delta map.
+        # Before the fix, the scoped cache entry survived re-keyed and the
+        # removed review kept being served from the cache.
+        stripped = dataclasses.replace(
+            update,
+            extraction_delta=None,
+            changed_rows=np.empty(0, dtype=np.int64),
+        )
+        session.apply_update(stripped)
+
+        after = session.topk(probe, 5, category="reviews.text")
+        assert all(text != victim_text for _, text, _ in after)
+
+    def test_kept_entries_never_reference_removed_values(self, served_pipeline):
+        dataset, pipeline, result = served_pipeline
+        retrofitter = pipeline.incremental_retrofitter(result)
+        session = ServingSession(retrofitter.embeddings)
+        victim = dataset.database.table("reviews").rows[0]
+        probe = retrofitter.embeddings.vector_for(
+            "reviews.text", victim["text"]
+        )
+        session.topk(probe, 5, category="reviews.text")
+        update = retrofitter.apply(
+            dataset.database, DatabaseDelta().delete("reviews", victim["id"])
+        )
+        stats = session.apply_update(update)
+        removed = {
+            (category, text)
+            for category, texts in update.extraction_delta.removed_values.items()
+            for text in texts
+        }
+        for _, value in session._cache.items():
+            assert not any(hit[:2] in removed for hit in value)
+        assert stats.cache_entries_dropped >= 1
+
+
 class TestCacheStaleness:
     """Satellite: cache keys carry the embedding-set version, so a swapped
     or updated store can never serve pre-update neighbours."""
