@@ -226,6 +226,14 @@ def build_parser() -> argparse.ArgumentParser:
         "needs a serving-sized corpus (default: 5)",
     )
     serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also run the workload through a sharded multi-process tier "
+        "with this many shard workers over a shared memory-mapped matrix "
+        "(default: 0 — skip the sharded phases)",
+    )
+    serve_parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -423,6 +431,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         window_seconds=args.window_ms / 1000.0,
         max_batch=args.max_batch,
         corpus_scale=args.corpus_scale,
+        shards=args.shards,
         seed=args.seed,
         cache_dir=args.cache_dir,
         churn=args.churn,

@@ -19,6 +19,13 @@ model.  Three phases run over the same settled starting point:
   applier's solver work and the readers share the interpreter, so this
   phase's throughput bounds the worst case, not the steady state).
 
+With ``shards >= 1`` two more phases run the same workloads through a
+:class:`~repro.serving.ShardedServingTier` — hash-partitioned worker
+processes over a shared memory-mapped matrix, with the retrofit applier
+in its own process — measuring what moving the solver and the index scans
+off the readers' interpreter buys (on a multi-core box; on one core the
+processes still time-share).
+
 Reported: queries/s and p50/p99 per-request latency for both phases,
 update lag (submit→publish) for the delta stream, queue/coalescing and
 batching counters, and — the correctness half — the max cosine distance
@@ -94,6 +101,7 @@ def run_serve_benchmark(
     k: int = 10,
     delta_interval_seconds: float = 0.05,
     corpus_scale: int = 5,
+    shards: int = 0,
     seed: int | None = None,
     cache_dir=None,
     churn: bool = False,
@@ -219,7 +227,7 @@ def run_serve_benchmark(
             reader_errors.append(error)
 
     def run_reader_phase(
-        front: BatchedQueryFront, submit_stream: bool
+        front: BatchedQueryFront, submit=None
     ) -> tuple[float, list[float], list]:
         latencies: list[float] = []
         chunks = np.array_split(queries, readers)
@@ -231,11 +239,11 @@ def run_serve_benchmark(
         started = time.perf_counter()
         for thread in threads:
             thread.start()
-        if submit_stream:
+        if submit is not None:
             # drip the write stream into the queue while readers run; a
             # busy applier still coalesces bunched-up submissions
             for delta in deltas:
-                tickets.append(runtime.submit(delta))
+                tickets.append(submit(delta))
                 time.sleep(delta_interval_seconds)
         for thread in threads:
             thread.join()
@@ -250,14 +258,12 @@ def run_serve_benchmark(
         ) as front:
             # phase 2: steady-state concurrent serving — the throughput
             # gate compares this against the single-threaded loop
-            steady_wall, steady_latencies, _ = run_reader_phase(
-                front, submit_stream=False
-            )
+            steady_wall, steady_latencies, _ = run_reader_phase(front)
             steady_front_stats = front.stats
             # phase 3: the same read workload under a live delta stream —
             # measures update lag and how much churn costs the readers
             churn_wall, churn_latencies, tickets = run_reader_phase(
-                front, submit_stream=True
+                front, submit=runtime.submit
             )
         runtime.flush(timeout=300.0)
         runtime_stats = runtime.stats
@@ -266,6 +272,94 @@ def run_serve_benchmark(
         ticket.wait(timeout=1.0)  # re-raises a failed pipeline
     steady_qps = total_queries / steady_wall if steady_wall > 0 else 0.0
     churn_qps = total_queries / churn_wall if churn_wall > 0 else 0.0
+
+    # ---- phases 4+5: sharded multi-process tier ------------------------ #
+    sharded_metrics: dict[str, Any] | None = None
+    sharded_final = None
+    if shards >= 1:
+        import tempfile
+
+        from repro.serving.sharded import ShardedServingTier
+        from repro.serving.store import EmbeddingStore
+
+        shard_dir = tempfile.TemporaryDirectory(prefix="serve-bench-shards-")
+        store = EmbeddingStore(shard_dir.name)
+        store.save_embedding_set("serve", embeddings)
+        # the tier's applier process gets its own pre-stream database copy
+        # and retrofitter (the runtime above already consumed the shared
+        # ones); it replays the identical delta stream
+        tier = ShardedServingTier(
+            shard_dir.name,
+            "serve",
+            n_shards=shards,
+            database=make_tmdb(sizes).database,
+            retrofitter=IncrementalRetrofitter(
+                embeddings,
+                tokenizer,
+                hyperparams=hyperparams,
+                method=solver_method,
+                base_matrix=base_matrix,
+            ),
+            solve_iterations=SOLVE_ITERATIONS,
+        )
+        with tier:
+            with BatchedQueryFront(
+                tier, window_seconds=window_seconds, max_batch=max_batch
+            ) as shard_front:
+                shard_steady_wall, shard_steady_latencies, _ = (
+                    run_reader_phase(shard_front)
+                )
+                shard_churn_wall, shard_churn_latencies, shard_tickets = (
+                    run_reader_phase(shard_front, submit=tier.submit)
+                )
+            tier.flush(timeout=600.0)
+            tier_stats = tier.stats
+        for ticket in shard_tickets:
+            ticket.wait(timeout=1.0)
+        sharded_final, _, _ = store.load_embedding_set_versioned("serve")
+        shard_dir.cleanup()
+        shard_steady_qps = (
+            total_queries / shard_steady_wall if shard_steady_wall > 0 else 0.0
+        )
+        shard_churn_qps = (
+            total_queries / shard_churn_wall if shard_churn_wall > 0 else 0.0
+        )
+        shard_lags = [
+            t.lag_seconds for t in shard_tickets if t.lag_seconds is not None
+        ]
+        shard_steady_p50, shard_steady_p99 = _percentiles(shard_steady_latencies)
+        shard_churn_p50, shard_churn_p99 = _percentiles(shard_churn_latencies)
+        sharded_metrics = {
+            "n_shards": shards,
+            "steady": {
+                "wall_seconds": shard_steady_wall,
+                "qps": shard_steady_qps,
+                "p50_seconds": shard_steady_p50,
+                "p99_seconds": shard_steady_p99,
+                "queries_answered": len(shard_steady_latencies),
+            },
+            "churn": {
+                "wall_seconds": shard_churn_wall,
+                "qps": shard_churn_qps,
+                "p50_seconds": shard_churn_p50,
+                "p99_seconds": shard_churn_p99,
+                "queries_answered": len(shard_churn_latencies),
+            },
+            "published_version": tier_stats.published_version,
+            "writes_applied": tier_stats.writes_applied,
+            "degraded_queries": tier_stats.degraded_queries,
+            "shard_respawns": tier_stats.shard_respawns,
+            "churn_vs_steady": (
+                shard_churn_qps / shard_steady_qps if shard_steady_qps else 0.0
+            ),
+            "churn_vs_single_process_churn": (
+                shard_churn_qps / churn_qps if churn_qps else 0.0
+            ),
+            "update_lag_seconds": shard_lags,
+            "mean_lag_seconds": (
+                float(np.mean(shard_lags)) if shard_lags else None
+            ),
+        }
 
     base_p50, base_p99 = _percentiles(baseline_latencies)
     steady_p50, steady_p99 = _percentiles(steady_latencies)
@@ -305,11 +399,37 @@ def run_serve_benchmark(
         p50_ms=churn_p50 * 1000.0,
         p99_ms=churn_p99 * 1000.0,
     )
+    if sharded_metrics is not None:
+        table.add_row(
+            mode=f"sharded({shards})",
+            queries=total_queries,
+            wall_s=sharded_metrics["steady"]["wall_seconds"],
+            qps=sharded_metrics["steady"]["qps"],
+            p50_ms=sharded_metrics["steady"]["p50_seconds"] * 1000.0,
+            p99_ms=sharded_metrics["steady"]["p99_seconds"] * 1000.0,
+        )
+        table.add_row(
+            mode="sharded+churn",
+            queries=total_queries,
+            wall_s=sharded_metrics["churn"]["wall_seconds"],
+            qps=sharded_metrics["churn"]["qps"],
+            p50_ms=sharded_metrics["churn"]["p50_seconds"] * 1000.0,
+            p99_ms=sharded_metrics["churn"]["p99_seconds"] * 1000.0,
+        )
     table.add_note(
         f"steady concurrent throughput {speedup:.1f}x the single-threaded "
         f"loop; mean batched {steady_front_stats.mean_batch_size:.1f} "
         f"queries/index call (largest {steady_front_stats.largest_batch})"
     )
+    if sharded_metrics is not None:
+        table.add_note(
+            f"sharded({shards}) churn at "
+            f"{sharded_metrics['churn_vs_steady']:.0%} of its steady rate, "
+            f"{sharded_metrics['churn_vs_single_process_churn']:.2f}x the "
+            f"single-process churn throughput "
+            f"({sharded_metrics['writes_applied']} write batches applied "
+            f"out-of-process)"
+        )
     if lags:
         table.add_note(
             f"update lag mean {float(np.mean(lags)) * 1000.0:.1f} ms over "
@@ -366,6 +486,8 @@ def run_serve_benchmark(
         },
         "speedup_vs_single_thread": speedup,
     }
+    if sharded_metrics is not None:
+        payload["sharded"] = sharded_metrics
 
     # ---- agreement: the serial incremental path over the same stream --- #
     if measure_agreement:
@@ -388,4 +510,13 @@ def run_serve_benchmark(
         table.add_note(
             f"max cosine distance to the serial incremental path: {worst:.2e}"
         )
+        if sharded_final is not None:
+            sharded_worst = max_cosine_distance(
+                serial_retrofitter.embeddings, sharded_final
+            )
+            payload["sharded"]["max_cosine_distance_vs_serial"] = sharded_worst
+            table.add_note(
+                "sharded tier max cosine distance to the serial path: "
+                f"{sharded_worst:.2e}"
+            )
     return table, payload

@@ -9,7 +9,11 @@ query cache.  :class:`ServingRuntime` adds the concurrent layer: a
 write-ahead :class:`DeltaQueue` drained by a background applier into
 double-buffered sessions (atomic snapshot swap, epoch-based reclamation)
 while a :class:`BatchedQueryFront` coalesces concurrent top-k requests
-into batched index queries.
+into batched index queries.  :class:`ShardedServingTier` scales that
+across processes: hash-partitioned shard workers over a shared read-only
+memory map, an out-of-process retrofit applier publishing through the
+store's versioned delta records, and :class:`RateLimiter` admission so
+write bursts degrade writes, never reads.
 """
 
 from repro.serving.cache import CacheStats, LRUCache
@@ -20,12 +24,15 @@ from repro.serving.runtime import (
     EpochRegistry,
     FrontStats,
     QueueStats,
+    RateLimiter,
     RuntimeStats,
     ServingRuntime,
     UpdateTicket,
 )
 from repro.serving.session import ServingSession, UpdateStats, default_index_factory
+from repro.serving.sharded import ShardedServingTier, TierStats, stable_shard
 from repro.serving.store import (
+    DeltaRecord,
     EmbeddingStore,
     KIND_EMBEDDING_SET,
     KIND_EMBEDDING_SUITE,
@@ -54,9 +61,14 @@ __all__ = [
     "EpochRegistry",
     "FrontStats",
     "QueueStats",
+    "RateLimiter",
     "RuntimeStats",
     "ServingRuntime",
     "UpdateTicket",
+    "ShardedServingTier",
+    "TierStats",
+    "stable_shard",
+    "DeltaRecord",
     "EmbeddingStore",
     "STORE_FORMAT",
     "STORE_VERSION",

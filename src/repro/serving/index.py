@@ -38,23 +38,40 @@ def topk_descending(scores: np.ndarray, k: int) -> np.ndarray:
     Works on a 1-D vector (returns shape ``(k,)``) or a 2-D batch of score
     rows (returns shape ``(batch, k)``).  Uses ``argpartition`` to select the
     top ``k`` in linear time and only sorts those ``k`` entries.
+
+    Ties are broken deterministically by ascending index — both *within*
+    the returned ordering and at the selection boundary (among equal
+    ``k``-th scores, the lowest indices win).  ``argpartition`` alone picks
+    an arbitrary subset of boundary ties, which would make per-shard top-k
+    results impossible to merge into exactly the single-index answer.
     """
     scores = np.asarray(scores)
     single = scores.ndim == 1
     if single:
         scores = scores[None, :]
-    n = scores.shape[1]
+    batch, n = scores.shape
     k = min(int(k), n)
     if k <= 0:
-        empty = np.empty((scores.shape[0], 0), dtype=np.int64)
+        empty = np.empty((batch, 0), dtype=np.int64)
         return empty[0] if single else empty
+    rows = np.arange(batch)[:, None]
     if k < n:
         part = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        # the k-th order statistic bounds the selection; entries strictly
+        # above it are always in, boundary ties are filled lowest-index-first
+        boundary = scores[rows, part].min(axis=1, keepdims=True)
+        above = scores > boundary
+        tied = scores == boundary
+        need = k - above.sum(axis=1, keepdims=True)
+        tie_rank = np.cumsum(tied, axis=1) - 1
+        selected = above | (tied & (tie_rank < need))
+        # nonzero walks row-major, so columns come out ascending per row
+        cols = np.nonzero(selected)[1].reshape(batch, k)
     else:
-        part = np.broadcast_to(np.arange(n), scores.shape).copy()
-    rows = np.arange(scores.shape[0])[:, None]
-    order = np.argsort(-scores[rows, part], axis=1, kind="stable")
-    result = part[rows, order].astype(np.int64)
+        cols = np.broadcast_to(np.arange(n), scores.shape)
+    # stable sort over ascending-index columns: equal scores keep index order
+    order = np.argsort(-scores[rows, cols], axis=1, kind="stable")
+    result = cols[rows, order].astype(np.int64)
     return result[0] if single else result
 
 
@@ -66,6 +83,11 @@ class VectorIndex(ABC):
     out again and they stop appearing in results) and :meth:`update_rows`
     swaps vectors in place.  Mutation copies the matrix on first write, so
     an index built over an embedding set's matrix never corrupts it.
+
+    The matrix is *not* copied at construction: a read-only array — in
+    particular an :meth:`EmbeddingStore.open_matrix_readonly` memory map
+    whose pages are shared across shard processes — is queried in place,
+    and only the first mutating call materialises a private writable copy.
     """
 
     def __init__(self, matrix: np.ndarray, metric: str = "cosine") -> None:
@@ -109,9 +131,13 @@ class VectorIndex(ABC):
     # mutation plumbing
     # ------------------------------------------------------------------ #
     def _ensure_owned(self) -> None:
-        """Copy-on-first-write: never mutate a caller's matrix in place."""
+        """Copy-on-first-write: never mutate a caller's matrix in place.
+
+        Also the only point where a read-only (e.g. memory-mapped) matrix
+        is materialised into private writable memory.
+        """
         if not self._owns_matrix:
-            self.matrix = self.matrix.copy()
+            self.matrix = np.array(self.matrix, dtype=np.float64, copy=True)
             self._owns_matrix = True
 
     def _prepare_new_vectors(self, vectors: np.ndarray) -> np.ndarray:

@@ -297,6 +297,82 @@ class DeltaQueue:
             return tickets
 
 
+class RateLimiter:
+    """A thread-safe token bucket for write admission control.
+
+    The :class:`DeltaQueue`'s bounded capacity pushes back only once the
+    applier has already fallen behind; by then pending writes occupy
+    queue slots and the backlog delays every reader-visible publication.
+    A rate limiter sits *in front* of the queue: sustained write traffic
+    above ``rate_per_second`` is rejected (or delayed) at admission, so
+    heavy write load degrades writes — never reads.
+
+    The bucket holds at most ``burst`` tokens and refills continuously at
+    ``rate_per_second``.  :meth:`try_acquire` never blocks;
+    :meth:`acquire` waits until a token accrues or ``timeout`` expires.
+    """
+
+    def __init__(self, rate_per_second: float, burst: int | None = None) -> None:
+        if rate_per_second <= 0:
+            raise ServingError("rate_per_second must be positive")
+        self.rate_per_second = float(rate_per_second)
+        self.burst = float(
+            burst if burst is not None else max(1.0, rate_per_second)
+        )
+        if self.burst < 1:
+            raise ServingError("burst must allow at least one token")
+        self._tokens = self.burst
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = time.monotonic()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._stamp) * self.rate_per_second
+        )
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never blocks."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def acquire(
+        self, tokens: float = 1.0, timeout: float | None = None
+    ) -> bool:
+        """Take ``tokens``, sleeping until they accrue or ``timeout`` ends.
+
+        Returns ``True`` once acquired, ``False`` on timeout.  With
+        ``timeout=None`` the caller waits as long as the tokens take to
+        accrue (bounded: the bucket refills at a fixed positive rate).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                self._refill()
+                if self._tokens >= tokens:
+                    self._tokens -= tokens
+                    return True
+                shortfall = (tokens - self._tokens) / self.rate_per_second
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                shortfall = min(shortfall, remaining)
+            time.sleep(min(shortfall, 0.05))
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (refreshes the bucket)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
 # --------------------------------------------------------------------- #
 # epoch-based reclamation
 # --------------------------------------------------------------------- #
@@ -420,11 +496,13 @@ class ServingRuntime:
         max_coalesced_ops: int = 1024,
         solve_iterations: int | None = None,
         grace_timeout: float = 30.0,
+        write_rate_limit: "RateLimiter | None" = None,
     ) -> None:
         self._database = database
         self._retrofitter = retrofitter
         self._solve_iterations = solve_iterations
         self._grace_timeout = float(grace_timeout)
+        self._rate_limit = write_rate_limit
         self._queue = DeltaQueue(
             capacity=queue_capacity,
             coalesce=coalesce,
@@ -511,6 +589,13 @@ class ServingRuntime:
             )
         if not self.running:
             raise ServingError("serving runtime is not running — call start()")
+        if self._rate_limit is not None and not self._rate_limit.acquire(
+            timeout=timeout
+        ):
+            raise ServingError(
+                "write admission rejected: rate limit exceeded "
+                f"({self._rate_limit.rate_per_second:.3g}/s)"
+            )
         return self._queue.submit(delta, timeout=timeout)
 
     def flush(self, timeout: float | None = None) -> None:

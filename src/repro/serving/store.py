@@ -24,6 +24,7 @@ import json
 import os
 import re
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -149,6 +150,23 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+@dataclass(frozen=True)
+class DeltaRecord:
+    """One stored embedding-set delta, as appended by the delta pipeline.
+
+    ``added_matrix``/``changed_matrix`` carry the vectors of
+    ``added_indices``/``changed_rows`` (post-delta row numbering); either
+    may be ``None`` when the delta touched no such rows.
+    """
+
+    version: int
+    extraction_delta: Any
+    added_indices: list[int] = field(default_factory=list)
+    changed_rows: list[int] = field(default_factory=list)
+    added_matrix: np.ndarray | None = None
+    changed_matrix: np.ndarray | None = None
+
+
 class EmbeddingStore:
     """A directory of named, versioned embedding artifacts."""
 
@@ -214,14 +232,26 @@ class EmbeddingStore:
         stale = re.compile(rf"^{escaped}\.[0-9a-f]{{12}}\.npz$")
         orphan_matrix = re.compile(rf"^{escaped}\.\d+\.tmp\.npz$")
         orphan_header = re.compile(rf"^{escaped}\.json\.\d+\.tmp$")
+        # mmap sidecars (see open_matrix_readonly) are content-addressed by
+        # the archive checksum; any sidecar of a superseded archive is stale
+        keep_checksum = keep.rsplit(".", 2)[-2] if keep.endswith(".npz") else ""
+        sidecar = re.compile(
+            rf"^{escaped}\.(?P<checksum>[0-9a-f]{{12}})\.[A-Za-z0-9_-]+\.npy$"
+        )
+        orphan_sidecar = re.compile(rf"^{escaped}\.\d+\.tmp\.sidecar\.npy$")
         cutoff = time.time() - self.STALE_GRACE_SECONDS
         for candidate in self.root.glob(f"{name}.*"):
             if candidate.name == keep:
                 continue
-            if not (
+            sidecar_match = sidecar.match(candidate.name)
+            if sidecar_match is not None:
+                if sidecar_match.group("checksum") == keep_checksum:
+                    continue  # sidecar of the live archive
+            elif not (
                 stale.match(candidate.name)
                 or orphan_matrix.match(candidate.name)
                 or orphan_header.match(candidate.name)
+                or orphan_sidecar.match(candidate.name)
             ):
                 continue
             try:
@@ -262,11 +292,9 @@ class EmbeddingStore:
                 f"artifact {name!r} is a {header.get('kind')!r}, expected {kind!r}"
             )
 
-    def _read(self, name: str, kind: str) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    def _verified_matrix_path(self, name: str, kind: str) -> tuple[dict[str, Any], Path]:
+        """Header plus checksum-verified matrix archive path of ``name``."""
         header = self._read_header(name)
-        # a concurrent re-save can garbage-collect the matrix file between
-        # our header read and the open; one re-read of the (now new,
-        # self-consistent) header recovers without surfacing a phantom error
         for attempt in (0, 1):
             self._validate_header(name, header, kind)
             matrix_file = header.get("matrix_file")
@@ -294,10 +322,77 @@ class EmbeddingStore:
                     f"matrix file of artifact {name!r} is corrupt "
                     f"(checksum {checksum[:12]}… does not match the header)"
                 )
-            with np.load(matrix_path, allow_pickle=False) as archive:
-                arrays = {key: archive[key] for key in archive.files}
-            return header, arrays
+            return header, matrix_path
         raise StoreFormatError(f"artifact {name!r} could not be read")  # unreachable
+
+    def open_matrix_readonly(
+        self, name: str, array: str = "matrix", kind: str = KIND_EMBEDDING_SET
+    ) -> np.ndarray:
+        """Open one array of artifact ``name`` as a read-only memory map.
+
+        npz archives are zip files, so ``np.load(..., mmap_mode="r")``
+        silently ignores the mmap request and decompresses every array
+        into private process memory — N shard workers would hold N full
+        float64 copies.  This instead extracts the requested array once
+        into a content-addressed ``.npy`` sidecar
+        (``<name>.<checksum12>.<array>.npy``, committed via atomic
+        rename) and memory-maps that: the checksum is verified once at
+        extraction, and every process mapping the same sidecar shares
+        its read-only pages with the page cache.
+        """
+        header, matrix_path = self._verified_matrix_path(name, kind)
+        checksum12 = str(header["matrix_sha256"])[:12]
+        safe_array = re.sub(r"[^A-Za-z0-9_-]", "_", array)
+        sidecar = self.root / f"{name}.{checksum12}.{safe_array}.npy"
+        if not sidecar.exists():
+            with np.load(matrix_path, allow_pickle=False) as archive:
+                if array not in archive.files:
+                    raise StoreFormatError(
+                        f"artifact {name!r} has no array {array!r}"
+                    )
+                extracted = archive[array]
+            tmp = self.root / f"{name}.{os.getpid()}.tmp.sidecar.npy"
+            np.save(tmp, extracted, allow_pickle=False)
+            os.replace(tmp, sidecar)
+        loaded = np.load(sidecar, mmap_mode="r", allow_pickle=False)
+        if not isinstance(loaded, np.memmap):  # pragma: no cover - defensive
+            raise StoreFormatError(
+                f"sidecar {sidecar.name} of artifact {name!r} did not map"
+            )
+        return loaded
+
+    def load_embedding_set_readonly(self, name: str) -> tuple[TextValueEmbeddingSet, int]:
+        """``(embeddings, base_version)`` with a memory-mapped matrix.
+
+        Returns the *base* artifact only — delta records are deliberately
+        not replayed here, because replay would materialise a private
+        matrix copy and defeat the shared mapping.  Callers that need the
+        newest version (shard workers) replay the chain themselves via
+        :meth:`read_embedding_set_delta`, touching only their own rows.
+        """
+        header, _ = self._verified_matrix_path(name, KIND_EMBEDDING_SET)
+        extraction = extraction_from_dict(header.get("extraction", {}))
+        matrix = self.open_matrix_readonly(name)
+        if matrix.ndim != 2 or matrix.shape[0] != len(extraction):
+            raise StoreFormatError(
+                f"artifact {name!r}: mapped matrix has shape {matrix.shape} "
+                f"but the extraction lists {len(extraction)} text values"
+            )
+        embeddings = TextValueEmbeddingSet(
+            extraction=extraction,
+            matrix=matrix,
+            name=str(header.get("set_name", name)),
+        )
+        return embeddings, int(header.get("set_version", 0))
+
+    def _read(self, name: str, kind: str) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+        # a concurrent re-save can garbage-collect the matrix file between
+        # header read and open; _verified_matrix_path re-reads the (now
+        # new, self-consistent) header once to recover from that
+        header, matrix_path = self._verified_matrix_path(name, kind)
+        with np.load(matrix_path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        return header, arrays
 
     def list_artifacts(self) -> list[str]:
         """Names of all artifacts in the store, sorted."""
@@ -534,6 +629,34 @@ class EmbeddingStore:
         version = int(header.get("set_version", 0))
         deltas = self.list_embedding_set_deltas(name)
         return max([version] + [v for v, _ in deltas])
+
+    def read_embedding_set_delta(self, name: str, version: int) -> "DeltaRecord":
+        """Load one delta record of ``name`` as a :class:`DeltaRecord`.
+
+        This is the shard workers' replay primitive: unlike the full
+        :meth:`load_embedding_set_versioned` replay it hands out the raw
+        record — value-level extraction delta plus added/changed vectors —
+        so a worker can update only its own rows.
+        """
+        from repro.retrofit.extraction import ExtractionDelta
+
+        delta_name = f"{name}.delta{int(version):06d}"
+        header, arrays = self._read(delta_name, KIND_EMBEDDING_DELTA)
+        try:
+            delta = ExtractionDelta.from_dict(header.get("extraction_delta", {}))
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreFormatError(
+                f"delta record {delta_name!r} has a malformed extraction "
+                f"delta: {error}"
+            ) from error
+        return DeltaRecord(
+            version=int(header.get("delta_version", version)),
+            extraction_delta=delta,
+            added_indices=[int(i) for i in header.get("added_indices", [])],
+            changed_rows=[int(i) for i in header.get("changed_rows", [])],
+            added_matrix=arrays.get("added_matrix"),
+            changed_matrix=arrays.get("changed_matrix"),
+        )
 
     def append_embedding_set_delta(self, name: str, update) -> Path:
         """Append one incremental update as a versioned delta record.

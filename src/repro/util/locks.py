@@ -10,6 +10,11 @@ loads it from disk.
 POSIX ``fcntl.flock`` is used where available (locks die with the process,
 so a crashed worker never wedges the cache); an ``O_EXCL`` lock-file spin
 loop is the portable fallback.
+
+Lock fds are opened with ``O_CLOEXEC``: the serving tier forks and execs
+worker processes, and a child that inherited the parent's lock fd across
+an ``exec`` would keep the flock alive — wedging the cache — long after
+the parent died or released.
 """
 
 from __future__ import annotations
@@ -29,6 +34,9 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 #: Seconds between acquisition attempts of the fallback spin lock.
 _SPIN_INTERVAL = 0.05
 
+#: Close-on-exec flag (0 where the platform lacks it).
+_O_CLOEXEC = getattr(os, "O_CLOEXEC", 0)
+
 
 class LockTimeoutError(ReproError):
     """Raised when a lock cannot be acquired within its timeout."""
@@ -40,8 +48,10 @@ class FileLock:
     Usable as a context manager and re-entrant within one instance is an
     error (double ``acquire`` raises) — each protected section should use
     its own instance.  With ``fcntl`` the lock is released by the kernel
-    when the process dies; the fallback lock file carries the owner pid
-    and a stale file older than ``stale_seconds`` is broken.
+    when the process dies; the fallback lock file carries an owner token
+    (pid plus random suffix) and a stale file older than ``stale_seconds``
+    is broken via an atomic rename-claim so concurrent breakers can never
+    double-acquire or discard a freshly created lock.
     """
 
     def __init__(
@@ -54,6 +64,11 @@ class FileLock:
         self.timeout = timeout
         self.stale_seconds = stale_seconds
         self._fd: int | None = None
+        #: Ownership token written into the fallback lock file; release
+        #: only unlinks the file while it still carries this token, so a
+        #: lock that was stale-broken and re-created by another waiter is
+        #: never deleted from under its new holder.
+        self._token: str | None = None
 
     @property
     def locked(self) -> bool:
@@ -73,7 +88,7 @@ class FileLock:
 
     def _acquire_flock(self) -> None:
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
-        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT | _O_CLOEXEC, 0o644)
         try:
             while True:
                 try:
@@ -94,42 +109,97 @@ class FileLock:
             raise
         self._fd = fd
 
-    def _acquire_excl(self) -> None:  # pragma: no cover - non-POSIX fallback
+    def _acquire_excl(self) -> None:
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         while True:
             try:
-                fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
-                os.write(fd, str(os.getpid()).encode("ascii"))
+                fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_CREAT | os.O_EXCL | _O_CLOEXEC,
+                    0o644,
+                )
+                token = f"{os.getpid()}:{os.urandom(8).hex()}"
+                os.write(fd, token.encode("ascii"))
                 self._fd = fd
+                self._token = token
                 return
             except FileExistsError:
                 try:
-                    age = time.time() - self.path.stat().st_mtime
-                    if age > self.stale_seconds:
-                        self.path.unlink()
-                        continue
+                    st = self.path.stat()
                 except OSError:
                     continue  # holder released between open and stat
+                if time.time() - st.st_mtime > self.stale_seconds:
+                    self._break_stale(st)
+                    continue
                 if deadline is not None and time.monotonic() >= deadline:
                     raise LockTimeoutError(
                         f"could not acquire lock {self.path} within {self.timeout}s"
                     ) from None
                 time.sleep(_SPIN_INTERVAL)
 
+    def _break_stale(self, st: os.stat_result) -> bool:
+        """Atomically break a stale fallback lock file.
+
+        A bare ``stat`` + ``unlink`` races: two waiters can both see the
+        stale file and both unlink — the second unlink removing a *fresh*
+        lock created in between, yielding two concurrent holders.  Instead
+        the breaker first claims the file with an atomic rename to a
+        unique name (only one concurrent rename succeeds), then re-checks
+        the claimed inode really is the stale one it observed before
+        discarding it.  A claimed-but-fresh file is handed back via
+        ``os.link`` (which fails rather than clobbers if a new lock file
+        already appeared).
+
+        Returns ``True`` if a stale lock was discarded.
+        """
+        claim = self.path.with_name(
+            f"{self.path.name}.break.{os.getpid()}.{os.urandom(4).hex()}"
+        )
+        try:
+            os.rename(self.path, claim)
+        except OSError:
+            return False  # lost the race to another breaker or the holder
+        try:
+            claimed_st = claim.stat()
+        except OSError:  # pragma: no cover - claim vanished underneath us
+            return False
+        same_inode = (
+            claimed_st.st_ino == st.st_ino and claimed_st.st_dev == st.st_dev
+        )
+        if same_inode and time.time() - claimed_st.st_mtime > self.stale_seconds:
+            claim.unlink()
+            return True
+        # We grabbed a freshly re-created lock: give it back.  ``link``
+        # fails with EEXIST instead of clobbering if yet another lock
+        # file has appeared meanwhile — then the fresh lock we claimed
+        # was itself released/raced and discarding our claim is safe.
+        try:
+            os.link(claim, self.path)
+        except OSError:
+            pass
+        claim.unlink()
+        return False
+
     def release(self) -> None:
         """Release the lock (idempotent)."""
         if self._fd is None:
             return
         fd, self._fd = self._fd, None
+        token, self._token = self._token, None
         if fcntl is not None:
             try:
                 fcntl.flock(fd, fcntl.LOCK_UN)
             finally:
                 os.close(fd)
-        else:  # pragma: no cover - non-POSIX fallback
+        else:
             os.close(fd)
             try:
-                self.path.unlink()
+                # Only unlink while the file still carries our token: if
+                # the lock went stale (e.g. the process was suspended past
+                # ``stale_seconds``), was broken, and is now held by
+                # someone else, deleting it would let a third waiter in.
+                if token is not None and self.path.read_text() == token:
+                    self.path.unlink()
             except OSError:
                 pass
 

@@ -147,3 +147,44 @@ class TestDeltaRecords:
         _, retrofitter, store = stream
         with pytest.raises(StoreFormatError):
             store.save_embedding_set("rn.delta000009", retrofitter.embeddings)
+
+
+class TestDeltaRecordReads:
+    """The shard workers' raw replay primitive."""
+
+    def test_record_replays_to_the_versioned_load(self, stream):
+        """Manually replaying DeltaRecords over the read-only base matrix
+        reproduces exactly what load_embedding_set_versioned serves."""
+        dataset, retrofitter, store = stream
+        for key in range(1, 3):
+            store.append_embedding_set_delta(
+                "rn", apply_one(dataset, retrofitter, key)
+            )
+        base, version = store.load_embedding_set_readonly("rn")
+        assert version == 0
+        extraction = base.extraction.copy()
+        matrix = np.asarray(base.matrix)
+        for target in (1, 2):
+            record = store.read_embedding_set_delta("rn", target)
+            assert record.version == target
+            delta_map = extraction.apply_delta(record.extraction_delta)
+            new_matrix = np.zeros(
+                (len(extraction), matrix.shape[1]), dtype=np.float64
+            )
+            surviving = delta_map.surviving_old_indices()
+            new_matrix[delta_map.old_to_new[surviving]] = matrix[surviving]
+            assert record.added_indices == list(delta_map.added_indices)
+            if record.added_indices:
+                new_matrix[record.added_indices] = record.added_matrix
+            if record.changed_rows:
+                new_matrix[record.changed_rows] = record.changed_matrix
+            matrix = new_matrix
+        served, _, served_version = store.load_embedding_set_versioned("rn")
+        assert served_version == 2
+        assert np.array_equal(matrix, served.matrix)
+        assert extraction.texts == served.extraction.texts
+
+    def test_missing_record_raises(self, stream):
+        _, _, store = stream
+        with pytest.raises(StoreFormatError, match="no artifact"):
+            store.read_embedding_set_delta("rn", 7)

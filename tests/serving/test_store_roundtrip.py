@@ -1,6 +1,7 @@
 """Persistence round-trips of embedding sets and full pipeline results."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -26,6 +27,73 @@ def tmdb_result(small_tmdb):
         method="series",
     )
     return pipeline.run(include_node_embeddings=True, track_loss=True)
+
+
+class TestReadOnlyMatrixAccess:
+    """The checksum-once mmap read path (npz → .npy sidecar → memmap)."""
+
+    @pytest.fixture()
+    def saved(self, tmdb_extraction, tmdb_base, tmp_path):
+        embeddings = TextValueEmbeddingSet(
+            tmdb_extraction, tmdb_base.matrix.copy(), name="PV"
+        )
+        store = EmbeddingStore(tmp_path / "store")
+        store.save_embedding_set("pv", embeddings, version=3)
+        return store, embeddings
+
+    def test_mapped_matrix_is_read_only_and_bit_exact(self, saved):
+        store, embeddings = saved
+        mapped = store.open_matrix_readonly("pv")
+        assert isinstance(mapped, np.memmap)
+        assert not mapped.flags.writeable
+        assert np.array_equal(np.asarray(mapped), embeddings.matrix)
+
+    def test_sidecar_extracted_once_then_reused(self, saved):
+        store, _ = saved
+        store.open_matrix_readonly("pv")
+        sidecars = list(store.root.glob("pv.*.matrix.npy"))
+        assert len(sidecars) == 1
+        stamp = sidecars[0].stat().st_mtime_ns
+        store.open_matrix_readonly("pv")
+        assert sidecars[0].stat().st_mtime_ns == stamp  # not re-extracted
+        assert not list(store.root.glob("*.tmp.sidecar.npy"))
+
+    def test_unknown_array_raises(self, saved):
+        store, _ = saved
+        with pytest.raises(StoreFormatError, match="no array"):
+            store.open_matrix_readonly("pv", array="nope")
+
+    def test_load_embedding_set_readonly(self, saved):
+        store, embeddings = saved
+        loaded, version = store.load_embedding_set_readonly("pv")
+        assert version == 3
+        assert loaded.name == "PV"
+        assert not loaded.matrix.flags.writeable
+        assert np.array_equal(np.asarray(loaded.matrix), embeddings.matrix)
+        assert loaded.extraction.texts == embeddings.extraction.texts
+
+    def test_resave_garbage_collects_old_sidecar(self, saved):
+        store, embeddings = saved
+        store.open_matrix_readonly("pv")
+        (old_sidecar,) = store.root.glob("pv.*.matrix.npy")
+        os.utime(old_sidecar, (1, 1))  # age it past the grace period
+        changed = TextValueEmbeddingSet(
+            embeddings.extraction, embeddings.matrix + 1.0, name="PV"
+        )
+        store.save_embedding_set("pv", changed, version=4)
+        assert not old_sidecar.exists()
+        # the new artifact maps fine and sees the new bytes
+        mapped = store.open_matrix_readonly("pv")
+        assert np.array_equal(np.asarray(mapped), changed.matrix)
+
+    def test_live_sidecar_survives_gc(self, saved):
+        store, _ = saved
+        store.open_matrix_readonly("pv")
+        (sidecar,) = store.root.glob("pv.*.matrix.npy")
+        os.utime(sidecar, (1, 1))  # ancient, yet referenced by the header
+        header = json.loads((store.root / "pv.json").read_text())
+        store._drop_stale_matrices("pv", keep=header["matrix_file"])
+        assert sidecar.exists()
 
 
 class TestExtractionSerialisation:

@@ -36,6 +36,68 @@ class TestTopkSelection:
     def test_k_zero_is_empty(self, rng):
         assert topk_descending(rng.normal(size=6), 0).shape == (0,)
 
+    def test_ties_break_by_ascending_index(self):
+        """Equal scores select and order the lowest indices first.
+
+        argpartition alone keeps an arbitrary subset of boundary ties;
+        deterministic selection is what lets per-shard top-k heaps merge
+        into exactly the single-index answer.
+        """
+        scores = np.array([1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0])
+        assert np.array_equal(topk_descending(scores, 4), [1, 3, 5, 0])
+        assert np.array_equal(topk_descending(scores, 5), [1, 3, 5, 0, 2])
+
+    def test_all_equal_scores_select_prefix(self):
+        scores = np.full(20, 0.5)
+        assert np.array_equal(topk_descending(scores, 6), np.arange(6))
+
+    def test_tie_stability_matches_stable_argsort(self, rng):
+        """Property: always identical to a stable full sort on (-score, idx)."""
+        for _ in range(25):
+            n = int(rng.integers(1, 60))
+            scores = rng.integers(0, 4, size=(3, n)).astype(np.float64)
+            k = int(rng.integers(1, n + 1))
+            reference = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+            assert np.array_equal(topk_descending(scores, k), reference)
+
+
+class TestReadOnlyMatrices:
+    """Indexes over read-only (shared/mmap) matrices: no copy until write."""
+
+    def test_flat_queries_read_only_matrix_in_place(self, rng):
+        matrix = rng.normal(size=(30, 8))
+        matrix.setflags(write=False)
+        index = FlatIndex(matrix)
+        assert np.shares_memory(index.matrix, matrix)
+        indices, _ = index.query(rng.normal(size=8), 5)
+        assert indices.shape == (5,)
+
+    def test_first_mutation_copies_read_only_matrix(self, rng):
+        matrix = rng.normal(size=(30, 8))
+        frozen = matrix.copy()
+        frozen.setflags(write=False)
+        index = FlatIndex(frozen)
+        index.update_rows([3], rng.normal(size=(1, 8)))
+        assert not np.shares_memory(index.matrix, frozen)
+        assert index.matrix.flags.writeable
+        assert np.array_equal(frozen, matrix)  # original untouched
+
+    def test_remove_does_not_copy(self, rng):
+        matrix = rng.normal(size=(30, 8))
+        matrix.setflags(write=False)
+        index = FlatIndex(matrix)
+        index.remove([1, 2])
+        assert np.shares_memory(index.matrix, matrix)
+
+    def test_ivf_accepts_read_only_matrix(self, rng):
+        matrix = rng.normal(size=(60, 8))
+        matrix.setflags(write=False)
+        index = IVFIndex(matrix, n_cells=4, nprobe=4, seed=1)
+        indices, _ = index.query(rng.normal(size=8), 5)
+        assert indices.shape == (5,)
+        index.update_rows([3], rng.normal(size=(1, 8)))  # copies, no raise
+        assert not np.shares_memory(index.matrix, matrix)
+
 
 class TestFlatIndex:
     def test_single_query_matches_loop_reference(self, rng):

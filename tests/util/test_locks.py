@@ -1,11 +1,16 @@
 """Tests for the cross-process file lock."""
 
+import fcntl
 import multiprocessing
+import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
 import pytest
 
+import repro.util.locks as locks_module
 from repro.errors import ReproError
 from repro.util.locks import FileLock, LockTimeoutError
 
@@ -91,3 +96,139 @@ class TestFileLockAcrossProcesses:
             worker.join(timeout=30)
             assert worker.exitcode == 0
         assert Path(log_path).read_text() == "x\n" * 4
+
+    def test_mutual_exclusion_across_processes_fallback(self, tmp_path, monkeypatch):
+        """The O_EXCL fallback path excludes too (children inherit the patch)."""
+        monkeypatch.setattr(locks_module, "fcntl", None)
+        lock_path = str(tmp_path / "shared.lock")
+        log_path = str(tmp_path / "log.txt")
+        context = multiprocessing.get_context("fork")
+        workers = [
+            context.Process(
+                target=_locked_append, args=(lock_path, log_path, 0.05)
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+            assert worker.exitcode == 0
+        assert Path(log_path).read_text() == "x\n" * 4
+
+
+class TestCloseOnExec:
+    def test_lock_fd_has_cloexec_flag(self, tmp_path):
+        lock = FileLock(tmp_path / "a.lock")
+        with lock:
+            flags = fcntl.fcntl(lock._fd, fcntl.F_GETFD)
+            assert flags & fcntl.FD_CLOEXEC
+
+    def test_exec_child_does_not_inherit_flock(self, tmp_path):
+        """Regression: a worker exec'd while the parent holds the lock must
+        not keep the flock alive after the parent releases.
+
+        Without ``O_CLOEXEC`` the exec'd child's inherited fd keeps the
+        open file description — and with it the flock — referenced, so a
+        second acquire times out even though the parent is long done.
+        """
+        lock_path = tmp_path / "a.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        child = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"],
+            close_fds=False,  # simulate a sloppy spawner leaking fds
+        )
+        try:
+            # Crash-style teardown: close the fd without an explicit unlock.
+            fd, holder._fd = holder._fd, None
+            os.close(fd)
+            second = FileLock(lock_path, timeout=5.0)
+            with second:  # must not block on the child's inherited fd
+                assert second.locked
+        finally:
+            child.kill()
+            child.wait(timeout=10)
+
+
+class TestStaleLockBreaking:
+    """The fallback (no fcntl) stale-file breaking protocol."""
+
+    @pytest.fixture(autouse=True)
+    def _no_fcntl(self, monkeypatch):
+        monkeypatch.setattr(locks_module, "fcntl", None)
+
+    @staticmethod
+    def _make_stale(path: Path, age: float = 3600.0) -> os.stat_result:
+        path.write_text("12345:deadbeef")
+        past = time.time() - age
+        os.utime(path, (past, past))
+        return path.stat()
+
+    def test_stale_lock_is_broken_and_acquired(self, tmp_path):
+        lock_path = tmp_path / "a.lock"
+        self._make_stale(lock_path)
+        lock = FileLock(lock_path, timeout=5.0, stale_seconds=60.0)
+        with lock:
+            assert lock.locked
+            # The new lock file carries this holder's token, not the
+            # stale owner's remnants.
+            assert lock_path.read_text() == lock._token
+
+    def test_only_one_breaker_wins(self, tmp_path):
+        """Two waiters statting the same stale file: one break succeeds."""
+        lock_path = tmp_path / "a.lock"
+        st = self._make_stale(lock_path)
+        first = FileLock(lock_path, stale_seconds=60.0)
+        second = FileLock(lock_path, stale_seconds=60.0)
+        outcomes = [first._break_stale(st), second._break_stale(st)]
+        assert outcomes.count(True) == 1
+        assert not lock_path.exists()
+
+    def test_break_hands_back_fresh_lock(self, tmp_path):
+        """A lock re-created between stat and break must survive the break.
+
+        Regression for the stat-then-unlink race: the old code would
+        unlink whatever file was at the path, deleting a *fresh* lock
+        another process had just created.
+        """
+        lock_path = tmp_path / "a.lock"
+        stale_st = self._make_stale(lock_path)
+        # Simulate the holder releasing and a new holder acquiring in the
+        # window between our stat and our break.
+        lock_path.unlink()
+        lock_path.write_text("999:freshtoken")
+        breaker = FileLock(lock_path, stale_seconds=60.0)
+        assert breaker._break_stale(stale_st) is False
+        assert lock_path.read_text() == "999:freshtoken"
+        assert not list(tmp_path.glob("*.break.*"))  # no claim debris
+
+    def test_release_does_not_unlink_foreign_lock(self, tmp_path):
+        """Release after our lock was stale-broken must not evict the new holder."""
+        lock_path = tmp_path / "a.lock"
+        mine = FileLock(lock_path)
+        mine.acquire()
+        # Another process broke our (stale) lock and acquired its own.
+        lock_path.write_text("999:freshtoken")
+        mine.release()
+        assert lock_path.exists()
+        assert lock_path.read_text() == "999:freshtoken"
+
+    def test_release_unlinks_own_lock(self, tmp_path):
+        lock_path = tmp_path / "a.lock"
+        lock = FileLock(lock_path)
+        lock.acquire()
+        lock.release()
+        assert not lock_path.exists()
+
+    def test_fresh_lock_still_times_out_waiters(self, tmp_path):
+        lock_path = tmp_path / "a.lock"
+        holder = FileLock(lock_path)
+        holder.acquire()
+        try:
+            waiter = FileLock(lock_path, timeout=0.2, stale_seconds=60.0)
+            with pytest.raises(LockTimeoutError):
+                waiter.acquire()
+            assert lock_path.read_text() == holder._token
+        finally:
+            holder.release()
