@@ -234,6 +234,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0 — skip the sharded phases)",
     )
     serve_parser.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="also run the workload through the replicated log-shipping "
+        "tier with this many followers, then measure replication lag, "
+        "read-your-writes, and failover after a primary SIGKILL "
+        "(default: 0 — skip the replicated phases)",
+    )
+    serve_parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -432,6 +441,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         corpus_scale=args.corpus_scale,
         shards=args.shards,
+        replicas=args.replicas,
         seed=args.seed,
         cache_dir=args.cache_dir,
         churn=args.churn,

@@ -26,6 +26,18 @@ in its own process — measuring what moving the solver and the index scans
 off the readers' interpreter buys (on a multi-core box; on one core the
 processes still time-share).
 
+With ``replicas >= 1`` the same workloads also run through a
+:class:`~repro.serving.ReplicatedServingTier` — a primary runtime
+publishing every applied delta to the store's replication log, full-corpus
+followers tailing it — followed by three replication-specific
+measurements: per-delta replication lag (publish → visible on every
+follower), read-your-writes latency and correctness (a floored read
+straight after each write ack must answer at-or-past the ticket's
+version), and failover (SIGKILL the primary mid-stream, time until a
+promoted follower lands the next write).  The correctness half compares a
+follower's fully-replayed matrix against both the store's own log replay
+(exact) and a serial incremental retrofitter over the identical stream.
+
 Reported: queries/s and p50/p99 per-request latency for both phases,
 update lag (submit→publish) for the delta stream, queue/coalescing and
 batching counters, and — the correctness half — the max cosine distance
@@ -102,6 +114,7 @@ def run_serve_benchmark(
     delta_interval_seconds: float = 0.05,
     corpus_scale: int = 5,
     shards: int = 0,
+    replicas: int = 0,
     seed: int | None = None,
     cache_dir=None,
     churn: bool = False,
@@ -361,6 +374,178 @@ def run_serve_benchmark(
             ),
         }
 
+    # ---- phases 6+7: replicated log-shipping tier ---------------------- #
+    replicated_metrics: dict[str, Any] | None = None
+    repl_deltas: list = []
+    repl_follower_matrix = None
+    repl_final_set = None
+    if replicas >= 1:
+        import os
+        import signal
+        import tempfile
+
+        from repro.serving.replicated import ReplicatedServingTier
+        from repro.serving.store import EmbeddingStore
+
+        repl_dir = tempfile.TemporaryDirectory(prefix="serve-bench-replicas-")
+        repl_store = EmbeddingStore(repl_dir.name)
+        repl_store.save_embedding_set("serve", embeddings)
+
+        def follower_retrofitter(follower_embeddings):
+            # the promotion path: a follower elected primary rebuilds its
+            # solver from its replayed state (no warm base matrix —
+            # correctness over promotion speed)
+            return IncrementalRetrofitter(
+                follower_embeddings,
+                tokenizer,
+                hyperparams=hyperparams,
+                method=solver_method,
+            )
+
+        tier = ReplicatedServingTier(
+            repl_dir.name,
+            "serve",
+            n_replicas=replicas,
+            database=make_tmdb(sizes).database,
+            retrofitter=IncrementalRetrofitter(
+                embeddings,
+                tokenizer,
+                hyperparams=hyperparams,
+                method=solver_method,
+                base_matrix=base_matrix,
+            ),
+            retrofitter_factory=follower_retrofitter,
+            solve_iterations=SOLVE_ITERATIONS,
+        )
+        with tier:
+            with BatchedQueryFront(
+                tier, window_seconds=window_seconds, max_batch=max_batch
+            ) as repl_front:
+                repl_steady_wall, repl_steady_latencies, _ = (
+                    run_reader_phase(repl_front)
+                )
+                repl_churn_wall, repl_churn_latencies, repl_tickets = (
+                    run_reader_phase(repl_front, submit=tier.submit)
+                )
+            tier.flush(timeout=600.0)
+            for ticket in repl_tickets:
+                ticket.wait(timeout=1.0)
+
+            # replication lag + read-your-writes probes: a fresh delta is
+            # acked by the primary, then we time until every follower has
+            # replayed it, and immediately issue a floored read that must
+            # answer at-or-past the ticket's log position
+            replication_lags: list[float] = []
+            ryw_latencies: list[float] = []
+            ryw_violations = 0
+            probe_query = queries[0]
+            for _ in range(max(1, min(4, n_deltas))):
+                probe = synthesize_tmdb_delta(
+                    scratch, stream_rng, movies_per_delta
+                )
+                probe.apply_to(scratch)
+                repl_deltas.append(probe)
+                ticket = tier.submit(probe)
+                version = ticket.wait(timeout=600.0)
+                published_at = time.perf_counter()
+                deadline = published_at + 60.0
+                while (
+                    min(tier.replica_versions().values(), default=-1)
+                    < version
+                ):
+                    if time.perf_counter() > deadline:
+                        raise ExperimentError(
+                            "followers never replayed the probe delta: "
+                            f"waiting for version {version}, followers at "
+                            f"{tier.replica_versions()}, {tier.stats}"
+                        )
+                    time.sleep(0.002)
+                replication_lags.append(time.perf_counter() - published_at)
+                t0 = time.perf_counter()
+                answered, _ = tier.topk_batch_versioned(
+                    probe_query[None, :], k, min_version=version
+                )
+                ryw_latencies.append(time.perf_counter() - t0)
+                if answered < version:
+                    ryw_violations += 1
+
+            # failover: SIGKILL the primary, then submit straight away —
+            # the writer must detect the death, promote the most caught-up
+            # follower, and land the write there.  The outage window is
+            # kill → post-failover ack (what a writer actually waits).
+            killed_at = time.perf_counter()
+            os.kill(tier.primary_pid, signal.SIGKILL)
+            failover_delta = synthesize_tmdb_delta(
+                scratch, stream_rng, movies_per_delta
+            )
+            failover_delta.apply_to(scratch)
+            repl_deltas.append(failover_delta)
+            failover_ticket = tier.submit(failover_delta)
+            failover_version = failover_ticket.wait(timeout=600.0)
+            write_outage = time.perf_counter() - killed_at
+            answered, _ = tier.topk_batch_versioned(
+                probe_query[None, :], k, min_version=failover_version
+            )
+            if answered < failover_version:
+                ryw_violations += 1
+
+            repl_lag_stream = [
+                t.lag_seconds
+                for t in repl_tickets
+                if t.lag_seconds is not None
+            ]
+            repl_version, repl_follower_matrix = tier.replica_matrix()
+            repl_stats = tier.stats
+        repl_final_set, _, repl_store_version = (
+            repl_store.load_embedding_set_versioned("serve")
+        )
+        repl_dir.cleanup()
+        repl_steady_qps = (
+            total_queries / repl_steady_wall if repl_steady_wall > 0 else 0.0
+        )
+        repl_churn_qps = (
+            total_queries / repl_churn_wall if repl_churn_wall > 0 else 0.0
+        )
+        repl_steady_p50, repl_steady_p99 = _percentiles(repl_steady_latencies)
+        repl_churn_p50, repl_churn_p99 = _percentiles(repl_churn_latencies)
+        replicated_metrics = {
+            "n_replicas": replicas,
+            "steady": {
+                "wall_seconds": repl_steady_wall,
+                "qps": repl_steady_qps,
+                "p50_seconds": repl_steady_p50,
+                "p99_seconds": repl_steady_p99,
+                "queries_answered": len(repl_steady_latencies),
+            },
+            "churn": {
+                "wall_seconds": repl_churn_wall,
+                "qps": repl_churn_qps,
+                "p50_seconds": repl_churn_p50,
+                "p99_seconds": repl_churn_p99,
+                "queries_answered": len(repl_churn_latencies),
+            },
+            "log_version": repl_stats.log_version,
+            "store_version": repl_store_version,
+            "follower_version": repl_version,
+            "follower_matches_log_replay": bool(
+                np.array_equal(repl_follower_matrix, repl_final_set.matrix)
+            ),
+            "writes_applied": repl_stats.writes_applied,
+            "degraded_queries": repl_stats.degraded_queries,
+            "follower_respawns": repl_stats.follower_respawns,
+            "update_lag_seconds": repl_lag_stream,
+            "mean_update_lag_seconds": (
+                float(np.mean(repl_lag_stream)) if repl_lag_stream else None
+            ),
+            "replication_lag_seconds": replication_lags,
+            "mean_replication_lag_seconds": float(np.mean(replication_lags)),
+            "read_your_writes_latency_seconds": ryw_latencies,
+            "read_your_writes_violations": ryw_violations,
+            "failovers": repl_stats.failovers,
+            "failover_seconds": repl_stats.last_failover_seconds,
+            "failover_write_outage_seconds": write_outage,
+        }
+
     base_p50, base_p99 = _percentiles(baseline_latencies)
     steady_p50, steady_p99 = _percentiles(steady_latencies)
     churn_p50, churn_p99 = _percentiles(churn_latencies)
@@ -416,6 +601,23 @@ def run_serve_benchmark(
             p50_ms=sharded_metrics["churn"]["p50_seconds"] * 1000.0,
             p99_ms=sharded_metrics["churn"]["p99_seconds"] * 1000.0,
         )
+    if replicated_metrics is not None:
+        table.add_row(
+            mode=f"replicated({replicas})",
+            queries=total_queries,
+            wall_s=replicated_metrics["steady"]["wall_seconds"],
+            qps=replicated_metrics["steady"]["qps"],
+            p50_ms=replicated_metrics["steady"]["p50_seconds"] * 1000.0,
+            p99_ms=replicated_metrics["steady"]["p99_seconds"] * 1000.0,
+        )
+        table.add_row(
+            mode="repl.+churn",
+            queries=total_queries,
+            wall_s=replicated_metrics["churn"]["wall_seconds"],
+            qps=replicated_metrics["churn"]["qps"],
+            p50_ms=replicated_metrics["churn"]["p50_seconds"] * 1000.0,
+            p99_ms=replicated_metrics["churn"]["p99_seconds"] * 1000.0,
+        )
     table.add_note(
         f"steady concurrent throughput {speedup:.1f}x the single-threaded "
         f"loop; mean batched {steady_front_stats.mean_batch_size:.1f} "
@@ -434,6 +636,27 @@ def run_serve_benchmark(
         table.add_note(
             f"update lag mean {float(np.mean(lags)) * 1000.0:.1f} ms over "
             f"{len(lags)} deltas ({runtime_stats.deltas_coalesced} coalesced)"
+        )
+    if replicated_metrics is not None:
+        mean_repl_lag = replicated_metrics["mean_replication_lag_seconds"]
+        mean_ryw = float(
+            np.mean(replicated_metrics["read_your_writes_latency_seconds"])
+        )
+        table.add_note(
+            f"replication lag (publish→every-follower-visible) mean "
+            f"{mean_repl_lag * 1000.0:.1f} ms; read-your-writes reads mean "
+            f"{mean_ryw * 1000.0:.1f} ms with "
+            f"{replicated_metrics['read_your_writes_violations']} stale "
+            f"answers"
+        )
+        failover_s = replicated_metrics["failover_seconds"]
+        table.add_note(
+            f"primary SIGKILL: failover (detect→promote) "
+            f"{failover_s:.3f} s, write outage (kill→next ack) "
+            f"{replicated_metrics['failover_write_outage_seconds']:.3f} s, "
+            f"{replicated_metrics['failovers']} failover(s); follower "
+            f"matches the store's log replay exactly: "
+            f"{replicated_metrics['follower_matches_log_replay']}"
         )
 
     payload: dict[str, Any] = {
@@ -488,6 +711,8 @@ def run_serve_benchmark(
     }
     if sharded_metrics is not None:
         payload["sharded"] = sharded_metrics
+    if replicated_metrics is not None:
+        payload["replicated"] = replicated_metrics
 
     # ---- agreement: the serial incremental path over the same stream --- #
     if measure_agreement:
@@ -518,5 +743,33 @@ def run_serve_benchmark(
             table.add_note(
                 "sharded tier max cosine distance to the serial path: "
                 f"{sharded_worst:.2e}"
+            )
+        if repl_follower_matrix is not None and repl_final_set is not None:
+            # the replicated stream is longer (lag probes + the failover
+            # write), so it gets its own serial replay of the identical
+            # sequence; the follower's replayed matrix is the compared side
+            repl_serial_database = make_tmdb(sizes).database
+            repl_serial = IncrementalRetrofitter(
+                embeddings,
+                tokenizer,
+                hyperparams=hyperparams,
+                method=solver_method,
+                base_matrix=base_matrix,
+            )
+            for delta in [*deltas, *repl_deltas]:
+                repl_serial.apply(
+                    repl_serial_database, delta, iterations=SOLVE_ITERATIONS
+                )
+            follower_set = type(repl_final_set)(
+                repl_final_set.extraction, repl_follower_matrix,
+                name="follower",
+            )
+            repl_worst = max_cosine_distance(
+                repl_serial.embeddings, follower_set
+            )
+            payload["replicated"]["max_cosine_distance_vs_serial"] = repl_worst
+            table.add_note(
+                "replicated follower max cosine distance to the serial "
+                f"path: {repl_worst:.2e}"
             )
     return table, payload

@@ -13,11 +13,21 @@ into batched index queries.  :class:`ShardedServingTier` scales that
 across processes: hash-partitioned shard workers over a shared read-only
 memory map, an out-of-process retrofit applier publishing through the
 store's versioned delta records, and :class:`RateLimiter` admission so
-write bursts degrade writes, never reads.
+write bursts degrade writes, never reads.  :class:`ReplicatedServingTier`
+promotes those delta records to a replication log — one primary runtime
+publishing, N full-corpus followers tailing, heartbeat failure detection
+and failover — and :class:`HTTPServingFront` puts an asyncio HTTP/JSON
+endpoint with per-client rate limits and read-your-writes routing on top.
 """
 
 from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.http import HTTPFrontStats, HTTPServingFront
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descending
+from repro.serving.replicated import (
+    ReplicatedServingTier,
+    ReplicatedTierStats,
+    ship_snapshot,
+)
 from repro.serving.runtime import (
     BatchedQueryFront,
     DeltaQueue,
@@ -68,6 +78,11 @@ __all__ = [
     "ShardedServingTier",
     "TierStats",
     "stable_shard",
+    "ReplicatedServingTier",
+    "ReplicatedTierStats",
+    "ship_snapshot",
+    "HTTPServingFront",
+    "HTTPFrontStats",
     "DeltaRecord",
     "EmbeddingStore",
     "STORE_FORMAT",

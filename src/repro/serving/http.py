@@ -1,0 +1,503 @@
+"""An asyncio HTTP/JSON query front over a serving tier.
+
+The replication tier answers in-process calls; real clients arrive over
+the network.  :class:`HTTPServingFront` puts a minimal HTTP/1.1 endpoint
+(stdlib ``asyncio.start_server`` — no new dependencies) in front of any
+target exposing ``topk_batch``:
+
+* ``POST /topk`` — body ``{"vector": [...], "k": 10, "category": null,
+  "min_version": null}`` → ``{"version": N, "results": [[category,
+  text, score], ...]}``.  ``min_version`` is the read-your-writes knob:
+  pass a resolved :attr:`~repro.serving.runtime.UpdateTicket.version`
+  and the answering replica is at-or-past that log position.
+* ``GET /health`` — liveness + the target's published version.
+* ``GET /stats`` — front counters plus the target's own stats.
+
+Concurrent requests are coalesced :class:`BatchedQueryFront`-style, but
+natively on the event loop: requests arriving within ``window_seconds``
+are grouped by ``(k, category)``, stacked into one matrix and dispatched
+as a single ``topk_batch`` call on an executor thread (the event loop
+never blocks on the index).  Per-client token buckets (reusing
+:class:`~repro.serving.runtime.RateLimiter`) reject over-budget callers
+with ``429`` *before* their request joins a batch — one hot client
+degrades itself, not the pool.
+
+The server runs on a dedicated thread with its own event loop, so it
+composes with the synchronous tiers and tests without an async caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExtractionError, ServingError
+from repro.serving.runtime import RateLimiter
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: Upper bound on ``k`` accepted over the wire — a malicious ``k`` must
+#: not size a response (or an index scan) arbitrarily.
+_MAX_K = 1000
+
+
+class _BadRequest(Exception):
+    """A client error mapped to an HTTP status (default 400)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class HTTPFrontStats:
+    """Counters of one :class:`HTTPServingFront`."""
+
+    requests: int
+    rate_limited: int
+    batches_dispatched: int
+    largest_batch: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of /topk requests served per index query."""
+        if not self.batches_dispatched:
+            return 0.0
+        return self.requests / self.batches_dispatched
+
+
+class HTTPServingFront:
+    """HTTP/JSON top-k serving over any ``topk_batch`` target.
+
+    ``target`` is typically a started
+    :class:`~repro.serving.replicated.ReplicatedServingTier` (whose
+    ``topk_batch_versioned`` supplies the answered version and honours
+    ``min_version`` routing); a
+    :class:`~repro.serving.runtime.ServingRuntime`,
+    :class:`~repro.serving.sharded.ShardedServingTier` or bare
+    :class:`~repro.serving.session.ServingSession` also works —
+    ``min_version`` is then ignored and the reported version is the
+    target's ``published_version``.
+
+    ``rate_per_second`` (with optional ``burst``) arms one token bucket
+    *per client*, keyed by the ``X-Client-Id`` header when present, else
+    the peer address.  ``port=0`` binds an ephemeral port; read
+    :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        target,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_seconds: float = 0.002,
+        max_batch: int = 64,
+        rate_per_second: float | None = None,
+        burst: int | None = None,
+        max_body_bytes: int = 1 << 20,
+        max_clients: int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ServingError("max_batch must be at least 1")
+        self._target = target
+        self._dimension = getattr(target, "dimension", None)
+        self._host = host
+        self._requested_port = int(port)
+        self._window = float(window_seconds)
+        self._max_batch = int(max_batch)
+        self._rate_per_second = rate_per_second
+        self._burst = burst
+        self._max_body_bytes = int(max_body_bytes)
+        self._max_clients = int(max_clients)
+
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._startup_error: BaseException | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._pending: dict[
+            tuple[int, str | None], list[tuple[np.ndarray, int | None, asyncio.Future]]
+        ] = {}
+        # only the event-loop thread touches _pending; the limiter map is
+        # guarded by its own lock only because stats read it from outside
+        self._limiters: dict[str, RateLimiter] = {}
+        self._limiter_lock = threading.Lock()
+
+        self._n_requests = 0
+        self._n_rate_limited = 0
+        self._n_batches = 0
+        self._largest_batch = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "HTTPServingFront":
+        """Bind the listener and start serving; idempotent."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        ready = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run, args=(ready,), name="http-serving-front",
+            daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout=30.0):
+            raise ServingError("HTTP front did not come up within 30s")
+        if self._startup_error is not None:
+            raise ServingError(
+                f"HTTP front failed to bind {self._host}:"
+                f"{self._requested_port}: {self._startup_error}"
+            )
+        return self
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop the listener, cancel open connections, join the thread."""
+        loop = self._loop
+        if loop is not None and self._thread is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(self._request_shutdown)
+            self._thread.join(timeout)
+
+    def _request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def __enter__(self) -> "HTTPServingFront":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` once started."""
+        if self.port is None:
+            raise ServingError("HTTP front is not running — call start()")
+        return f"http://{self._host}:{self.port}"
+
+    def _run(self, ready: threading.Event) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve(ready))
+        finally:
+            asyncio.set_event_loop(None)
+            loop.close()
+            self._loop = None
+
+    async def _serve(self, ready: threading.Event) -> None:
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._host, self._requested_port
+            )
+        except OSError as error:
+            self._startup_error = error
+            ready.set()
+            return
+        self.port = int(server.sockets[0].getsockname()[1])
+        ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for key in list(self._pending):
+                self._flush_bucket(key)
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    await self._respond(
+                        writer, error.status, {"error": str(error)}, False
+                    )
+                    return
+                if request is None:
+                    return  # client closed the connection
+                method, path, http_version, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and http_version != "HTTP/1.0"
+                )
+                status, payload = await self._dispatch(
+                    method, path, headers, body, writer
+                )
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    return
+        except (
+            asyncio.CancelledError, asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader):
+        try:
+            request_line = await reader.readline()
+        except (ValueError, asyncio.LimitOverrunError) as error:
+            raise _BadRequest(f"request line too long: {error}", 413) from None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest("malformed HTTP request line")
+        method, path, http_version = parts
+        headers: dict[str, str] = {}
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, asyncio.LimitOverrunError) as error:
+                raise _BadRequest(f"header too long: {error}", 413) from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, separator, value = line.decode("latin-1").partition(":")
+            if not separator:
+                raise _BadRequest(f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _BadRequest("malformed Content-Length header") from None
+        if length < 0 or length > self._max_body_bytes:
+            raise _BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{self._max_body_bytes}-byte limit", 413,
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, path, http_version, headers, body
+
+    async def _respond(
+        self, writer, status: int, payload, keep_alive: bool
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+        )
+        if status == 429:
+            head += "Retry-After: 1\r\n"
+        writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method, path, headers, body, writer):
+        if path == "/topk":
+            if method != "POST":
+                return 405, {"error": "POST /topk"}
+            return await self._handle_topk(headers, body, writer)
+        if path == "/health":
+            if method != "GET":
+                return 405, {"error": "GET /health"}
+            return 200, self._health_payload()
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "GET /stats"}
+            return 200, self._stats_payload()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _health_payload(self):
+        degraded = bool(getattr(self._target, "write_degraded", False)) or bool(
+            getattr(self._target, "degraded", False)
+        )
+        payload = {
+            "status": "degraded" if degraded else "ok",
+            "version": int(getattr(self._target, "published_version", 0)),
+        }
+        live = getattr(self._target, "live_followers", None)
+        if live is not None:
+            payload["live_followers"] = int(live)
+        return payload
+
+    def _stats_payload(self):
+        payload = {"front": dataclasses.asdict(self.stats)}
+        target_stats = getattr(self._target, "stats", None)
+        if dataclasses.is_dataclass(target_stats):
+            payload["target"] = dataclasses.asdict(target_stats)
+        return payload
+
+    async def _handle_topk(self, headers, body, writer):
+        self._n_requests += 1
+        client = headers.get("x-client-id")
+        if not client:
+            peer = writer.get_extra_info("peername")
+            client = str(peer[0]) if peer else "unknown"
+        if not self._admit(client):
+            self._n_rate_limited += 1
+            return 429, {
+                "error": f"rate limit exceeded for client {client!r}"
+            }
+        try:
+            vector, k, category, min_version = self._parse_topk(body)
+        except _BadRequest as error:
+            return error.status, {"error": str(error)}
+        try:
+            version, results = await self._submit_query(
+                vector, k, category, min_version
+            )
+        except ExtractionError as error:
+            return 400, {"error": str(error)}
+        except Exception as error:  # noqa: BLE001 - surfaced to the client
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+        return 200, {"version": version, "results": results}
+
+    def _admit(self, client: str) -> bool:
+        if self._rate_per_second is None:
+            return True
+        with self._limiter_lock:
+            limiter = self._limiters.get(client)
+            if limiter is None:
+                # bound the per-client map: evict the oldest entry (an
+                # evicted-and-returning client merely gets a fresh bucket)
+                if len(self._limiters) >= self._max_clients:
+                    self._limiters.pop(next(iter(self._limiters)))
+                limiter = RateLimiter(self._rate_per_second, burst=self._burst)
+                self._limiters[client] = limiter
+        return limiter.try_acquire()
+
+    def _parse_topk(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        raw_vector = payload.get("vector")
+        if not isinstance(raw_vector, list) or not raw_vector:
+            raise _BadRequest('"vector" must be a non-empty array of numbers')
+        try:
+            vector = np.asarray(raw_vector, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise _BadRequest(f'malformed "vector": {error}') from None
+        if vector.ndim != 1 or not np.all(np.isfinite(vector)):
+            raise _BadRequest('"vector" must be a flat array of finite numbers')
+        if self._dimension is not None and vector.shape != (self._dimension,):
+            raise _BadRequest(
+                f'"vector" has {vector.shape[0]} entries, the served '
+                f"embeddings have dimension {self._dimension}"
+            )
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or isinstance(k, bool) or not 1 <= k <= _MAX_K:
+            raise _BadRequest(f'"k" must be an integer in 1..{_MAX_K}')
+        category = payload.get("category")
+        if category is not None and not isinstance(category, str):
+            raise _BadRequest('"category" must be a string or null')
+        min_version = payload.get("min_version")
+        if min_version is not None and (
+            not isinstance(min_version, int) or isinstance(min_version, bool)
+        ):
+            raise _BadRequest('"min_version" must be an integer or null')
+        return vector, k, category, min_version
+
+    # ------------------------------------------------------------------ #
+    # batching
+    # ------------------------------------------------------------------ #
+    async def _submit_query(self, vector, k, category, min_version):
+        """Join the ``(k, category)`` batch forming this window."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        key = (k, category)
+        bucket = self._pending.get(key)
+        if bucket is None:
+            self._pending[key] = bucket = []
+            loop.call_later(self._window, self._flush_bucket, key)
+        bucket.append((vector, min_version, future))
+        if len(bucket) >= self._max_batch:
+            self._flush_bucket(key)
+        return await future
+
+    def _flush_bucket(self, key) -> None:
+        bucket = self._pending.pop(key, None)
+        if not bucket:
+            return  # already flushed early by the max_batch trigger
+        self._n_batches += 1
+        self._largest_batch = max(self._largest_batch, len(bucket))
+        vectors = np.stack([vector for vector, _, _ in bucket])
+        floors = [m for _, m, _ in bucket if m is not None]
+        # the merged batch reads at the *newest* requested floor: versions
+        # are monotonic, so a co-batched client only ever sees a fresher
+        # snapshot than it asked for, never a staler one
+        min_version = max(floors) if floors else None
+        k, category = key
+        loop = asyncio.get_running_loop()
+        task = loop.run_in_executor(
+            None, self._execute, vectors, k, category, min_version
+        )
+
+        def _distribute(done) -> None:
+            try:
+                version, results = done.result()
+            except BaseException as error:  # noqa: BLE001 - per-future fanout
+                for _, _, future in bucket:
+                    if not future.done():
+                        future.set_exception(error)
+                return
+            for (_, _, future), result in zip(bucket, results):
+                if not future.done():
+                    future.set_result((version, result))
+
+        task.add_done_callback(_distribute)
+
+    def _execute(self, vectors, k, category, min_version):
+        """Blocking tier call, off the event loop (executor thread)."""
+        target = self._target
+        if hasattr(target, "topk_batch_versioned"):
+            version, results = target.topk_batch_versioned(
+                vectors, k, category=category, min_version=min_version
+            )
+            return int(version), results
+        results = target.topk_batch(vectors, k, category=category)
+        return int(getattr(target, "published_version", 0)), results
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> HTTPFrontStats:
+        """Request/batching counters of this front."""
+        return HTTPFrontStats(
+            requests=self._n_requests,
+            rate_limited=self._n_rate_limited,
+            batches_dispatched=self._n_batches,
+            largest_batch=self._largest_batch,
+        )

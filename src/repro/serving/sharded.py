@@ -103,20 +103,30 @@ class _ShardState:
         self.shard_id = shard_id
         self.n_shards = n_shards
         self.metric = metric
-        base, version = store.load_embedding_set_readonly(artifact)
+        self.bootstrap()
+        self.sync_to_latest()
+
+    def bootstrap(self) -> None:
+        """(Re-)load this shard's rows from the base snapshot artifact.
+
+        Called once at startup, and again by a replication follower whose
+        tail position fell behind a log compaction — the base artifact
+        then *is* the newer snapshot to fall back to.
+        """
+        base, version = self.store.load_embedding_set_readonly(self.artifact)
         self.extraction = base.extraction
         self.version = version
         mine = [
             record.index
             for record in self.extraction.records
-            if stable_shard(record.category, record.text, n_shards) == shard_id
+            if stable_shard(record.category, record.text, self.n_shards)
+            == self.shard_id
         ]
         self.local_ids = np.asarray(mine, dtype=np.int64)
         # the only materialised vectors: this shard's rows, copied out of
         # the shared read-only mapping (1/n_shards of the matrix)
         self.vectors = np.array(base.matrix[self.local_ids], dtype=np.float64)
         self._scopes: dict[str | None, tuple[np.ndarray, FlatIndex]] = {}
-        self.sync_to_latest()
 
     def sync_to_latest(self) -> None:
         """Replay every store delta record newer than this snapshot."""

@@ -707,33 +707,74 @@ class EmbeddingStore:
             f"{name}.delta{previous + 1:06d}", KIND_EMBEDDING_DELTA, header, arrays
         )
 
-    def compact_embedding_set(self, name: str) -> int:
+    def base_version(self, name: str) -> int:
+        """The ``set_version`` of the base artifact alone (no delta replay).
+
+        A follower whose tail position fell behind a compaction compares
+        its replayed version against this to decide whether re-bootstrapping
+        from the (newer) base snapshot can recover the lost records.
+        """
+        header = self._read_header(name)
+        self._validate_header(name, header, KIND_EMBEDDING_SET)
+        return int(header.get("set_version", 0))
+
+    def compact_embedding_set(self, name: str, keep_from: int | None = None) -> int:
         """Fold all delta records of ``name`` into its base artifact.
 
         Re-saves the base at the latest version (keeping an evolved copy
-        of the persisted index, still without retraining) and deletes the
-        replayed delta records.  Returns the compacted-to version.
+        of the persisted index, still without retraining) and prunes the
+        replayed delta records — headers, matrix archives *and* any mmap
+        sidecars.  ``keep_from`` is the retention floor: records with
+        ``version >= keep_from`` survive the pruning, so a tailing
+        follower that has announced it still needs them (its replayed
+        version is ``keep_from - 1``) never loses a record mid-replay.
+        Retained records are inert for loads (replay only considers
+        versions past the base) and fall to a later compaction once every
+        follower has passed them.  Returns the compacted-to version.
         """
         embeddings, index, version = self.load_embedding_set_versioned(name)
         self.save_embedding_set(name, embeddings, index=index, version=version)
-        for _, delta_name in self.list_embedding_set_deltas(name):
-            self.delete_artifact(delta_name)
+        self.prune_embedding_set_deltas(name, keep_from=keep_from)
         return version
 
+    def prune_embedding_set_deltas(
+        self, name: str, keep_from: int | None = None
+    ) -> int:
+        """Delete delta records of ``name`` below the retention floor.
+
+        Only records already folded into the base artifact (version at or
+        below its ``set_version``) are candidates; ``keep_from`` further
+        protects every record with ``version >= keep_from``.  Returns the
+        number of records deleted.
+        """
+        folded = self.base_version(name)
+        deleted = 0
+        for delta_version, delta_name in self.list_embedding_set_deltas(name):
+            if delta_version > folded:
+                continue  # not folded into the base yet — never prunable
+            if keep_from is not None and delta_version >= keep_from:
+                continue  # a follower announced it still needs this record
+            self.delete_artifact(delta_name)
+            deleted += 1
+        return deleted
+
     def delete_artifact(self, name: str) -> None:
-        """Remove an artifact's header and its matrix archive."""
+        """Remove an artifact's header, matrix archive and mmap sidecars."""
         header_path = self._header_path(name)
         try:
             header = self._read_header(name)
         except StoreFormatError:
             header = {}
         matrix_file = header.get("matrix_file")
-        for path in (
-            header_path,
-            self.root / matrix_file if isinstance(matrix_file, str) else None,
-        ):
-            if path is None:
-                continue
+        paths = [header_path]
+        if isinstance(matrix_file, str):
+            paths.append(self.root / matrix_file)
+            # content-addressed sidecars extracted by open_matrix_readonly
+            # (<name>.<checksum12>.<array>.npy) die with their archive
+            checksum12 = str(header.get("matrix_sha256", ""))[:12]
+            if checksum12:
+                paths.extend(self.root.glob(f"{name}.{checksum12}.*.npy"))
+        for path in paths:
             try:
                 path.unlink()
             except OSError:
