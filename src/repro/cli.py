@@ -24,7 +24,12 @@ experiments:
   threads querying through a :class:`~repro.serving.BatchedQueryFront`
   while a live delta stream drains through the
   :class:`~repro.serving.ServingRuntime`, reported against a
-  single-threaded query loop (p50/p99 latency, throughput, update lag).
+  single-threaded query loop (p50/p99 latency, throughput, update lag),
+* ``repro chaos`` — the fault-injection certifier: seeded randomized
+  fault schedules (crash, delay, torn write, dropped message, failed
+  spawn) against the sharded and replicated tiers under a live
+  query+delta workload, certifying store integrity, liveness,
+  read-your-writes and serial-replay agreement after every schedule.
 """
 
 from __future__ import annotations
@@ -262,6 +267,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="delta/query stream seed (default: the sizing preset's seed)",
     )
 
+    chaos_parser = commands.add_parser(
+        "chaos",
+        help="run seeded randomized fault schedules against the sharded and "
+        "replicated serving tiers and certify crash-consistency, liveness, "
+        "read-your-writes and serial-replay agreement after each one",
+    )
+    chaos_parser.add_argument(
+        "--sizes",
+        choices=ExperimentSizes.PRESETS,
+        default="tiny",
+        help="workload sizing preset (default: tiny)",
+    )
+    chaos_parser.add_argument(
+        "--method",
+        choices=("RN", "RO"),
+        default="RN",
+        help="retrofitting solver maintained under the stream (default: RN)",
+    )
+    chaos_parser.add_argument(
+        "--schedules",
+        type=int,
+        default=5,
+        help="number of seeded fault schedules; 5 covers every fault class, "
+        "10 covers the full class x tier matrix (default: 5)",
+    )
+    chaos_parser.add_argument(
+        "--queries",
+        type=int,
+        default=64,
+        metavar="N",
+        help="query vectors in the probe pool (default: 64)",
+    )
+    chaos_parser.add_argument(
+        "--fraction",
+        type=float,
+        default=0.05,
+        help="movies inserted per delta, as a fraction of the table "
+        "(default: 0.05)",
+    )
+    chaos_parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="reuse the engine's suite cache for the trained starting point",
+    )
+    chaos_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the certification payload as JSON",
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="schedule seed (default: the sizing preset's seed)",
+    )
+
     bench_parser = commands.add_parser(
         "bench",
         help="run the hot-path microbenchmarks and write BENCH_<rev>.json",
@@ -462,6 +526,39 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.chaos_bench import run_chaos_benchmark
+
+    table, payload = run_chaos_benchmark(
+        sizes=ExperimentSizes.preset(args.sizes),
+        method=args.method,
+        schedules=args.schedules,
+        n_queries=args.queries,
+        delta_fraction=args.fraction,
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+    )
+    print(table.to_text())
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"[repro] wrote {args.out}")
+    violations = payload["violations"]
+    if violations:
+        for violation in violations:
+            print(f"[repro] VIOLATION {violation}", file=sys.stderr)
+        return 4
+    print(
+        f"[repro] {args.schedules} fault schedule(s) certified clean; "
+        f"classes exercised: {', '.join(payload['fault_classes_exercised'])}"
+    )
+    return 0
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.experiments.bench import (
         compare_against_baseline,
@@ -514,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_update(args)
         if args.command == "serve-bench":
             return _command_serve_bench(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
         return _command_run(args, registry)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

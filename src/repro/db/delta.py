@@ -108,6 +108,61 @@ class DatabaseDelta:
         }
 
     # ------------------------------------------------------------------ #
+    # wire serialisation (HTTP write path, reproducible chaos schedules)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable wire form; :meth:`from_dict` round-trips it.
+
+        Only JSON-representable row values survive the trip exactly —
+        which is all the :class:`repro.db.Database` column types hold.
+        """
+        return {
+            "inserts": [
+                {"table": op.table, "row": dict(op.row)} for op in self.inserts
+            ],
+            "updates": [
+                {"table": op.table, "key": op.key, "changes": dict(op.changes)}
+                for op in self.updates
+            ],
+            "deletes": [
+                {"table": op.table, "key": op.key} for op in self.deletes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DatabaseDelta":
+        """Rebuild a delta from :meth:`to_dict` output.
+
+        Raises :class:`repro.errors.SchemaError` on any malformed payload —
+        wire input is untrusted by definition.
+        """
+        if not isinstance(payload, dict):
+            raise SchemaError("delta payload must be a JSON object")
+        unknown = set(payload) - {"inserts", "updates", "deletes"}
+        if unknown:
+            raise SchemaError(f"delta payload has unknown keys: {sorted(unknown)}")
+        try:
+            inserts = [
+                RowInsert(table=str(op["table"]), row=dict(op["row"]))
+                for op in payload.get("inserts", [])
+            ]
+            updates = [
+                RowUpdate(
+                    table=str(op["table"]),
+                    key=op["key"],
+                    changes=dict(op["changes"]),
+                )
+                for op in payload.get("updates", [])
+            ]
+            deletes = [
+                RowDelete(table=str(op["table"]), key=op["key"])
+                for op in payload.get("deletes", [])
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise SchemaError(f"malformed delta payload: {error}") from error
+        return cls(inserts=inserts, updates=updates, deletes=deletes)
+
+    # ------------------------------------------------------------------ #
     # coalescing (used by the serving runtime's write-ahead queue)
     # ------------------------------------------------------------------ #
     def can_absorb(self, other: "DatabaseDelta") -> bool:

@@ -32,12 +32,14 @@ import asyncio
 import dataclasses
 import json
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ExtractionError, ServingError
 from repro.serving.runtime import RateLimiter
+from repro.util import EventLog, faults
 
 _REASONS = {
     200: "OK",
@@ -70,6 +72,8 @@ class HTTPFrontStats:
     rate_limited: int
     batches_dispatched: int
     largest_batch: int
+    read_timeouts: int = 0
+    drained_clean: bool | None = None
 
     @property
     def mean_batch_size(self) -> float:
@@ -109,6 +113,9 @@ class HTTPServingFront:
         burst: int | None = None,
         max_body_bytes: int = 1 << 20,
         max_clients: int = 1024,
+        read_timeout_seconds: float = 30.0,
+        drain_seconds: float = 5.0,
+        log_stream=None,
     ) -> None:
         if max_batch < 1:
             raise ServingError("max_batch must be at least 1")
@@ -122,6 +129,9 @@ class HTTPServingFront:
         self._burst = burst
         self._max_body_bytes = int(max_body_bytes)
         self._max_clients = int(max_clients)
+        self._read_timeout = float(read_timeout_seconds)
+        self._drain_seconds = float(drain_seconds)
+        self._events = EventLog("http", capacity=512, stream=log_stream)
 
         self.port: int | None = None
         self._thread: threading.Thread | None = None
@@ -129,6 +139,9 @@ class HTTPServingFront:
         self._shutdown: asyncio.Event | None = None
         self._startup_error: BaseException | None = None
         self._connections: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
+        self._draining = False
+        self._drained_clean: bool | None = None
         self._pending: dict[
             tuple[int, str | None], list[tuple[np.ndarray, int | None, asyncio.Future]]
         ] = {}
@@ -141,6 +154,7 @@ class HTTPServingFront:
         self._n_rate_limited = 0
         self._n_batches = 0
         self._largest_batch = 0
+        self._n_read_timeouts = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -166,11 +180,20 @@ class HTTPServingFront:
         return self
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Stop the listener, cancel open connections, join the thread."""
+        """Graceful shutdown: stop accepting, drain in-flight, then close.
+
+        The listener closes immediately; requests already being processed
+        get up to ``drain_seconds`` to finish (their responses carry
+        ``Connection: close``); whatever is still open past the deadline
+        — including idle keep-alive connections — is cancelled.
+        """
         loop = self._loop
         if loop is not None and self._thread is not None and self._thread.is_alive():
             loop.call_soon_threadsafe(self._request_shutdown)
             self._thread.join(timeout)
+
+    # ``stop`` is the tiers' shutdown verb; aliasing keeps callers uniform
+    stop = close
 
     def _request_shutdown(self) -> None:
         if self._shutdown is not None:
@@ -215,10 +238,24 @@ class HTTPServingFront:
         try:
             await self._shutdown.wait()
         finally:
+            # graceful drain: no new connections, pending batches flushed,
+            # busy requests given drain_seconds to finish (idle keep-alive
+            # connections do not hold the drain open), then hard-cancel
+            self._draining = True
             server.close()
             await server.wait_closed()
             for key in list(self._pending):
                 self._flush_bucket(key)
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self._drain_seconds
+            while self._busy and loop.time() < deadline:
+                await asyncio.sleep(0.005)
+            self._drained_clean = not self._busy
+            self._events.emit(
+                "shutdown",
+                drained_clean=self._drained_clean,
+                cancelled_connections=len(self._connections),
+            )
             for task in list(self._connections):
                 task.cancel()
             if self._connections:
@@ -232,10 +269,26 @@ class HTTPServingFront:
     async def _handle_connection(self, reader, writer) -> None:
         task = asyncio.current_task()
         self._connections.add(task)
+        peer = writer.get_extra_info("peername")
+        peer_label = str(peer[0]) if peer else "unknown"
+        if faults.should_drop("http.accept"):
+            self._connections.discard(task)
+            writer.close()
+            return  # injected: the connection is dropped at accept
         try:
             while True:
+                faults.fire("http.read", "before")
                 try:
-                    request = await self._read_request(reader)
+                    # a slow client may not dribble one request over more
+                    # than read_timeout seconds (slow-loris protection);
+                    # the same clock bounds idle keep-alive connections
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self._read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    self._n_read_timeouts += 1
+                    self._events.emit("read_timeout", client=peer_label)
+                    return
                 except _BadRequest as error:
                     await self._respond(
                         writer, error.status, {"error": str(error)}, False
@@ -247,19 +300,34 @@ class HTTPServingFront:
                 keep_alive = (
                     headers.get("connection", "").lower() != "close"
                     and http_version != "HTTP/1.0"
+                    and not self._draining  # drain: finish, then close
                 )
-                status, payload = await self._dispatch(
-                    method, path, headers, body, writer
+                started = time.perf_counter()
+                self._busy.add(task)
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, headers, body, writer
+                    )
+                    await self._respond(writer, status, payload, keep_alive)
+                finally:
+                    self._busy.discard(task)
+                self._events.emit(
+                    "access",
+                    client=headers.get("x-client-id", peer_label),
+                    method=method,
+                    path=path,
+                    status=status,
+                    ms=round((time.perf_counter() - started) * 1000.0, 3),
                 )
-                await self._respond(writer, status, payload, keep_alive)
                 if not keep_alive:
                     return
         except (
             asyncio.CancelledError, asyncio.IncompleteReadError,
-            ConnectionError,
+            ConnectionError, faults.FaultInjected,
         ):
             pass
         finally:
+            self._busy.discard(task)
             self._connections.discard(task)
             writer.close()
             try:
@@ -305,6 +373,7 @@ class HTTPServingFront:
     async def _respond(
         self, writer, status: int, payload, keep_alive: bool
     ) -> None:
+        faults.fire("http.write", "before")
         body = json.dumps(payload).encode("utf-8")
         connection = "keep-alive" if keep_alive else "close"
         head = (
@@ -354,6 +423,10 @@ class HTTPServingFront:
         target_stats = getattr(self._target, "stats", None)
         if dataclasses.is_dataclass(target_stats):
             payload["target"] = dataclasses.asdict(target_stats)
+        payload["events"] = self._events.tail(50)
+        recent = getattr(self._target, "recent_events", None)
+        if callable(recent):
+            payload["target_events"] = recent(50)
         return payload
 
     async def _handle_topk(self, headers, body, writer):
@@ -500,4 +573,10 @@ class HTTPServingFront:
             rate_limited=self._n_rate_limited,
             batches_dispatched=self._n_batches,
             largest_batch=self._largest_batch,
+            read_timeouts=self._n_read_timeouts,
+            drained_clean=self._drained_clean,
         )
+
+    def recent_events(self, n: int = 50) -> list[dict]:
+        """The front's latest structured events (access log + lifecycle)."""
+        return self._events.tail(n)

@@ -63,8 +63,13 @@ from repro.serving.runtime import (
     ServingRuntime,
     UpdateTicket,
 )
-from repro.serving.sharded import _POLL_INTERVAL, _ShardState
+from repro.serving.sharded import _POLL_INTERVAL, _RESPAWN_RETRY, _ShardState
 from repro.serving.store import KIND_EMBEDDING_SET, EmbeddingStore
+from repro.util import EventLog, RetryPolicy, faults
+
+#: A follower racing a concurrent append can transiently read a
+#: half-visible record; retry briefly before treating it as a compaction.
+_SYNC_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.2, deadline=2.0)
 
 #: How long the front waits for a promoted follower to come up as the new
 #: primary: it must replay its tail and build a retrofitter (one
@@ -91,6 +96,7 @@ def ship_snapshot(
     mid-ship never leaves a header pointing at a missing archive.
     Returns the latest version available at the destination.
     """
+    faults.fire("repl.log_ship", "before")
     source = EmbeddingStore(source_root)
     destination = EmbeddingStore(dest_root)
     destination.root.mkdir(parents=True, exist_ok=True)
@@ -138,7 +144,13 @@ class _FollowerState(_ShardState):
         gap the base does not cover is real corruption and re-raises.
         """
         try:
-            super().sync_to_latest()
+            # a StoreFormatError here is usually transient (a concurrent
+            # append between the writer's matrix and header commits):
+            # jittered retries absorb it without touching the snapshot
+            _SYNC_RETRY.call(
+                lambda: _ShardState.sync_to_latest(self),
+                retry_on=(StoreFormatError,),
+            )
         except StoreFormatError:
             if self.store.base_version(self.artifact) <= self.version:
                 raise
@@ -517,6 +529,7 @@ class ReplicatedServingTier:
         self._writes_applied = 0
         self._write_failures = 0
         self._rate_limited = 0
+        self._events = EventLog("replicated")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -702,6 +715,12 @@ class ReplicatedServingTier:
         died with it; :meth:`_ensure_primary` promotes a follower instead.
         """
         handle.alive = False
+        self._events.emit(
+            "replica_dead",
+            replica=handle.replica_id,
+            role=handle.role,
+            reason="pipe broken or heartbeat lost",
+        )
         if handle.role != "follower":
             return
         with self._lifecycle_lock:
@@ -714,6 +733,15 @@ class ReplicatedServingTier:
             name=f"replica-respawn-{handle.replica_id}", daemon=True,
         ).start()
 
+    def _spawn_follower_once(self, handle: _ReplicaHandle) -> None:
+        """One respawn attempt (retried by :data:`_RESPAWN_RETRY`)."""
+        if faults.should_fail_spawn("repl.respawn"):
+            raise ServingError(
+                f"injected spawn failure for replica {handle.replica_id}"
+            )
+        self._spawn_follower(handle)
+        self._await_ready(handle)
+
     def _respawn_follower(self, handle: _ReplicaHandle) -> None:
         try:
             if handle.process is not None:
@@ -723,11 +751,26 @@ class ReplicatedServingTier:
                     handle.process.join(5.0)
             if handle.conn is not None:
                 handle.conn.close()
-            self._spawn_follower(handle)
-            self._await_ready(handle)
+            _RESPAWN_RETRY.call(
+                lambda: self._spawn_follower_once(handle),
+                retry_on=(ServingError, OSError),
+                on_retry=lambda attempt, error, delay: self._events.emit(
+                    "follower_respawn_retry",
+                    replica=handle.replica_id,
+                    attempt=attempt + 1,
+                    reason=str(error),
+                    backoff_s=round(delay, 4),
+                ),
+            )
             handle.missed_heartbeats = 0
-        except Exception:
+            self._events.emit("follower_respawned", replica=handle.replica_id)
+        except Exception as error:
             handle.alive = False  # stays degraded; the next crash retries
+            self._events.emit(
+                "follower_respawn_failed",
+                replica=handle.replica_id,
+                reason=str(error),
+            )
         finally:
             with self._lifecycle_lock:
                 handle.respawning = False
@@ -760,6 +803,13 @@ class ReplicatedServingTier:
                 if not handle.lock.acquire(timeout=0.02):
                     continue
                 handle.lock.release()
+                if faults.should_drop("repl.heartbeat"):
+                    # injected: the ping is lost in flight — a miss, not
+                    # proof of death; only repeated losses fail the node
+                    handle.missed_heartbeats += 1
+                    if handle.missed_heartbeats >= self._heartbeat_misses:
+                        self._on_heartbeat_death(handle)
+                    continue
                 try:
                     reply = self._exchange(
                         handle, ("ping",), timeout=self._heartbeat_interval
@@ -828,6 +878,7 @@ class ReplicatedServingTier:
             if not candidates:
                 message = "primary died and no live follower is promotable"
                 self._write_degraded = message
+                self._events.emit("write_degraded", reason=message)
                 raise ServingError(message)
             elected = max(
                 candidates, key=lambda h: (h.version, -h.replica_id)
@@ -837,20 +888,34 @@ class ReplicatedServingTier:
             # promoted runtime starts aligned with both
             with self._db_lock:
                 try:
+                    faults.fire("repl.promote", "before")
                     reply = self._exchange(
                         elected, ("promote", self._database),
                         timeout=_PROMOTE_TIMEOUT,
                     )
-                except (BrokenPipeError, EOFError, OSError) as error:
+                except (
+                    BrokenPipeError,
+                    EOFError,
+                    OSError,
+                    faults.FaultInjected,
+                ) as error:
                     self._note_replica_death(elected)
                     message = f"promotion of follower failed: {error!r}"
                     self._write_degraded = message
+                    self._events.emit("write_degraded", reason=message)
                     raise ServingError(message) from None
             elected.role = "primary"
             elected.version = max(elected.version, int(reply[2]))
             self._primary = elected
             self._n_failovers += 1
             self._last_failover_seconds = time.perf_counter() - started
+            self._events.emit(
+                "promoted",
+                replica=elected.replica_id,
+                version=elected.version,
+                reason="primary dead; most-caught-up follower elected",
+                failover_s=round(self._last_failover_seconds, 4),
+            )
             # restore read fan-out: the promoted node keeps serving reads,
             # but a replacement follower brings the pool back to strength
             replacement = _ReplicaHandle(self._next_replica_id, "follower")
@@ -867,7 +932,12 @@ class ReplicatedServingTier:
     # ------------------------------------------------------------------ #
     # writer side
     # ------------------------------------------------------------------ #
-    def submit(self, delta, timeout: float | None = None) -> UpdateTicket:
+    def submit(
+        self,
+        delta,
+        timeout: float | None = None,
+        submission_id: str | None = None,
+    ) -> UpdateTicket:
         """Queue a delta for the primary; returns its ticket.
 
         Admission mirrors the sharded tier: the rate limiter rejects
@@ -893,7 +963,9 @@ class ReplicatedServingTier:
                 "write admission rejected: rate limit exceeded "
                 f"({self._rate_limit.rate_per_second:.3g}/s)"
             )
-        return self._queue.submit(delta, timeout=timeout)
+        return self._queue.submit(
+            delta, timeout=timeout, submission_id=submission_id
+        )
 
     def flush(self, timeout: float | None = None) -> None:
         """Block until every submitted delta has been applied (or failed)."""
@@ -1230,6 +1302,10 @@ class ReplicatedServingTier:
     def write_degraded(self) -> bool:
         """Whether writes are refused (no promotable primary left)."""
         return self._write_degraded is not None
+
+    def recent_events(self, n: int = 50) -> list[dict]:
+        """The tier's latest structured state-transition events."""
+        return self._events.tail(n)
 
     @property
     def failovers(self) -> int:

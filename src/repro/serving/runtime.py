@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
@@ -49,6 +49,7 @@ from repro.db.delta import DatabaseDelta
 from repro.errors import ServingError
 from repro.retrofit.incremental import IncrementalRetrofitter
 from repro.serving.session import IndexFactory, ServingSession
+from repro.util import faults
 
 
 # --------------------------------------------------------------------- #
@@ -159,6 +160,7 @@ class QueueStats:
     batches_popped: int
     pending_batches: int
     pending_operations: int
+    deduplicated: int = 0
 
 
 class DeltaQueue:
@@ -193,7 +195,12 @@ class DeltaQueue:
         self._submitted = 0
         self._coalesced = 0
         self._popped = 0
+        self._deduplicated = 0
         self._next_seq = 0
+        # submission-id → ticket: the idempotent resubmission window.  A
+        # client that lost an ack retries with the same id and gets the
+        # *original* ticket back — the delta applies exactly once.
+        self._submissions: OrderedDict[str, UpdateTicket] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._batches)
@@ -223,19 +230,48 @@ class DeltaQueue:
                 batches_popped=self._popped,
                 pending_batches=len(self._batches),
                 pending_operations=sum(len(b.delta) for b in self._batches),
+                deduplicated=self._deduplicated,
             )
 
+    #: Remembered submission ids; old entries fall off FIFO past this.
+    SUBMISSION_WINDOW = 4096
+
+    def _remember(self, submission_id: str | None, ticket: UpdateTicket) -> None:
+        if submission_id is None:
+            return
+        self._submissions[str(submission_id)] = ticket
+        while len(self._submissions) > self.SUBMISSION_WINDOW:
+            self._submissions.popitem(last=False)
+
     def submit(
-        self, delta: DatabaseDelta, timeout: float | None = None
+        self,
+        delta: DatabaseDelta,
+        timeout: float | None = None,
+        submission_id: str | None = None,
     ) -> UpdateTicket:
         """Queue ``delta``; blocks while the queue is full.
 
         Returns an :class:`UpdateTicket` that completes once the delta is
         published to readers.  Raises :class:`repro.errors.ServingError`
         when the queue is closed or stays full past ``timeout``.
+
+        A ``submission_id`` makes the write idempotent: resubmitting the
+        same id — e.g. a :class:`repro.util.RetryPolicy` retry after a
+        lost ack — returns the original ticket instead of enqueueing the
+        delta again, even after that ticket already resolved and even
+        when the queue has since closed.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
         with self._not_full:
+            if submission_id is not None:
+                known = self._submissions.get(str(submission_id))
+                if known is not None and not known.failed:
+                    # pending or published: the delta is (or will be) in
+                    # the log exactly once, so hand back the same ticket.
+                    # A *failed* ticket means the delta provably never
+                    # published — the retry re-enqueues it.
+                    self._deduplicated += 1
+                    return known
             if self._closed:
                 raise ServingError("delta queue is closed")
             ticket = UpdateTicket(self._next_seq)
@@ -249,6 +285,7 @@ class DeltaQueue:
                     self._next_seq += 1
                     self._submitted += 1
                     self._coalesced += 1
+                    self._remember(submission_id, ticket)
                     return ticket
             while len(self._batches) >= self._capacity:
                 remaining = (
@@ -265,6 +302,7 @@ class DeltaQueue:
             self._batches.append(_WriteBatch(delta, ticket))
             self._next_seq += 1
             self._submitted += 1
+            self._remember(submission_id, ticket)
             self._not_empty.notify()
             return ticket
 
@@ -602,7 +640,10 @@ class ServingRuntime:
     # writer side
     # ------------------------------------------------------------------ #
     def submit(
-        self, delta: DatabaseDelta, timeout: float | None = None
+        self,
+        delta: DatabaseDelta,
+        timeout: float | None = None,
+        submission_id: str | None = None,
     ) -> UpdateTicket:
         """Queue a delta for application; returns its ticket immediately."""
         if self._degraded is not None:
@@ -621,7 +662,9 @@ class ServingRuntime:
                 "write admission rejected: rate limit exceeded "
                 f"({self._rate_limit.rate_per_second:.3g}/s)"
             )
-        return self._queue.submit(delta, timeout=timeout)
+        return self._queue.submit(
+            delta, timeout=timeout, submission_id=submission_id
+        )
 
     def flush(self, timeout: float | None = None) -> None:
         """Block until every delta submitted so far has been applied."""
@@ -676,11 +719,13 @@ class ServingRuntime:
             self._fail_batch(batch, error)
             return
         try:
+            faults.fire("runtime.apply", "before")
             update = self._retrofitter.apply(
                 self._database, batch.delta, iterations=self._solve_iterations
             )
             self._standby.apply_update(update)
             self._standby.settle_indexes()
+            faults.fire("runtime.publish", "before")
             if self._on_publish is not None:
                 # make the update durable (e.g. append it to the store's
                 # delta log) before any ticket can resolve: a version a

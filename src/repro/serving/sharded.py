@@ -57,6 +57,10 @@ from repro.errors import ExtractionError, ServingError
 from repro.serving.index import FlatIndex
 from repro.serving.runtime import DeltaQueue, RateLimiter, UpdateTicket
 from repro.serving.store import EmbeddingStore
+from repro.util import EventLog, RetryPolicy, faults
+
+#: Respawn retry shape: three attempts, jittered backoff, bounded total.
+_RESPAWN_RETRY = RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0, deadline=15.0)
 
 #: How long a worker/applier sleeps in ``poll`` before re-checking whether
 #: its parent is still alive (orphan self-termination).
@@ -256,9 +260,12 @@ def _shard_worker(
         try:
             if command == "query":
                 _, request_id, queries, k, category, min_version = message
+                faults.fire("shard.worker", "before")
                 if min_version is not None and state.version < min_version:
                     state.sync_to_latest()
                 ids, scores = state.query(queries, int(k), category)
+                if faults.should_drop("shard.pipe_send"):
+                    continue  # injected: the response never leaves the worker
                 conn.send(("result", request_id, state.version, ids, scores))
             elif command == "sync":
                 _, request_id = message
@@ -453,6 +460,7 @@ class ShardedServingTier:
         self._writes_applied = 0
         self._write_failures = 0
         self._rate_limited = 0
+        self._events = EventLog("sharded")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -583,7 +591,12 @@ class ShardedServingTier:
     # ------------------------------------------------------------------ #
     # writer side
     # ------------------------------------------------------------------ #
-    def submit(self, delta, timeout: float | None = None) -> UpdateTicket:
+    def submit(
+        self,
+        delta,
+        timeout: float | None = None,
+        submission_id: str | None = None,
+    ) -> UpdateTicket:
         """Queue a delta for the applier process; returns its ticket.
 
         Admission is two-staged: the rate limiter rejects (after at most
@@ -610,7 +623,9 @@ class ShardedServingTier:
                 "write admission rejected: rate limit exceeded "
                 f"({self._rate_limit.rate_per_second:.3g}/s)"
             )
-        return self._queue.submit(delta, timeout=timeout)
+        return self._queue.submit(
+            delta, timeout=timeout, submission_id=submission_id
+        )
 
     def flush(self, timeout: float | None = None) -> None:
         """Block until every submitted delta has been applied (or failed)."""
@@ -657,6 +672,7 @@ class ShardedServingTier:
             response = self._recv_applier()
         except (BrokenPipeError, EOFError, OSError) as error:
             self._write_degraded = f"applier process died: {error!r}"
+            self._events.emit("write_degraded", reason=self._write_degraded)
             self._fail_batch(batch, ServingError(self._write_degraded))
             return
         if response[0] == "applied":
@@ -670,6 +686,7 @@ class ShardedServingTier:
         _, message, degraded = response
         if degraded:
             self._write_degraded = message
+            self._events.emit("write_degraded", reason=message)
         self._fail_batch(batch, ServingError(message))
 
     def _recv_applier(self):
@@ -828,6 +845,9 @@ class ShardedServingTier:
     def _mark_dead(self, handle: _ShardHandle) -> None:
         """Note a crashed worker and respawn it off the query path."""
         handle.alive = False
+        self._events.emit(
+            "shard_dead", shard=handle.shard_id, reason="pipe broken or paired reply lost"
+        )
         with self._lifecycle_lock:
             if handle.respawning or self._stopped:
                 return
@@ -838,6 +858,15 @@ class ShardedServingTier:
             name=f"shard-respawn-{handle.shard_id}", daemon=True,
         ).start()
 
+    def _spawn_once(self, handle: _ShardHandle) -> None:
+        """One respawn attempt (retried by :data:`_RESPAWN_RETRY`)."""
+        if faults.should_fail_spawn("shard.respawn"):
+            raise ServingError(
+                f"injected spawn failure for shard {handle.shard_id}"
+            )
+        self._spawn(handle)
+        self._await_ready(handle)
+
     def _respawn(self, handle: _ShardHandle) -> None:
         try:
             if handle.process is not None:
@@ -847,10 +876,23 @@ class ShardedServingTier:
                     handle.process.join(5.0)
             if handle.conn is not None:
                 handle.conn.close()
-            self._spawn(handle)
-            self._await_ready(handle)
-        except Exception:
+            _RESPAWN_RETRY.call(
+                lambda: self._spawn_once(handle),
+                retry_on=(ServingError, OSError),
+                on_retry=lambda attempt, error, delay: self._events.emit(
+                    "shard_respawn_retry",
+                    shard=handle.shard_id,
+                    attempt=attempt + 1,
+                    reason=str(error),
+                    backoff_s=round(delay, 4),
+                ),
+            )
+            self._events.emit("shard_respawned", shard=handle.shard_id)
+        except Exception as error:
             handle.alive = False  # stays degraded; the next crash retries
+            self._events.emit(
+                "shard_respawn_failed", shard=handle.shard_id, reason=str(error)
+            )
         finally:
             with self._lifecycle_lock:
                 handle.respawning = False
@@ -940,6 +982,10 @@ class ShardedServingTier:
     def write_degraded(self) -> bool:
         """Whether the applier failed past validation (writes refused)."""
         return self._write_degraded is not None
+
+    def recent_events(self, n: int = 50) -> list[dict]:
+        """The tier's latest structured state-transition events."""
+        return self._events.tail(n)
 
     @property
     def stats(self) -> TierStats:

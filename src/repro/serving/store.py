@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.deepwalk.deepwalk import NodeEmbeddingResult
 from repro.errors import StoreFormatError
+from repro.util import faults
 from repro.retrofit.combine import TextValueEmbeddingSet
 from repro.retrofit.extraction import (
     ExtractionResult,
@@ -150,6 +151,43 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
+def _fsync_file(path: Path) -> None:
+    """Flush a freshly written file to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Persist a rename: fsync the directory that holds the new entry."""
+    try:
+        fd = os.open(path, os.O_RDONLY | getattr(os, "O_DIRECTORY", 0))
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _maybe_tear(path: Path, point: str) -> None:
+    """Torn-write fault: truncate ``path`` mid-content and abort.
+
+    Emulates the on-disk state of a crash part-way through writing the
+    temp file — the torn bytes stay under the *uncommitted* temp name,
+    which is exactly what the commit protocol must tolerate.
+    """
+    fraction = faults.torn_fraction(point)
+    if fraction is None:
+        return
+    size = path.stat().st_size
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, int(size * fraction)))
+    raise faults.FaultInjected(f"torn write at {point} ({path.name})")
+
+
 @dataclass(frozen=True)
 class DeltaRecord:
     """One stored embedding-set delta, as appended by the delta pipeline.
@@ -197,10 +235,15 @@ class EmbeddingStore:
         # fully intact, never a header whose checksum mismatches its matrix;
         # the tmp name is per-process so concurrent savers never collide
         matrix_tmp = self.root / f"{name}.{os.getpid()}.tmp.npz"
+        faults.fire("store.artifact_write", "before")
         np.savez_compressed(matrix_tmp, **arrays)
+        _maybe_tear(matrix_tmp, "store.artifact_write")
+        _fsync_file(matrix_tmp)
         checksum = _sha256(matrix_tmp)
         matrix_path = self.root / f"{name}.{checksum[:12]}.npz"
+        faults.fire("store.matrix_rename", "before")
         os.replace(matrix_tmp, matrix_path)
+        _fsync_dir(self.root)
         payload = {
             "format": STORE_FORMAT,
             "version": STORE_VERSION,
@@ -215,7 +258,12 @@ class EmbeddingStore:
         header_tmp.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
+        _maybe_tear(header_tmp, "store.header_write")
+        _fsync_file(header_tmp)
+        faults.fire("store.header_commit", "before")
         os.replace(header_tmp, header_path)  # commit
+        _fsync_dir(self.root)
+        faults.fire("store.header_commit", "after")
         self._drop_stale_matrices(name, keep=matrix_path.name)
         return header_path
 
@@ -345,21 +393,41 @@ class EmbeddingStore:
         safe_array = re.sub(r"[^A-Za-z0-9_-]", "_", array)
         sidecar = self.root / f"{name}.{checksum12}.{safe_array}.npy"
         if not sidecar.exists():
-            with np.load(matrix_path, allow_pickle=False) as archive:
-                if array not in archive.files:
-                    raise StoreFormatError(
-                        f"artifact {name!r} has no array {array!r}"
-                    )
-                extracted = archive[array]
-            tmp = self.root / f"{name}.{os.getpid()}.tmp.sidecar.npy"
-            np.save(tmp, extracted, allow_pickle=False)
-            os.replace(tmp, sidecar)
-        loaded = np.load(sidecar, mmap_mode="r", allow_pickle=False)
+            self._extract_sidecar(name, matrix_path, array, sidecar)
+        try:
+            loaded = np.load(sidecar, mmap_mode="r", allow_pickle=False)
+        except (ValueError, OSError):
+            # recovery-on-load: a torn or externally corrupted sidecar is
+            # only a cache of the (checksummed) archive — re-extract it
+            try:
+                sidecar.unlink()
+            except OSError:
+                pass
+            self._extract_sidecar(name, matrix_path, array, sidecar)
+            loaded = np.load(sidecar, mmap_mode="r", allow_pickle=False)
         if not isinstance(loaded, np.memmap):  # pragma: no cover - defensive
             raise StoreFormatError(
                 f"sidecar {sidecar.name} of artifact {name!r} did not map"
             )
         return loaded
+
+    def _extract_sidecar(
+        self, name: str, matrix_path: Path, array: str, sidecar: Path
+    ) -> None:
+        """Extract one archive member into its mmap sidecar, atomically."""
+        with np.load(matrix_path, allow_pickle=False) as archive:
+            if array not in archive.files:
+                raise StoreFormatError(
+                    f"artifact {name!r} has no array {array!r}"
+                )
+            extracted = archive[array]
+        tmp = self.root / f"{name}.{os.getpid()}.tmp.sidecar.npy"
+        faults.fire("store.sidecar_extract", "before")
+        np.save(tmp, extracted, allow_pickle=False)
+        _maybe_tear(tmp, "store.sidecar_extract")
+        _fsync_file(tmp)
+        os.replace(tmp, sidecar)
+        _fsync_dir(self.root)
 
     def load_embedding_set_readonly(self, name: str) -> tuple[TextValueEmbeddingSet, int]:
         """``(embeddings, base_version)`` with a memory-mapped matrix.
@@ -673,6 +741,7 @@ class EmbeddingStore:
             raise StoreFormatError(
                 "only delta-pipeline updates can be appended as delta records"
             )
+        faults.fire("store.delta_append", "before")
         previous = self.latest_version(name)
         delta_map = update.delta_map
         added = list(delta_map.added_indices)

@@ -1,5 +1,26 @@
-"""Small shared utilities (cross-process file locks)."""
+"""Small shared utilities (file locks, fault injection, retries, logs)."""
 
+from repro.util.eventlog import EventLog
+from repro.util.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultPoint,
+    RetryPolicy,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+)
 from repro.util.locks import FileLock, LockTimeoutError
 
-__all__ = ["FileLock", "LockTimeoutError"]
+__all__ = [
+    "EventLog",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPoint",
+    "FileLock",
+    "LockTimeoutError",
+    "RetryPolicy",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "install_fault_plan",
+]

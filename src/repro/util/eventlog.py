@@ -1,0 +1,59 @@
+"""Structured JSON event logging for the serving tiers.
+
+One :class:`EventLog` per component: a bounded in-memory ring of JSON
+records (surfaced through ``/stats`` and tier ``recent_events()``)
+plus an optional text stream that receives one JSON line per event —
+the machine-parseable access/transition log a production deployment
+tails.  Thread-safe; emission never raises (a logging failure must not
+take down the serving path it describes).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import threading
+import time
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    def __init__(self, component: str, capacity: int = 256, stream=None, clock=time.time):
+        self._component = component
+        self._events = collections.deque(maxlen=max(1, int(capacity)))
+        self._stream = stream
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    @property
+    def component(self) -> str:
+        return self._component
+
+    def emit(self, event: str, **fields) -> dict:
+        """Record one structured event; returns the record."""
+        record = {
+            "ts": round(float(self._clock()), 6),
+            "component": self._component,
+            "event": event,
+        }
+        record.update(fields)
+        with self._lock:
+            self._events.append(record)
+        if self._stream is not None:
+            try:
+                self._stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+                self._stream.flush()
+            except Exception:
+                pass  # the log must never take the serving path down
+        return record
+
+    def tail(self, n: int = 50) -> list[dict]:
+        """The most recent ``n`` events, oldest first."""
+        with self._lock:
+            events = list(self._events)
+        return events[-max(0, int(n)) :]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

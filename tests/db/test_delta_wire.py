@@ -1,0 +1,117 @@
+"""Round-trip tests for the DatabaseDelta wire form (to_dict / from_dict)."""
+
+import json
+
+import pytest
+
+from repro.db.delta import DatabaseDelta, RowDelete, RowInsert, RowUpdate
+from repro.errors import SchemaError
+
+
+def _sample_delta() -> DatabaseDelta:
+    return (
+        DatabaseDelta()
+        .insert("movie", {"id": 1, "title": "Alien", "popularity": 8.1})
+        .insert("movie_countries", {"movie_id": 1, "country": "US"})
+        .update("movie", 1, popularity=9.0, title="Alien (1979)")
+        .update("country", "US", name="United States")
+        .delete("movie", 2)
+    )
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self):
+        delta = _sample_delta()
+        rebuilt = DatabaseDelta.from_dict(delta.to_dict())
+        assert rebuilt.inserts == delta.inserts
+        assert rebuilt.updates == delta.updates
+        assert rebuilt.deletes == delta.deletes
+
+    def test_survives_json_encoding(self):
+        delta = _sample_delta()
+        wire = json.loads(json.dumps(delta.to_dict()))
+        rebuilt = DatabaseDelta.from_dict(wire)
+        assert rebuilt.inserts == delta.inserts
+        assert rebuilt.updates == delta.updates
+        assert rebuilt.deletes == delta.deletes
+
+    def test_empty_delta_round_trips(self):
+        wire = DatabaseDelta().to_dict()
+        assert wire == {"inserts": [], "updates": [], "deletes": []}
+        rebuilt = DatabaseDelta.from_dict(wire)
+        assert rebuilt.is_empty()
+
+    def test_missing_sections_default_to_empty(self):
+        rebuilt = DatabaseDelta.from_dict(
+            {"inserts": [{"table": "movie", "row": {"id": 3}}]}
+        )
+        assert rebuilt.inserts == [RowInsert("movie", {"id": 3})]
+        assert rebuilt.updates == []
+        assert rebuilt.deletes == []
+
+    def test_operation_order_is_preserved(self):
+        delta = DatabaseDelta()
+        for key in (5, 3, 9):
+            delta.delete("movie", key)
+        rebuilt = DatabaseDelta.from_dict(delta.to_dict())
+        assert [op.key for op in rebuilt.deletes] == [5, 3, 9]
+
+    def test_non_string_keys_survive(self):
+        delta = DatabaseDelta().update("t", 42, x=1).delete("t", "forty-two")
+        rebuilt = DatabaseDelta.from_dict(json.loads(json.dumps(delta.to_dict())))
+        assert rebuilt.updates == [RowUpdate("t", 42, {"x": 1})]
+        assert rebuilt.deletes == [RowDelete("t", "forty-two")]
+
+
+class TestIndependence:
+    def test_to_dict_snapshots_rows(self):
+        """Mutating the delta after to_dict must not change the wire form."""
+        delta = DatabaseDelta().insert("movie", {"id": 1, "title": "Alien"})
+        wire = delta.to_dict()
+        delta.inserts[0].row["title"] = "Aliens"
+        delta.insert("movie", {"id": 2})
+        assert wire["inserts"] == [
+            {"table": "movie", "row": {"id": 1, "title": "Alien"}}
+        ]
+
+    def test_from_dict_copies_payload_rows(self):
+        """Mutating the source payload must not reach the rebuilt delta."""
+        payload = {"inserts": [{"table": "movie", "row": {"id": 1}}]}
+        rebuilt = DatabaseDelta.from_dict(payload)
+        payload["inserts"][0]["row"]["id"] = 999
+        assert rebuilt.inserts[0].row == {"id": 1}
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize("payload", [None, [], "delta", 7])
+    def test_non_dict_payload(self, payload):
+        with pytest.raises(SchemaError, match="JSON object"):
+            DatabaseDelta.from_dict(payload)
+
+    def test_unknown_keys(self):
+        with pytest.raises(SchemaError, match="unknown keys.*upserts"):
+            DatabaseDelta.from_dict({"upserts": []})
+
+    def test_insert_missing_row(self):
+        with pytest.raises(SchemaError, match="malformed delta payload"):
+            DatabaseDelta.from_dict({"inserts": [{"table": "movie"}]})
+
+    def test_update_missing_key(self):
+        with pytest.raises(SchemaError, match="malformed delta payload"):
+            DatabaseDelta.from_dict(
+                {"updates": [{"table": "movie", "changes": {"x": 1}}]}
+            )
+
+    def test_delete_missing_key(self):
+        with pytest.raises(SchemaError, match="malformed delta payload"):
+            DatabaseDelta.from_dict({"deletes": [{"table": "movie"}]})
+
+    def test_row_must_be_a_mapping(self):
+        with pytest.raises(SchemaError, match="malformed delta payload"):
+            DatabaseDelta.from_dict(
+                {"inserts": [{"table": "movie", "row": [1, 2, 3]}]}
+            )
+
+    def test_section_must_be_a_list_of_mappings(self):
+        with pytest.raises(SchemaError, match="malformed delta payload"):
+            DatabaseDelta.from_dict({"inserts": ["movie"]})

@@ -179,6 +179,81 @@ class TestBackpressure:
         assert len(queue) == 1
 
 
+class TestIdempotentSubmission:
+    def test_same_id_returns_the_original_ticket(self):
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        first = queue.submit(movie_insert(1), submission_id="w-1")
+        retry = queue.submit(movie_insert(1), submission_id="w-1")
+        assert retry is first
+        assert queue.stats.deduplicated == 1
+        # the delta was enqueued exactly once
+        assert len(queue) == 1
+        assert queue.stats.submitted == 1
+
+    def test_distinct_ids_enqueue_independently(self):
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        a = queue.submit(movie_insert(1), submission_id="w-1")
+        b = queue.submit(movie_insert(2), submission_id="w-2")
+        assert a is not b
+        assert len(queue) == 2
+        assert queue.stats.deduplicated == 0
+
+    def test_resubmission_after_publish_returns_the_resolved_ticket(self):
+        # a client that lost the ack retries after the applier already
+        # published — it must learn the original version, not re-apply
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        ticket = queue.submit(movie_insert(1), submission_id="w-1")
+        for popped in queue.pop(timeout=1.0).tickets:
+            popped._complete(7, time.perf_counter())
+        retry = queue.submit(movie_insert(1), submission_id="w-1")
+        assert retry is ticket
+        assert retry.wait(timeout=1.0) == 7
+        assert len(queue) == 0
+
+    def test_resubmission_survives_queue_close(self):
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        ticket = queue.submit(movie_insert(1), submission_id="w-1")
+        for popped in queue.pop(timeout=1.0).tickets:
+            popped._complete(3, time.perf_counter())
+        queue.close()
+        assert queue.submit(movie_insert(1), submission_id="w-1") is ticket
+
+    def test_failed_ticket_is_not_deduplicated(self):
+        # a failed ticket proves the delta never published: the retry must
+        # re-enqueue rather than receive the dead ticket back
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        first = queue.submit(movie_insert(1), submission_id="w-1")
+        for popped in queue.pop(timeout=1.0).tickets:
+            popped._fail(ServingError("applier died"))
+        assert first.failed
+        retry = queue.submit(movie_insert(1), submission_id="w-1")
+        assert retry is not first
+        assert queue.stats.deduplicated == 0
+        for popped in queue.pop(timeout=1.0).tickets:
+            popped._complete(5, time.perf_counter())
+        assert retry.wait(timeout=1.0) == 5
+
+    def test_submissions_without_id_are_never_deduplicated(self):
+        queue = DeltaQueue(capacity=8, coalesce=False)
+        a = queue.submit(movie_insert(1))
+        b = queue.submit(movie_insert(1))
+        assert a is not b
+        assert queue.stats.deduplicated == 0
+
+    def test_window_evicts_oldest_ids(self):
+        queue = DeltaQueue(capacity=10_000, coalesce=False)
+        original_window = DeltaQueue.SUBMISSION_WINDOW
+        DeltaQueue.SUBMISSION_WINDOW = 2
+        try:
+            first = queue.submit(movie_insert(1), submission_id="w-1")
+            queue.submit(movie_insert(2), submission_id="w-2")
+            queue.submit(movie_insert(3), submission_id="w-3")  # evicts w-1
+            retry = queue.submit(movie_insert(1), submission_id="w-1")
+        finally:
+            DeltaQueue.SUBMISSION_WINDOW = original_window
+        assert retry is not first  # fell out of the remembered window
+
+
 class TestCloseSemantics:
     def test_submit_after_close_raises(self):
         queue = DeltaQueue()

@@ -1,0 +1,190 @@
+"""Graceful drain, slow-client timeouts and structured logging of the HTTP front."""
+
+import io
+import json
+import socket
+import threading
+import time
+import urllib.request
+
+from repro.serving import HTTPServingFront
+
+
+class _Target:
+    """A minimal ``topk_batch`` target with a controllable service time."""
+
+    dimension = 4
+    published_version = 0
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.entered = threading.Event()
+        self._events = [{"component": "tier", "event": "promoted", "replica": 1}]
+
+    def topk_batch(self, vectors, k, category=None):
+        self.entered.set()
+        if self.delay:
+            time.sleep(self.delay)
+        return [[("movies.title", "answer", 1.0)] for _ in vectors]
+
+    def recent_events(self, n: int = 50):
+        return self._events[-n:]
+
+
+def _post_topk(address, client="c1"):
+    request = urllib.request.Request(
+        address + "/topk",
+        data=json.dumps({"vector": [0.0, 1.0, 0.0, 0.0], "k": 1}).encode(),
+        headers={"Content-Type": "application/json", "X-Client-Id": client},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestGracefulDrain:
+    def test_inflight_request_finishes_before_shutdown(self):
+        target = _Target(delay=0.4)
+        front = HTTPServingFront(target, window_seconds=0.0, drain_seconds=10.0)
+        front.start()
+        outcome = {}
+
+        def client():
+            outcome["reply"] = _post_topk(front.address)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        assert target.entered.wait(timeout=10)  # the request is in flight
+        front.close(timeout=30)
+        thread.join(timeout=30)
+        assert outcome["reply"][0] == 200
+        assert outcome["reply"][1]["results"] == [["movies.title", "answer", 1.0]]
+        assert front.stats.drained_clean is True
+        shutdowns = [
+            event for event in front.recent_events() if event["event"] == "shutdown"
+        ]
+        assert shutdowns and shutdowns[-1]["drained_clean"] is True
+
+    def test_drain_deadline_cancels_stuck_requests(self):
+        target = _Target(delay=5.0)
+        front = HTTPServingFront(target, window_seconds=0.0, drain_seconds=0.05)
+        front.start()
+        outcome = {}
+
+        def client():
+            try:
+                outcome["reply"] = _post_topk(front.address)
+            except Exception as error:  # noqa: BLE001 - any abort is a pass
+                outcome["error"] = error
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        assert target.entered.wait(timeout=10)
+        front.close(timeout=30)
+        thread.join(timeout=30)
+        assert "error" in outcome  # connection was cut, not served
+        assert front.stats.drained_clean is False
+
+    def test_stop_is_the_close_alias(self):
+        assert HTTPServingFront.stop is HTTPServingFront.close
+        front = HTTPServingFront(_Target(), window_seconds=0.0)
+        front.start()
+        front.stop()
+        assert front._thread is not None and not front._thread.is_alive()
+
+
+class TestSlowClientTimeout:
+    def test_stalled_request_is_cut_and_counted(self):
+        front = HTTPServingFront(
+            _Target(), window_seconds=0.0, read_timeout_seconds=0.2
+        )
+        front.start()
+        try:
+            with socket.create_connection(("127.0.0.1", front.port), 10) as sock:
+                sock.sendall(b"POST /topk HTTP/1.1\r\n")  # ...then stall
+                sock.settimeout(10)
+                assert sock.recv(1024) == b""  # server hung up on us
+            deadline = time.monotonic() + 5
+            while front.stats.read_timeouts == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert front.stats.read_timeouts == 1
+            assert any(
+                event["event"] == "read_timeout"
+                for event in front.recent_events()
+            )
+        finally:
+            front.close()
+
+    def test_fast_clients_are_unaffected_by_the_timeout(self):
+        front = HTTPServingFront(
+            _Target(), window_seconds=0.0, read_timeout_seconds=0.5
+        )
+        front.start()
+        try:
+            status, _ = _post_topk(front.address)
+            assert status == 200
+            assert front.stats.read_timeouts == 0
+        finally:
+            front.close()
+
+
+class TestStructuredLogging:
+    def test_access_events_carry_request_metadata(self):
+        front = HTTPServingFront(_Target(), window_seconds=0.0)
+        front.start()
+        try:
+            _post_topk(front.address, client="alpha")
+            (access,) = [
+                event for event in front.recent_events()
+                if event["event"] == "access"
+            ]
+            assert access["component"] == "http"
+            assert access["client"] == "alpha"
+            assert access["method"] == "POST"
+            assert access["path"] == "/topk"
+            assert access["status"] == 200
+            assert access["ms"] >= 0.0
+        finally:
+            front.close()
+
+    def test_log_stream_receives_json_lines(self):
+        stream = io.StringIO()
+        front = HTTPServingFront(_Target(), window_seconds=0.0, log_stream=stream)
+        front.start()
+        try:
+            _post_topk(front.address)
+        finally:
+            front.close()
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert any(record["event"] == "access" for record in lines)
+        assert any(record["event"] == "shutdown" for record in lines)
+
+    def test_stats_endpoint_surfaces_front_and_target_events(self):
+        front = HTTPServingFront(_Target(), window_seconds=0.0)
+        front.start()
+        try:
+            _post_topk(front.address)
+            request = urllib.request.Request(front.address + "/stats")
+            with urllib.request.urlopen(request, timeout=30) as response:
+                body = json.loads(response.read())
+            assert any(
+                event["event"] == "access" for event in body["events"]
+            )
+            assert body["target_events"] == [
+                {"component": "tier", "event": "promoted", "replica": 1}
+            ]
+            assert body["front"]["read_timeouts"] == 0
+        finally:
+            front.close()
+
+
+class TestDrainStatsShape:
+    def test_drained_clean_is_none_until_a_shutdown_happened(self):
+        front = HTTPServingFront(_Target(), window_seconds=0.0)
+        assert front.stats.drained_clean is None
+        front.start()
+        try:
+            assert front.stats.drained_clean is None
+        finally:
+            front.close()
+        assert front.stats.drained_clean is True

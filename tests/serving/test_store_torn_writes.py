@@ -1,0 +1,226 @@
+"""Crash-consistency of the store's write protocol under injected faults.
+
+Every save walks temp-file → fsync → content-addressed rename → header
+temp → fsync → atomic header rename (the commit point).  These tests kill
+the writer at each seam — before any bytes, mid-artifact (torn npz), before
+the matrix rename, mid-header (torn json), just before and just after the
+commit rename — then reload with a *fresh* store handle and assert that
+either the old or the new version comes back fully intact, never a hybrid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.retrofit.combine import TextValueEmbeddingSet
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving.store import EmbeddingStore
+from repro.util.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultPoint,
+    clear_fault_plan,
+    install_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+@pytest.fixture()
+def saved(tmdb_extraction, tmdb_base, tmp_path):
+    """A committed v1 base artifact plus the v2 set a crashed save loses."""
+    old = TextValueEmbeddingSet(
+        tmdb_extraction, tmdb_base.matrix.copy(), name="PV"
+    )
+    new = TextValueEmbeddingSet(
+        tmdb_extraction, tmdb_base.matrix * 2.0 + 1.0, name="PV"
+    )
+    store = EmbeddingStore(tmp_path / "store")
+    store.save_embedding_set("pv", old, version=1)
+    return store, old, new
+
+
+def _reload(store: EmbeddingStore):
+    """Reload through a fresh handle — no in-process state survives."""
+    fresh = EmbeddingStore(store.root)
+    embeddings, _, version = fresh.load_embedding_set_versioned("pv")
+    return np.asarray(embeddings.matrix), version
+
+
+#: Every seam at which a save can die while the previous version must
+#: survive.  ``header_commit``/after is the one seam *past* the commit
+#: point — there the new version must be the one that loads.
+_PRE_COMMIT_FAULTS = [
+    pytest.param(FaultPoint("store.artifact_write", "error"), id="before-artifact"),
+    pytest.param(
+        FaultPoint("store.artifact_write", "torn_write", tear_fraction=0.4),
+        id="torn-artifact",
+    ),
+    pytest.param(FaultPoint("store.matrix_rename", "error"), id="before-rename"),
+    pytest.param(
+        FaultPoint("store.header_write", "torn_write", tear_fraction=0.6),
+        id="torn-header",
+    ),
+    pytest.param(FaultPoint("store.header_commit", "error"), id="before-commit"),
+]
+
+
+class TestBaseArtifactCrashConsistency:
+    @pytest.mark.parametrize("point", _PRE_COMMIT_FAULTS)
+    def test_crash_before_commit_preserves_old_version(self, saved, point):
+        store, old, new = saved
+        install_fault_plan(FaultPlan([point]))
+        with pytest.raises(FaultInjected):
+            store.save_embedding_set("pv", new, version=2)
+        clear_fault_plan()
+        matrix, version = _reload(store)
+        assert version == 1
+        assert np.array_equal(matrix, old.matrix)
+
+    def test_crash_after_commit_preserves_new_version(self, saved):
+        store, _, new = saved
+        install_fault_plan(
+            FaultPlan([FaultPoint("store.header_commit", "error", when="after")])
+        )
+        with pytest.raises(FaultInjected):
+            store.save_embedding_set("pv", new, version=2)
+        clear_fault_plan()
+        matrix, version = _reload(store)
+        assert version == 2
+        assert np.array_equal(matrix, new.matrix)
+
+    @pytest.mark.parametrize("point", _PRE_COMMIT_FAULTS)
+    def test_retried_save_lands_over_crash_leftovers(self, saved, point):
+        """The temp files a dead writer leaves behind never block a retry."""
+        store, _, new = saved
+        install_fault_plan(FaultPlan([point]))
+        with pytest.raises(FaultInjected):
+            store.save_embedding_set("pv", new, version=2)
+        clear_fault_plan()
+        store.save_embedding_set("pv", new, version=2)
+        matrix, version = _reload(store)
+        assert version == 2
+        assert np.array_equal(matrix, new.matrix)
+
+    def test_torn_artifact_leaves_no_committed_garbage(self, saved):
+        """The torn bytes stay under an uncommitted temp name only."""
+        store, _, new = saved
+        install_fault_plan(
+            FaultPlan(
+                [FaultPoint("store.artifact_write", "torn_write",
+                            tear_fraction=0.3)]
+            )
+        )
+        with pytest.raises(FaultInjected):
+            store.save_embedding_set("pv", new, version=2)
+        clear_fault_plan()
+        leftovers = {path.name for path in store.root.glob("pv.*.tmp.npz")}
+        assert leftovers  # the torn temp file is there...
+        matrix, version = _reload(store)  # ...and the load never touches it
+        assert version == 1
+
+
+class TestSidecarRecovery:
+    def test_torn_sidecar_extraction_recovers_on_retry(self, saved):
+        store, old, _ = saved
+        install_fault_plan(
+            FaultPlan(
+                [FaultPoint("store.sidecar_extract", "torn_write",
+                            tear_fraction=0.5)]
+            )
+        )
+        with pytest.raises(FaultInjected):
+            store.open_matrix_readonly("pv")
+        clear_fault_plan()
+        mapped = store.open_matrix_readonly("pv")
+        assert np.array_equal(np.asarray(mapped), old.matrix)
+
+    def test_corrupted_sidecar_is_reextracted_on_load(self, saved):
+        store, old, _ = saved
+        store.open_matrix_readonly("pv")
+        (sidecar,) = store.root.glob("pv.*.matrix.npy")
+        with open(sidecar, "r+b") as handle:
+            handle.truncate(7)  # mangle past any valid npy header
+        mapped = EmbeddingStore(store.root).open_matrix_readonly("pv")
+        assert np.array_equal(np.asarray(mapped), old.matrix)
+
+
+# --------------------------------------------------------------------- #
+# delta-record appends
+# --------------------------------------------------------------------- #
+@pytest.fixture()
+def stream(tmp_path):
+    dataset = generate_tmdb(num_movies=40, seed=8, embedding_dimension=16)
+    pipeline = RetroPipeline(
+        dataset.database,
+        dataset.embedding,
+        hyperparams=RetroHyperparameters.paper_rn_default(),
+    )
+    result = pipeline.run(iterations=120)
+    retrofitter = pipeline.incremental_retrofitter(result)
+    store = EmbeddingStore(tmp_path / "store")
+    store.save_embedding_set("rn", result.embeddings)
+    return dataset, retrofitter, store
+
+
+def _apply_one(dataset, retrofitter, key):
+    delta = DatabaseDelta()
+    delta.insert("movies", {
+        "id": 60_000 + key, "title": f"silent meridian {key}",
+        "original_language": "english",
+        "overview": "a quiet voyage across the meridian",
+        "budget": 1e7, "revenue": 2e7, "popularity": 1.0,
+        "release_year": 2026, "collection_id": None,
+    })
+    delta.insert("movie_countries", {
+        "id": 60_000 + key, "movie_id": 60_000 + key, "country_id": 1,
+    })
+    return retrofitter.apply(dataset.database, delta)
+
+
+class TestDeltaAppendCrashConsistency:
+    @pytest.mark.parametrize(
+        "point",
+        [
+            pytest.param(
+                FaultPoint("store.delta_append", "error"), id="before-append"
+            ),
+            pytest.param(
+                FaultPoint("store.artifact_write", "torn_write",
+                           tear_fraction=0.4),
+                id="torn-record",
+            ),
+        ],
+    )
+    def test_failed_append_leaves_the_chain_replayable(self, stream, point):
+        dataset, retrofitter, store = stream
+        first = _apply_one(dataset, retrofitter, 1)
+        store.append_embedding_set_delta("rn", first)
+        committed = retrofitter.embeddings.matrix.copy()
+
+        second = _apply_one(dataset, retrofitter, 2)
+        install_fault_plan(FaultPlan([point]))
+        with pytest.raises(FaultInjected):
+            store.append_embedding_set_delta("rn", second)
+        clear_fault_plan()
+
+        fresh = EmbeddingStore(store.root)
+        assert fresh.latest_version("rn") == 1
+        loaded, _, version = fresh.load_embedding_set_versioned("rn")
+        assert version == 1
+        assert np.allclose(loaded.matrix, committed)
+
+        # the retried append applies exactly once and extends the chain
+        store.append_embedding_set_delta("rn", second)
+        loaded, _, version = EmbeddingStore(
+            store.root
+        ).load_embedding_set_versioned("rn")
+        assert version == 2
+        assert np.allclose(loaded.matrix, retrofitter.embeddings.matrix)

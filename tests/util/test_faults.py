@@ -1,0 +1,336 @@
+"""Tests for the deterministic fault-injection plan and the shared retry policy."""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.util import faults
+from repro.util.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultPoint,
+    RetryPolicy,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()
+
+
+# --------------------------------------------------------------------- #
+# FaultPoint
+# --------------------------------------------------------------------- #
+class TestFaultPoint:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultPoint("store.x", "explode")
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown fault phase"):
+            FaultPoint("store.x", "error", when="during")
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_out_of_range_tear_fraction(self, fraction):
+        with pytest.raises(ValueError, match="tear_fraction"):
+            FaultPoint("store.x", "torn_write", tear_fraction=fraction)
+
+    def test_channel_follows_mode(self):
+        assert FaultPoint("p", "error", when="after").channel == "after"
+        assert FaultPoint("p", "crash").channel == "before"
+        assert FaultPoint("p", "delay").channel == "before"
+        assert FaultPoint("p", "torn_write").channel == "tear"
+        assert FaultPoint("p", "drop_message").channel == "drop"
+        assert FaultPoint("p", "fail_spawn").channel == "spawn"
+
+
+# --------------------------------------------------------------------- #
+# FaultPlan traversal counting
+# --------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_error_mode_raises_fault_injected(self):
+        plan = FaultPlan([FaultPoint("seam", "error")])
+        with pytest.raises(FaultInjected, match="seam"):
+            plan.fire("seam")
+
+    def test_fault_injected_is_a_repro_error(self):
+        assert issubclass(FaultInjected, ReproError)
+
+    def test_skip_passes_then_fires(self):
+        plan = FaultPlan([FaultPoint("seam", "error", skip=2)])
+        plan.fire("seam")
+        plan.fire("seam")
+        with pytest.raises(FaultInjected):
+            plan.fire("seam")
+
+    def test_hits_bounds_firings(self):
+        plan = FaultPlan([FaultPoint("seam", "error", hits=2)])
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                plan.fire("seam")
+        plan.fire("seam")  # exhausted: passes untouched
+        plan.fire("seam")
+
+    def test_nonpositive_hits_fires_forever(self):
+        plan = FaultPlan([FaultPoint("seam", "error", hits=0)])
+        for _ in range(5):
+            with pytest.raises(FaultInjected):
+                plan.fire("seam")
+
+    def test_channels_are_counted_independently(self):
+        plan = FaultPlan(
+            [
+                FaultPoint("seam", "error", when="after"),
+                FaultPoint("seam", "torn_write", tear_fraction=0.25),
+            ]
+        )
+        # "before" traversals touch neither armed channel
+        plan.fire("seam", "before")
+        plan.fire("seam", "before")
+        assert plan.torn_fraction("seam") == 0.25
+        with pytest.raises(FaultInjected):
+            plan.fire("seam", "after")
+
+    def test_unarmed_points_are_noops(self):
+        plan = FaultPlan([FaultPoint("seam", "error")])
+        plan.fire("other.seam")
+        assert plan.torn_fraction("other.seam") is None
+        assert plan.should_drop("other.seam") is False
+        assert plan.should_fail_spawn("other.seam") is False
+
+    def test_drop_and_spawn_queries(self):
+        plan = FaultPlan(
+            [
+                FaultPoint("pipe", "drop_message", skip=1),
+                FaultPoint("spawn", "fail_spawn"),
+            ]
+        )
+        assert plan.should_drop("pipe") is False  # skipped traversal
+        assert plan.should_drop("pipe") is True
+        assert plan.should_drop("pipe") is False  # hits exhausted
+        assert plan.should_fail_spawn("spawn") is True
+        assert plan.should_fail_spawn("spawn") is False
+
+    def test_delay_mode_sleeps(self, monkeypatch):
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        plan = FaultPlan([FaultPoint("seam", "delay", delay_seconds=0.7)])
+        plan.fire("seam")
+        assert slept == [0.7]
+
+    def test_history_records_fired_faults_in_order(self):
+        plan = FaultPlan(
+            [
+                FaultPoint("a", "error", skip=1),
+                FaultPoint("b", "drop_message"),
+            ]
+        )
+        plan.fire("a")  # skipped — not in history
+        assert plan.should_drop("b")
+        with pytest.raises(FaultInjected):
+            plan.fire("a")
+        history = plan.history()
+        assert [(h["point"], h["mode"]) for h in history] == [
+            ("b", "drop_message"),
+            ("a", "error"),
+        ]
+        assert history[1]["traversal"] == 2
+
+    def test_deterministic_across_fresh_plans(self):
+        def script(plan):
+            outcomes = []
+            for _ in range(6):
+                try:
+                    plan.fire("seam")
+                    outcomes.append("pass")
+                except FaultInjected:
+                    outcomes.append("fire")
+            return outcomes
+
+        points = [FaultPoint("seam", "error", skip=2, hits=2)]
+        assert script(FaultPlan(points)) == script(FaultPlan(points))
+        assert script(FaultPlan(points)) == [
+            "pass", "pass", "fire", "fire", "pass", "pass",
+        ]
+
+    def test_pickle_round_trip_preserves_counters(self):
+        plan = FaultPlan([FaultPoint("seam", "error", skip=1)], seed=7)
+        plan.fire("seam")  # consume the skipped traversal
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 7
+        assert clone.traversals() == {("seam", "before"): 1}
+        with pytest.raises(FaultInjected):
+            clone.fire("seam")
+        # the original's counters are unaffected by the clone's firing
+        with pytest.raises(FaultInjected):
+            plan.fire("seam")
+
+
+# --------------------------------------------------------------------- #
+# module-level installation
+# --------------------------------------------------------------------- #
+class TestModuleHelpers:
+    def test_helpers_are_noops_without_a_plan(self):
+        assert active_fault_plan() is None
+        faults.fire("anything")
+        assert faults.torn_fraction("anything") is None
+        assert faults.should_drop("anything") is False
+        assert faults.should_fail_spawn("anything") is False
+
+    def test_install_and_clear(self):
+        plan = install_fault_plan(FaultPlan([FaultPoint("seam", "error")]))
+        assert active_fault_plan() is plan
+        with pytest.raises(FaultInjected):
+            faults.fire("seam")
+        clear_fault_plan()
+        assert active_fault_plan() is None
+        faults.fire("seam")  # no-op again
+
+    def test_module_queries_route_to_the_active_plan(self):
+        install_fault_plan(
+            FaultPlan(
+                [
+                    FaultPoint("t", "torn_write", tear_fraction=0.125),
+                    FaultPoint("d", "drop_message"),
+                    FaultPoint("s", "fail_spawn"),
+                ]
+            )
+        )
+        assert faults.torn_fraction("t") == 0.125
+        assert faults.should_drop("d") is True
+        assert faults.should_fail_spawn("s") is True
+
+
+def _crash_child(plan):
+    install_fault_plan(plan)
+    faults.fire("child.seam")
+    raise SystemExit(0)  # unreachable when the crash fires
+
+
+def test_crash_mode_exits_like_sigkill():
+    """A crash fault kills the process with exit code 137, skipping cleanup."""
+    ctx = multiprocessing.get_context("fork")
+    plan = FaultPlan([FaultPoint("child.seam", "crash")])
+    child = ctx.Process(target=_crash_child, args=(plan,))
+    child.start()
+    child.join(timeout=30)
+    assert child.exitcode == 137
+
+
+# --------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------- #
+class _Flaky:
+    def __init__(self, failures, error=RuntimeError("transient")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class _FixedRng:
+    """A stand-in rng returning the upper bound (worst-case backoff)."""
+
+    def uniform(self, low, high):
+        return high
+
+
+class TestRetryPolicy:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        policy = RetryPolicy(attempts=4)
+        assert policy.call(_Flaky(0), sleep=slept.append) == "ok"
+        assert slept == []
+
+    def test_retries_until_success(self):
+        fn = _Flaky(2)
+        policy = RetryPolicy(attempts=4, base_delay=0.0)
+        assert policy.call(fn, sleep=lambda _: None) == "ok"
+        assert fn.calls == 3
+
+    def test_exhaustion_reraises_the_last_error(self):
+        fn = _Flaky(10, error=ValueError("still broken"))
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        with pytest.raises(ValueError, match="still broken"):
+            policy.call(fn, retry_on=(ValueError,), sleep=lambda _: None)
+        assert fn.calls == 3
+
+    def test_unlisted_errors_propagate_immediately(self):
+        fn = _Flaky(1, error=KeyError("nope"))
+        policy = RetryPolicy(attempts=4, base_delay=0.0)
+        with pytest.raises(KeyError):
+            policy.call(fn, retry_on=(ValueError,), sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_backoff_cap_doubles_then_plateaus(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5)
+        assert policy.backoff_cap(0) == pytest.approx(0.1)
+        assert policy.backoff_cap(1) == pytest.approx(0.2)
+        assert policy.backoff_cap(2) == pytest.approx(0.4)
+        assert policy.backoff_cap(3) == pytest.approx(0.5)
+        assert policy.backoff_cap(10) == pytest.approx(0.5)
+
+    def test_full_jitter_draws_from_zero_to_cap(self):
+        draws = []
+
+        class _Recorder:
+            def uniform(self, low, high):
+                draws.append((low, high))
+                return 0.0
+
+        policy = RetryPolicy(attempts=4, base_delay=0.1, max_delay=0.3)
+        policy.call(_Flaky(3), rng=_Recorder(), sleep=lambda _: None)
+        assert draws == [
+            (0.0, pytest.approx(0.1)),
+            (0.0, pytest.approx(0.2)),
+            (0.0, pytest.approx(0.3)),
+        ]
+
+    def test_deadline_caps_the_sleep_and_then_raises(self):
+        clock_values = iter([0.0, 0.95, 1.2])
+        slept = []
+        policy = RetryPolicy(attempts=5, base_delay=1.0, deadline=1.0)
+        with pytest.raises(RuntimeError):
+            policy.call(
+                _Flaky(10),
+                rng=_FixedRng(),
+                sleep=slept.append,
+                clock=lambda: next(clock_values),
+            )
+        # first retry: 0.05s remained of the deadline, so the 1.0s draw is
+        # clamped; second retry finds the deadline expired and re-raises
+        assert slept == [pytest.approx(0.05)]
+
+    def test_on_retry_observes_each_backoff(self):
+        seen = []
+        policy = RetryPolicy(attempts=3, base_delay=0.1)
+        policy.call(
+            _Flaky(2),
+            rng=_FixedRng(),
+            sleep=lambda _: None,
+            on_retry=lambda attempt, error, delay: seen.append(
+                (attempt, str(error), delay)
+            ),
+        )
+        assert seen == [
+            (0, "transient", pytest.approx(0.1)),
+            (1, "transient", pytest.approx(0.2)),
+        ]
+
+    def test_single_attempt_policy_never_retries(self):
+        fn = _Flaky(1)
+        with pytest.raises(RuntimeError):
+            RetryPolicy(attempts=1).call(fn, sleep=lambda _: None)
+        assert fn.calls == 1
