@@ -1,13 +1,17 @@
-"""Benchmark: batched top-k latency of the serving indexes (flat vs IVF).
+"""Benchmark: batched top-k latency of the serving indexes.
 
 Builds a synthetic clustered embedding matrix (a mixture of Gaussians, the
 shape real text-value embeddings take after retrofitting) and measures the
-batched top-10 query latency of the exact :class:`FlatIndex` against the
-:class:`IVFIndex` at several ``nprobe`` settings, together with the IVF
-recall against the exact ranking.
+batched top-10 query latency of the exact :class:`FlatIndex` against
+:class:`IVFIndex` at several ``nprobe`` settings, :class:`PQIndex` with
+re-ranking and :class:`NSWIndex`, together with each one's recall against
+the exact ranking.
 
-Acceptance guard of the serving subsystem: IVF must beat brute force while
-keeping recall@10 at or above 0.9.
+Acceptance guards of the serving subsystem: IVF must beat brute force
+while keeping recall@10 at or above 0.9, and the approximate families
+(PQ, NSW) must stay above recall@10 0.85 at their default query knobs.
+The full recall/latency/memory trade-off surface lives in the Pareto
+harness (``repro bench-index``), not here.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.experiments.runner import ResultTable
-from repro.serving import FlatIndex, IVFIndex
+from repro.serving import FlatIndex, IVFIndex, NSWIndex, PQIndex
 
 K = 10
 BATCH = 128
@@ -93,6 +97,32 @@ def run() -> ResultTable:
             speedup=flat_seconds / ivf_seconds,
             recall_at_10=_recall(flat_indices, ivf_indices),
         )
+
+    started = time.perf_counter()
+    pq = PQIndex(matrix, rerank=256, seed=0)
+    pq_build = time.perf_counter() - started
+    pq_seconds, pq_indices = _best_query_seconds(pq, queries)
+    table.add_row(
+        index=f"pq(m={pq.n_subspaces},rerank=256)",
+        build_seconds=pq_build,
+        query_ms=pq_seconds * 1e3,
+        per_query_us=pq_seconds / BATCH * 1e6,
+        speedup=flat_seconds / pq_seconds,
+        recall_at_10=_recall(flat_indices, pq_indices),
+    )
+
+    started = time.perf_counter()
+    nsw = NSWIndex(matrix, max_degree=12, ef_construction=32, ef_search=64)
+    nsw_build = time.perf_counter() - started
+    nsw_seconds, nsw_indices = _best_query_seconds(nsw, queries)
+    table.add_row(
+        index="nsw(ef=64)",
+        build_seconds=nsw_build,
+        query_ms=nsw_seconds * 1e3,
+        per_query_us=nsw_seconds / BATCH * 1e6,
+        speedup=flat_seconds / nsw_seconds,
+        recall_at_10=_recall(flat_indices, nsw_indices),
+    )
     table.add_note(f"k={K}, query batch={BATCH}, best of {REPEATS} runs")
     return table
 
@@ -111,3 +141,10 @@ def test_ivf_beats_flat_at_high_recall(benchmark, record_table):
         if row["recall_at_10"] >= 0.9 and row["query_ms"] < flat_row["query_ms"] / 1.5
     ]
     assert winners, f"no IVF config beat flat at recall>=0.9: {table.to_text()}"
+
+    # the approximate families must hold useful recall at default knobs
+    for prefix in ("pq", "nsw"):
+        row = next(r for r in table.rows if r["index"].startswith(prefix))
+        assert row["recall_at_10"] >= 0.85, (
+            f"{row['index']} recall dropped: {table.to_text()}"
+        )

@@ -1,0 +1,102 @@
+"""ANN quickstart: the serving index families on one synthetic corpus.
+
+Run with::
+
+    PYTHONPATH=src python examples/ann_quickstart.py
+
+Builds a clustered, Zipf-skewed :class:`repro.text.SyntheticCorpus`, then
+walks the recall/latency/memory trade-off across the index families:
+
+* :class:`FlatIndex` — exact brute force, the recall reference,
+* :class:`IVFIndex` — coarse k-means cells, scans ``nprobe`` of them,
+* :class:`PQIndex` — product-quantised codes (IVF-PQ when ``n_cells>1``)
+  with exact re-ranking of a short ADC shortlist,
+* :class:`NSWIndex` — a navigable-small-world graph that also supports
+  genuinely in-place ``add``/``remove``/``update_rows``, shown at the end.
+
+The full sweep with CI-gated operating points is ``repro bench-index``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.serving import FlatIndex, IVFIndex, NSWIndex, PQIndex
+from repro.text import SyntheticCorpus
+
+N_VALUES = 10_000
+DIMENSION = 96
+K = 10
+N_QUERIES = 32
+
+
+def recall_at_k(reference: list[np.ndarray], candidate: list[np.ndarray]) -> float:
+    return float(np.mean([
+        len(set(ref.tolist()) & set(cand.tolist())) / K
+        for ref, cand in zip(reference, candidate)
+    ]))
+
+
+def measure(index, queries: np.ndarray) -> tuple[float, list[np.ndarray]]:
+    """Mean per-query milliseconds and the returned ids."""
+    hits = []
+    started = time.perf_counter()
+    for row in range(queries.shape[0]):
+        ids, _ = index.query(queries[row], K)
+        hits.append(ids)
+    return (time.perf_counter() - started) / queries.shape[0] * 1e3, hits
+
+
+def main() -> None:
+    corpus = SyntheticCorpus(N_VALUES, dimension=DIMENSION, n_clusters=128, seed=0)
+    matrix = corpus.matrix()
+    queries = corpus.queries(N_QUERIES)
+    print(f"corpus: {N_VALUES} values x {DIMENSION} dims, "
+          f"{corpus.n_clusters} clusters, "
+          f"category sizes {corpus.category_sizes()[:4]}... (Zipf head)")
+
+    # ------------------------------------------------------------- flat
+    flat = FlatIndex(matrix)
+    flat_ms, flat_hits = measure(flat, queries)
+    flat_bytes = flat.memory_bytes()
+    print(f"\n{'index':<24}{'recall@10':>10}{'ms/query':>10}{'memory':>10}")
+    print(f"{'flat (exact)':<24}{1.0:>10.3f}{flat_ms:>10.3f}"
+          f"{flat_bytes / 1e6:>9.1f}M")
+
+    # ---------------------------------------------- approximate families
+    families = {
+        "ivf(nprobe=8)": IVFIndex(matrix, nprobe=8, seed=0),
+        "pq(rerank=64)": PQIndex(matrix, rerank=64, seed=0),
+        "ivfpq(nprobe=8)": PQIndex(matrix, n_cells=100, nprobe=8, rerank=64,
+                                   seed=0),
+        "nsw(ef=64)": NSWIndex(matrix, max_degree=12, ef_construction=48,
+                               ef_search=64),
+    }
+    for name, index in families.items():
+        ms, hits = measure(index, queries)
+        print(f"{name:<24}{recall_at_k(flat_hits, hits):>10.3f}{ms:>10.3f}"
+              f"{index.memory_bytes() / 1e6:>9.1f}M")
+
+    # ------------------------------------------- in-place graph mutation
+    nsw = families["nsw(ef=64)"]
+    fresh = corpus.queries(3, seed=99)
+    new_ids = nsw.add(fresh)
+    print(f"\nNSW in-place: added rows {new_ids.tolist()} "
+          f"(no rebuild, {nsw.active_count} active)")
+    ids, _ = nsw.query(fresh[0], 3)
+    assert new_ids[0] in ids, "freshly added row should be its own neighbour"
+    nsw.remove(new_ids[:1])
+    ids, _ = nsw.query(fresh[0], 3)
+    assert new_ids[0] not in ids, "removed row must stop appearing"
+    print(f"NSW in-place: removed row {int(new_ids[0])} "
+          f"(tombstoned, still routes; {nsw.active_count} active)")
+    moved = corpus.queries(1, seed=7)[0]
+    nsw.update_rows(new_ids[1:2], moved[None, :])
+    print(f"NSW in-place: moved row {int(new_ids[1])} to a new vector "
+          f"(detached and re-inserted)")
+
+
+if __name__ == "__main__":
+    main()

@@ -377,6 +377,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=3.0,
         help="regression factor used by --check (default: 3.0)",
     )
+
+    pareto_parser = commands.add_parser(
+        "bench-index",
+        help="sweep the serving indexes over recall/latency/memory and "
+        "emit a Pareto JSON; --check-gates validates a committed payload",
+    )
+    pareto_parser.add_argument(
+        "--preset",
+        choices=("tiny", "quick", "paper"),
+        default="tiny",
+        help="corpus size preset (default: tiny — the CI smoke)",
+    )
+    pareto_parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the sweep payload as JSON",
+    )
+    pareto_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="corpus seed (default: 0)",
+    )
+    pareto_parser.add_argument(
+        "--check-gates",
+        type=Path,
+        default=None,
+        metavar="PARETO_JSON",
+        help="skip the sweep; validate the two committed operating-point "
+        "gates in this payload (exit 3 on failure)",
+    )
     return parser
 
 
@@ -597,6 +629,37 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench_index(args: argparse.Namespace) -> int:
+    from repro.experiments.index_pareto import (
+        check_gates,
+        format_table,
+        load_payload,
+        run_index_pareto,
+        save_payload,
+    )
+
+    if args.check_gates is not None:
+        payload = load_payload(args.check_gates)
+        failures = check_gates(payload)
+        if failures:
+            for failure in failures:
+                print(f"[repro] GATE {failure}", file=sys.stderr)
+            return 3
+        print(f"[repro] both index operating points hold in {args.check_gates}")
+        return 0
+
+    payload = run_index_pareto(
+        preset=args.preset,
+        seed=args.seed,
+        progress=lambda message: print(f"[repro] bench-index: {message}"),
+    )
+    print(format_table(payload))
+    if args.out is not None:
+        path = save_payload(payload, args.out)
+        print(f"[repro] wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -607,6 +670,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_list(registry)
         if args.command == "bench":
             return _command_bench(args)
+        if args.command == "bench-index":
+            return _command_bench_index(args)
         if args.command == "update":
             return _command_update(args)
         if args.command == "serve-bench":

@@ -177,29 +177,34 @@ def bench_index_topk(
     n_queries: int = 256,
     k: int = 10,
 ) -> dict[str, Any]:
-    """Batched top-k latency of the exact and IVF serving indexes."""
+    """Batched top-k latency of every serving index family."""
     from repro.serving.index import FlatIndex, IVFIndex
+    from repro.serving.nsw import NSWIndex
+    from repro.serving.pq import PQIndex
 
     rng = np.random.default_rng(sizes.seed)
     matrix = rng.standard_normal((n_rows, sizes.embedding_dimension))
     queries = rng.standard_normal((n_queries, sizes.embedding_dimension))
-    flat = FlatIndex(matrix)
-    ivf = IVFIndex(matrix, nprobe=8, seed=sizes.seed)
-    flat_seconds, _ = _time_best(lambda: flat.query_batch(queries, k), repeats)
-    ivf_seconds, _ = _time_best(lambda: ivf.query_batch(queries, k), repeats)
-    return {
+    indexes = {
+        "flat": FlatIndex(matrix),
+        "ivf": IVFIndex(matrix, nprobe=8, seed=sizes.seed),
+        "pq": PQIndex(matrix, rerank=32, seed=sizes.seed),
+        # light construction: this micro tracks query latency, the Pareto
+        # harness (bench-index) owns build-cost/recall trade-offs
+        "nsw": NSWIndex(matrix, max_degree=8, ef_construction=24, ef_search=48),
+    }
+    payload: dict[str, Any] = {
         "n_rows": n_rows,
         "n_queries": n_queries,
         "k": k,
-        "flat": {
-            "seconds": flat_seconds,
-            "queries_per_second": n_queries / flat_seconds if flat_seconds > 0 else None,
-        },
-        "ivf": {
-            "seconds": ivf_seconds,
-            "queries_per_second": n_queries / ivf_seconds if ivf_seconds > 0 else None,
-        },
     }
+    for name, index in indexes.items():
+        seconds, _ = _time_best(lambda: index.query_batch(queries, k), repeats)
+        payload[name] = {
+            "seconds": seconds,
+            "queries_per_second": n_queries / seconds if seconds > 0 else None,
+        }
+    return payload
 
 
 def bench_incremental_update(sizes: ExperimentSizes, repeats: int = 3) -> dict[str, Any]:

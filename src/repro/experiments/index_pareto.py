@@ -1,0 +1,312 @@
+"""Recall / latency / memory Pareto sweep over the serving indexes.
+
+One harness answers the question every index PR must re-answer: *where do
+Flat, IVF, PQ, IVF-PQ and NSW sit on the recall@k vs latency vs resident
+memory surface, and do the two operating points we promise still hold?*
+
+The corpus is the clustered, Zipf-skewed :class:`repro.text.SyntheticCorpus`
+at 10⁵–10⁶ values.  Every configuration in the sweep records recall@k
+against the exact flat ranking, per-query p50/p99 latency, throughput and
+``memory_bytes()``, emitted as machine-diffable JSON.
+
+Two operating points gate in CI (evaluated from the committed quick-preset
+payload, recomputed from the raw sweep points — never trusted from a
+stored verdict):
+
+* ``nsw_fast_accurate`` — some NSW sweep point reaches recall@10 ≥ 0.95 at
+  ≥ 5× the flat scan's throughput.
+* ``ivfpq_small_memory`` — some IVF-PQ sweep point reaches recall@10 ≥ 0.9
+  in ≤ 1/20 of the flat index's resident bytes (PQ serves re-ranks from
+  the mmap page cache, so its ``memory_bytes`` excludes the matrix).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.serving import FlatIndex, IVFIndex, NSWIndex, PQIndex
+from repro.text import SyntheticCorpus
+
+#: Sizing presets: (n_values, dimension, n_queries).  ``tiny`` is the CI
+#: smoke (seconds); ``quick`` is the committed 10⁵-value Pareto run the
+#: gates are certified on; ``paper`` approaches the paper's 10⁶ regime.
+PRESETS: dict[str, tuple[int, int, int]] = {
+    "tiny": (5_000, 64, 48),
+    "quick": (100_000, 300, 64),
+    "paper": (1_000_000, 300, 64),
+}
+
+K = 10
+
+GATES: dict[str, dict[str, float]] = {
+    "nsw_fast_accurate": {"min_recall": 0.95, "min_speedup": 5.0},
+    "ivfpq_small_memory": {"min_recall": 0.90, "max_memory_fraction": 0.05},
+}
+
+
+def _sweep_plan(
+    n_values: int,
+) -> list[tuple[str, dict[str, Any], list[dict[str, Any]]]]:
+    """``(family, build kwargs, query-knob sweep)`` per index family.
+
+    Each family builds (and pays for k-means / graph construction) exactly
+    once; ``nprobe``/``rerank``/``ef_search`` are query-time attributes
+    swept on the built index — exactly how an operator would tune a live
+    deployment.
+    """
+    n_cells = max(8, int(np.sqrt(n_values)))
+    # the clustered corpus packs ~n/n_clusters rows into each tight
+    # cluster, so the rerank shortlist has to cover a whole cluster
+    # before the exact re-score can recover the true within-cluster
+    # ranking — hence the wide rerank range
+    return [
+        ("ivf", {}, [{"nprobe": nprobe} for nprobe in (4, 8, 16)]),
+        (
+            "pq",
+            {"n_cells": 1, "rerank": 0},
+            [{"rerank": rerank} for rerank in (0, 128, 1024)],
+        ),
+        (
+            "ivfpq",
+            {"n_cells": n_cells, "nprobe": 8, "rerank": 64},
+            [
+                {"nprobe": nprobe, "rerank": rerank}
+                for nprobe, rerank in ((8, 64), (16, 512), (16, 1024))
+            ],
+        ),
+        (
+            "nsw",
+            {"max_degree": 16, "ef_construction": 80},
+            [{"ef_search": ef} for ef in (16, 32, 64, 128)],
+        ),
+    ]
+
+
+def _build(family: str, matrix: np.ndarray, params: dict[str, Any]):
+    if family == "ivf":
+        return IVFIndex(matrix, seed=0, **params)
+    if family in ("pq", "ivfpq"):
+        return PQIndex(matrix, seed=0, **params)
+    if family == "nsw":
+        return NSWIndex(matrix, **params)
+    raise ReproError(f"unknown index family {family!r}")
+
+
+def _point_label(family: str, knobs: dict[str, Any]) -> str:
+    inner = ",".join(
+        f"{key.replace('_search', '')}={value}"
+        for key, value in knobs.items()
+    )
+    return f"{family}({inner})"
+
+
+def _measure(index, queries: np.ndarray, k: int) -> dict[str, Any]:
+    """Per-query latencies (the serving shape: one query per request)."""
+    latencies = np.empty(queries.shape[0])
+    hits = []
+    for row in range(queries.shape[0]):
+        started = time.perf_counter()
+        ids, _ = index.query(queries[row], k)
+        latencies[row] = time.perf_counter() - started
+        hits.append(ids)
+    return {
+        "p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "p99_ms": float(np.percentile(latencies, 99) * 1e3),
+        "qps": float(queries.shape[0] / latencies.sum()),
+        "hits": hits,
+    }
+
+
+def _recall(reference: list[np.ndarray], candidate: list[np.ndarray], k: int) -> float:
+    return float(np.mean([
+        len(set(ref[:k].tolist()) & set(cand[:k].tolist())) / k
+        for ref, cand in zip(reference, candidate)
+    ]))
+
+
+def run_index_pareto(
+    preset: str = "tiny",
+    k: int = K,
+    seed: int = 0,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Run the full sweep; returns the machine-diffable payload."""
+    if preset not in PRESETS:
+        raise ReproError(
+            f"unknown preset {preset!r}; pick one of {'/'.join(PRESETS)}"
+        )
+    say = progress or (lambda message: None)
+    n_values, dimension, n_queries = PRESETS[preset]
+    corpus = SyntheticCorpus(
+        n_values, dimension=dimension, n_clusters=max(32, n_values // 1_000),
+        seed=seed,
+    )
+    say(f"generating {n_values}x{dimension} corpus")
+    matrix = corpus.matrix()
+    queries = corpus.queries(n_queries)
+
+    say("flat baseline")
+    started = time.perf_counter()
+    flat = FlatIndex(matrix)
+    flat_build = time.perf_counter() - started
+    flat_stats = _measure(flat, queries, k)
+    flat_hits = flat_stats.pop("hits")
+    flat_memory = flat.memory_bytes()
+
+    payload: dict[str, Any] = {
+        "schema": "index-pareto/v1",
+        "preset": preset,
+        "n_values": n_values,
+        "dimension": dimension,
+        "n_queries": n_queries,
+        "k": k,
+        "seed": seed,
+        "flat": {
+            "build_seconds": flat_build,
+            "memory_bytes": int(flat_memory),
+            **flat_stats,
+        },
+        "points": [],
+    }
+
+    for family, build_params, sweep in _sweep_plan(n_values):
+        say(f"building {family}")
+        started = time.perf_counter()
+        index = _build(family, matrix, build_params)
+        build_seconds = time.perf_counter() - started
+        for knobs in sweep:
+            label = _point_label(family, knobs)
+            say(label)
+            for key, value in knobs.items():
+                setattr(index, key, value)
+            stats = _measure(index, queries, k)
+            hits = stats.pop("hits")
+            payload["points"].append({
+                "family": family,
+                "label": label,
+                "params": {**build_params, **knobs},
+                "build_seconds": build_seconds,
+                "memory_bytes": int(index.memory_bytes()),
+                "memory_fraction": float(index.memory_bytes() / flat_memory),
+                "recall_at_k": _recall(flat_hits, hits, k),
+                "speedup_vs_flat": float(stats["qps"] / payload["flat"]["qps"]),
+                **stats,
+            })
+        del index
+
+    payload["gates"] = evaluate_gates(payload)
+    return payload
+
+
+def evaluate_gates(payload: dict[str, Any]) -> dict[str, Any]:
+    """Re-derive both gate verdicts from the raw sweep points."""
+    points = payload.get("points", [])
+
+    def best(family: str, metric: str, admissible) -> dict[str, Any] | None:
+        candidates = [
+            point for point in points
+            if point.get("family") == family and admissible(point)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda point: point.get(metric, 0.0))
+
+    nsw_rule = GATES["nsw_fast_accurate"]
+    nsw_best = best(
+        "nsw", "speedup_vs_flat",
+        lambda p: p.get("recall_at_k", 0.0) >= nsw_rule["min_recall"],
+    )
+    ivfpq_rule = GATES["ivfpq_small_memory"]
+    ivfpq_best = best(
+        "ivfpq", "recall_at_k",
+        lambda p: (
+            p.get("recall_at_k", 0.0) >= ivfpq_rule["min_recall"]
+            and p.get("memory_fraction", 1.0) <= ivfpq_rule["max_memory_fraction"]
+        ),
+    )
+    return {
+        "nsw_fast_accurate": {
+            **nsw_rule,
+            "passed": bool(
+                nsw_best is not None
+                and nsw_best["speedup_vs_flat"] >= nsw_rule["min_speedup"]
+            ),
+            "witness": nsw_best["label"] if nsw_best else None,
+        },
+        "ivfpq_small_memory": {
+            **ivfpq_rule,
+            "passed": ivfpq_best is not None,
+            "witness": ivfpq_best["label"] if ivfpq_best else None,
+        },
+    }
+
+
+def check_gates(payload: dict[str, Any]) -> list[str]:
+    """Validate the two operating points; returns failure messages.
+
+    Recomputes the verdicts from the payload's sweep points, so a stale
+    or hand-edited ``gates`` section cannot sneak a regression through.
+    """
+    if payload.get("preset") == "tiny":
+        return [
+            "gates are certified on the quick (1e5) preset; the tiny smoke "
+            "payload is not admissible"
+        ]
+    failures = []
+    gates = evaluate_gates(payload)
+    for name, verdict in gates.items():
+        if not verdict["passed"]:
+            failures.append(
+                f"gate {name} failed: no sweep point satisfies "
+                + ", ".join(
+                    f"{key}={value}" for key, value in GATES[name].items()
+                )
+            )
+    return failures
+
+
+def save_payload(payload: dict[str, Any], path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_payload(path: str | Path) -> dict[str, Any]:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ReproError(f"cannot read Pareto payload {path}: {error}") from error
+
+
+def format_table(payload: dict[str, Any]) -> str:
+    """A human-readable rendering of the sweep (the JSON stays canonical)."""
+    lines = [
+        f"index Pareto sweep — preset {payload['preset']} "
+        f"({payload['n_values']}x{payload['dimension']}, k={payload['k']})",
+        f"{'label':<28}{'recall':>8}{'p50 ms':>10}{'p99 ms':>10}"
+        f"{'x flat':>8}{'mem %':>8}",
+    ]
+    flat = payload["flat"]
+    lines.append(
+        f"{'flat':<28}{1.0:>8.3f}{flat['p50_ms']:>10.3f}"
+        f"{flat['p99_ms']:>10.3f}{1.0:>8.2f}{100.0:>8.1f}"
+    )
+    for point in payload["points"]:
+        lines.append(
+            f"{point['label']:<28}{point['recall_at_k']:>8.3f}"
+            f"{point['p50_ms']:>10.3f}{point['p99_ms']:>10.3f}"
+            f"{point['speedup_vs_flat']:>8.2f}"
+            f"{point['memory_fraction'] * 100:>8.1f}"
+        )
+    for name, verdict in payload.get("gates", {}).items():
+        status = "PASS" if verdict["passed"] else "FAIL"
+        witness = verdict.get("witness") or "-"
+        lines.append(f"gate {name}: {status} (witness: {witness})")
+    return "\n".join(lines)

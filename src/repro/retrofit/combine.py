@@ -56,7 +56,12 @@ class TextValueEmbeddingSet:
     name: str = "retrofitted"
 
     def __post_init__(self) -> None:
-        self.matrix = np.asarray(self.matrix, dtype=np.float64)
+        # float32 matrices pass through untouched (half the resident bytes,
+        # and a cast here would silently copy an mmap-backed matrix);
+        # anything else normalises to float64
+        self.matrix = np.asarray(self.matrix)
+        if self.matrix.dtype != np.float32:
+            self.matrix = np.asarray(self.matrix, dtype=np.float64)
         if self.matrix.shape[0] != len(self.extraction):
             raise RetrofitError(
                 f"matrix has {self.matrix.shape[0]} rows, extraction has "

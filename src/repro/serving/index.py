@@ -12,11 +12,37 @@ the serving-grade replacement:
   rows of the ``nprobe`` cells whose centroids are most similar to it.  With
   ``nprobe == n_cells`` the search is exhaustive and returns exactly the
   :class:`FlatIndex` ranking.
+* :class:`repro.serving.pq.PQIndex` — product quantisation with an optional
+  IVF coarse layer (IVF-PQ): vectors are stored as packed ``uint8`` codes
+  (tens of MB where the raw matrix is GBs) and scanned through per-query
+  asymmetric distance tables, with exact re-ranking of a top-``R``
+  shortlist from the (memory-mappable) original matrix.
+* :class:`repro.serving.nsw.NSWIndex` — a navigable-small-world graph
+  index, *incrementally insertable*: new vectors link into the graph by
+  greedy beam search, which suits the delta pipeline far better than
+  IVF's lazy re-clustering.
 
-Both implement the :class:`VectorIndex` interface with single (``query``)
+All implement the :class:`VectorIndex` interface with single (``query``)
 and batched (``query_batch``) top-k search under cosine or dot-product
 similarity.  Batched IVF search is grouped *by cell* rather than by query so
 that every partial score computation is one dense matrix product.
+
+Which index to pick
+-------------------
+* **Flat** — exact, zero build cost, memory = the matrix.  Right below a
+  few thousand vectors, or whenever exactness is non-negotiable.
+* **IVF** — ~5–10× flat's throughput at recall ≥0.95 with the same memory
+  footprint.  Right for 10⁴–10⁵ vectors with rare mutations (adds trigger
+  lazy re-clustering once cells grow imbalanced).
+* **PQ / IVF-PQ** — 20–60× less resident memory than flat (codes instead
+  of the matrix; the raw matrix can stay on disk behind an mmap for
+  re-ranking only).  Right when the corpus no longer fits the budget —
+  millions of values per replica — at recall ≥0.9 with re-ranking.
+* **NSW** — 5–50× flat's throughput at recall ≥0.95, ``add``/``remove``/
+  ``update_rows`` are genuinely in-place graph edits (no retraining,
+  ever), so it is the index of choice under a continuous delta stream.
+  Costs one build pass (incremental inserts) and holds the full matrix
+  plus the adjacency in memory.
 """
 
 from __future__ import annotations
@@ -93,7 +119,13 @@ class VectorIndex(ABC):
     def __init__(self, matrix: np.ndarray, metric: str = "cosine") -> None:
         if metric not in METRICS:
             raise ServingError(f"unknown metric {metric!r}; expected one of {METRICS}")
-        matrix = np.asarray(matrix, dtype=np.float64)
+        # float32 and float64 matrices are indexed as-is — upcasting a
+        # float32 store artifact (or its read-only mmap) to float64 would
+        # silently double the resident memory the narrow dtype was chosen
+        # to halve; anything else is normalised to float64
+        matrix = np.asarray(matrix)
+        if matrix.dtype not in (np.float32, np.float64):
+            matrix = np.asarray(matrix, dtype=np.float64)
         if matrix.ndim != 2:
             raise ServingError("index matrix must be two-dimensional")
         self.metric = metric
@@ -127,6 +159,20 @@ class VectorIndex(ABC):
         """Dimensionality of the indexed vectors."""
         return self.matrix.shape[1]
 
+    def memory_bytes(self) -> int:
+        """Resident bytes this index needs to answer queries.
+
+        The honest Pareto metric: everything the query path touches per
+        scan — for a flat index that is the full matrix plus norms.  A
+        compressed index (PQ) overrides this to count its codes and
+        codebooks instead of the matrix, because its scan never reads the
+        raw vectors (only the re-ranking shortlist gathers a handful of
+        rows, which an mmap serves from disk).
+        """
+        return int(
+            self.matrix.nbytes + self._row_norms.nbytes + self._active.nbytes
+        )
+
     # ------------------------------------------------------------------ #
     # mutation plumbing
     # ------------------------------------------------------------------ #
@@ -137,11 +183,11 @@ class VectorIndex(ABC):
         is materialised into private writable memory.
         """
         if not self._owns_matrix:
-            self.matrix = np.array(self.matrix, dtype=np.float64, copy=True)
+            self.matrix = np.array(self.matrix, copy=True)
             self._owns_matrix = True
 
     def _prepare_new_vectors(self, vectors: np.ndarray) -> np.ndarray:
-        vectors = np.asarray(vectors, dtype=np.float64)
+        vectors = np.asarray(vectors, dtype=self.matrix.dtype)
         if vectors.ndim == 1:
             vectors = vectors[None, :]
         if vectors.ndim != 2 or vectors.shape[1] != self.dimension:
@@ -187,7 +233,9 @@ class VectorIndex(ABC):
         """Replace the vectors of existing rows (ids stay stable)."""
 
     def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
-        queries = np.asarray(queries, dtype=np.float64)
+        # queries score in the matrix dtype: a mixed float32/float64
+        # matmul would upcast (i.e. copy) the whole matrix per batch
+        queries = np.asarray(queries, dtype=self.matrix.dtype)
         if queries.ndim != 2 or queries.shape[1] != self.dimension:
             raise ServingError(
                 f"query batch has shape {queries.shape}, expected "
@@ -481,6 +529,16 @@ class IVFIndex(VectorIndex):
     def cell_sizes(self) -> list[int]:
         """Number of vectors stored in each cell."""
         return [ids.size for ids in self._cell_ids]
+
+    def memory_bytes(self) -> int:
+        """Matrix + norms + centroids + the contiguous per-cell copies."""
+        return super().memory_bytes() + int(
+            self.centroids.nbytes
+            + self._assignment.nbytes
+            + sum(m.nbytes for m in self._cell_matrices)
+            + sum(ids.nbytes for ids in self._cell_ids)
+            + sum(norms.nbytes for norms in self._cell_norms)
+        )
 
     # ------------------------------------------------------------------ #
     # mutation

@@ -1,0 +1,535 @@
+"""Navigable-small-world graph index: incremental ANN for delta streams.
+
+:class:`NSWIndex` keeps one proximity graph over the rows.  A query
+greedily walks the graph with a best-first beam (``ef_search`` frontier),
+touching a few hundred vectors instead of scanning the matrix — typically
+5–50× the flat-scan throughput at recall ≥ 0.95 once the corpus outgrows
+a few tens of thousands of rows.
+
+What sets it apart from :class:`repro.serving.index.IVFIndex` is that
+mutations are *genuinely in-place*: an ``add`` beam-searches for the new
+row's nearest neighbours and splices it into the graph with bidirectional
+links (diversity-pruned to ``max_degree``), ``update_rows`` detaches and
+re-inserts the moved rows, and ``remove`` tombstones the row while
+keeping its links as routing edges so the graph never fragments.  There
+is no training phase, no lazy re-clustering, and no rebuild — which is
+exactly what ``ServingSession.apply_update`` and the sharded/replicated
+tiers need to drain delta streams without a stop-the-world settle.
+
+The graph is deterministic: no RNG is involved, ties break by ascending
+row id everywhere, and with ``ef_search >= n_rows`` on a connected graph
+the walk visits every row, returning exactly :class:`FlatIndex`'s answer
+(scores come from the same exact formula — the graph only decides
+*which* rows get scored, so they agree to BLAS rounding of the last bit).
+
+Serialisation follows the `IVFIndex` pattern: :attr:`adjacency` exports
+a padded int64 matrix (``-1`` = unused slot), :meth:`from_state` restores
+without any insertion work, and :meth:`from_partial_state` re-inserts
+rows marked ``NOT_INSERTED`` (``-2``) — how store delta replay hands over
+rows appended after the last persisted graph.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.serving.index import _EPSILON, VectorIndex, topk_descending
+
+NOT_INSERTED = -2
+"""Marker in ``adjacency[row, 0]``: row awaits (re-)insertion."""
+
+
+class NSWIndex(VectorIndex):
+    """Incrementally-insertable navigable-small-world graph index.
+
+    Parameters
+    ----------
+    matrix:
+        Vectors to index (may be empty ``(0, d)``; may be a read-only
+        mmap — the build only reads it).
+    metric:
+        ``"cosine"`` or ``"dot"``; scores use the exact
+        :meth:`VectorIndex._score_rows` formula.
+    max_degree:
+        Per-node link budget after diversity pruning.
+    ef_construction:
+        Beam width while inserting (larger = better graph, slower build).
+    ef_search:
+        Default beam width per query (raised to ``k`` when ``k`` exceeds
+        it).  Recall is governed by this knob.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        metric: str = "cosine",
+        max_degree: int = 16,
+        ef_construction: int = 64,
+        ef_search: int = 48,
+    ) -> None:
+        super().__init__(matrix, metric)
+        if max_degree < 1:
+            raise ServingError("max_degree must be at least 1")
+        if ef_construction < 1 or ef_search < 1:
+            raise ServingError("ef_construction and ef_search must be >= 1")
+        self.max_degree = int(max_degree)
+        self.ef_construction = int(ef_construction)
+        self.ef_search = int(ef_search)
+        self._neighbours: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in range(self.n_rows)
+        ]
+        self._entry = -1
+        for row in range(self.n_rows):
+            self._link(row)
+
+    # ------------------------------------------------------------------ #
+    # graph internals
+    # ------------------------------------------------------------------ #
+    def _sims(self, rows: np.ndarray, query: np.ndarray) -> np.ndarray:
+        """Exact scores of ``rows`` (ids) against one query vector."""
+        return self._score_rows(
+            self.matrix[rows], self._row_norms[rows], query[None, :]
+        )[:, 0].astype(np.float64, copy=False)
+
+    def _beam(
+        self, query: np.ndarray, ef: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Best-first graph walk; returns every visited ``(id, score)``.
+
+        Expansion stops once the best unexpanded candidate scores below
+        the ``ef``-th best visited node — the standard NSW/HNSW
+        termination rule.  Tombstoned nodes are walked (they route) but
+        count toward ``ef`` like any visited node.
+        """
+        if self._entry < 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+        # per-beam scorer: the query norm is fixed for the whole walk, so
+        # hoist it out of the expansion loop.  Shapes and operation order
+        # mirror VectorIndex._score_rows exactly — beam scores must stay
+        # bitwise identical to the flat scan's.
+        queries = np.asarray(query)[None, :]
+        if self.metric == "cosine":
+            query_norms = np.linalg.norm(queries, axis=1)
+
+            def beam_sims(rows: np.ndarray) -> np.ndarray:
+                products = self.matrix[rows] @ queries.T
+                denom = (
+                    self._row_norms[rows][:, None]
+                    * (query_norms[None, :] + _EPSILON)
+                )
+                denom[denom < _EPSILON] = _EPSILON
+                return (products / denom)[:, 0].astype(
+                    np.float64, copy=False
+                )
+        else:
+
+            def beam_sims(rows: np.ndarray) -> np.ndarray:
+                return (self.matrix[rows] @ queries.T)[:, 0].astype(
+                    np.float64, copy=False
+                )
+
+        visited = np.zeros(self.n_rows, dtype=bool)
+        visited[self._entry] = True
+        entry_sim = float(beam_sims(np.array([self._entry]))[0])
+        # candidates: max-heap by score (ties -> lowest id expands first)
+        candidates = [(-entry_sim, self._entry)]
+        # floor: min-heap of the ef best scores seen so far
+        floor = [entry_sim]
+        seen_ids = [np.array([self._entry], dtype=np.int64)]
+        seen_sims = [np.array([entry_sim], dtype=np.float64)]
+        while candidates:
+            negative, node = heapq.heappop(candidates)
+            if len(floor) >= ef and -negative < floor[0]:
+                break
+            links = self._neighbours[node]
+            if links.size == 0:
+                continue
+            fresh = links[~visited[links]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            sims = beam_sims(fresh)
+            seen_ids.append(fresh)
+            seen_sims.append(sims)
+            for sim, neighbour in zip(sims.tolist(), fresh.tolist()):
+                if len(floor) < ef:
+                    heapq.heappush(floor, sim)
+                elif sim > floor[0]:
+                    heapq.heapreplace(floor, sim)
+                elif sim < floor[0]:
+                    continue  # cannot beat the floor: do not expand
+                heapq.heappush(candidates, (-sim, neighbour))
+        return np.concatenate(seen_ids), np.concatenate(seen_sims)
+
+    def _pair_sims(self, row: int, others: np.ndarray) -> np.ndarray:
+        return self._sims(others, self.matrix[row])
+
+    def _pairwise(self, ids: np.ndarray) -> np.ndarray:
+        """All-pairs similarity of the candidate rows, one gram matmul.
+
+        Same formula as :meth:`VectorIndex._score_rows` (clamped cosine
+        denominator / raw dot), computed once per selection instead of
+        one pair at a time — this is the construction hot path.
+        """
+        vectors = np.asarray(self.matrix[ids], dtype=np.float64)
+        products = vectors @ vectors.T
+        if self.metric == "dot":
+            return products
+        norms = np.asarray(self._row_norms[ids], dtype=np.float64)
+        denom = norms[:, None] * (norms[None, :] + _EPSILON)
+        denom[denom < _EPSILON] = _EPSILON
+        return products / denom
+
+    def _select_diverse(
+        self, ids: np.ndarray, sims: np.ndarray
+    ) -> np.ndarray:
+        """Diversity-pruned neighbour pick (relative-neighbourhood rule).
+
+        Candidates arrive sorted by descending score.  A candidate is
+        kept only if it is closer to the base vector than to every
+        already-kept neighbour — spreading the links across directions so
+        greedy routing can escape local clusters.  If pruning leaves
+        spare degree, the best skipped candidates fill it (the
+        ``keepPrunedConnections`` heuristic) so nodes never end up
+        under-linked.
+        """
+        pair = self._pairwise(ids)
+        sims = np.asarray(sims, dtype=np.float64)
+        # closest_selected[i] tracks max similarity from candidate i to any
+        # already-kept neighbour, updated with one vectorised maximum per
+        # keep — the candidate test is then a scalar compare
+        closest_selected = np.full(ids.size, -np.inf)
+        selected: list[int] = []
+        skipped: list[int] = []
+        for position in range(ids.size):
+            if len(selected) >= self.max_degree:
+                break
+            if closest_selected[position] > sims[position]:
+                skipped.append(position)
+                continue
+            selected.append(position)
+            np.maximum(closest_selected, pair[:, position], out=closest_selected)
+        for position in skipped:
+            if len(selected) >= self.max_degree:
+                break
+            selected.append(position)
+        return ids[np.array(selected, dtype=np.int64)]
+
+    def _ordered_candidates(
+        self, ids: np.ndarray, sims: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        order = np.lexsort((ids, -sims))  # score desc, id asc
+        return ids[order], sims[order]
+
+    def _drop_edge(self, node: int, other: int) -> None:
+        links = self._neighbours[node]
+        self._neighbours[node] = links[links != other]
+
+    def _prune(self, node: int) -> None:
+        """Diversity-prune ``node`` back to ``max_degree``, symmetrically.
+
+        Every dropped edge is removed from *both* endpoints — the graph
+        stays undirected, so directed reachability equals connectivity.
+        An edge whose removal would strand the other endpoint (its last
+        link) is kept even over budget: no node is ever orphaned by a
+        neighbour's pruning.
+        """
+        links = self._neighbours[node]
+        if links.size <= self.max_degree:
+            return
+        sims = self._pair_sims(node, links)
+        ordered, ordered_sims = self._ordered_candidates(links, sims)
+        keep = set(self._select_diverse(ordered, ordered_sims).tolist())
+        for other in links.tolist():
+            if other in keep:
+                continue
+            if self._neighbours[other].size <= 1:
+                keep.add(other)  # orphan guard
+                continue
+            self._drop_edge(other, node)
+        self._neighbours[node] = np.array(sorted(keep), dtype=np.int64)
+
+    def _link(self, row: int) -> None:
+        """Splice ``row`` into the graph (it must carry no links yet)."""
+        if self._entry < 0:
+            self._entry = row
+            return
+        query = np.asarray(self.matrix[row])
+        ids, sims = self._beam(query, self.ef_construction)
+        mask = ids != row
+        ids, sims = self._ordered_candidates(ids[mask], sims[mask])
+        if ids.size == 0:
+            return
+        chosen = self._select_diverse(ids, sims)
+        self._neighbours[row] = chosen.copy()
+        for neighbour in chosen.tolist():
+            self._neighbours[neighbour] = np.append(
+                self._neighbours[neighbour], row
+            )
+        for neighbour in chosen.tolist():
+            self._prune(neighbour)
+
+    def _detach(self, row: int) -> list[int]:
+        """Symmetrically drop every edge of ``row``.
+
+        Returns neighbours left with zero links — the caller must re-link
+        them (after whatever it is doing to ``row``) so nobody is stranded.
+        """
+        orphans = []
+        for neighbour in self._neighbours[row].tolist():
+            self._drop_edge(neighbour, row)
+            if self._neighbours[neighbour].size == 0:
+                orphans.append(neighbour)
+        self._neighbours[row] = np.empty(0, dtype=np.int64)
+        return orphans
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def entry_point(self) -> int:
+        """The graph walk's fixed start node (``-1`` = empty graph)."""
+        return self._entry
+
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Padded ``(n_rows, width)`` int64 link matrix (``-1`` = unused)."""
+        width = max(
+            [1] + [links.size for links in self._neighbours]
+        )
+        out = np.full((self.n_rows, width), -1, dtype=np.int64)
+        for row, links in enumerate(self._neighbours):
+            out[row, : links.size] = links
+        return out
+
+    @classmethod
+    def from_state(
+        cls,
+        matrix: np.ndarray,
+        adjacency: np.ndarray,
+        entry_point: int,
+        metric: str = "cosine",
+        max_degree: int = 16,
+        ef_construction: int = 64,
+        ef_search: int = 48,
+    ) -> "NSWIndex":
+        """Restore a persisted graph — no insertion work runs.
+
+        Every row must already be linked (or legitimately isolated);
+        rows marked :data:`NOT_INSERTED` require
+        :meth:`from_partial_state`.
+        """
+        index = cls.__new__(cls)
+        VectorIndex.__init__(index, matrix, metric)
+        if max_degree < 1:
+            raise ServingError("max_degree must be at least 1")
+        if ef_construction < 1 or ef_search < 1:
+            raise ServingError("ef_construction and ef_search must be >= 1")
+        index.max_degree = int(max_degree)
+        index.ef_construction = int(ef_construction)
+        index.ef_search = int(ef_search)
+        adjacency = np.asarray(adjacency, dtype=np.int64)
+        if adjacency.ndim != 2 or adjacency.shape[0] != index.n_rows:
+            raise ServingError(
+                f"adjacency has shape {adjacency.shape}, expected "
+                f"({index.n_rows}, width)"
+            )
+        if adjacency.size and adjacency.max() >= index.n_rows:
+            raise ServingError(
+                f"adjacency references rows outside 0..{index.n_rows - 1}"
+            )
+        if np.any(adjacency == NOT_INSERTED):
+            raise ServingError(
+                "state has uninserted rows; restore via from_partial_state"
+            )
+        entry_point = int(entry_point)
+        if index.n_rows == 0:
+            entry_point = -1
+        elif not 0 <= entry_point < index.n_rows:
+            raise ServingError(
+                f"entry point {entry_point} outside 0..{index.n_rows - 1}"
+            )
+        index._neighbours = [
+            links[links >= 0].astype(np.int64, copy=True)
+            for links in adjacency
+        ]
+        index._entry = entry_point
+        return index
+
+    @classmethod
+    def from_partial_state(
+        cls,
+        matrix: np.ndarray,
+        adjacency: np.ndarray,
+        entry_point: int,
+        metric: str = "cosine",
+        max_degree: int = 16,
+        ef_construction: int = 64,
+        ef_search: int = 48,
+    ) -> "NSWIndex":
+        """Restore, then insert rows marked :data:`NOT_INSERTED`.
+
+        Delta replay appends matrix rows without graph state and flags
+        them ``-2``; they are spliced in here, in ascending row order,
+        against the already-restored graph.
+        """
+        adjacency = np.asarray(adjacency, dtype=np.int64)
+        matrix = np.asarray(matrix)
+        if adjacency.ndim != 2:
+            raise ServingError("adjacency must be 2-D")
+        if adjacency.shape[0] < matrix.shape[0]:
+            # rows appended past the persisted graph: mark them
+            grown = np.full(
+                (matrix.shape[0], max(1, adjacency.shape[1])),
+                -1,
+                dtype=np.int64,
+            )
+            if adjacency.size:
+                grown[: adjacency.shape[0], : adjacency.shape[1]] = adjacency
+            grown[adjacency.shape[0]:, 0] = NOT_INSERTED
+            adjacency = grown
+        pending = np.nonzero(adjacency[:, 0] == NOT_INSERTED)[0]
+        cleaned = adjacency.copy()
+        cleaned[pending] = -1
+        entry_point = int(entry_point)
+        pending_set = set(pending.tolist())
+        if (
+            not 0 <= entry_point < matrix.shape[0]
+            or entry_point in pending_set
+        ):
+            # an out-of-range entry — or one awaiting re-insertion, whose
+            # links were just wiped — would strand the walk; restart from
+            # any still-inserted row instead
+            inserted = np.setdiff1d(
+                np.arange(matrix.shape[0]), pending, assume_unique=True
+            )
+            if inserted.size == 0 and matrix.shape[0] > 0:
+                # every row awaits insertion: no graph state to preserve
+                return cls(
+                    matrix,
+                    metric=metric,
+                    max_degree=max_degree,
+                    ef_construction=ef_construction,
+                    ef_search=ef_search,
+                )
+            entry_point = int(inserted[0]) if inserted.size else -1
+        index = cls.from_state(
+            matrix,
+            cleaned,
+            entry_point,
+            metric=metric,
+            max_degree=max_degree,
+            ef_construction=ef_construction,
+            ef_search=ef_search,
+        )
+        for row in pending.tolist():
+            if index._entry < 0:
+                index._entry = row
+                continue
+            index._link(row)
+        return index
+
+    def memory_bytes(self) -> int:
+        """Matrix + norms + tombstones + every adjacency list."""
+        return super().memory_bytes() + int(
+            sum(links.nbytes for links in self._neighbours)
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation — all genuinely in-place, no rebuild ever
+    # ------------------------------------------------------------------ #
+    def add(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = self._prepare_new_vectors(vectors)
+        ids = self._append_rows(vectors)
+        self._neighbours.extend(
+            np.empty(0, dtype=np.int64) for _ in range(ids.size)
+        )
+        for row in ids.tolist():
+            self._link(row)
+        return ids
+
+    def remove(self, rows) -> None:
+        """Tombstone rows; their links stay as routing edges.
+
+        A removed row never appears in results but still conducts the
+        graph walk — deleting its edges instead would slowly fragment
+        the graph under churn.
+        """
+        rows = self._validate_rows(rows, require_active=False)
+        self._active[rows] = False
+
+    def update_rows(self, rows, vectors: np.ndarray) -> None:
+        rows = self._validate_rows(rows)
+        vectors = self._prepare_new_vectors(vectors)
+        if vectors.shape[0] != rows.size:
+            raise ServingError("update needs one vector per row id")
+        self._ensure_owned()
+        for row, vector in zip(rows.tolist(), vectors):
+            if self._entry == row:
+                # hand the walk's start to a neighbour before detaching —
+                # an entry with zero links would strand the whole graph
+                links = self._neighbours[row]
+                if links.size:
+                    self._entry = int(links[0])
+                else:
+                    others = np.nonzero(np.arange(self.n_rows) != row)[0]
+                    self._entry = int(others[0]) if others.size else row
+            orphans = self._detach(row)
+            self.matrix[row] = vector
+            self._row_norms[row] = np.linalg.norm(vector)
+            if self._entry != row:
+                self._link(row)
+            for orphan in orphans:
+                if (
+                    self._neighbours[orphan].size == 0
+                    and orphan != self._entry
+                ):
+                    self._link(orphan)
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def query_batch(
+        self, queries: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        queries = self._prepare_queries(queries)
+        batch = queries.shape[0]
+        ef = max(self.ef_search, int(k))
+        per_query: list[tuple[np.ndarray, np.ndarray]] = []
+        width = 0
+        for row in range(batch):
+            ids, _ = self._beam(queries[row], ef)
+            if ids.size:
+                ids = ids[self._active[ids]]
+            if ids.size:
+                # tie-stable ordering by (score desc, id asc): sort the
+                # visited set ascending by id and re-score it in ONE call —
+                # the walk scored nodes in per-expansion chunks, whose
+                # rounding can differ in the last bit between identical
+                # rows, which would break tie ordering
+                ids = np.sort(ids)
+                sims = self._score_rows(
+                    self.matrix[ids],
+                    self._row_norms[ids],
+                    queries[row:row + 1],
+                )[:, 0].astype(np.float64, copy=False)
+                take = topk_descending(sims, min(int(k), ids.size))
+                ids, sims = ids[take], sims[take]
+            else:
+                sims = np.empty(0, dtype=np.float64)
+            per_query.append((ids, sims))
+            width = max(width, ids.size)
+        k = min(int(k), width)
+        indices = np.full((batch, k), -1, dtype=np.int64)
+        scores = np.full((batch, k), -np.inf, dtype=np.float64)
+        for row, (ids, sims) in enumerate(per_query):
+            count = min(ids.size, k)
+            indices[row, :count] = ids[:count]
+            scores[row, :count] = sims[:count]
+        return indices, scores

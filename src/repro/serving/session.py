@@ -30,6 +30,8 @@ from repro.errors import ExtractionError, ServingError
 from repro.retrofit.combine import TextValueEmbeddingSet
 from repro.serving.cache import CacheStats, LRUCache
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex
+from repro.serving.nsw import NOT_INSERTED, NSWIndex
+from repro.serving.pq import PQIndex
 from repro.serving.store import EmbeddingStore
 
 IndexFactory = Callable[[np.ndarray], VectorIndex]
@@ -50,6 +52,38 @@ def default_index_factory(
         if matrix.shape[0] >= ivf_threshold:
             return IVFIndex(matrix, metric=metric, nprobe=nprobe)
         return FlatIndex(matrix, metric=metric)
+
+    return build
+
+
+def index_factory_for(
+    kind: str, metric: str = "cosine", **params
+) -> IndexFactory:
+    """An :data:`IndexFactory` by index name.
+
+    ``kind`` is ``"auto"`` (the adaptive default factory), ``"flat"``,
+    ``"ivf"``, ``"pq"`` or ``"nsw"``; ``params`` are forwarded to the
+    index constructor.  This is how configuration surfaces (the sharded
+    tier's ``index_kind``, the bench harness) name an index without
+    importing every class.
+    """
+    if kind == "auto":
+        return default_index_factory(metric=metric, **params)
+    classes: dict[str, type[VectorIndex]] = {
+        "flat": FlatIndex,
+        "ivf": IVFIndex,
+        "pq": PQIndex,
+        "nsw": NSWIndex,
+    }
+    if kind not in classes:
+        raise ServingError(
+            f"unknown index kind {kind!r}; pick one of "
+            f"auto/{'/'.join(classes)}"
+        )
+    cls = classes[kind]
+
+    def build(matrix: np.ndarray) -> VectorIndex:
+        return cls(matrix, metric=metric, **params)
 
     return build
 
@@ -149,14 +183,16 @@ class ServingSession:
     def _compacted_index(self, index: VectorIndex) -> VectorIndex:
         """A tombstone-free copy of an in-place-updated full-scope index.
 
-        Persisted indexes must span exactly the embedding matrix.  An IVF
-        index keeps its trained centroids — the per-record assignments are
-        carried over through the session's row map, so no k-means runs.
+        Persisted indexes must span exactly the embedding matrix.  Trained
+        or incrementally built state survives: IVF/PQ keep their centroids
+        and codebooks (assignments and codes carried through the session's
+        row map — no k-means runs), an NSW graph keeps its links with row
+        ids rewritten; rows the compaction orphans are re-linked in place.
         """
         rows_map = np.asarray(self._scope_rows[None], dtype=np.int64)
+        live = rows_map >= 0
         if isinstance(index, IVFIndex):
             assignments = np.full(len(self.embeddings), -1, dtype=np.int64)
-            live = rows_map >= 0
             assignments[rows_map[live]] = index.assignments[live]
             return IVFIndex.from_partial_state(
                 self.embeddings.matrix,
@@ -164,6 +200,47 @@ class ServingSession:
                 assignments,
                 metric=index.metric,
                 nprobe=index.nprobe,
+            )
+        if isinstance(index, PQIndex):
+            assignments = np.full(len(self.embeddings), -1, dtype=np.int64)
+            assignments[rows_map[live]] = index.assignments[live]
+            codes = np.zeros(
+                (len(self.embeddings), index.n_subspaces), dtype=np.uint8
+            )
+            codes[rows_map[live]] = index.codes[live]
+            return PQIndex.from_partial_state(
+                self.embeddings.matrix,
+                index.codebooks,
+                index.centroids,
+                assignments,
+                codes,
+                metric=index.metric,
+                nprobe=index.nprobe,
+                rerank=index.rerank,
+            )
+        if isinstance(index, NSWIndex):
+            old = index.adjacency
+            # rewrite link targets through the row map; links to removed
+            # rows drop to -1 (padding)
+            values = np.where(old >= 0, rows_map[np.clip(old, 0, None)], -1)
+            adjacency = np.full(
+                (len(self.embeddings), old.shape[1]), -1, dtype=np.int64
+            )
+            adjacency[rows_map[live]] = values[live]
+            # a live row whose every link pointed at removed rows would be
+            # stranded (unreachable by the walk) — flag it for re-insertion
+            stranded = np.all(adjacency < 0, axis=1)
+            adjacency[stranded, 0] = NOT_INSERTED
+            entry = index.entry_point
+            entry = int(rows_map[entry]) if entry >= 0 else -1
+            return NSWIndex.from_partial_state(
+                self.embeddings.matrix,
+                adjacency,
+                entry,
+                metric=index.metric,
+                max_degree=index.max_degree,
+                ef_construction=index.ef_construction,
+                ef_search=index.ef_search,
             )
         return FlatIndex(self.embeddings.matrix, metric=index.metric)
 

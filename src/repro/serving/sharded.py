@@ -54,7 +54,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ExtractionError, ServingError
-from repro.serving.index import FlatIndex
+from repro.serving.index import FlatIndex, VectorIndex
 from repro.serving.runtime import DeltaQueue, RateLimiter, UpdateTicket
 from repro.serving.store import EmbeddingStore
 from repro.util import EventLog, RetryPolicy, faults
@@ -100,13 +100,16 @@ class _ShardState:
 
     def __init__(
         self, store: EmbeddingStore, artifact: str, shard_id: int,
-        n_shards: int, metric: str,
+        n_shards: int, metric: str, index_kind: str = "flat",
+        index_params: dict | None = None,
     ) -> None:
         self.store = store
         self.artifact = artifact
         self.shard_id = shard_id
         self.n_shards = n_shards
         self.metric = metric
+        self.index_kind = index_kind
+        self.index_params = dict(index_params or {})
         self.bootstrap()
         self.sync_to_latest()
 
@@ -130,7 +133,7 @@ class _ShardState:
         # the only materialised vectors: this shard's rows, copied out of
         # the shared read-only mapping (1/n_shards of the matrix)
         self.vectors = np.array(base.matrix[self.local_ids], dtype=np.float64)
-        self._scopes: dict[str | None, tuple[np.ndarray, FlatIndex]] = {}
+        self._scopes: dict[str | None, tuple[np.ndarray, VectorIndex]] = {}
 
     def sync_to_latest(self) -> None:
         """Replay every store delta record newer than this snapshot."""
@@ -193,7 +196,22 @@ class _ShardState:
         self._scopes.clear()
         self.version = record.version
 
-    def _scope(self, category: str | None) -> tuple[np.ndarray, FlatIndex]:
+    def _build_index(self, vectors: np.ndarray) -> VectorIndex:
+        """One scope index of the configured kind over ``vectors``.
+
+        Empty scopes always get a flat index: brute force over nothing is
+        free, and the trained kinds reject empty matrices.
+        """
+        if self.index_kind == "flat" or vectors.shape[0] == 0:
+            return FlatIndex(vectors, metric=self.metric)
+        from repro.serving.session import index_factory_for
+
+        factory = index_factory_for(
+            self.index_kind, metric=self.metric, **self.index_params
+        )
+        return factory(vectors)
+
+    def _scope(self, category: str | None) -> tuple[np.ndarray, VectorIndex]:
         cached = self._scopes.get(category)
         if cached is not None:
             return cached
@@ -205,7 +223,7 @@ class _ShardState:
             )
             positions = np.nonzero(np.isin(self.local_ids, members))[0]
         scope_ids = self.local_ids[positions]
-        index = FlatIndex(self.vectors[positions], metric=self.metric)
+        index = self._build_index(self.vectors[positions])
         self._scopes[category] = (scope_ids, index)
         return scope_ids, index
 
@@ -232,11 +250,14 @@ def _shard_worker(
     metric: str,
     conn,
     parent_pid: int,
+    index_kind: str = "flat",
+    index_params: dict | None = None,
 ) -> None:
     """Worker main loop: one request in, one response out, strictly paired."""
     try:
         state = _ShardState(
-            EmbeddingStore(store_root), artifact, shard_id, n_shards, metric
+            EmbeddingStore(store_root), artifact, shard_id, n_shards, metric,
+            index_kind=index_kind, index_params=index_params,
         )
     except BaseException as error:  # noqa: BLE001 - reported to the front
         try:
@@ -408,9 +429,16 @@ class ShardedServingTier:
         max_coalesced_ops: int = 1024,
         write_rate_limit: RateLimiter | None = None,
         query_timeout: float = 30.0,
+        index_kind: str = "flat",
+        index_params: dict | None = None,
     ) -> None:
         if n_shards < 1:
             raise ServingError("n_shards must be at least 1")
+        if index_kind not in ("flat", "ivf", "pq", "nsw"):
+            raise ServingError(
+                f"unknown index kind {index_kind!r}; pick one of "
+                "flat/ivf/pq/nsw"
+            )
         if (database is None) != (retrofitter is None):
             raise ServingError(
                 "writer side needs both database and retrofitter (or neither)"
@@ -420,6 +448,8 @@ class ShardedServingTier:
         self._artifact = artifact
         self.n_shards = int(n_shards)
         self._metric = metric
+        self._index_kind = index_kind
+        self._index_params = dict(index_params or {})
         self._database = database
         self._retrofitter = retrofitter
         self._solve_iterations = solve_iterations
@@ -514,6 +544,7 @@ class ShardedServingTier:
             args=(
                 handle.shard_id, self.n_shards, self._store_root,
                 self._artifact, self._metric, child, os.getpid(),
+                self._index_kind, self._index_params,
             ),
             daemon=True,
             name=f"shard-worker-{handle.shard_id}",

@@ -484,7 +484,7 @@ class EmbeddingStore:
     # ------------------------------------------------------------------ #
     def save_embedding_set(
         self, name: str, embeddings: TextValueEmbeddingSet, index=None,
-        version: int = 0,
+        version: int = 0, dtype: str | np.dtype | None = None,
     ) -> Path:
         """Persist one :class:`TextValueEmbeddingSet` as artifact ``name``.
 
@@ -493,14 +493,30 @@ class EmbeddingStore:
         :class:`repro.serving.IVFIndex` the k-means centroids and cell
         assignments are stored, so :meth:`ServingSession.from_store` serves
         the artifact without re-running the clustering; a
-        :class:`repro.serving.FlatIndex` only records its metric.
-        ``version`` marks the embedding-set version this base artifact
-        reflects; delta records with higher versions are replayed on load.
+        :class:`repro.serving.PQIndex` stores its codebooks, coarse
+        centroids, assignments and uint8 codes, a
+        :class:`repro.serving.NSWIndex` its graph adjacency and entry
+        point, and a :class:`repro.serving.FlatIndex` only records its
+        metric.  ``version`` marks the embedding-set version this base
+        artifact reflects; delta records with higher versions are
+        replayed on load.  ``dtype`` optionally narrows the stored matrix
+        (``"float32"`` halves every replica's resident bytes at ~1e-7
+        cosine error); the narrowed dtype is preserved through mmap
+        sidecars and the delta-replay path alike.
         """
         if _DELTA_NAME_RE.match(name):
             raise StoreFormatError(
                 f"artifact name {name!r} is reserved for delta records"
             )
+        matrix = embeddings.matrix
+        if dtype is not None:
+            dtype = np.dtype(dtype)
+            if dtype not in (np.float32, np.float64):
+                raise StoreFormatError(
+                    f"embedding matrices store as float32 or float64, "
+                    f"not {dtype}"
+                )
+            matrix = np.asarray(matrix, dtype=dtype)
         header: dict[str, Any] = {
             "set_name": embeddings.name,
             "dimension": embeddings.dimension,
@@ -508,9 +524,11 @@ class EmbeddingStore:
             "set_version": int(version),
             "extraction": extraction_to_dict(embeddings.extraction),
         }
-        arrays: dict[str, np.ndarray] = {"matrix": embeddings.matrix}
+        arrays: dict[str, np.ndarray] = {"matrix": matrix}
         if index is not None:
             from repro.serving.index import FlatIndex, IVFIndex
+            from repro.serving.nsw import NSWIndex
+            from repro.serving.pq import PQIndex
 
             if index.matrix.shape != embeddings.matrix.shape:
                 raise StoreFormatError(
@@ -527,6 +545,30 @@ class EmbeddingStore:
                 }
                 arrays["index_centroids"] = index.centroids
                 arrays["index_assignments"] = index.assignments
+            elif isinstance(index, PQIndex):
+                header["index"] = {
+                    "type": "pq",
+                    "metric": index.metric,
+                    "nprobe": index.nprobe,
+                    "rerank": index.rerank,
+                    "n_subspaces": index.n_subspaces,
+                    "n_codes": index.n_codes,
+                    "n_cells": index.n_cells,
+                }
+                arrays["index_codebooks"] = index.codebooks
+                arrays["index_centroids"] = index.centroids
+                arrays["index_assignments"] = index.assignments
+                arrays["index_codes"] = index.codes
+            elif isinstance(index, NSWIndex):
+                header["index"] = {
+                    "type": "nsw",
+                    "metric": index.metric,
+                    "max_degree": index.max_degree,
+                    "ef_construction": index.ef_construction,
+                    "ef_search": index.ef_search,
+                    "entry_point": index.entry_point,
+                }
+                arrays["index_adjacency"] = index.adjacency
             elif isinstance(index, FlatIndex):
                 header["index"] = {"type": "flat", "metric": index.metric}
             else:
@@ -593,13 +635,28 @@ class EmbeddingStore:
         # pending deltas invalidate the base index — even one that keeps
         # the row count (changed vectors, pairs-only changes) means the
         # stored matrix is no longer the served one.  Carry only the raw
-        # trained state through the replay and build the index once at
-        # the end, on the replayed matrix.
-        assignments = None
+        # trained state through the replay (row-aligned arrays remapped
+        # through each delta's old->new row map) and build the index once
+        # at the end, on the replayed matrix.
+        index_state: dict[str, Any] | None = None
         if isinstance(header.get("index"), dict):
+            index_state = {}
             stored = arrays.get("index_assignments")
             if stored is not None:
-                assignments = np.asarray(stored, dtype=np.int64).copy()
+                index_state["assignments"] = np.asarray(
+                    stored, dtype=np.int64
+                ).copy()
+            stored = arrays.get("index_codes")
+            if stored is not None:
+                index_state["codes"] = np.asarray(stored, dtype=np.uint8).copy()
+            stored = arrays.get("index_adjacency")
+            if stored is not None:
+                index_state["adjacency"] = np.asarray(
+                    stored, dtype=np.int64
+                ).copy()
+                index_state["entry_point"] = int(
+                    header["index"].get("entry_point", -1)
+                )
 
         for delta_version, delta_name in pending:
             if delta_version != version + 1:
@@ -607,8 +664,8 @@ class EmbeddingStore:
                     f"artifact {name!r}: delta chain jumps from version "
                     f"{version} to {delta_version}"
                 )
-            matrix, extraction, assignments = self._replay_delta(
-                delta_name, matrix, extraction, assignments
+            matrix, extraction, index_state = self._replay_delta(
+                delta_name, matrix, extraction, index_state
             )
             version = delta_version
 
@@ -617,29 +674,83 @@ class EmbeddingStore:
             matrix=matrix,
             name=str(header.get("set_name", name)),
         )
-        if assignments is not None:
-            arrays = dict(arrays, index_assignments=assignments)
+        if index_state:
+            arrays = dict(arrays)
+            if "assignments" in index_state:
+                arrays["index_assignments"] = index_state["assignments"]
+            if "codes" in index_state:
+                arrays["index_codes"] = index_state["codes"]
+            if "adjacency" in index_state:
+                arrays["index_adjacency"] = index_state["adjacency"]
+                header = dict(header)
+                header["index"] = dict(
+                    header["index"], entry_point=index_state["entry_point"]
+                )
         return (
             embeddings,
             self._restore_index(name, header, arrays, matrix, partial=True),
             version,
         )
 
-    def _replay_delta(self, delta_name: str, matrix, extraction, assignments):
-        """Apply one stored delta record to (matrix, extraction, assignments)."""
+    def _replay_delta(self, delta_name: str, matrix, extraction, index_state):
+        """Apply one stored delta record to (matrix, extraction, index state).
+
+        ``index_state`` is ``None`` or a dict of row-aligned trained-index
+        arrays (``assignments``/``codes`` for IVF and PQ, ``adjacency`` +
+        ``entry_point`` for NSW); every row-aligned array is remapped
+        through the delta's old→new row map, rows the delta added or
+        changed are marked for re-derivation (assignment ``-1`` / the NSW
+        ``NOT_INSERTED`` marker), and adjacency *values* — which are row
+        ids themselves — are remapped too, dropping links to removed rows.
+        """
         from repro.retrofit.extraction import ExtractionDelta
 
         header, arrays = self._read(delta_name, KIND_EMBEDDING_DELTA)
         delta = ExtractionDelta.from_dict(header.get("extraction_delta", {}))
         delta_map = extraction.apply_delta(delta)
         n_new = len(extraction)
-        new_matrix = np.zeros((n_new, matrix.shape[1]), dtype=np.float64)
+        new_matrix = np.zeros((n_new, matrix.shape[1]), dtype=matrix.dtype)
         surviving = delta_map.surviving_old_indices()
-        new_matrix[delta_map.old_to_new[surviving]] = matrix[surviving]
-        new_assignments = None
-        if assignments is not None:
-            new_assignments = np.full(n_new, -1, dtype=np.int64)
-            new_assignments[delta_map.old_to_new[surviving]] = assignments[surviving]
+        new_rows = delta_map.old_to_new[surviving]
+        new_matrix[new_rows] = matrix[surviving]
+        new_state = None
+        if index_state is not None:
+            from repro.serving.nsw import NOT_INSERTED
+
+            new_state = {}
+            assignments = index_state.get("assignments")
+            if assignments is not None:
+                remapped = np.full(n_new, -1, dtype=np.int64)
+                remapped[new_rows] = assignments[surviving]
+                new_state["assignments"] = remapped
+            codes = index_state.get("codes")
+            if codes is not None:
+                recoded = np.zeros((n_new, codes.shape[1]), dtype=np.uint8)
+                recoded[new_rows] = codes[surviving]
+                new_state["codes"] = recoded
+            adjacency = index_state.get("adjacency")
+            if adjacency is not None:
+                width = max(1, adjacency.shape[1])
+                relinked = np.full((n_new, width), -1, dtype=np.int64)
+                kept = adjacency[surviving]
+                # neighbour ids are old row numbers: remap them, dropping
+                # links whose target the delta removed (old_to_new == -1);
+                # negative entries pass through untouched so an earlier
+                # delta's NOT_INSERTED markers survive stacked replays
+                values = np.where(
+                    kept >= 0,
+                    delta_map.old_to_new[np.clip(kept, 0, None)],
+                    kept,
+                )
+                relinked[new_rows, : adjacency.shape[1]] = values
+                if delta_map.added_indices:
+                    relinked[list(delta_map.added_indices), :] = -1
+                    relinked[list(delta_map.added_indices), 0] = NOT_INSERTED
+                new_state["adjacency"] = relinked
+                entry = index_state.get("entry_point", -1)
+                new_state["entry_point"] = (
+                    int(delta_map.old_to_new[entry]) if entry >= 0 else -1
+                )
 
         stored_added = [int(i) for i in header.get("added_indices", [])]
         if stored_added != list(delta_map.added_indices):
@@ -671,10 +782,17 @@ class EmbeddingStore:
                     "the replayed extraction"
                 )
             new_matrix[changed_rows] = changed_matrix
-            if new_assignments is not None:
-                # changed vectors may belong to a different cell now
-                new_assignments[changed_rows] = -1
-        return new_matrix, extraction, new_assignments
+            if new_state is not None:
+                from repro.serving.nsw import NOT_INSERTED
+
+                if "assignments" in new_state:
+                    # changed vectors may belong to a different cell /
+                    # code word now: force re-derivation at restore time
+                    new_state["assignments"][changed_rows] = -1
+                if "adjacency" in new_state:
+                    new_state["adjacency"][changed_rows, :] = -1
+                    new_state["adjacency"][changed_rows, 0] = NOT_INSERTED
+        return new_matrix, extraction, new_state
 
     # ------------------------------------------------------------------ #
     # embedding-set delta records
@@ -870,6 +988,8 @@ class EmbeddingStore:
             raise StoreFormatError(f"artifact {name!r} has malformed index metadata")
         from repro.errors import ServingError
         from repro.serving.index import FlatIndex, IVFIndex
+        from repro.serving.nsw import NSWIndex
+        from repro.serving.pq import PQIndex
 
         kind = meta.get("type")
         try:
@@ -890,6 +1010,52 @@ class EmbeddingStore:
                     assignments,
                     metric=str(meta.get("metric", "cosine")),
                     nprobe=int(meta.get("nprobe", 8)),
+                )
+            if kind == "pq":
+                required = (
+                    "index_codebooks",
+                    "index_centroids",
+                    "index_assignments",
+                    "index_codes",
+                )
+                if any(arrays.get(key) is None for key in required):
+                    raise StoreFormatError(
+                        f"artifact {name!r} declares a PQ index but lacks "
+                        "its codebook/centroid/assignment/code arrays"
+                    )
+                restore = (
+                    PQIndex.from_partial_state if partial else PQIndex.from_state
+                )
+                return restore(
+                    matrix,
+                    arrays["index_codebooks"],
+                    arrays["index_centroids"],
+                    arrays["index_assignments"],
+                    arrays["index_codes"],
+                    metric=str(meta.get("metric", "cosine")),
+                    nprobe=int(meta.get("nprobe", 8)),
+                    rerank=int(meta.get("rerank", 32)),
+                )
+            if kind == "nsw":
+                adjacency = arrays.get("index_adjacency")
+                if adjacency is None:
+                    raise StoreFormatError(
+                        f"artifact {name!r} declares an NSW index but lacks "
+                        "its adjacency array"
+                    )
+                restore = (
+                    NSWIndex.from_partial_state
+                    if partial
+                    else NSWIndex.from_state
+                )
+                return restore(
+                    matrix,
+                    adjacency,
+                    int(meta.get("entry_point", -1)),
+                    metric=str(meta.get("metric", "cosine")),
+                    max_degree=int(meta.get("max_degree", 16)),
+                    ef_construction=int(meta.get("ef_construction", 64)),
+                    ef_search=int(meta.get("ef_search", 48)),
                 )
         except ServingError as error:
             raise StoreFormatError(

@@ -10,7 +10,11 @@ have realistic signal without requiring the multi-gigabyte original data.
 from repro.text.embedding import WordEmbedding
 from repro.text.trie import TokenTrie
 from repro.text.tokenizer import Tokenizer, TokenizationResult, normalise_text
-from repro.text.synthetic import ConceptSpec, SyntheticEmbeddingSpace
+from repro.text.synthetic import (
+    ConceptSpec,
+    SyntheticCorpus,
+    SyntheticEmbeddingSpace,
+)
 
 __all__ = [
     "WordEmbedding",
@@ -19,5 +23,6 @@ __all__ = [
     "TokenizationResult",
     "normalise_text",
     "ConceptSpec",
+    "SyntheticCorpus",
     "SyntheticEmbeddingSpace",
 ]

@@ -155,3 +155,131 @@ class SyntheticEmbeddingSpace:
         for word, vector in self._word_vectors.items():
             embedding.add(word, vector)
         return embedding
+
+
+class SyntheticCorpus:
+    """A seedable 10⁵–10⁶-value corpus for index benchmarking.
+
+    Unlike :class:`SyntheticEmbeddingSpace` (a vocabulary of named words),
+    this models the *serving* workload shape: a large matrix of text-value
+    vectors drawn from a clustered Gaussian mixture — the regime where IVF
+    and graph indexes earn their keep — with value counts skewed across
+    categories by a Zipf law, as real column vocabularies are.
+
+    Nothing is materialised up front.  Vectors generate block-wise
+    (:meth:`iter_blocks`) so a million rows never need more than one block
+    of scratch, value strings come from :meth:`value_text` on demand, and
+    every artefact is a pure function of ``seed`` — block ``b`` is always
+    drawn from ``default_rng((seed, b))``, so two processes generating
+    different slices agree bit for bit.
+    """
+
+    def __init__(
+        self,
+        n_values: int,
+        dimension: int = 32,
+        n_clusters: int = 64,
+        n_categories: int = 8,
+        zipf_exponent: float = 1.1,
+        cluster_scale: float = 4.0,
+        noise_scale: float = 1.0,
+        seed: int = 0,
+        block_size: int = 65_536,
+    ) -> None:
+        if n_values <= 0:
+            raise EmbeddingError("n_values must be positive")
+        if dimension <= 0:
+            raise EmbeddingError("dimension must be positive")
+        if n_clusters <= 0 or n_categories <= 0:
+            raise EmbeddingError("n_clusters and n_categories must be positive")
+        if block_size <= 0:
+            raise EmbeddingError("block_size must be positive")
+        self.n_values = int(n_values)
+        self.dimension = int(dimension)
+        self.n_clusters = min(int(n_clusters), self.n_values)
+        self.n_categories = min(int(n_categories), self.n_values)
+        self.zipf_exponent = float(zipf_exponent)
+        self.noise_scale = float(noise_scale)
+        self.seed = int(seed)
+        self.block_size = int(block_size)
+
+        rng = np.random.default_rng((self.seed, 0xC0FFEE))
+        self.cluster_means = rng.normal(
+            0.0, cluster_scale / np.sqrt(self.dimension),
+            (self.n_clusters, self.dimension),
+        )
+        # Zipfian category sizes: category r owns a share ∝ 1/(r+1)^s,
+        # every category keeps at least one value, leftovers go to the head
+        weights = 1.0 / np.power(
+            np.arange(1, self.n_categories + 1, dtype=np.float64),
+            self.zipf_exponent,
+        )
+        counts = np.maximum(
+            1, np.floor(self.n_values * weights / weights.sum()).astype(np.int64)
+        )
+        counts[0] += self.n_values - int(counts.sum())
+        self._category_ends = np.cumsum(counts)
+
+    # ------------------------------------------------------------------ #
+    # lazy per-value views
+    # ------------------------------------------------------------------ #
+    def category_of(self, index: int) -> str:
+        """Category name of value ``index`` (Zipf-skewed sizes)."""
+        if not 0 <= index < self.n_values:
+            raise EmbeddingError(f"value index {index} outside the corpus")
+        slot = int(np.searchsorted(self._category_ends, index, side="right"))
+        return f"synthetic.cat{slot:02d}"
+
+    def value_text(self, index: int) -> str:
+        """The value string for ``index``, derived on demand."""
+        if not 0 <= index < self.n_values:
+            raise EmbeddingError(f"value index {index} outside the corpus")
+        return f"value {index:08d}"
+
+    def category_sizes(self) -> list[int]:
+        """Values per category, head-heavy by construction."""
+        ends = self._category_ends
+        return np.diff(np.concatenate(([0], ends))).astype(int).tolist()
+
+    # ------------------------------------------------------------------ #
+    # vector generation
+    # ------------------------------------------------------------------ #
+    def _block(self, block_index: int, start: int, stop: int) -> np.ndarray:
+        rng = np.random.default_rng((self.seed, block_index))
+        members = rng.integers(self.n_clusters, size=stop - start)
+        noise = rng.normal(
+            0.0, self.noise_scale / np.sqrt(self.dimension),
+            (stop - start, self.dimension),
+        )
+        return self.cluster_means[members] + noise
+
+    def iter_blocks(self):
+        """Yield ``(start, matrix_block)`` covering all values in order."""
+        for block_index, start in enumerate(
+            range(0, self.n_values, self.block_size)
+        ):
+            stop = min(start + self.block_size, self.n_values)
+            yield start, self._block(block_index, start, stop)
+
+    def matrix(self, dtype=np.float64) -> np.ndarray:
+        """Materialise the full ``(n_values, dimension)`` matrix.
+
+        Allocates the result once and fills it block-wise — peak scratch
+        stays one block above the output, whatever ``n_values`` is.
+        """
+        out = np.empty((self.n_values, self.dimension), dtype=dtype)
+        for start, block in self.iter_blocks():
+            out[start:start + block.shape[0]] = block
+        return out
+
+    def queries(self, n_queries: int, seed: int = 1) -> np.ndarray:
+        """Query vectors near (but never equal to) corpus clusters."""
+        if n_queries <= 0:
+            raise EmbeddingError("n_queries must be positive")
+        rng = np.random.default_rng((self.seed, 0x9E3779B9, seed))
+        members = rng.integers(self.n_clusters, size=n_queries)
+        noise = rng.normal(
+            0.0, self.noise_scale / np.sqrt(self.dimension),
+            (n_queries, self.dimension),
+        )
+        return self.cluster_means[members] + noise

@@ -1,0 +1,144 @@
+"""Tests for the recall/latency/memory Pareto harness (``repro bench-index``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import index_pareto
+
+
+@pytest.fixture(scope="module")
+def micro_payload():
+    """One real sweep at a micro size shared across assertions."""
+    index_pareto.PRESETS["_micro"] = (600, 24, 12)
+    try:
+        return index_pareto.run_index_pareto(preset="_micro", seed=7)
+    finally:
+        del index_pareto.PRESETS["_micro"]
+
+
+class TestSweepPayload:
+    def test_schema_and_flat_baseline(self, micro_payload):
+        assert micro_payload["schema"] == "index-pareto/v1"
+        assert micro_payload["n_values"] == 600
+        flat = micro_payload["flat"]
+        assert flat["memory_bytes"] > 0
+        assert flat["p50_ms"] > 0
+        assert flat["p99_ms"] >= flat["p50_ms"]
+
+    def test_every_family_contributes_points(self, micro_payload):
+        families = {point["family"] for point in micro_payload["points"]}
+        assert families == {"ivf", "pq", "ivfpq", "nsw"}
+
+    def test_points_carry_the_pareto_axes(self, micro_payload):
+        for point in micro_payload["points"]:
+            assert 0.0 <= point["recall_at_k"] <= 1.0
+            assert point["memory_fraction"] == pytest.approx(
+                point["memory_bytes"] / micro_payload["flat"]["memory_bytes"]
+            )
+            assert point["speedup_vs_flat"] > 0
+            assert point["p99_ms"] >= point["p50_ms"]
+            assert point["build_seconds"] >= 0
+
+    def test_exhaustive_knobs_reach_high_recall(self, micro_payload):
+        by_label = {point["label"]: point for point in micro_payload["points"]}
+        # generous query-time knobs should approach the exact ranking even
+        # at micro scale
+        assert by_label["nsw(ef=128)"]["recall_at_k"] >= 0.9
+        assert by_label["ivf(nprobe=16)"]["recall_at_k"] >= 0.9
+
+    def test_rerank_monotonically_helps_pq_recall(self, micro_payload):
+        recalls = [
+            point["recall_at_k"]
+            for point in micro_payload["points"]
+            if point["family"] == "pq"
+        ]
+        assert recalls == sorted(recalls)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError, match="unknown preset"):
+            index_pareto.run_index_pareto(preset="galactic")
+
+
+class TestGateEvaluation:
+    def _payload(self, points, preset="quick"):
+        return {"schema": "index-pareto/v1", "preset": preset, "points": points}
+
+    def _nsw_point(self, recall, speedup):
+        return {
+            "family": "nsw", "label": "nsw(ef=32)", "recall_at_k": recall,
+            "speedup_vs_flat": speedup, "memory_fraction": 1.05,
+        }
+
+    def _ivfpq_point(self, recall, memory_fraction):
+        return {
+            "family": "ivfpq", "label": "ivfpq(nprobe=8,rerank=64)",
+            "recall_at_k": recall, "speedup_vs_flat": 3.0,
+            "memory_fraction": memory_fraction,
+        }
+
+    def test_both_gates_pass_with_witnesses(self):
+        payload = self._payload([
+            self._nsw_point(0.97, 6.5), self._ivfpq_point(0.93, 0.04),
+        ])
+        gates = index_pareto.evaluate_gates(payload)
+        assert gates["nsw_fast_accurate"]["passed"]
+        assert gates["nsw_fast_accurate"]["witness"] == "nsw(ef=32)"
+        assert gates["ivfpq_small_memory"]["passed"]
+        assert index_pareto.check_gates(payload) == []
+
+    def test_fast_but_inaccurate_nsw_does_not_count(self):
+        payload = self._payload([
+            self._nsw_point(0.80, 40.0), self._ivfpq_point(0.93, 0.04),
+        ])
+        gates = index_pareto.evaluate_gates(payload)
+        assert not gates["nsw_fast_accurate"]["passed"]
+        failures = index_pareto.check_gates(payload)
+        assert len(failures) == 1
+        assert "nsw_fast_accurate" in failures[0]
+
+    def test_accurate_but_large_ivfpq_does_not_count(self):
+        payload = self._payload([
+            self._nsw_point(0.97, 6.5), self._ivfpq_point(0.95, 0.30),
+        ])
+        gates = index_pareto.evaluate_gates(payload)
+        assert not gates["ivfpq_small_memory"]["passed"]
+        assert any(
+            "ivfpq_small_memory" in failure
+            for failure in index_pareto.check_gates(payload)
+        )
+
+    def test_stale_stored_verdict_is_ignored(self):
+        payload = self._payload([self._nsw_point(0.5, 0.5)])
+        payload["gates"] = {
+            "nsw_fast_accurate": {"passed": True},
+            "ivfpq_small_memory": {"passed": True},
+        }
+        assert len(index_pareto.check_gates(payload)) == 2
+
+    def test_tiny_preset_is_not_admissible_for_certification(self):
+        payload = self._payload(
+            [self._nsw_point(0.97, 6.5), self._ivfpq_point(0.93, 0.04)],
+            preset="tiny",
+        )
+        failures = index_pareto.check_gates(payload)
+        assert len(failures) == 1
+        assert "not admissible" in failures[0]
+
+
+class TestPayloadIO:
+    def test_round_trip(self, micro_payload, tmp_path):
+        path = index_pareto.save_payload(micro_payload, tmp_path / "p.json")
+        loaded = index_pareto.load_payload(path)
+        assert loaded == micro_payload
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            index_pareto.load_payload(tmp_path / "absent.json")
+
+    def test_format_table_lists_every_point_and_gate(self, micro_payload):
+        table = index_pareto.format_table(micro_payload)
+        for point in micro_payload["points"]:
+            assert point["label"] in table
+        assert "gate nsw_fast_accurate" in table
+        assert "gate ivfpq_small_memory" in table

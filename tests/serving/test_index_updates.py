@@ -5,6 +5,8 @@ import pytest
 
 from repro.errors import ServingError
 from repro.serving.index import FlatIndex, IVFIndex
+from repro.serving.nsw import NSWIndex
+from repro.serving.pq import PQIndex
 
 
 @pytest.fixture()
@@ -13,12 +15,21 @@ def rng():
 
 
 def build(kind, matrix):
+    """Every index in exact-capable configuration: the mutation contract
+    is identical across implementations, so each must match the flat
+    reference bit for bit when its search is exhaustive."""
     if kind == "flat":
         return FlatIndex(matrix)
-    return IVFIndex(matrix, n_cells=8, nprobe=8, seed=1)
+    if kind == "ivf":
+        return IVFIndex(matrix, n_cells=8, nprobe=8, seed=1)
+    if kind == "pq":
+        return PQIndex(
+            matrix, n_subspaces=4, n_cells=4, nprobe=4, rerank=10_000, seed=1
+        )
+    return NSWIndex(matrix, max_degree=12, ef_construction=48, ef_search=10_000)
 
 
-@pytest.mark.parametrize("kind", ["flat", "ivf"])
+@pytest.mark.parametrize("kind", ["flat", "ivf", "pq", "nsw"])
 class TestIndexMutation:
     def test_add_returns_fresh_ids_and_serves_them(self, kind, rng):
         matrix = rng.standard_normal((300, 12))

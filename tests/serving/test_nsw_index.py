@@ -1,0 +1,219 @@
+"""Tests for the navigable-small-world graph index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import FlatIndex, NSWIndex
+from repro.serving.nsw import NOT_INSERTED
+
+
+def recall_at_k(expected: np.ndarray, got: np.ndarray, k: int) -> float:
+    return float(
+        np.mean(
+            [
+                len(set(a.tolist()) & set(b.tolist())) / k
+                for a, b in zip(expected[:, :k], got[:, :k])
+            ]
+        )
+    )
+
+
+class TestNSWExactness:
+    def test_exhaustive_beam_equals_flat(self, rng):
+        matrix = rng.normal(size=(300, 12))
+        queries = rng.normal(size=(8, 12))
+        flat_i, flat_s = FlatIndex(matrix).query_batch(queries, 10)
+        nsw = NSWIndex(matrix, max_degree=12, ef_search=300)
+        nsw_i, nsw_s = nsw.query_batch(queries, 10)
+        assert np.array_equal(flat_i, nsw_i)
+        # same formula, different BLAS batching: equal to rounding
+        assert np.allclose(flat_s, nsw_s, rtol=1e-12, atol=0)
+
+    def test_tie_stability_with_duplicate_rows(self, rng):
+        base = rng.normal(size=(15, 8))
+        matrix = np.vstack([base] * 4)
+        queries = rng.normal(size=(4, 8))
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 12)
+        nsw = NSWIndex(matrix, max_degree=8, ef_search=60)
+        nsw_i, _ = nsw.query_batch(queries, 12)
+        assert np.array_equal(flat_i, nsw_i)
+
+    def test_single_query_matches_batch(self, rng):
+        matrix = rng.normal(size=(150, 8))
+        nsw = NSWIndex(matrix, ef_search=24)
+        queries = rng.normal(size=(5, 8))
+        batch_i, batch_s = nsw.query_batch(queries, 6)
+        for row in range(5):
+            one_i, one_s = nsw.query(queries[row], 6)
+            assert np.array_equal(batch_i[row], one_i)
+            assert np.allclose(batch_s[row], one_s)
+
+    def test_dot_metric(self, rng):
+        matrix = rng.normal(size=(120, 8))
+        queries = rng.normal(size=(4, 8))
+        flat_i, _ = FlatIndex(matrix, metric="dot").query_batch(queries, 5)
+        nsw = NSWIndex(matrix, metric="dot", ef_search=120)
+        nsw_i, _ = nsw.query_batch(queries, 5)
+        assert np.array_equal(flat_i, nsw_i)
+
+
+class TestNSWRecall:
+    def test_recall_grows_with_beam_width(self, rng):
+        """Aggregate recall@10 rises with ef and hits 1.0 at ef = n."""
+        matrix = rng.normal(size=(800, 16))
+        queries = rng.normal(size=(25, 16))
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 10)
+        nsw = NSWIndex(matrix, max_degree=16, ef_construction=48, ef_search=10)
+        recalls = []
+        for ef in (10, 40, 160, 800):
+            nsw.ef_search = ef
+            nsw_i, _ = nsw.query_batch(queries, 10)
+            recalls.append(recall_at_k(flat_i, nsw_i, 10))
+        # per-query monotonicity is not guaranteed for a greedy walk, but
+        # the aggregate must not regress materially and the endpoint is exact
+        for lo, hi in zip(recalls, recalls[1:]):
+            assert hi >= lo - 0.02
+        assert recalls[-1] == 1.0
+        assert recalls[-1] >= recalls[0]
+
+    def test_default_beam_recall_on_clustered_data(self, rng):
+        means = rng.normal(scale=4.0, size=(10, 16))
+        matrix = means[rng.integers(10, size=1200)] + rng.normal(
+            size=(1200, 16)
+        )
+        queries = matrix[rng.choice(1200, size=20, replace=False)] + 0.01
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 10)
+        nsw = NSWIndex(matrix, max_degree=16, ef_construction=64, ef_search=64)
+        nsw_i, _ = nsw.query_batch(queries, 10)
+        assert recall_at_k(flat_i, nsw_i, 10) >= 0.9
+
+
+class TestNSWIncremental:
+    def test_grows_from_empty(self, rng):
+        nsw = NSWIndex(np.zeros((0, 8)))
+        empty_i, empty_s = nsw.query(rng.normal(size=8), 3)
+        assert empty_i.shape == (0,) and empty_s.shape == (0,)
+        first = rng.normal(size=(1, 8))
+        ids = nsw.add(first)
+        assert list(ids) == [0] and nsw.entry_point == 0
+        batch = rng.normal(size=(60, 8))
+        nsw.add(batch)
+        hits, _ = nsw.query(batch[30], 1)
+        assert hits[0] == 31
+
+    def test_incremental_equals_bulk_built_recall(self, rng):
+        """Inserting in two waves reaches the same answers as one build."""
+        matrix = rng.normal(size=(400, 12))
+        queries = rng.normal(size=(10, 12))
+        bulk = NSWIndex(matrix, max_degree=12, ef_search=400)
+        grown = NSWIndex(matrix[:250], max_degree=12, ef_search=400)
+        grown.add(matrix[250:])
+        bulk_i, _ = bulk.query_batch(queries, 10)
+        grown_i, _ = grown.query_batch(queries, 10)
+        # both are exhaustive at ef >= n: identical exact answers even
+        # though the two graphs differ
+        assert np.array_equal(bulk_i, grown_i)
+
+    def test_removed_rows_still_route(self, rng):
+        """Tombstones conduct the walk: removing hubs must not strand rows."""
+        matrix = rng.normal(size=(300, 10))
+        nsw = NSWIndex(matrix, max_degree=10, ef_search=300)
+        nsw.remove(np.arange(0, 100))  # likely includes the entry point
+        flat = FlatIndex(matrix)
+        flat.remove(np.arange(0, 100))
+        queries = rng.normal(size=(6, 10))
+        flat_i, _ = flat.query_batch(queries, 10)
+        nsw_i, _ = nsw.query_batch(queries, 10)
+        assert np.array_equal(flat_i, nsw_i)
+
+    def test_update_entry_point_row(self, rng):
+        matrix = rng.normal(size=(80, 8))
+        nsw = NSWIndex(matrix, ef_search=80)
+        entry = nsw.entry_point
+        moved = rng.normal(size=8) * 3.0
+        nsw.update_rows([entry], moved[None, :])
+        hits, _ = nsw.query(moved, 1)
+        assert hits[0] == entry
+
+
+class TestNSWState:
+    def test_round_trip_preserves_results(self, rng):
+        matrix = rng.normal(size=(250, 10))
+        queries = rng.normal(size=(6, 10))
+        nsw = NSWIndex(matrix, max_degree=10, ef_construction=48, ef_search=32)
+        restored = NSWIndex.from_state(
+            matrix,
+            nsw.adjacency,
+            nsw.entry_point,
+            max_degree=10,
+            ef_construction=48,
+            ef_search=32,
+        )
+        a_i, a_s = nsw.query_batch(queries, 8)
+        b_i, b_s = restored.query_batch(queries, 8)
+        assert np.array_equal(a_i, b_i)
+        assert np.array_equal(a_s, b_s)
+
+    def test_partial_state_inserts_appended_rows(self, rng):
+        matrix = rng.normal(size=(200, 10))
+        nsw = NSWIndex(matrix, max_degree=10, ef_search=300)
+        extra = rng.normal(size=(20, 10))
+        grown = np.vstack((matrix, extra))
+        restored = NSWIndex.from_partial_state(
+            grown,
+            nsw.adjacency,
+            nsw.entry_point,
+            max_degree=10,
+            ef_search=300,
+        )
+        assert restored.n_rows == 220
+        hits, _ = restored.query(extra[7], 1)
+        assert hits[0] == 207
+
+    def test_partial_state_honours_explicit_markers(self, rng):
+        matrix = rng.normal(size=(60, 8))
+        nsw = NSWIndex(matrix, ef_search=60)
+        adjacency = nsw.adjacency.copy()
+        adjacency[10] = -1
+        adjacency[10, 0] = NOT_INSERTED  # replay flagged this row changed
+        restored = NSWIndex.from_partial_state(
+            matrix, adjacency, nsw.entry_point, ef_search=60
+        )
+        hits, _ = restored.query(matrix[10], 1)
+        assert hits[0] == 10
+
+    def test_from_state_rejects_uninserted_rows(self, rng):
+        matrix = rng.normal(size=(40, 8))
+        nsw = NSWIndex(matrix)
+        adjacency = nsw.adjacency.copy()
+        adjacency[3, 0] = NOT_INSERTED
+        with pytest.raises(ServingError):
+            NSWIndex.from_state(matrix, adjacency, nsw.entry_point)
+
+    def test_from_state_rejects_bad_references(self, rng):
+        matrix = rng.normal(size=(20, 8))
+        nsw = NSWIndex(matrix)
+        bad = nsw.adjacency.copy()
+        bad[0, 0] = 99  # beyond n_rows
+        with pytest.raises(ServingError):
+            NSWIndex.from_state(matrix, bad, nsw.entry_point)
+        with pytest.raises(ServingError):
+            NSWIndex.from_state(matrix, nsw.adjacency, entry_point=25)
+
+
+class TestNSWValidation:
+    def test_rejects_bad_configuration(self, rng):
+        matrix = rng.normal(size=(20, 6))
+        with pytest.raises(ServingError):
+            NSWIndex(matrix, max_degree=0)
+        with pytest.raises(ServingError):
+            NSWIndex(matrix, ef_construction=0)
+        with pytest.raises(ServingError):
+            NSWIndex(matrix, ef_search=0)
+
+    def test_degrees_respect_cap_after_churn(self, rng):
+        nsw = NSWIndex(rng.normal(size=(150, 8)), max_degree=6)
+        nsw.add(rng.normal(size=(50, 8)))
+        degrees = [links.size for links in nsw._neighbours]
+        assert max(degrees) <= 6

@@ -1,0 +1,218 @@
+"""Tests for the product-quantised (PQ / IVF-PQ) index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import FlatIndex, PQIndex
+
+
+def recall_at_k(expected: np.ndarray, got: np.ndarray, k: int) -> float:
+    return float(
+        np.mean(
+            [
+                len(set(a.tolist()) & set(b.tolist())) / k
+                for a, b in zip(expected[:, :k], got[:, :k])
+            ]
+        )
+    )
+
+
+def clustered(rng, n, dim, centres=12):
+    """Gaussian mixture — the regime PQ's coarse layer is built for."""
+    means = rng.normal(scale=4.0, size=(centres, dim))
+    labels = rng.integers(centres, size=n)
+    return means[labels] + rng.normal(size=(n, dim))
+
+
+class TestPQExactness:
+    def test_full_rerank_full_probe_equals_flat(self, rng):
+        matrix = rng.normal(size=(400, 16))
+        queries = rng.normal(size=(9, 16))
+        flat_i, flat_s = FlatIndex(matrix).query_batch(queries, 10)
+        pq = PQIndex(matrix, n_subspaces=4, n_cells=4, nprobe=4, rerank=400)
+        pq_i, pq_s = pq.query_batch(queries, 10)
+        assert np.array_equal(flat_i, pq_i)
+        assert np.allclose(flat_s, pq_s)
+
+    def test_tie_stability_with_duplicate_rows(self, rng):
+        base = rng.normal(size=(20, 8))
+        matrix = np.vstack([base] * 5)  # every row duplicated 5 times
+        queries = rng.normal(size=(4, 8))
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 15)
+        pq = PQIndex(matrix, n_subspaces=4, rerank=100)
+        pq_i, _ = pq.query_batch(queries, 15)
+        assert np.array_equal(flat_i, pq_i)
+
+    def test_single_query_matches_batch(self, rng):
+        matrix = rng.normal(size=(200, 12))
+        pq = PQIndex(matrix, n_subspaces=6, rerank=32)
+        queries = rng.normal(size=(5, 12))
+        batch_i, batch_s = pq.query_batch(queries, 7)
+        for row in range(5):
+            one_i, one_s = pq.query(queries[row], 7)
+            assert np.array_equal(batch_i[row], one_i)
+            assert np.allclose(batch_s[row], one_s)
+
+    def test_dot_metric_exact_mode(self, rng):
+        matrix = rng.normal(size=(150, 8))
+        queries = rng.normal(size=(4, 8))
+        flat_i, flat_s = FlatIndex(matrix, metric="dot").query_batch(queries, 5)
+        pq = PQIndex(matrix, metric="dot", n_subspaces=4, rerank=150)
+        pq_i, pq_s = pq.query_batch(queries, 5)
+        assert np.array_equal(flat_i, pq_i)
+        assert np.allclose(flat_s, pq_s)
+
+
+class TestPQRecall:
+    def test_recall_monotone_in_rerank(self, rng):
+        """Top-R shortlists nest, so recall@k never drops as R grows."""
+        matrix = clustered(rng, 2000, 16)
+        queries = clustered(rng, 30, 16)
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 10)
+        recalls = []
+        for rerank in (10, 40, 160, 640, 2000):
+            pq = PQIndex(matrix, n_subspaces=4, rerank=rerank, seed=0)
+            pq_i, _ = pq.query_batch(queries, 10)
+            recalls.append(recall_at_k(flat_i, pq_i, 10))
+        assert recalls == sorted(recalls)
+        assert recalls[-1] == 1.0  # rerank = n is exact
+
+    def test_adc_only_mode_is_a_reasonable_approximation(self, rng):
+        matrix = clustered(rng, 1500, 16)
+        queries = clustered(rng, 25, 16)
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 10)
+        pq = PQIndex(matrix, n_subspaces=8, rerank=0, seed=0)
+        pq_i, _ = pq.query_batch(queries, 10)
+        assert recall_at_k(flat_i, pq_i, 10) >= 0.5
+
+    def test_ivfpq_partial_probe_recall(self, rng):
+        matrix = clustered(rng, 3000, 16)
+        queries = matrix[rng.choice(3000, size=25, replace=False)] + 0.01
+        flat_i, _ = FlatIndex(matrix).query_batch(queries, 10)
+        pq = PQIndex(
+            matrix, n_subspaces=4, n_cells=16, nprobe=4, rerank=128, seed=0
+        )
+        pq_i, _ = pq.query_batch(queries, 10)
+        assert recall_at_k(flat_i, pq_i, 10) >= 0.8
+
+    def test_float32_agrees_with_float64(self, rng):
+        matrix = clustered(rng, 800, 16)
+        queries = clustered(rng, 10, 16)
+        hi = PQIndex(matrix, n_subspaces=4, rerank=64, seed=0)
+        lo = PQIndex(
+            matrix.astype(np.float32), n_subspaces=4, rerank=64, seed=0
+        )
+        hi_i, hi_s = hi.query_batch(queries, 10)
+        lo_i, lo_s = lo.query_batch(queries, 10)
+        assert lo.matrix.dtype == np.float32
+        assert recall_at_k(hi_i, lo_i, 10) >= 0.9
+        assert np.allclose(hi_s[0], lo_s[0], atol=1e-5)
+
+
+class TestPQMemory:
+    def test_codes_are_packed_uint8(self, rng):
+        pq = PQIndex(rng.normal(size=(300, 12)), n_subspaces=6)
+        assert pq.codes.dtype == np.uint8
+        assert pq.codes.shape == (300, 6)
+
+    def test_resident_memory_is_a_fraction_of_flat(self, rng):
+        matrix = rng.normal(size=(5000, 32))
+        flat = FlatIndex(matrix)
+        pq = PQIndex(matrix, n_subspaces=8, seed=0)
+        assert pq.memory_bytes() < flat.memory_bytes() / 3
+
+    def test_default_subspaces_divide_dimension(self, rng):
+        assert PQIndex(rng.normal(size=(64, 300))).n_subspaces == 30
+        assert PQIndex(rng.normal(size=(64, 48))).n_subspaces == 24
+        assert PQIndex(rng.normal(size=(64, 13))).n_subspaces == 13
+
+
+class TestPQState:
+    def test_round_trip_preserves_results(self, rng):
+        matrix = rng.normal(size=(300, 12))
+        queries = rng.normal(size=(6, 12))
+        pq = PQIndex(matrix, n_subspaces=6, n_cells=4, nprobe=2, rerank=32)
+        restored = PQIndex.from_state(
+            matrix,
+            pq.codebooks,
+            pq.centroids,
+            pq.assignments,
+            pq.codes,
+            nprobe=2,
+            rerank=32,
+        )
+        a_i, a_s = pq.query_batch(queries, 8)
+        b_i, b_s = restored.query_batch(queries, 8)
+        assert np.array_equal(a_i, b_i)
+        assert np.array_equal(a_s, b_s)
+
+    def test_partial_state_encodes_missing_rows(self, rng):
+        matrix = rng.normal(size=(200, 12))
+        pq = PQIndex(matrix, n_subspaces=6, n_cells=4, nprobe=4, rerank=300)
+        extra = rng.normal(size=(5, 12))
+        grown = np.vstack((matrix, extra))
+        assignments = np.concatenate(
+            (pq.assignments, -np.ones(5, dtype=np.int64))
+        )
+        restored = PQIndex.from_partial_state(
+            grown,
+            pq.codebooks,
+            pq.centroids,
+            assignments,
+            pq.codes,
+            nprobe=4,
+            rerank=300,
+        )
+        assert restored.assignments.min() >= 0
+        hits, _ = restored.query(extra[3], 1)
+        assert hits[0] == 203
+
+    def test_from_state_rejects_unencoded_rows(self, rng):
+        matrix = rng.normal(size=(50, 8))
+        pq = PQIndex(matrix, n_subspaces=4)
+        bad = pq.assignments.copy()
+        bad[7] = -1
+        with pytest.raises(ServingError):
+            PQIndex.from_state(
+                matrix, pq.codebooks, pq.centroids, bad, pq.codes
+            )
+
+    def test_from_state_rejects_shape_mismatches(self, rng):
+        matrix = rng.normal(size=(50, 8))
+        pq = PQIndex(matrix, n_subspaces=4)
+        with pytest.raises(ServingError):
+            PQIndex.from_state(
+                matrix,
+                pq.codebooks,
+                pq.centroids,
+                pq.assignments,
+                pq.codes[:, :2],
+            )
+        with pytest.raises(ServingError):
+            PQIndex.from_state(
+                matrix,
+                pq.codebooks[:, :, :1],
+                pq.centroids,
+                pq.assignments,
+                pq.codes,
+            )
+
+
+class TestPQValidation:
+    def test_rejects_bad_configuration(self, rng):
+        matrix = rng.normal(size=(40, 12))
+        with pytest.raises(ServingError):
+            PQIndex(np.zeros((0, 4)))
+        with pytest.raises(ServingError):
+            PQIndex(matrix, n_subspaces=5)  # does not divide 12
+        with pytest.raises(ServingError):
+            PQIndex(matrix, n_codes=300)  # cannot pack into uint8
+        with pytest.raises(ServingError):
+            PQIndex(matrix, nprobe=0)
+        with pytest.raises(ServingError):
+            PQIndex(matrix, rerank=-1)
+
+    def test_cells_capped_at_rows(self, rng):
+        pq = PQIndex(rng.normal(size=(4, 8)), n_cells=100, nprobe=100)
+        assert pq.n_cells == 4

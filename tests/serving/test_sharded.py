@@ -116,6 +116,41 @@ class TestShardedEqualsSingleIndex:
                 tier.submit(DatabaseDelta())
 
 
+class TestShardedIndexKinds:
+    """``index_kind`` swaps the per-shard scope index; an exhaustive NSW
+    beam keeps the tier's exact-equality contract bit for bit."""
+
+    @pytest.mark.parametrize("n_shards", [1, 3])
+    def test_nsw_per_shard_equals_single_index(self, int_corpus, n_shards):
+        store, session, queries = int_corpus
+        tier = ShardedServingTier(
+            store.root, "int", n_shards=n_shards, index_kind="nsw",
+            index_params={"max_degree": 8, "ef_search": 100_000},
+        )
+        with tier:
+            for k in (1, 3, 10):
+                assert tier.topk_batch(queries, k) == session.topk_batch(
+                    queries, k
+                )
+
+    def test_nsw_category_scope_identical(self, int_corpus):
+        store, session, queries = int_corpus
+        category = sorted(session.categories)[0]
+        tier = ShardedServingTier(
+            store.root, "int", n_shards=2, index_kind="nsw",
+            index_params={"max_degree": 8, "ef_search": 100_000},
+        )
+        with tier:
+            assert tier.topk_batch(
+                queries, 5, category=category
+            ) == session.topk_batch(queries, 5, category=category)
+
+    def test_rejects_unknown_kind(self, int_corpus):
+        store, _, _ = int_corpus
+        with pytest.raises(ServingError, match="index kind"):
+            ShardedServingTier(store.root, "int", index_kind="kdtree")
+
+
 @pytest.fixture()
 def stream(tmp_path):
     """A trained TMDB corpus + retrofitter + store, for delta streams."""

@@ -96,3 +96,69 @@ class TestStructure:
 
     def test_len_counts_words(self, space):
         assert len(space) == 8
+
+
+class TestSyntheticCorpus:
+    def test_deterministic_and_blockwise_consistent(self):
+        from repro.text.synthetic import SyntheticCorpus
+
+        corpus = SyntheticCorpus(
+            5_000, dimension=12, n_clusters=10, n_categories=4,
+            seed=7, block_size=512,
+        )
+        matrix = corpus.matrix()
+        assert matrix.shape == (5_000, 12)
+        again = SyntheticCorpus(
+            5_000, dimension=12, n_clusters=10, n_categories=4,
+            seed=7, block_size=512,
+        ).matrix()
+        np.testing.assert_array_equal(matrix, again)
+        for start, block in corpus.iter_blocks():
+            np.testing.assert_array_equal(
+                block, matrix[start:start + block.shape[0]]
+            )
+
+    def test_zipfian_category_sizes(self):
+        from repro.text.synthetic import SyntheticCorpus
+
+        corpus = SyntheticCorpus(20_000, n_categories=6, seed=1)
+        sizes = corpus.category_sizes()
+        assert sum(sizes) == 20_000
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[0] > 2 * sizes[-1]  # head-heavy skew
+        assert corpus.category_of(0) == "synthetic.cat00"
+        assert corpus.category_of(19_999) == "synthetic.cat05"
+
+    def test_lazy_value_strings(self):
+        from repro.text.synthetic import SyntheticCorpus
+
+        corpus = SyntheticCorpus(1_000_000, dimension=8, seed=2)
+        # no million-string materialisation happened; lookups still work
+        assert corpus.value_text(999_999) == "value 00999999"
+        with pytest.raises(EmbeddingError):
+            corpus.value_text(1_000_000)
+
+    def test_queries_cluster_near_corpus(self):
+        from repro.text.synthetic import SyntheticCorpus
+
+        corpus = SyntheticCorpus(
+            3_000, dimension=16, n_clusters=8, seed=4, block_size=1_000
+        )
+        queries = corpus.queries(10)
+        assert queries.shape == (10, 16)
+        matrix = corpus.matrix()
+        sims = (queries / np.linalg.norm(queries, axis=1, keepdims=True)) @ (
+            matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+        ).T
+        # clustered data: every query has close neighbours in the corpus
+        assert sims.max(axis=1).min() > 0.7
+
+    def test_validation(self):
+        from repro.text.synthetic import SyntheticCorpus
+
+        with pytest.raises(EmbeddingError):
+            SyntheticCorpus(0)
+        with pytest.raises(EmbeddingError):
+            SyntheticCorpus(10, dimension=0)
+        with pytest.raises(EmbeddingError):
+            SyntheticCorpus(10, block_size=0)
