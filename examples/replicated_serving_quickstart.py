@@ -1,27 +1,29 @@
-"""Replicated serving quickstart: log-shipping replicas behind HTTP.
+"""Replicated serving quickstart: log-shipping replicas behind /v1 HTTP.
 
 Trains a small retrofitted model, persists it through the
 :class:`~repro.serving.EmbeddingStore`, and serves it from a
 :class:`~repro.serving.ReplicatedServingTier`: one primary process owns
 the database and the retrofit solver and publishes every applied delta to
 the store's versioned delta log; follower processes tail that log, replay
-it into full-corpus read replicas, and answer top-k queries.  An
-:class:`~repro.serving.HTTPServingFront` — a stdlib-asyncio HTTP/JSON
-endpoint with event-loop query batching and per-client rate limits — sits
-on top, queried here with nothing but ``urllib``.
+it into full-corpus read replicas, and answer top-k queries.
 
-Read-your-writes: a resolved write ticket carries the log version the
-update published at; pass it as ``min_version`` and the answering replica
-is guaranteed at-or-past that position.
+On top sits the network tier from this iteration:
+
+* a :class:`~repro.serving.MultiFrontDeployment` — two
+  :class:`~repro.serving.HTTPServingFront` *processes* sharing the one
+  replica pool behind a single connection-balancing address, with
+  bearer-token auth (per-token read/write scopes);
+* a :class:`~repro.serving.ServingClient` — the stdlib client: retried
+  calls, idempotent write resubmission (one submission id across
+  retries), and automatic read-your-writes floors (a reader that just
+  wrote always sees its write, whichever front answers).
 
 Run with:
 
     PYTHONPATH=src python examples/replicated_serving_quickstart.py
 """
 
-import json
 import tempfile
-import urllib.request
 
 from repro.datasets import generate_tmdb
 from repro.db.delta import DatabaseDelta
@@ -30,20 +32,16 @@ from repro.retrofit.hyperparams import RetroHyperparameters
 from repro.retrofit.pipeline import RetroPipeline
 from repro.serving import (
     EmbeddingStore,
-    HTTPServingFront,
+    MultiFrontDeployment,
     ReplicatedServingTier,
-    ServingSession,
+    ServingAPIError,
+    ServingClient,
 )
 
-
-def get_json(url: str, payload: dict | None = None) -> dict:
-    """One HTTP round trip with plain urllib — no client library needed."""
-    data = None if payload is None else json.dumps(payload).encode("utf-8")
-    request = urllib.request.Request(
-        url, data=data, headers={"Content-Type": "application/json"}
-    )
-    with urllib.request.urlopen(request, timeout=30) as response:
-        return json.loads(response.read())
+TOKENS = {
+    "reader-key": "read",  # queries and stats only
+    "writer-key": ("read", "write"),  # may also POST /v1/submit
+}
 
 
 def main() -> None:
@@ -73,9 +71,10 @@ def main() -> None:
         store = EmbeddingStore(store_dir)
         store.save_embedding_set("model", result.embeddings)
 
-        # 3. serve: one primary + two follower processes
+        # 3. serve: one primary + two follower processes, behind two
+        # balanced HTTP front processes speaking the /v1 API
         retrofitter = pipeline.incremental_retrofitter(result)
-        with ReplicatedServingTier(
+        tier = ReplicatedServingTier(
             store_dir,
             "model",
             n_replicas=2,
@@ -83,11 +82,19 @@ def main() -> None:
             retrofitter=retrofitter,
             retrofitter_factory=follower_retrofitter,
             solve_iterations=200,
-        ) as tier:
+        )
+        with tier, MultiFrontDeployment(
+            tier, n_fronts=2, front_options={"auth_tokens": TOKENS}
+        ) as deployment:
             print(f"serving reads on {tier.live_followers} followers")
+            print(f"{deployment.live_fronts} fronts behind {deployment.address}")
 
-            # 4. write: submit a database delta; the resolved ticket
-            # carries the log version the update published at
+            writer = ServingClient(deployment.address, token="writer-key")
+            print("health:", writer.health())
+
+            # 4. write over the network: POST /v1/submit carries the
+            # delta's to_dict() wire form plus a submission id — the
+            # idempotency key; a retried POST applies exactly once
             delta = DatabaseDelta()
             delta.insert("movies", {
                 "id": 90_001, "title": "the meridian line",
@@ -96,47 +103,37 @@ def main() -> None:
                 "budget": 1e7, "revenue": 2e7, "popularity": 1.0,
                 "release_year": 2026, "collection_id": None,
             })
-            ticket = tier.submit(delta)
-            ticket.wait(timeout=120.0)
-            print(f"delta published as log version {ticket.version}")
+            version = writer.submit(delta, submission_id="quickstart-1")
+            print(f"delta published as log version {version}")
+            again = writer.submit(delta, submission_id="quickstart-1")
+            assert again == version  # dedup hit: same version, applied once
 
-            # 5. read-your-writes: the floored read routes to a replica
-            # at-or-past the ticket's version — the new title is visible
-            loaded, _, version = store.load_embedding_set_versioned("model")
+            # 5. read-your-writes: the client remembers its acked version
+            # and floors every later read with it, so the new title is
+            # visible no matter which front or follower answers
+            loaded, _, _ = store.load_embedding_set_versioned("model")
             query = loaded.vector_for("movies.title", "the meridian line")
-            hit = tier.topk(
-                query, k=1, category="movies.title",
-                min_version=ticket.version,
-            )
-            print(f"nearest to the new title: {hit[0][1]!r}")
-            print("follower positions:", tier.replica_versions())
+            reply = writer.topk(query, k=3, category="movies.title")
+            assert reply["version"] >= version
+            print(f"top-3 at version {reply['version']}:")
+            for category, text, score in reply["results"]:
+                print(f"  {score:+.3f}  {category}  {text!r}")
 
-            # a follower's replayed state equals the single-index session;
-            # sync the whole pool first — plain (un-floored) reads are
-            # eventually consistent and may route to a lagging follower
-            tier.sync_replicas()
-            session = ServingSession(loaded)
-            assert tier.topk_batch(query[None, :], 5) == session.topk_batch(
-                query[None, :], 5
-            )
-            print(f"replicated == single-index at version {version}: exact")
+            # 6. scopes: the reader token may query but not write
+            reader = ServingClient(deployment.address, token="reader-key")
+            reader.topk(query, k=1)
+            try:
+                reader.submit(delta)
+            except ServingAPIError as error:
+                print(f"reader write refused: {error}")  # HTTP 403
 
-            # 6. HTTP: the asyncio front batches concurrent queries and
-            # load-balances them across the followers
-            with HTTPServingFront(tier, rate_per_second=100.0) as front:
-                print(f"listening on {front.address}")
-                reply = get_json(front.address + "/topk", {
-                    "vector": list(query),
-                    "k": 3,
-                    "category": "movies.title",
-                    "min_version": ticket.version,
-                })
-                print(f"HTTP top-3 at version {reply['version']}:")
-                for category, text, score in reply["results"]:
-                    print(f"  {score:+.3f}  {category}  {text!r}")
-                print("health:", get_json(front.address + "/health"))
-
-            print(tier.stats)
+            # 7. the deployment aggregates per-front counters
+            stats = deployment.stats()
+            per_front = [
+                entry["front"]["requests"] for entry in stats["fronts"]
+            ]
+            print(f"requests per front: {per_front}")
+            print(f"totals: {stats['totals']}")
 
 
 if __name__ == "__main__":

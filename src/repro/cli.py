@@ -248,6 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 0 — skip the replicated phases)",
     )
     serve_parser.add_argument(
+        "--fronts",
+        type=int,
+        default=0,
+        help="additionally serve the replicated tier over HTTP through "
+        "this many front processes behind the connection balancer, with "
+        "write-over-HTTP steady/churn phases, read-your-writes and "
+        "duplicate-POST idempotency checks (requires --replicas; "
+        "default: 0 — skip the HTTP phases)",
+    )
+    serve_parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -538,6 +548,7 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
         corpus_scale=args.corpus_scale,
         shards=args.shards,
         replicas=args.replicas,
+        fronts=args.fronts,
         seed=args.seed,
         cache_dir=args.cache_dir,
         churn=args.churn,

@@ -63,3 +63,25 @@ class ServingError(ReproError):
 class StoreFormatError(ServingError):
     """A persisted embedding artifact is corrupt, truncated or from an
     incompatible format version."""
+
+
+class BackpressureError(ServingError):
+    """A write was rejected by admission control (rate limit or full queue).
+
+    The rejection is transient by construction: ``retry_after`` carries the
+    producer's hint, in seconds, for when a retry is worth attempting.  The
+    HTTP front maps this to ``429`` with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class WriteDegradedError(ServingError):
+    """The write path latched degraded and refuses new submissions.
+
+    Unlike :class:`BackpressureError` there is no retry hint — the tier
+    stays degraded until an operator (or failover) clears it.  The HTTP
+    front maps this to ``503``.
+    """

@@ -38,6 +38,17 @@ promoted follower lands the next write).  The correctness half compares a
 follower's fully-replayed matrix against both the store's own log replay
 (exact) and a serial incremental retrofitter over the identical stream.
 
+With ``fronts >= 1`` (requires ``replicas >= 1``) the replicated tier is
+additionally served over the network: a
+:class:`~repro.serving.MultiFrontDeployment` runs that many HTTP front
+processes behind the connection balancer, and
+:class:`~repro.serving.ServingClient` readers/writers drive steady and
+churn phases entirely over ``/v1`` — writes POSTed as wire-form deltas
+with submission ids, each ack followed by a floored read (the
+read-your-writes check), a duplicated POST asserted to apply exactly
+once, and the HTTP-acked deltas folded into the same serial-replay
+agreement gate as the in-process stream.
+
 Reported: queries/s and p50/p99 per-request latency for both phases,
 update lag (submit→publish) for the delta stream, queue/coalescing and
 batching counters, and — the correctness half — the max cosine distance
@@ -115,6 +126,7 @@ def run_serve_benchmark(
     corpus_scale: int = 5,
     shards: int = 0,
     replicas: int = 0,
+    fronts: int = 0,
     seed: int | None = None,
     cache_dir=None,
     churn: bool = False,
@@ -142,6 +154,11 @@ def run_serve_benchmark(
         raise ExperimentError("serve benchmark needs at least one reader")
     if corpus_scale < 1:
         raise ExperimentError("corpus_scale must be at least 1")
+    if fronts >= 1 and replicas < 1:
+        raise ExperimentError(
+            "--fronts serves the replicated tier over HTTP; pass "
+            "--replicas N (>= 1) as well"
+        )
     from repro.experiments.engine import RunContext
 
     sizes = sizes or ExperimentSizes.quick()
@@ -376,6 +393,7 @@ def run_serve_benchmark(
 
     # ---- phases 6+7: replicated log-shipping tier ---------------------- #
     replicated_metrics: dict[str, Any] | None = None
+    http_metrics: dict[str, Any] | None = None
     repl_deltas: list = []
     repl_follower_matrix = None
     repl_final_set = None
@@ -488,6 +506,178 @@ def run_serve_benchmark(
             )
             if answered < failover_version:
                 ryw_violations += 1
+
+            # ---- write-over-HTTP phases: N fronts over this one pool -- #
+            if fronts >= 1:
+                from repro.serving.client import ServingClient
+                from repro.serving.multifront import MultiFrontDeployment
+
+                bench_token = "serve-bench"
+                deployment = MultiFrontDeployment(
+                    tier,
+                    n_fronts=fronts,
+                    front_options={
+                        "window_seconds": window_seconds,
+                        "max_batch": max_batch,
+                        "auth_tokens": {bench_token: ("read", "write")},
+                        "write_timeout_seconds": 600.0,
+                    },
+                )
+                http_errors: list[BaseException] = []
+
+                def http_reader_loop(index, chunk, sink) -> None:
+                    client = ServingClient(
+                        deployment.address,
+                        token=bench_token,
+                        client_id=f"reader-{index}",
+                        timeout=120.0,
+                    )
+                    try:
+                        local: list[float] = []
+                        for vector in chunk:
+                            t0 = time.perf_counter()
+                            client.topk(vector, k)
+                            local.append(time.perf_counter() - t0)
+                        sink.extend(local)
+                    except BaseException as error:
+                        http_errors.append(error)
+
+                def run_http_phase(write_deltas=None):
+                    latencies: list[float] = []
+                    chunks = np.array_split(queries, readers)
+                    threads = [
+                        threading.Thread(
+                            target=http_reader_loop,
+                            args=(index, chunk, latencies),
+                        )
+                        for index, chunk in enumerate(chunks)
+                    ]
+                    acked: list[tuple[str, int]] = []
+                    violations = 0
+                    started = time.perf_counter()
+                    for thread in threads:
+                        thread.start()
+                    if write_deltas:
+                        writer = ServingClient(
+                            deployment.address,
+                            token=bench_token,
+                            client_id="writer",
+                            timeout=630.0,
+                        )
+                        for index, delta in enumerate(write_deltas):
+                            sid = f"bench-http-{index}"
+                            version = writer.submit(
+                                delta, submission_id=sid
+                            )
+                            acked.append((sid, version))
+                            # the client floors this read at the ack it
+                            # just received: read-your-writes over HTTP,
+                            # through whichever front the balancer picks
+                            answered = writer.topk(probe_query, k)
+                            if int(answered["version"]) < version:
+                                violations += 1
+                            time.sleep(delta_interval_seconds)
+                    for thread in threads:
+                        thread.join()
+                    wall = time.perf_counter() - started
+                    if http_errors:
+                        raise http_errors[0]
+                    return wall, latencies, acked, violations
+
+                with deployment:
+                    http_steady_wall, http_steady_latencies, _, _ = (
+                        run_http_phase()
+                    )
+                    http_deltas = []
+                    for _ in range(max(1, min(4, n_deltas))):
+                        delta = synthesize_tmdb_delta(
+                            scratch, stream_rng, movies_per_delta
+                        )
+                        delta.apply_to(scratch)
+                        http_deltas.append(delta)
+                        repl_deltas.append(delta)
+                    (
+                        http_churn_wall,
+                        http_churn_latencies,
+                        http_acked,
+                        http_ryw_violations,
+                    ) = run_http_phase(write_deltas=http_deltas)
+                    # a duplicated POST (same submission id, fresh
+                    # connection) must ack the original version without
+                    # growing the log: the queue's dedup window holds
+                    # across fronts because all writes funnel to the one
+                    # primary queue
+                    log_before = tier.stats.log_version
+                    dup_client = ServingClient(
+                        deployment.address,
+                        token=bench_token,
+                        client_id="dup-writer",
+                        timeout=630.0,
+                    )
+                    dup_sid, dup_version = http_acked[-1]
+                    dup_ack = dup_client.submit(
+                        http_deltas[-1], submission_id=dup_sid
+                    )
+                    dedup_applied_once = (
+                        dup_ack == dup_version
+                        and tier.stats.log_version == log_before
+                    )
+                    if not dedup_applied_once:
+                        raise ExperimentError(
+                            "duplicated POST was not idempotent: original "
+                            f"ack {dup_version}, duplicate ack {dup_ack}, "
+                            f"log {log_before} -> {tier.stats.log_version}"
+                        )
+                    deployment_stats = deployment.stats()
+                http_steady_qps = (
+                    total_queries / http_steady_wall
+                    if http_steady_wall > 0
+                    else 0.0
+                )
+                http_churn_qps = (
+                    total_queries / http_churn_wall
+                    if http_churn_wall > 0
+                    else 0.0
+                )
+                http_steady_p50, http_steady_p99 = _percentiles(
+                    http_steady_latencies
+                )
+                http_churn_p50, http_churn_p99 = _percentiles(
+                    http_churn_latencies
+                )
+                http_metrics = {
+                    "n_fronts": fronts,
+                    "steady": {
+                        "wall_seconds": http_steady_wall,
+                        "qps": http_steady_qps,
+                        "p50_seconds": http_steady_p50,
+                        "p99_seconds": http_steady_p99,
+                        "queries_answered": len(http_steady_latencies),
+                    },
+                    "churn": {
+                        "wall_seconds": http_churn_wall,
+                        "qps": http_churn_qps,
+                        "p50_seconds": http_churn_p50,
+                        "p99_seconds": http_churn_p99,
+                        "queries_answered": len(http_churn_latencies),
+                    },
+                    "writes_over_http": len(http_acked),
+                    "acked_versions": [version for _, version in http_acked],
+                    "read_your_writes_violations": http_ryw_violations,
+                    "duplicate_post_applied_once": dedup_applied_once,
+                    "per_front_requests": [
+                        (entry["front"] or {}).get("requests")
+                        for entry in deployment_stats["fronts"]
+                    ],
+                    "per_front_submits": [
+                        (entry["front"] or {}).get("submits")
+                        for entry in deployment_stats["fronts"]
+                    ],
+                    "balancer_connections": (
+                        deployment_stats["balancer"]["connections"]
+                    ),
+                    "totals": deployment_stats["totals"],
+                }
 
             repl_lag_stream = [
                 t.lag_seconds
@@ -618,6 +808,23 @@ def run_serve_benchmark(
             p50_ms=replicated_metrics["churn"]["p50_seconds"] * 1000.0,
             p99_ms=replicated_metrics["churn"]["p99_seconds"] * 1000.0,
         )
+    if http_metrics is not None:
+        table.add_row(
+            mode=f"http({http_metrics['n_fronts']})",
+            queries=total_queries,
+            wall_s=http_metrics["steady"]["wall_seconds"],
+            qps=http_metrics["steady"]["qps"],
+            p50_ms=http_metrics["steady"]["p50_seconds"] * 1000.0,
+            p99_ms=http_metrics["steady"]["p99_seconds"] * 1000.0,
+        )
+        table.add_row(
+            mode="http+churn",
+            queries=total_queries,
+            wall_s=http_metrics["churn"]["wall_seconds"],
+            qps=http_metrics["churn"]["qps"],
+            p50_ms=http_metrics["churn"]["p50_seconds"] * 1000.0,
+            p99_ms=http_metrics["churn"]["p99_seconds"] * 1000.0,
+        )
     table.add_note(
         f"steady concurrent throughput {speedup:.1f}x the single-threaded "
         f"loop; mean batched {steady_front_stats.mean_batch_size:.1f} "
@@ -657,6 +864,16 @@ def run_serve_benchmark(
             f"{replicated_metrics['failovers']} failover(s); follower "
             f"matches the store's log replay exactly: "
             f"{replicated_metrics['follower_matches_log_replay']}"
+        )
+    if http_metrics is not None:
+        table.add_note(
+            f"{http_metrics['n_fronts']} HTTP fronts over one replica "
+            f"pool: {http_metrics['writes_over_http']} deltas written over "
+            f"POST /v1/submit with "
+            f"{http_metrics['read_your_writes_violations']} read-your-"
+            f"writes violations; duplicated POST applied exactly once: "
+            f"{http_metrics['duplicate_post_applied_once']}; requests per "
+            f"front {http_metrics['per_front_requests']}"
         )
 
     payload: dict[str, Any] = {
@@ -713,6 +930,8 @@ def run_serve_benchmark(
         payload["sharded"] = sharded_metrics
     if replicated_metrics is not None:
         payload["replicated"] = replicated_metrics
+    if http_metrics is not None:
+        payload["http"] = http_metrics
 
     # ---- agreement: the serial incremental path over the same stream --- #
     if measure_agreement:
@@ -745,9 +964,10 @@ def run_serve_benchmark(
                 f"{sharded_worst:.2e}"
             )
         if repl_follower_matrix is not None and repl_final_set is not None:
-            # the replicated stream is longer (lag probes + the failover
-            # write), so it gets its own serial replay of the identical
-            # sequence; the follower's replayed matrix is the compared side
+            # the replicated stream is longer (lag probes, the failover
+            # write and any HTTP-acked deltas), so it gets its own serial
+            # replay of the identical sequence; the follower's replayed
+            # matrix is the compared side
             repl_serial_database = make_tmdb(sizes).database
             repl_serial = IncrementalRetrofitter(
                 embeddings,

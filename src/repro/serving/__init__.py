@@ -39,11 +39,23 @@ promotes those delta records to a replication log — one primary runtime
 publishing, N full-corpus followers tailing, heartbeat failure detection
 and failover — and :class:`HTTPServingFront` puts an asyncio HTTP/JSON
 endpoint with per-client rate limits and read-your-writes routing on top.
+The front speaks the versioned ``/v1`` API — reads *and* idempotent
+delta writes (``POST /v1/submit``), bearer-token scopes, optional TLS —
+:class:`MultiFrontDeployment` runs N front processes over one replica
+pool behind a connection-balancing entry point, and
+:class:`ServingClient` is the stdlib client with retries, resubmission
+ids and automatic read-your-writes floors.
 """
 
 from repro.serving.cache import CacheStats, LRUCache
+from repro.serving.client import (
+    ServingAPIError,
+    ServingClient,
+    TransientServingError,
+)
 from repro.serving.http import HTTPFrontStats, HTTPServingFront
 from repro.serving.index import FlatIndex, IVFIndex, VectorIndex, topk_descending
+from repro.serving.multifront import MultiFrontDeployment
 from repro.serving.nsw import NOT_INSERTED, NSWIndex
 from repro.serving.pq import PQIndex
 from repro.serving.replicated import (
@@ -109,6 +121,10 @@ __all__ = [
     "ship_snapshot",
     "HTTPServingFront",
     "HTTPFrontStats",
+    "MultiFrontDeployment",
+    "ServingClient",
+    "ServingAPIError",
+    "TransientServingError",
     "DeltaRecord",
     "EmbeddingStore",
     "STORE_FORMAT",

@@ -1,26 +1,54 @@
-"""An asyncio HTTP/JSON query front over a serving tier.
+"""An asyncio HTTP/JSON front over a serving tier: versioned read + write API.
 
 The replication tier answers in-process calls; real clients arrive over
 the network.  :class:`HTTPServingFront` puts a minimal HTTP/1.1 endpoint
 (stdlib ``asyncio.start_server`` — no new dependencies) in front of any
-target exposing ``topk_batch``:
+target exposing ``topk_batch``, and — when the target also exposes
+``submit`` — a write path feeding its idempotent delta queue.
 
-* ``POST /topk`` — body ``{"vector": [...], "k": 10, "category": null,
-  "min_version": null}`` → ``{"version": N, "results": [[category,
-  text, score], ...]}``.  ``min_version`` is the read-your-writes knob:
-  pass a resolved :attr:`~repro.serving.runtime.UpdateTicket.version`
-  and the answering replica is at-or-past that log position.
-* ``GET /health`` — liveness + the target's published version.
-* ``GET /stats`` — front counters plus the target's own stats.
+All endpoints live under a versioned ``/v1`` prefix:
 
-Concurrent requests are coalesced :class:`BatchedQueryFront`-style, but
+* ``POST /v1/topk`` — body ``{"vector": [...], "k": 10, "category":
+  null, "min_version": null}`` → ``{"version": N, "results":
+  [[category, text, score], ...]}``.  ``min_version`` is the
+  read-your-writes knob: pass a resolved
+  :attr:`~repro.serving.runtime.UpdateTicket.version` and the answering
+  replica is at-or-past that log position.
+* ``POST /v1/submit`` — body ``{"submission_id": "...", "delta":
+  {...}}`` with the delta in :meth:`~repro.db.delta.DatabaseDelta.to_dict`
+  wire form → ``{"version": N, "submission_id": "..."}`` once the write
+  is applied and replicated.  ``submission_id`` is the idempotency key:
+  a retried POST (same id) applies exactly once and returns the original
+  version.
+* ``GET /v1/health`` — liveness + the target's published version; HTTP
+  503 (body unchanged) once the target latches ``degraded`` or
+  ``write_degraded``, so a load balancer can eject the front without
+  parsing JSON.
+* ``GET /v1/stats`` — front counters plus the target's own stats.
+
+The unversioned ``/topk``, ``/health`` and ``/stats`` paths from the
+first iteration of this front remain as deprecated aliases: same
+handlers, plus a ``Deprecation`` header and a ``Link`` to the successor
+route.  Their *error* bodies keep the original flat ``{"error":
+"message"}`` shape — frozen for old clients — while ``/v1`` errors use
+one envelope across every status::
+
+    {"error": {"code": "rate_limited", "message": "...", "retry_after": 1}}
+
+``auth_tokens`` arms bearer-token auth with per-token scopes (``read``
+guards /v1/topk and /v1/stats, ``write`` guards /v1/submit): a missing
+or unknown token is 401, a known token without the needed scope is 403,
+and health is never gated — the balancer probing a front must not need
+credentials.  ``ssl_context`` wraps the listener in TLS.
+
+Concurrent reads are coalesced :class:`BatchedQueryFront`-style, but
 natively on the event loop: requests arriving within ``window_seconds``
 are grouped by ``(k, category)``, stacked into one matrix and dispatched
 as a single ``topk_batch`` call on an executor thread (the event loop
-never blocks on the index).  Per-client token buckets (reusing
-:class:`~repro.serving.runtime.RateLimiter`) reject over-budget callers
-with ``429`` *before* their request joins a batch — one hot client
-degrades itself, not the pool.
+never blocks on the index or the solver).  Per-client token buckets
+(reusing :class:`~repro.serving.runtime.RateLimiter`) reject over-budget
+callers with ``429`` *before* their request joins a batch or the write
+queue — one hot client degrades itself, not the pool.
 
 The server runs on a dedicated thread with its own event loop, so it
 composes with the synchronous tiers and tests without an async caller.
@@ -31,37 +59,83 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import json
+import ssl as ssl_module
 import threading
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ExtractionError, ServingError
+from repro.db.delta import DatabaseDelta
+from repro.errors import (
+    BackpressureError,
+    ExtractionError,
+    IntegrityError,
+    SchemaError,
+    ServingError,
+    WriteDegradedError,
+)
 from repro.serving.runtime import RateLimiter
 from repro.util import EventLog, faults
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Machine-readable ``error.code`` for each status in the /v1 envelope.
+_ERROR_CODES = {
+    400: "invalid_request",
+    401: "unauthenticated",
+    403: "forbidden",
+    404: "not_found",
+    405: "method_not_allowed",
+    413: "payload_too_large",
+    429: "rate_limited",
+    500: "internal",
+    501: "not_supported",
+    503: "degraded",
+    504: "timeout",
+}
+
+#: Deprecated unversioned path → its /v1 successor.
+_LEGACY_ALIASES = {
+    "/topk": "/v1/topk",
+    "/health": "/v1/health",
+    "/stats": "/v1/stats",
 }
 
 #: Upper bound on ``k`` accepted over the wire — a malicious ``k`` must
 #: not size a response (or an index scan) arbitrarily.
 _MAX_K = 1000
 
+#: Upper bound on the idempotency key length — it is stored verbatim in
+#: the queue's dedup window.
+_MAX_SUBMISSION_ID = 200
+
 
 class _BadRequest(Exception):
-    """A client error mapped to an HTTP status (default 400)."""
+    """A request error mapped to an HTTP status (default 400)."""
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -74,6 +148,9 @@ class HTTPFrontStats:
     largest_batch: int
     read_timeouts: int = 0
     drained_clean: bool | None = None
+    submits: int = 0
+    submit_rejected: int = 0
+    auth_failures: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -84,22 +161,26 @@ class HTTPFrontStats:
 
 
 class HTTPServingFront:
-    """HTTP/JSON top-k serving over any ``topk_batch`` target.
+    """HTTP/JSON serving (top-k reads + delta writes) over a tier.
 
     ``target`` is typically a started
     :class:`~repro.serving.replicated.ReplicatedServingTier` (whose
     ``topk_batch_versioned`` supplies the answered version and honours
-    ``min_version`` routing); a
+    ``min_version`` routing, and whose ``submit`` backs /v1/submit); a
     :class:`~repro.serving.runtime.ServingRuntime`,
     :class:`~repro.serving.sharded.ShardedServingTier` or bare
     :class:`~repro.serving.session.ServingSession` also works —
     ``min_version`` is then ignored and the reported version is the
-    target's ``published_version``.
+    target's ``published_version``.  A target without ``submit`` answers
+    /v1/submit with 501.
 
     ``rate_per_second`` (with optional ``burst``) arms one token bucket
     *per client*, keyed by the ``X-Client-Id`` header when present, else
-    the peer address.  ``port=0`` binds an ephemeral port; read
-    :attr:`port` after :meth:`start`.
+    the peer address; reads and writes share the client's bucket.
+    ``auth_tokens`` maps bearer tokens to their scopes (``"read"``,
+    ``"write"``, or any iterable of those); ``None`` disables auth.
+    ``ssl_context`` serves TLS.  ``port=0`` binds an ephemeral port;
+    read :attr:`port` after :meth:`start`.
     """
 
     def __init__(
@@ -115,6 +196,9 @@ class HTTPServingFront:
         max_clients: int = 1024,
         read_timeout_seconds: float = 30.0,
         drain_seconds: float = 5.0,
+        write_timeout_seconds: float = 60.0,
+        auth_tokens: dict[str, object] | None = None,
+        ssl_context: ssl_module.SSLContext | None = None,
         log_stream=None,
     ) -> None:
         if max_batch < 1:
@@ -131,6 +215,9 @@ class HTTPServingFront:
         self._max_clients = int(max_clients)
         self._read_timeout = float(read_timeout_seconds)
         self._drain_seconds = float(drain_seconds)
+        self._write_timeout = float(write_timeout_seconds)
+        self._auth = _normalize_tokens(auth_tokens)
+        self._ssl_context = ssl_context
         self._events = EventLog("http", capacity=512, stream=log_stream)
 
         self.port: int | None = None
@@ -155,6 +242,9 @@ class HTTPServingFront:
         self._n_batches = 0
         self._largest_batch = 0
         self._n_read_timeouts = 0
+        self._n_submits = 0
+        self._n_submit_rejected = 0
+        self._n_auth_failures = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -207,10 +297,11 @@ class HTTPServingFront:
 
     @property
     def address(self) -> str:
-        """``http://host:port`` once started."""
+        """``http(s)://host:port`` once started."""
         if self.port is None:
             raise ServingError("HTTP front is not running — call start()")
-        return f"http://{self._host}:{self.port}"
+        scheme = "https" if self._ssl_context is not None else "http"
+        return f"{scheme}://{self._host}:{self.port}"
 
     def _run(self, ready: threading.Event) -> None:
         loop = asyncio.new_event_loop()
@@ -227,7 +318,8 @@ class HTTPServingFront:
         self._shutdown = asyncio.Event()
         try:
             server = await asyncio.start_server(
-                self._handle_connection, self._host, self._requested_port
+                self._handle_connection, self._host, self._requested_port,
+                ssl=self._ssl_context,
             )
         except OSError as error:
             self._startup_error = error
@@ -290,8 +382,13 @@ class HTTPServingFront:
                     self._events.emit("read_timeout", client=peer_label)
                     return
                 except _BadRequest as error:
+                    # framing failed before the route is known: answer in
+                    # the /v1 envelope — legacy parity only covers routed
+                    # requests
                     await self._respond(
-                        writer, error.status, {"error": str(error)}, False
+                        writer, error.status,
+                        _error_body(False, error.status, str(error)),
+                        False,
                     )
                     return
                 if request is None:
@@ -305,10 +402,12 @@ class HTTPServingFront:
                 started = time.perf_counter()
                 self._busy.add(task)
                 try:
-                    status, payload = await self._dispatch(
+                    status, payload, extra = await self._dispatch(
                         method, path, headers, body, writer
                     )
-                    await self._respond(writer, status, payload, keep_alive)
+                    await self._respond(
+                        writer, status, payload, keep_alive, extra
+                    )
                 finally:
                     self._busy.discard(task)
                 self._events.emit(
@@ -328,12 +427,17 @@ class HTTPServingFront:
             pass
         finally:
             self._busy.discard(task)
-            self._connections.discard(task)
             writer.close()
             try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
+                # bounded: a TLS peer that never answers close_notify must
+                # not pin this task (and the drain gather) open forever;
+                # the task stays in _connections until the transport is
+                # down so shutdown's cancel sweep always covers it
+                await asyncio.wait_for(writer.wait_closed(), 5.0)
+            except (ConnectionError, asyncio.CancelledError, TimeoutError):
                 pass
+            finally:
+                self._connections.discard(task)
 
     async def _read_request(self, reader):
         try:
@@ -371,7 +475,12 @@ class HTTPServingFront:
         return method, path, http_version, headers, body
 
     async def _respond(
-        self, writer, status: int, payload, keep_alive: bool
+        self,
+        writer,
+        status: int,
+        payload,
+        keep_alive: bool,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         faults.fire("http.write", "before")
         body = json.dumps(payload).encode("utf-8")
@@ -382,8 +491,11 @@ class HTTPServingFront:
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
         )
-        if status == 429:
+        extra_headers = extra_headers or {}
+        if status == 429 and "Retry-After" not in extra_headers:
             head += "Retry-After: 1\r\n"
+        for name, value in extra_headers.items():
+            head += f"{name}: {value}\r\n"
         writer.write(head.encode("latin-1") + b"\r\n" + body)
         await writer.drain()
 
@@ -391,21 +503,85 @@ class HTTPServingFront:
     # routing
     # ------------------------------------------------------------------ #
     async def _dispatch(self, method, path, headers, body, writer):
-        if path == "/topk":
+        legacy = path in _LEGACY_ALIASES
+        canonical = _LEGACY_ALIASES.get(path, path)
+        extra: dict[str, str] = {}
+        if legacy:
+            # RFC 8594/9745-style deprecation signalling on the old paths
+            extra["Deprecation"] = "true"
+            extra["Link"] = f'<{canonical}>; rel="successor-version"'
+        if canonical == "/v1/topk":
             if method != "POST":
-                return 405, {"error": "POST /topk"}
-            return await self._handle_topk(headers, body, writer)
-        if path == "/health":
+                return 405, self._method_error(legacy, "POST", path), extra
+            denied = self._authorize(headers, "read", legacy)
+            if denied is not None:
+                status, payload, auth_extra = denied
+                return status, payload, {**extra, **auth_extra}
+            status, payload = await self._handle_topk(
+                headers, body, writer, legacy
+            )
+            return status, payload, extra
+        if canonical == "/v1/submit":
+            if method != "POST":
+                return 405, self._method_error(legacy, "POST", path), extra
+            denied = self._authorize(headers, "write", legacy)
+            if denied is not None:
+                status, payload, auth_extra = denied
+                return status, payload, {**extra, **auth_extra}
+            return await self._handle_submit(headers, body, writer, legacy)
+        if canonical == "/v1/health":
+            # never auth-gated: the balancer's probe carries no token
             if method != "GET":
-                return 405, {"error": "GET /health"}
-            return 200, self._health_payload()
-        if path == "/stats":
+                return 405, self._method_error(legacy, "GET", path), extra
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, self._health_payload)
+            status = 200 if payload.get("status") == "ok" else 503
+            return status, payload, extra
+        if canonical == "/v1/stats":
             if method != "GET":
-                return 405, {"error": "GET /stats"}
-            return 200, self._stats_payload()
-        return 404, {"error": f"unknown path {path!r}"}
+                return 405, self._method_error(legacy, "GET", path), extra
+            denied = self._authorize(headers, "read", legacy)
+            if denied is not None:
+                status, payload, auth_extra = denied
+                return status, payload, {**extra, **auth_extra}
+            loop = asyncio.get_running_loop()
+            payload = await loop.run_in_executor(None, self._stats_payload)
+            return 200, payload, extra
+        return 404, _error_body(legacy, 404, f"unknown path {path!r}"), extra
+
+    def _method_error(self, legacy: bool, verb: str, path: str):
+        # the legacy 405 body is frozen: exactly "<VERB> <legacy-path>"
+        return _error_body(legacy, 405, f"{verb} {path}")
+
+    def _authorize(self, headers, scope: str, legacy: bool):
+        """``None`` when admitted, else ``(status, payload, headers)``."""
+        if self._auth is None:
+            return None
+        header = headers.get("authorization", "")
+        scheme, _, token = header.partition(" ")
+        token = token.strip()
+        if scheme.lower() != "bearer" or not token or token not in self._auth:
+            self._n_auth_failures += 1
+            return (
+                401,
+                _error_body(legacy, 401, "missing or unknown bearer token"),
+                {"WWW-Authenticate": "Bearer"},
+            )
+        if scope not in self._auth[token]:
+            self._n_auth_failures += 1
+            return (
+                403,
+                _error_body(
+                    legacy, 403, f"token lacks the {scope!r} scope"
+                ),
+                {},
+            )
+        return None
 
     def _health_payload(self):
+        snapshot = getattr(self._target, "health_snapshot", None)
+        if callable(snapshot):
+            return dict(snapshot())
         degraded = bool(getattr(self._target, "write_degraded", False)) or bool(
             getattr(self._target, "degraded", False)
         )
@@ -423,35 +599,55 @@ class HTTPServingFront:
         target_stats = getattr(self._target, "stats", None)
         if dataclasses.is_dataclass(target_stats):
             payload["target"] = dataclasses.asdict(target_stats)
+        elif isinstance(target_stats, dict):
+            payload["target"] = target_stats
         payload["events"] = self._events.tail(50)
         recent = getattr(self._target, "recent_events", None)
         if callable(recent):
             payload["target_events"] = recent(50)
+        # a multi-front gateway target can aggregate the whole deployment
+        aggregate = getattr(self._target, "deployment_stats", None)
+        if callable(aggregate):
+            try:
+                payload["deployment"] = aggregate()
+            except ServingError as error:
+                payload["deployment"] = {"error": str(error)}
         return payload
 
-    async def _handle_topk(self, headers, body, writer):
-        self._n_requests += 1
+    def _client_label(self, headers, writer) -> str:
         client = headers.get("x-client-id")
         if not client:
             peer = writer.get_extra_info("peername")
             client = str(peer[0]) if peer else "unknown"
+        return client
+
+    # ------------------------------------------------------------------ #
+    # read path
+    # ------------------------------------------------------------------ #
+    async def _handle_topk(self, headers, body, writer, legacy: bool):
+        self._n_requests += 1
+        client = self._client_label(headers, writer)
         if not self._admit(client):
             self._n_rate_limited += 1
-            return 429, {
-                "error": f"rate limit exceeded for client {client!r}"
-            }
+            return 429, _error_body(
+                legacy, 429,
+                f"rate limit exceeded for client {client!r}",
+                retry_after=1.0,
+            )
         try:
             vector, k, category, min_version = self._parse_topk(body)
         except _BadRequest as error:
-            return error.status, {"error": str(error)}
+            return error.status, _error_body(legacy, error.status, str(error))
         try:
             version, results = await self._submit_query(
                 vector, k, category, min_version
             )
         except ExtractionError as error:
-            return 400, {"error": str(error)}
+            return 400, _error_body(legacy, 400, str(error))
         except Exception as error:  # noqa: BLE001 - surfaced to the client
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, _error_body(
+                legacy, 500, f"{type(error).__name__}: {error}"
+            )
         return 200, {"version": version, "results": results}
 
     def _admit(self, client: str) -> bool:
@@ -469,12 +665,7 @@ class HTTPServingFront:
         return limiter.try_acquire()
 
     def _parse_topk(self, body: bytes):
-        try:
-            payload = json.loads(body.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise _BadRequest(f"body is not valid JSON: {error}") from None
-        if not isinstance(payload, dict):
-            raise _BadRequest("body must be a JSON object")
+        payload = _parse_json_object(body)
         raw_vector = payload.get("vector")
         if not isinstance(raw_vector, list) or not raw_vector:
             raise _BadRequest('"vector" must be a non-empty array of numbers')
@@ -501,6 +692,117 @@ class HTTPServingFront:
         ):
             raise _BadRequest('"min_version" must be an integer or null')
         return vector, k, category, min_version
+
+    # ------------------------------------------------------------------ #
+    # write path
+    # ------------------------------------------------------------------ #
+    async def _handle_submit(self, headers, body, writer, legacy: bool):
+        extra: dict[str, str] = {}
+        client = self._client_label(headers, writer)
+        if not self._admit(client):
+            self._n_rate_limited += 1
+            return 429, _error_body(
+                legacy, 429,
+                f"rate limit exceeded for client {client!r}",
+                retry_after=1.0,
+            ), extra
+        try:
+            submission_id, delta = self._parse_submit(body)
+        except _BadRequest as error:
+            self._n_submit_rejected += 1
+            return error.status, _error_body(
+                legacy, error.status, str(error)
+            ), extra
+        loop = asyncio.get_running_loop()
+        try:
+            version = await loop.run_in_executor(
+                None, self._execute_submit, delta, submission_id
+            )
+        except (SchemaError, IntegrityError) as error:
+            # the applier validated the delta against the live schema and
+            # rejected it — a client error even though it failed deep in
+            # the pipeline
+            self._n_submit_rejected += 1
+            return 400, _error_body(legacy, 400, str(error)), extra
+        except BackpressureError as error:
+            self._n_submit_rejected += 1
+            retry_after = max(1, int(np.ceil(error.retry_after)))
+            extra["Retry-After"] = str(retry_after)
+            return 429, _error_body(
+                legacy, 429, str(error), retry_after=float(retry_after)
+            ), extra
+        except WriteDegradedError as error:
+            self._n_submit_rejected += 1
+            return 503, _error_body(legacy, 503, str(error)), extra
+        except _BadRequest as error:
+            self._n_submit_rejected += 1
+            return error.status, _error_body(
+                legacy, error.status, str(error), retry_after=error.retry_after
+            ), extra
+        except Exception as error:  # noqa: BLE001 - surfaced to the client
+            self._n_submit_rejected += 1
+            return 500, _error_body(
+                legacy, 500, f"{type(error).__name__}: {error}"
+            ), extra
+        self._n_submits += 1
+        return 200, {"version": version, "submission_id": submission_id}, extra
+
+    def _parse_submit(self, body: bytes):
+        payload = _parse_json_object(body)
+        submission_id = payload.get("submission_id")
+        if not isinstance(submission_id, str) or not submission_id:
+            raise _BadRequest('"submission_id" must be a non-empty string')
+        if len(submission_id) > _MAX_SUBMISSION_ID:
+            raise _BadRequest(
+                f'"submission_id" exceeds {_MAX_SUBMISSION_ID} characters'
+            )
+        raw_delta = payload.get("delta")
+        if not isinstance(raw_delta, dict):
+            raise _BadRequest('"delta" must be an object in to_dict() form')
+        try:
+            delta = DatabaseDelta.from_dict(raw_delta)
+        except SchemaError as error:
+            raise _BadRequest(f'malformed "delta": {error}') from None
+        return submission_id, delta
+
+    def _execute_submit(self, delta, submission_id: str) -> int:
+        """Blocking submit + ticket wait, off the event loop."""
+        target = self._target
+        # a gateway target (multi-front deployment) collapses submit and
+        # wait into one cross-process round trip
+        waiter = getattr(target, "submit_and_wait", None)
+        if callable(waiter):
+            try:
+                return int(
+                    waiter(
+                        delta,
+                        submission_id=submission_id,
+                        timeout=self._write_timeout,
+                    )
+                )
+            except TimeoutError as error:
+                raise _BadRequest(str(error), 504) from None
+        submit = getattr(target, "submit", None)
+        if not callable(submit):
+            raise _BadRequest(
+                "this front serves a read-only target — no write path", 501
+            )
+        ticket = submit(
+            delta, timeout=self._write_timeout, submission_id=submission_id
+        )
+        try:
+            return int(ticket.wait(self._write_timeout))
+        except (BackpressureError, WriteDegradedError):
+            raise
+        except ServingError:
+            if ticket.failed or ticket.published_version is not None:
+                raise
+            # the ticket is still pending: the wait timed out, the write
+            # may yet publish — a gateway-timeout, not a failure
+            raise _BadRequest(
+                f"write accepted but not published within "
+                f"{self._write_timeout}s", 504,
+            ) from None
 
     # ------------------------------------------------------------------ #
     # batching
@@ -575,8 +877,67 @@ class HTTPServingFront:
             largest_batch=self._largest_batch,
             read_timeouts=self._n_read_timeouts,
             drained_clean=self._drained_clean,
+            submits=self._n_submits,
+            submit_rejected=self._n_submit_rejected,
+            auth_failures=self._n_auth_failures,
         )
 
     def recent_events(self, n: int = 50) -> list[dict]:
         """The front's latest structured events (access log + lifecycle)."""
         return self._events.tail(n)
+
+
+def _parse_json_object(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise _BadRequest(f"body is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise _BadRequest("body must be a JSON object")
+    return payload
+
+
+def _error_body(
+    legacy: bool,
+    status: int,
+    message: str,
+    retry_after: float | None = None,
+):
+    """One error shape per API generation.
+
+    /v1 answers the structured envelope; the legacy aliases keep the
+    original flat string — that shape is a frozen contract with old
+    clients (and the PR 7 parity tests).
+    """
+    if legacy:
+        return {"error": message}
+    entry: dict[str, object] = {
+        "code": _ERROR_CODES.get(status, "error"),
+        "message": message,
+    }
+    if retry_after is not None:
+        entry["retry_after"] = retry_after
+    return {"error": entry}
+
+
+def _normalize_tokens(
+    auth_tokens: dict[str, object] | None,
+) -> dict[str, frozenset[str]] | None:
+    if auth_tokens is None:
+        return None
+    normalized: dict[str, frozenset[str]] = {}
+    for token, scopes in auth_tokens.items():
+        if not isinstance(token, str) or not token:
+            raise ServingError("auth tokens must be non-empty strings")
+        if isinstance(scopes, str):
+            scope_set = frozenset({scopes})
+        else:
+            scope_set = frozenset(str(scope) for scope in scopes)
+        unknown = scope_set - {"read", "write"}
+        if unknown:
+            raise ServingError(
+                f"unknown scopes {sorted(unknown)} for token {token!r} "
+                "(valid: 'read', 'write')"
+            )
+        normalized[token] = scope_set
+    return normalized

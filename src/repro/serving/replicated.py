@@ -55,7 +55,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ExtractionError, ServingError, StoreFormatError
+from repro.errors import (
+    BackpressureError,
+    ExtractionError,
+    ServingError,
+    StoreFormatError,
+    WriteDegradedError,
+)
 from repro.retrofit.combine import TextValueEmbeddingSet
 from repro.serving.runtime import (
     DeltaQueue,
@@ -950,7 +956,7 @@ class ReplicatedServingTier:
         if self._queue is None:
             raise ServingError("this tier has no writer side (no retrofitter)")
         if self._write_degraded is not None:
-            raise ServingError(
+            raise WriteDegradedError(
                 f"replicated tier is write-degraded: {self._write_degraded}"
             )
         if not self._started or self._stopped:
@@ -959,9 +965,10 @@ class ReplicatedServingTier:
             timeout=timeout
         ):
             self._rate_limited += 1
-            raise ServingError(
+            raise BackpressureError(
                 "write admission rejected: rate limit exceeded "
-                f"({self._rate_limit.rate_per_second:.3g}/s)"
+                f"({self._rate_limit.rate_per_second:.3g}/s)",
+                retry_after=1.0 / self._rate_limit.rate_per_second,
             )
         return self._queue.submit(
             delta, timeout=timeout, submission_id=submission_id

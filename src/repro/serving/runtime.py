@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.db.database import Database
 from repro.db.delta import DatabaseDelta
-from repro.errors import ServingError
+from repro.errors import BackpressureError, ServingError, WriteDegradedError
 from repro.retrofit.incremental import IncrementalRetrofitter
 from repro.serving.session import IndexFactory, ServingSession
 from repro.util import faults
@@ -292,7 +292,7 @@ class DeltaQueue:
                     None if deadline is None else deadline - time.perf_counter()
                 )
                 if remaining is not None and remaining <= 0:
-                    raise ServingError(
+                    raise BackpressureError(
                         f"delta queue full ({self._capacity} batches) for "
                         f"{timeout}s — backpressure timeout"
                     )
@@ -647,7 +647,7 @@ class ServingRuntime:
     ) -> UpdateTicket:
         """Queue a delta for application; returns its ticket immediately."""
         if self._degraded is not None:
-            raise ServingError(
+            raise WriteDegradedError(
                 "serving runtime is degraded (an update failed after "
                 "mutating the database; served vectors may no longer match "
                 "it — rebuild the runtime): "
@@ -658,9 +658,10 @@ class ServingRuntime:
         if self._rate_limit is not None and not self._rate_limit.acquire(
             timeout=timeout
         ):
-            raise ServingError(
+            raise BackpressureError(
                 "write admission rejected: rate limit exceeded "
-                f"({self._rate_limit.rate_per_second:.3g}/s)"
+                f"({self._rate_limit.rate_per_second:.3g}/s)",
+                retry_after=1.0 / self._rate_limit.rate_per_second,
             )
         return self._queue.submit(
             delta, timeout=timeout, submission_id=submission_id

@@ -1,0 +1,428 @@
+"""The versioned /v1 API: status matrix, auth scopes, the write path.
+
+Every test drives the real server over a loopback socket.  Cheap test
+doubles stand in for the tier where only the HTTP contract is under
+test (status codes, envelopes, auth); the wire-form submit round trip
+at the end runs against a real replicated tier with a live retrofitter.
+"""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_tmdb
+from repro.db.delta import DatabaseDelta
+from repro.errors import BackpressureError, ServingError, WriteDegradedError
+from repro.retrofit.hyperparams import RetroHyperparameters
+from repro.retrofit.pipeline import RetroPipeline
+from repro.serving import (
+    EmbeddingStore,
+    HTTPServingFront,
+    ReplicatedServingTier,
+    ServingSession,
+)
+
+from tests.serving.test_http_front import as_json_rows, http
+
+
+class _Target:
+    """A read-only ``topk_batch`` target with a switchable health flag."""
+
+    dimension = 4
+    published_version = 0
+
+    def __init__(self):
+        self.degraded = False
+
+    def topk_batch(self, vectors, k, category=None):
+        return [[("movies.title", "answer", 1.0)] for _ in vectors]
+
+
+class _WritableTarget(_Target):
+    """Adds an idempotent ``submit`` so the write path is exercisable."""
+
+    def __init__(self):
+        super().__init__()
+        self.applied = []  # deltas that actually landed (dedup excluded)
+        self.seen_ids = {}  # submission_id -> acked version
+        self.fail_with: Exception | None = None
+
+    def submit(self, delta, timeout=None, submission_id=None):
+        if self.fail_with is not None:
+            error, self.fail_with = self.fail_with, None
+            raise error
+        if submission_id in self.seen_ids:
+            return _Ticket(self.seen_ids[submission_id])
+        self.applied.append(delta)
+        version = len(self.applied)
+        if submission_id is not None:
+            self.seen_ids[submission_id] = version
+        return _Ticket(version)
+
+
+class _Ticket:
+    failed = False
+
+    def __init__(self, version):
+        self.published_version = version
+
+    def wait(self, timeout=None):
+        return self.published_version
+
+
+VECTOR = [0.0, 1.0, 0.0, 0.0]
+
+
+def wire_delta(movie_id=70_001):
+    return DatabaseDelta().insert("movies", {
+        "id": movie_id, "title": f"wire movie {movie_id}",
+        "original_language": "english",
+        "overview": "a delta that crossed the network",
+        "budget": 1e7, "revenue": 2e7, "popularity": 1.0,
+        "release_year": 2026, "collection_id": None,
+    })
+
+
+@pytest.fixture()
+def front():
+    with HTTPServingFront(_WritableTarget(), window_seconds=0.0) as served:
+        yield served
+
+
+class TestV1Routing:
+    def test_v1_topk_answers_and_legacy_alias_matches(self, front):
+        status, body, headers = http(
+            front.address, "/v1/topk", {"vector": VECTOR, "k": 1}
+        )
+        assert status == 200
+        assert body == {
+            "version": 0,
+            "results": [["movies.title", "answer", 1.0]],
+        }
+        assert headers.get("Deprecation") is None
+        legacy_status, legacy_body, legacy_headers = http(
+            front.address, "/topk", {"vector": VECTOR, "k": 1}
+        )
+        assert (legacy_status, legacy_body) == (status, body)
+        assert legacy_headers["Deprecation"] == "true"
+
+    @pytest.mark.parametrize("legacy, successor", [
+        ("/topk", "/v1/topk"),
+        ("/health", "/v1/health"),
+        ("/stats", "/v1/stats"),
+    ])
+    def test_legacy_aliases_emit_deprecation_headers(
+        self, front, legacy, successor
+    ):
+        payload = {"vector": VECTOR} if legacy == "/topk" else None
+        _, _, headers = http(front.address, legacy, payload)
+        assert headers["Deprecation"] == "true"
+        assert headers["Link"] == f'<{successor}>; rel="successor-version"'
+        _, _, v1_headers = http(front.address, successor, payload)
+        assert v1_headers.get("Deprecation") is None
+        assert v1_headers.get("Link") is None
+
+    def test_unknown_path_is_404_with_envelope(self, front):
+        status, body, _ = http(front.address, "/v2/topk", {"vector": VECTOR})
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+        assert "/v2/topk" in body["error"]["message"]
+
+    @pytest.mark.parametrize("path, method, payload", [
+        ("/v1/topk", "GET", None),
+        ("/v1/submit", "GET", None),
+        ("/v1/health", "POST", {"vector": VECTOR}),
+        ("/v1/stats", "POST", {"vector": VECTOR}),
+    ])
+    def test_wrong_method_is_405_with_envelope(
+        self, front, path, method, payload
+    ):
+        status, body, _ = http(front.address, path, payload, method=method)
+        assert status == 405
+        assert body["error"]["code"] == "method_not_allowed"
+        assert path in body["error"]["message"]
+
+    def test_invalid_json_is_400_invalid_request(self, front):
+        request = urllib.request.Request(
+            front.address + "/v1/topk", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_oversized_body_is_413_payload_too_large(self):
+        target = _Target()
+        with HTTPServingFront(
+            target, window_seconds=0.0, max_body_bytes=64
+        ) as front:
+            status, body, _ = http(
+                front.address, "/v1/topk", {"vector": [0.0] * 500}
+            )
+            assert status == 413
+            assert body["error"]["code"] == "payload_too_large"
+
+    def test_rate_limited_is_429_with_retry_after(self):
+        with HTTPServingFront(
+            _Target(), window_seconds=0.0, rate_per_second=0.001, burst=1
+        ) as front:
+            first = http(
+                front.address, "/v1/topk", {"vector": VECTOR},
+                headers={"X-Client-Id": "alpha"},
+            )
+            assert first[0] == 200
+            status, body, headers = http(
+                front.address, "/v1/topk", {"vector": VECTOR},
+                headers={"X-Client-Id": "alpha"},
+            )
+            assert status == 429
+            assert body["error"]["code"] == "rate_limited"
+            assert body["error"]["retry_after"] == 1.0
+            assert headers["Retry-After"] == "1"
+
+    def test_legacy_error_bodies_stay_flat_strings(self, front):
+        status, body, _ = http(front.address, "/topk", {"vector": []})
+        assert status == 400
+        assert isinstance(body["error"], str)
+        status, body, _ = http(
+            front.address, "/v1/topk", {"vector": []}
+        )
+        assert status == 400
+        assert isinstance(body["error"], dict)
+
+
+class TestHealthDegraded:
+    def test_health_is_503_once_the_target_latches_degraded(self):
+        target = _Target()
+        with HTTPServingFront(target, window_seconds=0.0) as front:
+            status, body, _ = http(front.address, "/v1/health")
+            assert status == 200
+            assert body["status"] == "ok"
+            target.degraded = True
+            status, body, _ = http(front.address, "/v1/health")
+            assert status == 503
+            assert body["status"] == "degraded"  # body shape unchanged
+            assert body["version"] == 0
+            # the deprecated alias degrades identically
+            status, body, _ = http(front.address, "/health")
+            assert status == 503
+            assert body["status"] == "degraded"
+
+
+class TestAuthScopes:
+    TOKENS = {"rw": ("read", "write"), "ro": "read", "wo": ("write",)}
+
+    @pytest.fixture()
+    def authed(self):
+        with HTTPServingFront(
+            _WritableTarget(), window_seconds=0.0, auth_tokens=self.TOKENS
+        ) as front:
+            yield front
+
+    @staticmethod
+    def bearer(token):
+        return {"Authorization": f"Bearer {token}"}
+
+    def submit_payload(self):
+        return {"submission_id": "auth-sub", "delta": wire_delta().to_dict()}
+
+    def test_missing_token_is_401_with_challenge(self, authed):
+        status, body, headers = http(
+            authed.address, "/v1/topk", {"vector": VECTOR}
+        )
+        assert status == 401
+        assert body["error"]["code"] == "unauthenticated"
+        assert headers["WWW-Authenticate"] == "Bearer"
+
+    def test_unknown_token_is_401(self, authed):
+        status, body, _ = http(
+            authed.address, "/v1/topk", {"vector": VECTOR},
+            headers=self.bearer("nope"),
+        )
+        assert status == 401
+        assert body["error"]["code"] == "unauthenticated"
+
+    def test_scope_matrix(self, authed):
+        cases = [
+            ("/v1/topk", {"vector": VECTOR}, "rw", 200),
+            ("/v1/topk", {"vector": VECTOR}, "ro", 200),
+            ("/v1/topk", {"vector": VECTOR}, "wo", 403),
+            ("/v1/submit", self.submit_payload(), "rw", 200),
+            ("/v1/submit", self.submit_payload(), "ro", 403),
+            ("/v1/submit", self.submit_payload(), "wo", 200),
+            ("/v1/stats", None, "ro", 200),
+            ("/v1/stats", None, "wo", 403),
+        ]
+        for path, payload, token, want in cases:
+            status, body, _ = http(
+                authed.address, path, payload, headers=self.bearer(token)
+            )
+            assert status == want, (path, token, body)
+            if want == 403:
+                assert body["error"]["code"] == "forbidden"
+
+    def test_health_is_never_gated(self, authed):
+        status, body, _ = http(authed.address, "/v1/health")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_auth_failures_are_counted(self, authed):
+        http(authed.address, "/v1/topk", {"vector": VECTOR})
+        http(
+            authed.address, "/v1/submit", self.submit_payload(),
+            headers=self.bearer("ro"),
+        )
+        assert authed.stats.auth_failures == 2
+
+    def test_unknown_scope_is_rejected_at_construction(self):
+        with pytest.raises(ServingError):
+            HTTPServingFront(_Target(), auth_tokens={"t": ("admin",)})
+
+
+class TestSubmitEndpoint:
+    def test_wire_form_delta_round_trips(self, front):
+        delta = wire_delta()
+        status, body, _ = http(
+            front.address, "/v1/submit",
+            {"submission_id": "sub-1", "delta": delta.to_dict()},
+        )
+        assert status == 200
+        assert body == {"version": 1, "submission_id": "sub-1"}
+        (landed,) = front._target.applied
+        assert landed.to_dict() == delta.to_dict()
+        assert front.stats.submits == 1
+
+    def test_duplicated_post_applies_exactly_once(self, front):
+        payload = {"submission_id": "sub-dup", "delta": wire_delta().to_dict()}
+        first = http(front.address, "/v1/submit", payload)
+        second = http(front.address, "/v1/submit", payload)
+        assert first[0] == second[0] == 200
+        assert first[1]["version"] == second[1]["version"]
+        assert len(front._target.applied) == 1
+
+    @pytest.mark.parametrize("payload", [
+        {},  # submission_id missing
+        {"submission_id": "", "delta": {}},  # empty id
+        {"submission_id": "x" * 201, "delta": {}},  # id too long
+        {"submission_id": "ok"},  # delta missing
+        {"submission_id": "ok", "delta": "nope"},  # delta not an object
+        {"submission_id": "ok", "delta": {"nope": []}},  # malformed wire form
+    ])
+    def test_bad_submit_payloads_are_400(self, front, payload):
+        status, body, _ = http(front.address, "/v1/submit", payload)
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+        assert front._target.applied == []
+
+    def test_backpressure_maps_to_429_with_retry_after(self, front):
+        front._target.fail_with = BackpressureError("queue full", retry_after=2.5)
+        status, body, headers = http(
+            front.address, "/v1/submit",
+            {"submission_id": "bp", "delta": wire_delta().to_dict()},
+        )
+        assert status == 429
+        assert body["error"]["code"] == "rate_limited"
+        assert body["error"]["retry_after"] == 3.0  # ceil(2.5)
+        assert headers["Retry-After"] == "3"
+        assert front.stats.submit_rejected == 1
+
+    def test_write_degraded_maps_to_503(self, front):
+        front._target.fail_with = WriteDegradedError("write path latched")
+        status, body, _ = http(
+            front.address, "/v1/submit",
+            {"submission_id": "wd", "delta": wire_delta().to_dict()},
+        )
+        assert status == 503
+        assert body["error"]["code"] == "degraded"
+
+    def test_read_only_target_answers_501(self):
+        with HTTPServingFront(_Target(), window_seconds=0.0) as front:
+            status, body, _ = http(
+                front.address, "/v1/submit",
+                {"submission_id": "ro", "delta": wire_delta().to_dict()},
+            )
+            assert status == 501
+            assert body["error"]["code"] == "not_supported"
+
+
+class TestSubmitOverRealTier:
+    def test_submit_dedup_and_floored_read_over_one_socket(self, tmp_path):
+        dataset = generate_tmdb(num_movies=60, seed=8, embedding_dimension=16)
+        pipeline = RetroPipeline(
+            dataset.database,
+            dataset.embedding,
+            hyperparams=RetroHyperparameters.paper_rn_default(),
+        )
+        result = pipeline.run(iterations=120)
+        retrofitter = pipeline.incremental_retrofitter(result)
+        store = EmbeddingStore(tmp_path / "store")
+        store.save_embedding_set("rn", result.embeddings)
+        rng = np.random.default_rng(4)
+        query = rng.integers(-3, 4, size=16).astype(np.float64)
+        tier = ReplicatedServingTier(
+            store.root, "rn", n_replicas=2,
+            database=dataset.database, retrofitter=retrofitter,
+            solve_iterations=60,
+        )
+        payload = {
+            "submission_id": "real-sub-1",
+            "delta": wire_delta().to_dict(),
+        }
+        with tier:
+            with HTTPServingFront(
+                tier, window_seconds=0.0, write_timeout_seconds=300.0
+            ) as front:
+                status, body, _ = http(front.address, "/v1/submit", payload)
+                assert status == 200
+                version = body["version"]
+                assert version >= 1
+                log_after_first = tier.stats.log_version
+                # the retried POST (same id, fresh TCP connection) returns
+                # the original version without growing the log
+                dup_status, dup_body, _ = http(
+                    front.address, "/v1/submit", payload
+                )
+                assert dup_status == 200
+                assert dup_body["version"] == version
+                assert tier.stats.log_version == log_after_first
+                # read-your-writes: a floored /v1 read sees the write and
+                # matches a serial session over the store's own replay
+                status, answer, _ = http(
+                    front.address, "/v1/topk",
+                    {"vector": list(query), "k": 5, "min_version": version},
+                )
+                assert status == 200
+                assert answer["version"] >= version
+                loaded, _, loaded_version = (
+                    store.load_embedding_set_versioned("rn")
+                )
+                assert loaded_version == version
+                serial = ServingSession(loaded)
+                serial.settle_indexes()
+                assert answer["results"] == as_json_rows(
+                    serial.topk_batch(query[None, :], 5)[0]
+                )
+
+
+class TestFramingErrors:
+    def test_pre_route_framing_error_answers_v1_envelope(self, front):
+        # an over-long request line fails before any route is known — the
+        # front answers 413 in the /v1 envelope on the raw socket
+        with socket.create_connection(("127.0.0.1", front.port), 10) as sock:
+            sock.sendall(b"GET /" + b"x" * 100_000 + b" HTTP/1.1\r\n\r\n")
+            sock.settimeout(10)
+            raw = b""
+            while True:  # the server closes after a framing error
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                raw += chunk
+        head, _, rest = raw.partition(b"\r\n\r\n")
+        assert b" 413 " in head.split(b"\r\n", 1)[0]
+        body = json.loads(rest.decode("utf-8"))
+        assert body["error"]["code"] == "payload_too_large"
